@@ -1,0 +1,154 @@
+// Package bagsched is a library for machine scheduling with
+// bag-constraints (P | bags | Cmax): schedule jobs on identical machines,
+// minimizing the makespan, where the jobs are partitioned into bags and no
+// machine may run two jobs of the same bag.
+//
+// The centerpiece is SolveEPTAS, an implementation of the efficient
+// polynomial-time approximation scheme of Grage, Jansen and Klein ("An
+// EPTAS for machine scheduling with bag-constraints", SPAA 2019): for any
+// accuracy eps it returns a feasible schedule with makespan within
+// 1+O(eps) of optimal, in time f(1/eps)*poly(n) — in particular the cost
+// does not grow with the number of bags, unlike the earlier PTAS of Das
+// and Wiese (available here as SolveDasWiese for comparison).
+//
+// Quick start:
+//
+//	in := bagsched.NewInstance(4)      // 4 machines
+//	in.AddJob(0.8, 0)                  // size 0.8, bag 0
+//	in.AddJob(0.7, 0)
+//	in.AddJob(0.3, 1)
+//	res, err := bagsched.SolveEPTAS(in, 0.5)
+//	if err != nil { ... }
+//	fmt.Println(res.Makespan, res.Schedule.Loads())
+//
+// Heuristics (SolveBagLPT, SolveLPT, SolveGreedy, SolveRoundRobin) and an
+// exact branch-and-bound solver for small instances (SolveExact) are also
+// provided, along with JSON input/output and deterministic workload
+// generators under internal/workload for the experiment suite.
+package bagsched
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/cfgmilp"
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Instance is a bag-constrained scheduling instance. See NewInstance.
+type Instance = sched.Instance
+
+// Job is a single unit of work with a size and a bag.
+type Job = sched.Job
+
+// JobID identifies a job within an instance.
+type JobID = sched.JobID
+
+// Schedule assigns every job of an instance to a machine.
+type Schedule = sched.Schedule
+
+// Conflict is a bag-constraint violation (two jobs of one bag on one
+// machine).
+type Conflict = sched.Conflict
+
+// NewInstance returns an empty instance with the given machine count.
+func NewInstance(machines int) *Instance { return sched.NewInstance(machines) }
+
+// LowerBound returns a combinatorial lower bound on the optimal makespan.
+func LowerBound(in *Instance) float64 { return sched.LowerBound(in) }
+
+// Result is the outcome of an approximation solve.
+type Result = core.Result
+
+// Stats describes the EPTAS search effort.
+type Stats = core.Stats
+
+// MILPMode selects the configuration-program flavour used by the EPTAS.
+type MILPMode = cfgmilp.Mode
+
+const (
+	// ModeDecomposed (default) solves an integer program over pattern
+	// multiplicities only and distributes small jobs greedily.
+	ModeDecomposed = cfgmilp.ModeDecomposed
+	// ModePaper materializes the paper's y variables, including the
+	// integral subset of constraint (7). Exponentially larger; use on
+	// small instances only.
+	ModePaper = cfgmilp.ModePaper
+)
+
+// Option customizes SolveEPTAS.
+type Option func(*core.Options)
+
+// WithMode selects the MILP flavour.
+func WithMode(m MILPMode) Option {
+	return func(o *core.Options) { o.Mode = m }
+}
+
+// WithPatternLimit bounds pattern enumeration (default 20000). Makespan
+// guesses whose pattern space exceeds the limit are rejected, degrading
+// gracefully toward the bag-LPT fallback.
+func WithPatternLimit(limit int) Option {
+	return func(o *core.Options) { o.PatternLimit = limit }
+}
+
+// WithMILPNodes bounds branch-and-bound nodes per makespan guess.
+func WithMILPNodes(nodes int) Option {
+	return func(o *core.Options) { o.MILP.MaxNodes = nodes }
+}
+
+// WithMaxGuesses bounds the binary-search decisions (default 40).
+func WithMaxGuesses(g int) Option {
+	return func(o *core.Options) { o.MaxGuesses = g }
+}
+
+// WithPriorityCap caps the Definition 2 priority-bag constant b' below
+// its theoretical value. The theoretical constant exceeds any moderate
+// bag count for practical eps, so without a cap the instance
+// transformation never triggers; capping exercises the full machinery at
+// the cost of the formal (worst-case) guarantee.
+func WithPriorityCap(bprime int) Option {
+	return func(o *core.Options) { o.BPrimeOverride = bprime }
+}
+
+// SolveEPTAS schedules in with the EPTAS at accuracy eps in (0,1). The
+// result is always a feasible schedule; its makespan is within 1+O(eps)
+// of optimal.
+func SolveEPTAS(in *Instance, eps float64, opts ...Option) (*Result, error) {
+	o := core.Options{Eps: eps}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return core.Solve(in, o)
+}
+
+// SolveDasWiese schedules in with the configuration-program scheme with
+// every bag treated as priority (no instance transformation) — the
+// PTAS-style approach whose cost grows with the number of bags.
+func SolveDasWiese(in *Instance, eps float64) (*Result, error) {
+	return baselines.DasWieseConfig(in, eps)
+}
+
+// SolveBagLPT schedules in with the paper's bag-LPT heuristic.
+func SolveBagLPT(in *Instance) (*Schedule, error) { return baselines.BagLPT(in) }
+
+// SolveLPT schedules in with longest-processing-time list scheduling
+// restricted to conflict-free machines.
+func SolveLPT(in *Instance) (*Schedule, error) { return baselines.LPT(in) }
+
+// SolveGreedy schedules in by least-loaded feasible list scheduling in
+// input order.
+func SolveGreedy(in *Instance) (*Schedule, error) { return baselines.Greedy(in) }
+
+// SolveRoundRobin schedules in by static cyclic assignment (conflict-free
+// but load-oblivious).
+func SolveRoundRobin(in *Instance) (*Schedule, error) { return baselines.RoundRobin(in) }
+
+// ExactResult is the outcome of SolveExact.
+type ExactResult = baselines.ExactResult
+
+// SolveExact computes an optimal schedule by branch and bound within the
+// time limit (0 means 30s). Intended for small instances.
+func SolveExact(in *Instance, timeLimit time.Duration) (*ExactResult, error) {
+	return baselines.Exact(in, baselines.ExactOptions{TimeLimit: timeLimit})
+}

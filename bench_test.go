@@ -1,0 +1,393 @@
+package bagsched
+
+// Benchmark harness: one benchmark per experiment of the EX suite defined
+// in DESIGN.md (the paper has no experimental tables of its own — these
+// regenerate the synthetic evaluation), plus micro-benchmarks for every
+// substrate the EPTAS depends on. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/greedy"
+	"repro/internal/lp"
+	"repro/internal/milp"
+	"repro/internal/pattern"
+	"repro/internal/round"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+// --- EX-F1: Figure 1 adversarial family ---
+
+func BenchmarkExF1AdversarialEPTAS(b *testing.B) {
+	in := workload.MustGenerate(workload.Spec{Family: workload.Adversarial, Machines: 8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := SolveEPTAS(in, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Makespan
+	}
+}
+
+// --- EX-T1: quality per eps (cost of one full EPTAS solve) ---
+
+func benchEPTASQuality(b *testing.B, eps float64) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 3, Jobs: 11, Bags: 4, Seed: 100,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEPTAS(in, eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExT1Quality_Eps075(b *testing.B) { benchEPTASQuality(b, 0.75) }
+func BenchmarkExT1Quality_Eps050(b *testing.B) { benchEPTASQuality(b, 0.5) }
+func BenchmarkExT1Quality_Eps033(b *testing.B) { benchEPTASQuality(b, 0.33) }
+
+// --- EX-T2: runtime scaling in n and in the bag count ---
+
+func benchEPTASSize(b *testing.B, n int) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: n / 5, Jobs: n, Bags: n / 4, Seed: 5,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEPTAS(in, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExT2ScaleN020(b *testing.B) { benchEPTASSize(b, 20) }
+func BenchmarkExT2ScaleN040(b *testing.B) { benchEPTASSize(b, 40) }
+func BenchmarkExT2ScaleN080(b *testing.B) { benchEPTASSize(b, 80) }
+
+func benchBags(b *testing.B, bags int, dasWiese bool) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 8, Jobs: 16, Bags: bags, Seed: 5,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if dasWiese {
+			_, err = SolveDasWiese(in, 0.5)
+		} else {
+			_, err = SolveEPTAS(in, 0.5)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExT2Bags04_EPTAS(b *testing.B)    { benchBags(b, 4, false) }
+func BenchmarkExT2Bags08_EPTAS(b *testing.B)    { benchBags(b, 8, false) }
+func BenchmarkExT2Bags08_DasWiese(b *testing.B) { benchBags(b, 8, true) }
+
+// --- EX-L6: pattern enumeration cost per eps ---
+
+func benchPatternEnum(b *testing.B, eps float64) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 8, Jobs: 48, Bags: 10, Seed: 9,
+	})
+	ub, err := greedy.BagLPT(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaled, _ := round.ScaleRound(in, ub.Makespan(), eps)
+	info, err := classify.Classify(scaled, eps, classify.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := transform.Apply(scaled, info)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := pattern.Enumerate(tr.Inst, info, tr.Priority, pattern.Options{Limit: 2_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = len(sp.Patterns)
+	}
+}
+
+func BenchmarkExL6PatternEnum_Eps050(b *testing.B) { benchPatternEnum(b, 0.5) }
+func BenchmarkExL6PatternEnum_Eps040(b *testing.B) { benchPatternEnum(b, 0.4) }
+
+// --- EX-L8: bag-LPT primitive ---
+
+func BenchmarkExL8BagLPT(b *testing.B) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.SmallHeavy, Machines: 64, Jobs: 2048, Bags: 64, Seed: 3,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := greedy.BagLPT(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s.Makespan()
+	}
+}
+
+// --- EX-L7/L11: full pipeline with active transformation and repairs ---
+
+func BenchmarkExL7PipelineWithRepairs(b *testing.B) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Skewed, Machines: 16, Jobs: 50, Bags: 25, Seed: 41,
+	})
+	ub, err := greedy.BagLPT(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	guess := ub.Makespan()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunPipeline(in, guess, core.Options{Eps: 0.5, BPrimeOverride: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EX-B1: algorithm comparison per family ---
+
+func benchAlgo(b *testing.B, fam workload.Family, algo string) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: fam, Machines: 8, Jobs: 40, Bags: 10, Seed: 200,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		switch algo {
+		case "eptas":
+			_, err = SolveEPTAS(in, 0.5)
+		case "baglpt":
+			_, err = SolveBagLPT(in)
+		case "greedy":
+			_, err = SolveGreedy(in)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExB1Uniform_EPTAS(b *testing.B)    { benchAlgo(b, workload.Uniform, "eptas") }
+func BenchmarkExB1Uniform_BagLPT(b *testing.B)   { benchAlgo(b, workload.Uniform, "baglpt") }
+func BenchmarkExB1Bimodal_EPTAS(b *testing.B)    { benchAlgo(b, workload.Bimodal, "eptas") }
+func BenchmarkExB1Bimodal_BagLPT(b *testing.B)   { benchAlgo(b, workload.Bimodal, "baglpt") }
+func BenchmarkExB1SmallHeavy_EPTAS(b *testing.B) { benchAlgo(b, workload.SmallHeavy, "eptas") }
+func BenchmarkExB1Geometric_Greedy(b *testing.B) { benchAlgo(b, workload.Geometric, "greedy") }
+
+// --- EX-A1: MILP mode ablation ---
+
+func benchMode(b *testing.B, mode MILPMode) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 4, Jobs: 16, Bags: 5, Seed: 300,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEPTAS(in, 0.5, WithMode(mode), WithMILPNodes(4000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExA1ModeDecomposed(b *testing.B) { benchMode(b, ModeDecomposed) }
+func BenchmarkExA1ModePaper(b *testing.B)      { benchMode(b, ModePaper) }
+
+// --- EX-A2: rounding-heuristic ablation ---
+
+func benchRounding(b *testing.B, disable bool) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 7, Jobs: 35, Bags: 12, Seed: 401,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Solve(in, core.Options{
+			Eps:  0.5,
+			MILP: milp.Options{DisableRounding: disable},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Makespan
+	}
+}
+
+func BenchmarkExA2RoundingOn(b *testing.B)  { benchRounding(b, false) }
+func BenchmarkExA2RoundingOff(b *testing.B) { benchRounding(b, true) }
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkLPSolveDense(b *testing.B) {
+	// A 30x60 LP with a transportation-like structure.
+	build := func() *lp.Problem {
+		p := lp.NewProblem()
+		const rows, cols = 15, 60
+		for v := 0; v < cols; v++ {
+			p.AddVar(float64(v%7) - 3)
+		}
+		for r := 0; r < rows; r++ {
+			var terms []lp.Term
+			for v := r; v < cols; v += rows {
+				terms = append(terms, lp.Term{Var: v, Coef: 1 + float64((r+v)%3)})
+			}
+			p.AddConstraint(terms, lp.LE, float64(10+r))
+		}
+		for v := 0; v < cols; v++ {
+			p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, 4)
+		}
+		return p
+	}
+	prob := build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := prob.Solve(lp.Options{})
+		if err != nil || res.Status != lp.StatusOptimal {
+			b.Fatalf("status %v err %v", res.Status, err)
+		}
+	}
+}
+
+func BenchmarkMILPKnapsack(b *testing.B) {
+	build := func() *milp.Model {
+		p := lp.NewProblem()
+		n := 12
+		ints := make([]int, n)
+		var terms []lp.Term
+		for i := 0; i < n; i++ {
+			p.AddVar(-float64(1 + i%5))
+			ints[i] = i
+			terms = append(terms, lp.Term{Var: i, Coef: float64(1 + i%4)})
+			p.AddConstraint([]lp.Term{{Var: i, Coef: 1}}, lp.LE, 1)
+		}
+		p.AddConstraint(terms, lp.LE, 9)
+		return &milp.Model{Prob: p, Integer: ints}
+	}
+	m := build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := milp.Solve(m, milp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxFlowDinic(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Layered graph: 2+3*40 nodes.
+		const layers, width = 3, 40
+		g := flow.NewGraph(2 + layers*width)
+		node := func(l, w int) int { return 2 + l*width + w }
+		for w := 0; w < width; w++ {
+			g.AddEdge(0, node(0, w), 3)
+			g.AddEdge(node(layers-1, w), 1, 3)
+		}
+		for l := 0; l+1 < layers; l++ {
+			for w := 0; w < width; w++ {
+				g.AddEdge(node(l, w), node(l+1, w), 2)
+				g.AddEdge(node(l, w), node(l+1, (w+1)%width), 2)
+			}
+		}
+		if _, err := g.MaxFlow(0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactSolverN12(b *testing.B) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 3, Jobs: 12, Bags: 4, Seed: 1,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := baselines.Exact(in, baselines.ExactOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransformApplyLift(b *testing.B) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 16, Jobs: 64, Bags: 32, Seed: 2,
+	})
+	ub, err := greedy.BagLPT(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaled, _ := round.ScaleRound(in, ub.Makespan(), 0.5)
+	info, err := classify.Classify(scaled, 0.5, classify.Options{BPrimeOverride: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := transform.Apply(scaled, info)
+		sPrime, err := greedy.BagLPT(tr.Inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := tr.Lift(sPrime); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, fam := range workload.Families() {
+			workload.MustGenerate(workload.Spec{
+				Family: fam, Machines: 16, Jobs: 128, Bags: 32, Seed: int64(i),
+			})
+		}
+	}
+}
+
+func BenchmarkScheduleConflictScan(b *testing.B) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 32, Jobs: 1024, Bags: 64, Seed: 4,
+	})
+	s, err := greedy.BagLPT(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cs := s.Conflicts(); len(cs) != 0 {
+			b.Fatal("unexpected conflicts")
+		}
+	}
+}
+
+// sanity check that the benchmark instances are as described.
+func TestBenchmarkInstancesFeasible(t *testing.T) {
+	specs := []workload.Spec{
+		{Family: workload.Adversarial, Machines: 8},
+		{Family: workload.Bimodal, Machines: 3, Jobs: 11, Bags: 4, Seed: 100},
+		{Family: workload.Skewed, Machines: 16, Jobs: 50, Bags: 25, Seed: 41},
+	}
+	for _, spec := range specs {
+		in := workload.MustGenerate(spec)
+		if err := in.Feasible(); err != nil {
+			t.Errorf("%s: %v", spec.Name(), err)
+		}
+	}
+}

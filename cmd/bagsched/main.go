@@ -1,0 +1,121 @@
+// Command bagsched solves a bag-constrained scheduling instance read from
+// a JSON file (or stdin) and prints the schedule and statistics.
+//
+// Usage:
+//
+//	bagsched [-algo eptas|baglpt|lpt|greedy|roundrobin|exact|daswiese]
+//	         [-eps 0.5] [-in instance.json] [-out schedule.json] [-v]
+//
+// The instance format is:
+//
+//	{"machines": 4, "num_bags": 2,
+//	 "jobs": [{"id": 0, "size": 0.8, "bag": 0}, ...]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	bagsched "repro"
+	"repro/internal/sched"
+)
+
+func main() {
+	algo := flag.String("algo", "eptas", "algorithm: eptas, baglpt, lpt, greedy, roundrobin, exact, daswiese")
+	eps := flag.Float64("eps", 0.5, "accuracy parameter for eptas/daswiese")
+	inPath := flag.String("in", "-", "instance JSON file, or - for stdin")
+	outPath := flag.String("out", "", "write the schedule JSON here (default: stdout summary only)")
+	verbose := flag.Bool("v", false, "print per-machine loads")
+	flag.Parse()
+
+	if err := run(*algo, *eps, *inPath, *outPath, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "bagsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algo string, eps float64, inPath, outPath string, verbose bool) error {
+	var in *sched.Instance
+	var err error
+	if inPath == "-" {
+		in, err = sched.ReadInstance(os.Stdin)
+	} else {
+		f, ferr := os.Open(inPath)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		in, err = sched.ReadInstance(f)
+	}
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var s *sched.Schedule
+	switch algo {
+	case "eptas":
+		res, err := bagsched.SolveEPTAS(in, eps)
+		if err != nil {
+			return err
+		}
+		s = res.Schedule
+		fmt.Printf("lower bound: %.6f\n", res.LowerBound)
+		fmt.Printf("guesses: %d  patterns: %d  milp nodes: %d  fallback: %v\n",
+			res.Stats.Guesses, res.Stats.Patterns, res.Stats.MILPNodes, res.Stats.Fallback)
+	case "daswiese":
+		res, err := bagsched.SolveDasWiese(in, eps)
+		if err != nil {
+			return err
+		}
+		s = res.Schedule
+	case "baglpt":
+		s, err = bagsched.SolveBagLPT(in)
+	case "lpt":
+		s, err = bagsched.SolveLPT(in)
+	case "greedy":
+		s, err = bagsched.SolveGreedy(in)
+	case "roundrobin":
+		s, err = bagsched.SolveRoundRobin(in)
+	case "exact":
+		res, err := bagsched.SolveExact(in, 0)
+		if err != nil {
+			return err
+		}
+		s = res.Schedule
+		fmt.Printf("proven optimal: %v  nodes: %d\n", res.Proven, res.Nodes)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("produced schedule is invalid: %w", err)
+	}
+	fmt.Printf("algorithm: %s\n", algo)
+	fmt.Printf("machines: %d  jobs: %d  bags: %d\n", in.Machines, len(in.Jobs), in.NumBags)
+	fmt.Printf("makespan: %.6f  (%.2fx lower bound)\n", s.Makespan(), s.Makespan()/sched.LowerBound(in))
+	fmt.Printf("elapsed: %s\n", elapsed)
+	if verbose {
+		for m, load := range s.Loads() {
+			fmt.Printf("  machine %2d: load %.6f\n", m, load)
+		}
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sched.WriteSchedule(f, s); err != nil {
+			return err
+		}
+		fmt.Printf("schedule written to %s\n", outPath)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command benchgen generates deterministic workload instances as JSON
+// files for use with cmd/bagsched.
+//
+// Usage:
+//
+//	benchgen -family uniform -machines 8 -jobs 40 -bags 10 -seed 1 -out inst.json
+//	benchgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	family := flag.String("family", "uniform", "workload family (see -list)")
+	machines := flag.Int("machines", 8, "machine count")
+	jobs := flag.Int("jobs", 40, "job count")
+	bags := flag.Int("bags", 10, "bag count")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "-", "output file, or - for stdout")
+	list := flag.Bool("list", false, "list workload families and exit")
+	flag.Parse()
+
+	if *list {
+		for _, f := range workload.Families() {
+			fmt.Println(f)
+		}
+		return
+	}
+	in, err := workload.Generate(workload.Spec{
+		Family:   workload.Family(*family),
+		Machines: *machines,
+		Jobs:     *jobs,
+		Bags:     *bags,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := sched.WriteInstance(w, in); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// CI build-farm scheduling: jobs of the same test suite grab the same
+// global resource (a database snapshot, a license server port), so at
+// most one job per suite may run on a runner — a bag per suite. The farm
+// wants the whole pipeline to finish as early as possible (makespan).
+//
+// The example reads nothing from disk: it synthesizes a pipeline, solves
+// it exactly (small), with the EPTAS and with heuristics, and reports how
+// close each lands to the true optimum.
+//
+//	go run ./examples/cicd
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	bagsched "repro"
+)
+
+// suite describes one test suite: per-shard runtime (minutes) and how
+// many shards it fans out to.
+type suite struct {
+	name   string
+	shards int
+	mins   float64
+}
+
+func main() {
+	suites := []suite{
+		{"unit", 3, 4},
+		{"integration", 2, 11},
+		{"e2e-browser", 2, 13},
+		{"migrations", 1, 7},
+		{"lint", 1, 2},
+		{"fuzz", 2, 6},
+	}
+	const runners = 4
+
+	in := bagsched.NewInstance(runners)
+	for bag, s := range suites {
+		for k := 0; k < s.shards; k++ {
+			in.AddJob(s.mins, bag)
+		}
+	}
+	fmt.Printf("pipeline: %d shards across %d suites on %d runners\n\n",
+		len(in.Jobs), len(suites), runners)
+
+	ex, err := bagsched.SolveExact(in, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal wall time (exact B&B): %.0f min (proven=%v)\n", ex.Makespan, ex.Proven)
+
+	res, err := bagsched.SolveEPTAS(in, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EPTAS(0.25):                   %.0f min (%.1f%% over optimal)\n",
+		res.Makespan, 100*(res.Makespan/ex.Makespan-1))
+
+	lpt, err := bagsched.SolveLPT(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LPT heuristic:                 %.0f min (%.1f%% over optimal)\n",
+		lpt.Makespan(), 100*(lpt.Makespan()/ex.Makespan-1))
+
+	fmt.Println("\nEPTAS runner assignment:")
+	byRunner := res.Schedule.JobsOnMachine()
+	for r, jobs := range byRunner {
+		fmt.Printf("  runner %d (%.0f min):", r, res.Schedule.Loads()[r])
+		for _, j := range jobs {
+			fmt.Printf(" %s#%d(%.0fm)", suites[in.Jobs[j].Bag].name, j, in.Jobs[j].Size)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,102 @@
+// Datacenter replica placement: the motivating scenario of the paper's
+// introduction (Section 1.1). Services run several replicas that must be
+// placed on distinct machines for fault tolerance — exactly a bag per
+// service — and the operator wants to minimize the maximum machine load.
+//
+// The example compares the EPTAS against the heuristics on a fleet-sized
+// instance and prints the resulting load profiles.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	bagsched "repro"
+)
+
+func main() {
+	const (
+		machines = 12
+		services = 18
+	)
+	rng := rand.New(rand.NewSource(2024))
+	in := bagsched.NewInstance(machines)
+
+	// Each service has 2-5 replicas; replica CPU demand depends on the
+	// service tier.
+	for svc := 0; svc < services; svc++ {
+		replicas := 2 + rng.Intn(4)
+		var demand float64
+		switch svc % 3 {
+		case 0: // frontend: light
+			demand = 0.15 + 0.1*rng.Float64()
+		case 1: // application: medium
+			demand = 0.3 + 0.2*rng.Float64()
+		case 2: // database: heavy
+			demand = 0.6 + 0.3*rng.Float64()
+		}
+		for r := 0; r < replicas; r++ {
+			in.AddJob(demand, svc)
+		}
+	}
+	fmt.Printf("fleet: %d machines, %d services, %d replicas total\n",
+		machines, services, len(in.Jobs))
+	fmt.Printf("lower bound on optimal peak load: %.3f\n\n", bagsched.LowerBound(in))
+
+	type row struct {
+		name     string
+		makespan float64
+		loads    []float64
+	}
+	var rows []row
+
+	res, err := bagsched.SolveEPTAS(in, 0.33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, row{"EPTAS(0.33)", res.Makespan, res.Schedule.Loads()})
+
+	for name, algo := range map[string]func(*bagsched.Instance) (*bagsched.Schedule, error){
+		"bag-LPT":     bagsched.SolveBagLPT,
+		"greedy":      bagsched.SolveGreedy,
+		"round-robin": bagsched.SolveRoundRobin,
+	} {
+		s, err := algo(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{name, s.Makespan(), s.Loads()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].makespan < rows[j].makespan })
+
+	lb := bagsched.LowerBound(in)
+	for _, r := range rows {
+		fmt.Printf("%-12s peak %.3f (%.1f%% over bound)  spread [%.2f .. %.2f]\n",
+			r.name, r.makespan, 100*(r.makespan/lb-1), minOf(r.loads), maxOf(r.loads))
+	}
+	fmt.Println("\nAll placements keep replicas of each service on distinct machines.")
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

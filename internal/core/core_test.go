@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cfgmilp"
+	"repro/internal/greedy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	in := sched.NewInstance(2)
+	in.AddJob(1, 0)
+	if _, err := Solve(in, Options{Eps: 0}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := Solve(in, Options{Eps: 1}); err == nil {
+		t.Error("eps=1 accepted")
+	}
+	bad := sched.NewInstance(0)
+	if _, err := Solve(bad, Options{Eps: 0.5}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	infeasible := sched.NewInstance(1)
+	infeasible.AddJob(1, 0)
+	infeasible.AddJob(1, 0)
+	if _, err := Solve(infeasible, Options{Eps: 0.5}); err == nil {
+		t.Error("infeasible instance accepted")
+	}
+}
+
+func TestSolveEmptyInstance(t *testing.T) {
+	in := sched.NewInstance(3)
+	res, err := Solve(in, Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 {
+		t.Errorf("makespan = %g", res.Makespan)
+	}
+}
+
+func TestSolveSingleJob(t *testing.T) {
+	in := sched.NewInstance(2)
+	in.AddJob(3.7, 0)
+	res, err := Solve(in, Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 3.7 {
+		t.Errorf("makespan = %g, want 3.7", res.Makespan)
+	}
+}
+
+func TestSolveAlwaysFeasible(t *testing.T) {
+	for _, fam := range workload.Families() {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := workload.MustGenerate(workload.Spec{
+				Family: fam, Machines: 5, Jobs: 20, Bags: 8, Seed: seed,
+			})
+			res, err := Solve(in, Options{Eps: 0.5})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", fam, seed, err)
+			}
+			if err := res.Schedule.Validate(); err != nil {
+				t.Fatalf("%s/%d: %v", fam, seed, err)
+			}
+			if res.Makespan < res.LowerBound-1e-9 {
+				t.Errorf("%s/%d: makespan %.4f below lower bound %.4f", fam, seed, res.Makespan, res.LowerBound)
+			}
+		}
+	}
+}
+
+func TestSolveNeverWorseThanBagLPT(t *testing.T) {
+	// The driver keeps the better of the pipeline result and the bag-LPT
+	// upper bound, so it can never lose to bag-LPT.
+	for seed := int64(1); seed <= 8; seed++ {
+		in := workload.MustGenerate(workload.Spec{
+			Family: workload.Uniform, Machines: 4, Jobs: 16, Bags: 6, Seed: seed,
+		})
+		res, err := Solve(in, Options{Eps: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := greedy.BagLPT(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan > ub.Makespan()+1e-9 {
+			t.Errorf("seed %d: EPTAS %.4f worse than bag-LPT %.4f", seed, res.Makespan, ub.Makespan())
+		}
+	}
+}
+
+func TestSolveMonotoneInEps(t *testing.T) {
+	// Smaller eps must not give a (significantly) worse schedule on the
+	// same instance — binary search keeps the best seen, and smaller eps
+	// means finer guesses.
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 4, Jobs: 16, Bags: 6, Seed: 11,
+	})
+	coarse, err := Solve(in, Options{Eps: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Solve(in, Options{Eps: 0.33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Makespan > coarse.Makespan*1.2+1e-9 {
+		t.Errorf("eps=0.33 makespan %.4f much worse than eps=0.75 %.4f", fine.Makespan, coarse.Makespan)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Geometric, Machines: 5, Jobs: 20, Bags: 10, Seed: 13,
+	})
+	a, err := Solve(in, Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(in, Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("non-deterministic: %.6f vs %.6f", a.Makespan, b.Makespan)
+	}
+	for i := range a.Schedule.Machine {
+		if a.Schedule.Machine[i] != b.Schedule.Machine[i] {
+			t.Fatalf("assignments differ at job %d", i)
+		}
+	}
+}
+
+func TestSolveWithPriorityCap(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 10, Jobs: 40, Bags: 20, Seed: 17,
+	})
+	res, err := Solve(in, Options{Eps: 0.5, BPrimeOverride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolvePaperMode(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 3, Jobs: 10, Bags: 4, Seed: 19,
+	})
+	res, err := Solve(in, Options{Eps: 0.5, Mode: cfgmilp.ModePaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveAllPriorityMode(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 4, Jobs: 12, Bags: 4, Seed: 23,
+	})
+	res, err := Solve(in, Options{Eps: 0.5, AllPriority: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPipelineArtifacts(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 8, Jobs: 32, Bags: 16, Seed: 29,
+	})
+	ub, err := greedy.BagLPT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := RunPipeline(in, ub.Makespan(), Options{Eps: 0.5, BPrimeOverride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Scaled == nil || pr.Info == nil || pr.Space == nil || pr.Placed == nil || pr.Final == nil {
+		t.Fatal("missing artifacts")
+	}
+	if pr.Transformed == nil {
+		t.Fatal("expected a transformation with BPrimeOverride=2")
+	}
+	if err := pr.Final.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Placed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Space.Patterns) == 0 {
+		t.Error("empty pattern space")
+	}
+}
+
+func TestRunPipelineRejectsLowGuess(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Unit, Machines: 2, Jobs: 8, Bags: 4, Seed: 31,
+	})
+	// OPT = 4 (8 unit jobs on 2 machines); guess 1 must be rejected.
+	if _, err := RunPipeline(in, 1, Options{Eps: 0.5}); err == nil {
+		t.Error("expected rejection of an impossible guess")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 5, Jobs: 20, Bags: 8, Seed: 37,
+	})
+	res, err := Solve(in, Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Guesses == 0 {
+		t.Error("no guesses recorded")
+	}
+	if !res.Stats.Fallback && res.Stats.Patterns == 0 {
+		t.Error("accepted pipeline run but no pattern count recorded")
+	}
+}

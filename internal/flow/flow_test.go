@@ -1,0 +1,200 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdge(t *testing.T, g *Graph, u, v, c int) *Edge {
+	t.Helper()
+	e, err := g.AddEdge(u, v, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSimplePath(t *testing.T) {
+	g := NewGraph(3)
+	mustEdge(t, g, 0, 1, 5)
+	mustEdge(t, g, 1, 2, 3)
+	got, err := g.MaxFlow(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("flow = %d, want 3", got)
+	}
+}
+
+func TestClassicDiamond(t *testing.T) {
+	// s=0, t=3; two paths with a cross edge.
+	g := NewGraph(4)
+	mustEdge(t, g, 0, 1, 10)
+	mustEdge(t, g, 0, 2, 10)
+	mustEdge(t, g, 1, 3, 10)
+	mustEdge(t, g, 2, 3, 10)
+	mustEdge(t, g, 1, 2, 1)
+	got, err := g.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Errorf("flow = %d, want 20", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	mustEdge(t, g, 0, 1, 5)
+	mustEdge(t, g, 2, 3, 5)
+	got, err := g.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("flow = %d, want 0", got)
+	}
+}
+
+func TestEdgeFlowsDecompose(t *testing.T) {
+	g := NewGraph(4)
+	e1 := mustEdge(t, g, 0, 1, 7)
+	e2 := mustEdge(t, g, 0, 2, 4)
+	e3 := mustEdge(t, g, 1, 3, 5)
+	e4 := mustEdge(t, g, 2, 3, 9)
+	total, err := g.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 9 {
+		t.Fatalf("flow = %d, want 9", total)
+	}
+	if e1.Flow()+e2.Flow() != total || e3.Flow()+e4.Flow() != total {
+		t.Errorf("edge flows inconsistent: %d %d %d %d", e1.Flow(), e2.Flow(), e3.Flow(), e4.Flow())
+	}
+	if e1.Flow() > 7 || e2.Flow() > 4 || e3.Flow() > 5 || e4.Flow() > 9 {
+		t.Error("capacity violated")
+	}
+}
+
+func TestBipartiteMatching(t *testing.T) {
+	// 3x3 bipartite; perfect matching exists.
+	// Left 1..3, right 4..6, s=0, t=7.
+	g := NewGraph(8)
+	for l := 1; l <= 3; l++ {
+		mustEdge(t, g, 0, l, 1)
+		mustEdge(t, g, l+3, 7, 1)
+	}
+	pairs := [][2]int{{1, 4}, {1, 5}, {2, 4}, {3, 6}}
+	for _, p := range pairs {
+		mustEdge(t, g, p[0], p[1], 1)
+	}
+	got, err := g.MaxFlow(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 { // 1-5, 2-4, 3-6
+		t.Errorf("matching = %d, want 3", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := NewGraph(2)
+	if _, err := g.AddEdge(0, 5, 1); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := g.AddEdge(0, 1, -1); err == nil {
+		t.Error("expected negative-capacity error")
+	}
+	if _, err := g.MaxFlow(0, 0); err == nil {
+		t.Error("expected s==t error")
+	}
+	if _, err := g.MaxFlow(0, 9); err == nil {
+		t.Error("expected terminal range error")
+	}
+}
+
+// TestRandomVsBruteForceMinCut verifies max-flow == min-cut on random
+// small graphs by enumerating all s-t cuts.
+func TestRandomVsBruteForceMinCut(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3) // 4..6 nodes
+		g := NewGraph(n)
+		type edge struct{ u, v, c int }
+		var edges []edge
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.45 {
+					c := rng.Intn(8)
+					if _, err := g.AddEdge(u, v, c); err != nil {
+						return false
+					}
+					edges = append(edges, edge{u, v, c})
+				}
+			}
+		}
+		s, tt := 0, n-1
+		got, err := g.MaxFlow(s, tt)
+		if err != nil {
+			return false
+		}
+		// Min cut by enumerating subsets containing s but not t.
+		best := 1 << 30
+		for mask := 0; mask < 1<<n; mask++ {
+			if mask&(1<<s) == 0 || mask&(1<<tt) != 0 {
+				continue
+			}
+			cut := 0
+			for _, e := range edges {
+				if mask&(1<<e.u) != 0 && mask&(1<<e.v) == 0 {
+					cut += e.c
+				}
+			}
+			if cut < best {
+				best = cut
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlowConservation checks that after MaxFlow every internal node has
+// balanced in/out flow.
+func TestFlowConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(4)
+		g := NewGraph(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					if _, err := g.AddEdge(u, v, rng.Intn(10)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		if _, err := g.MaxFlow(0, n-1); err != nil {
+			t.Fatal(err)
+		}
+		net := make([]int, n)
+		for _, e := range g.Edges() {
+			net[e.From] -= e.Flow()
+			net[e.To] += e.Flow()
+			if e.Flow() < 0 || e.Flow() > e.Cap {
+				t.Fatalf("edge flow %d outside [0,%d]", e.Flow(), e.Cap)
+			}
+		}
+		for v := 1; v < n-1; v++ {
+			if net[v] != 0 {
+				t.Fatalf("node %d unbalanced: %d", v, net[v])
+			}
+		}
+	}
+}

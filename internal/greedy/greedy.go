@@ -1,0 +1,235 @@
+// Package greedy implements the list-scheduling primitives the paper builds
+// its small-job placement on: bag-LPT (Section 4, Lemma 8), group-bag-LPT
+// (Section 4.1, Lemma 9) and least-loaded feasible list scheduling.
+//
+// The primitives are expressed over abstract items so they can be reused
+// both by the EPTAS placer (on machine groups with reserved heights) and by
+// the standalone baseline algorithms.
+package greedy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Item is a job handle: Key identifies the job to the caller, Size is its
+// processing time.
+type Item struct {
+	Key  int
+	Size float64
+}
+
+// sortItemsDesc orders items by decreasing size, ties by increasing key.
+func sortItemsDesc(items []Item) {
+	sort.SliceStable(items, func(a, b int) bool {
+		if items[a].Size != items[b].Size {
+			return items[a].Size > items[b].Size
+		}
+		return items[a].Key < items[b].Key
+	})
+}
+
+// AssignBagLPT runs the paper's bag-LPT on a group of machines: for each
+// bag in order, the bag's items are sorted by decreasing size, machines by
+// increasing current load, and the j-th item goes to the j-th machine.
+// Bags with fewer items than machines are implicitly padded with zero-size
+// dummy jobs (the tail machines receive nothing).
+//
+// loads is modified in place. The result is parallel to bags: result[b][i]
+// is the machine index (into loads) of bags[b][i]. Every bag must have at
+// most len(loads) items; within a bag each item lands on a distinct
+// machine, so the placement is conflict-free by construction (Lemma 8's
+// precondition is that any item may run on any machine of the group).
+func AssignBagLPT(loads []float64, bags [][]Item) ([][]int, error) {
+	m := len(loads)
+	result := make([][]int, len(bags))
+	order := make([]int, m)
+	for b, bag := range bags {
+		if len(bag) > m {
+			return nil, fmt.Errorf("greedy: bag %d has %d items for %d machines", b, len(bag), m)
+		}
+		items := make([]Item, len(bag))
+		copy(items, bag)
+		sortItemsDesc(items)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if loads[order[a]] != loads[order[b]] {
+				return loads[order[a]] < loads[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		asg := make([]int, len(bag))
+		// items is the sorted view; map back to the original positions.
+		pos := sortedPositions(bag, items)
+		for j, it := range items {
+			mach := order[j]
+			loads[mach] += it.Size
+			asg[pos[j]] = mach
+		}
+		result[b] = asg
+	}
+	return result, nil
+}
+
+// sortedPositions returns, for each element of sorted, the index of the
+// corresponding element in orig. Duplicate (Size, Key) pairs cannot occur
+// for distinct jobs because keys are unique within a bag.
+func sortedPositions(orig, sorted []Item) []int {
+	byKey := make(map[int]int, len(orig))
+	for i, it := range orig {
+		byKey[it.Key] = i
+	}
+	pos := make([]int, len(sorted))
+	for j, it := range sorted {
+		pos[j] = byKey[it.Key]
+	}
+	return pos
+}
+
+// Group is a set of machines treated as one bucket by group-bag-LPT.
+type Group struct {
+	// Machines are global machine indices belonging to the group.
+	Machines []int
+	// Area is the total load currently on the group's machines.
+	Area float64
+}
+
+// avg returns the group's average machine load.
+func (g *Group) avg() float64 {
+	if len(g.Machines) == 0 {
+		return 0
+	}
+	return g.Area / float64(len(g.Machines))
+}
+
+// AssignGroupBagLPT runs the paper's group-bag-LPT: for each bag in order,
+// its items are sorted by decreasing size and the groups by increasing
+// average load; the first |M_1| items go to the first group, the next
+// |M_2| to the second, and so on. Group areas are updated between bags.
+//
+// The result is parallel to bags: result[b][i] is the group index (into
+// groups) of bags[b][i]. The total number of items in any single bag must
+// not exceed the total number of machines.
+func AssignGroupBagLPT(groups []*Group, bags [][]Item) ([][]int, error) {
+	totalMachines := 0
+	for _, g := range groups {
+		totalMachines += len(g.Machines)
+	}
+	result := make([][]int, len(bags))
+	for b, bag := range bags {
+		if len(bag) > totalMachines {
+			return nil, fmt.Errorf("greedy: bag %d has %d items for %d machines total", b, len(bag), totalMachines)
+		}
+		items := make([]Item, len(bag))
+		copy(items, bag)
+		sortItemsDesc(items)
+		order := make([]int, len(groups))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(x, y int) bool {
+			ax, ay := groups[order[x]].avg(), groups[order[y]].avg()
+			if ax != ay {
+				return ax < ay
+			}
+			return order[x] < order[y]
+		})
+		asg := make([]int, len(bag))
+		pos := sortedPositions(bag, items)
+		next := 0
+		for _, gi := range order {
+			g := groups[gi]
+			take := len(g.Machines)
+			for t := 0; t < take && next < len(items); t++ {
+				g.Area += items[next].Size
+				asg[pos[next]] = gi
+				next++
+			}
+			if next == len(items) {
+				break
+			}
+		}
+		result[b] = asg
+	}
+	return result, nil
+}
+
+// ListSchedule assigns the jobs of in, in the given index order, each to
+// the least-loaded machine that holds no job of the same bag. It fails
+// only if some bag has more jobs than machines.
+func ListSchedule(in *sched.Instance, order []int) (*sched.Schedule, error) {
+	s := sched.NewSchedule(in)
+	loads := make([]float64, in.Machines)
+	bagOn := make([]map[int]bool, in.Machines)
+	for i := range bagOn {
+		bagOn[i] = make(map[int]bool)
+	}
+	for _, ji := range order {
+		job := in.Jobs[ji]
+		best := -1
+		for m := 0; m < in.Machines; m++ {
+			if bagOn[m][job.Bag] {
+				continue
+			}
+			if best < 0 || loads[m] < loads[best] {
+				best = m
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("greedy: no conflict-free machine for job %d (bag %d)", ji, job.Bag)
+		}
+		s.Machine[ji] = best
+		loads[best] += job.Size
+		bagOn[best][job.Bag] = true
+	}
+	return s, nil
+}
+
+// BagLPT schedules a whole instance with the paper's bag-LPT applied
+// globally: bags are processed in decreasing order of total area, and each
+// bag's jobs are spread over the machines sorted by load. The schedule is
+// conflict-free whenever every bag has at most m jobs.
+func BagLPT(in *sched.Instance) (*sched.Schedule, error) {
+	if err := in.Feasible(); err != nil {
+		return nil, err
+	}
+	byBag := in.JobsByBag()
+	bagOrder := make([]int, in.NumBags)
+	areas := make([]float64, in.NumBags)
+	for b := range bagOrder {
+		bagOrder[b] = b
+		for _, ji := range byBag[b] {
+			areas[b] += in.Jobs[ji].Size
+		}
+	}
+	sort.SliceStable(bagOrder, func(a, b int) bool {
+		if areas[bagOrder[a]] != areas[bagOrder[b]] {
+			return areas[bagOrder[a]] > areas[bagOrder[b]]
+		}
+		return bagOrder[a] < bagOrder[b]
+	})
+	bags := make([][]Item, 0, in.NumBags)
+	for _, b := range bagOrder {
+		items := make([]Item, 0, len(byBag[b]))
+		for _, ji := range byBag[b] {
+			items = append(items, Item{Key: ji, Size: in.Jobs[ji].Size})
+		}
+		bags = append(bags, items)
+	}
+	loads := make([]float64, in.Machines)
+	asg, err := AssignBagLPT(loads, bags)
+	if err != nil {
+		return nil, err
+	}
+	s := sched.NewSchedule(in)
+	for bi, bag := range bags {
+		for i, it := range bag {
+			s.Machine[it.Key] = asg[bi][i]
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,287 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+func TestAssignBagLPTSingleBag(t *testing.T) {
+	loads := []float64{0, 0, 0}
+	bags := [][]Item{{{Key: 0, Size: 3}, {Key: 1, Size: 2}, {Key: 2, Size: 1}}}
+	asg, err := AssignBagLPT(loads, bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Largest job to first machine, etc.; all machines equal load order.
+	if asg[0][0] != 0 || asg[0][1] != 1 || asg[0][2] != 2 {
+		t.Errorf("assignment = %v", asg)
+	}
+	if loads[0] != 3 || loads[1] != 2 || loads[2] != 1 {
+		t.Errorf("loads = %v", loads)
+	}
+}
+
+func TestAssignBagLPTBalances(t *testing.T) {
+	loads := []float64{0, 0}
+	bags := [][]Item{
+		{{Key: 0, Size: 4}, {Key: 1, Size: 1}},
+		{{Key: 2, Size: 3}, {Key: 3, Size: 3}},
+	}
+	_, err := AssignBagLPT(loads, bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After bag 0: loads 4,1. Bag 1 (3,3): lower machine first -> 4,4... wait
+	// machine 1 (load 1) gets first job: 4; machine 0 gets 3 -> 7? No:
+	// both jobs size 3: m1 gets 3 (ties by index), m0 gets 3 -> 7,4.
+	// Lemma 8: spread <= pmax = 3. |7-4| = 3 ok.
+	if math.Abs(loads[0]-loads[1]) > 3+1e-9 {
+		t.Errorf("spread too large: %v", loads)
+	}
+}
+
+func TestAssignBagLPTDistinctMachinesPerBag(t *testing.T) {
+	loads := make([]float64, 4)
+	bags := [][]Item{{{Key: 0, Size: 1}, {Key: 1, Size: 1}, {Key: 2, Size: 1}, {Key: 3, Size: 1}}}
+	asg, err := AssignBagLPT(loads, bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, m := range asg[0] {
+		if seen[m] {
+			t.Fatalf("bag reused machine %d", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestAssignBagLPTOverfullBag(t *testing.T) {
+	loads := []float64{0}
+	bags := [][]Item{{{Key: 0, Size: 1}, {Key: 1, Size: 1}}}
+	if _, err := AssignBagLPT(loads, bags); err == nil {
+		t.Error("expected error for bag larger than machine count")
+	}
+}
+
+// TestLemma8Property verifies both Lemma 8 bounds on random inputs:
+// spread <= pmax, and max load <= h + area/m + pmax.
+func TestLemma8Property(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		h := rng.Float64() * 2
+		loads := make([]float64, m)
+		for i := range loads {
+			loads[i] = h
+		}
+		nBags := rng.Intn(6)
+		bags := make([][]Item, nBags)
+		pmax, area := 0.0, 0.0
+		key := 0
+		for b := range bags {
+			cnt := 1 + rng.Intn(m)
+			for k := 0; k < cnt; k++ {
+				s := rng.Float64()
+				bags[b] = append(bags[b], Item{Key: key, Size: s})
+				key++
+				area += s
+				if s > pmax {
+					pmax = s
+				}
+			}
+		}
+		if _, err := AssignBagLPT(loads, bags); err != nil {
+			return false
+		}
+		minL, maxL := loads[0], loads[0]
+		for _, l := range loads {
+			minL = math.Min(minL, l)
+			maxL = math.Max(maxL, l)
+		}
+		if maxL-minL > pmax+1e-9 {
+			return false
+		}
+		return maxL <= h+area/float64(m)+pmax+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma8UnequalStartHeights: when machines start at different
+// heights, bag-LPT still produces a schedule whose spread is bounded by
+// the initial spread or pmax (loads grow closer, as remarked after the
+// lemma).
+func TestLemma8UnequalStartHeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		m := 2 + rng.Intn(5)
+		loads := make([]float64, m)
+		initSpread := 0.0
+		for i := range loads {
+			loads[i] = rng.Float64() * 3
+		}
+		minL, maxL := loads[0], loads[0]
+		for _, l := range loads {
+			minL = math.Min(minL, l)
+			maxL = math.Max(maxL, l)
+		}
+		initSpread = maxL - minL
+		pmax := 0.0
+		var bags [][]Item
+		key := 0
+		for b := 0; b < 3; b++ {
+			var bag []Item
+			for k := 0; k < m; k++ {
+				s := rng.Float64() * 0.5
+				bag = append(bag, Item{Key: key, Size: s})
+				key++
+				if s > pmax {
+					pmax = s
+				}
+			}
+			bags = append(bags, bag)
+		}
+		if _, err := AssignBagLPT(loads, bags); err != nil {
+			t.Fatal(err)
+		}
+		minL, maxL = loads[0], loads[0]
+		for _, l := range loads {
+			minL = math.Min(minL, l)
+			maxL = math.Max(maxL, l)
+		}
+		if maxL-minL > math.Max(initSpread, pmax)+1e-9 {
+			t.Fatalf("trial %d: spread %.4f exceeds max(init %.4f, pmax %.4f)",
+				trial, maxL-minL, initSpread, pmax)
+		}
+	}
+}
+
+func TestAssignGroupBagLPTCounts(t *testing.T) {
+	groups := []*Group{
+		{Machines: []int{0, 1}, Area: 0},
+		{Machines: []int{2, 3, 4}, Area: 6},
+	}
+	bags := [][]Item{{
+		{Key: 0, Size: 5}, {Key: 1, Size: 4}, {Key: 2, Size: 3}, {Key: 3, Size: 2}, {Key: 4, Size: 1},
+	}}
+	asg, err := AssignGroupBagLPT(groups, bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 0 (avg 0) gets the 2 largest, group 1 the remaining 3.
+	countG0 := 0
+	for i, g := range asg[0] {
+		if g == 0 {
+			countG0++
+			if bags[0][i].Size < 4 {
+				t.Errorf("group 0 received small item %v", bags[0][i])
+			}
+		}
+	}
+	if countG0 != 2 {
+		t.Errorf("group 0 received %d items, want 2", countG0)
+	}
+}
+
+func TestAssignGroupBagLPTTooMany(t *testing.T) {
+	groups := []*Group{{Machines: []int{0}}}
+	bags := [][]Item{{{Key: 0, Size: 1}, {Key: 1, Size: 1}}}
+	if _, err := AssignGroupBagLPT(groups, bags); err == nil {
+		t.Error("expected error when a bag exceeds total machines")
+	}
+}
+
+func TestAssignGroupBagLPTUpdatesAreas(t *testing.T) {
+	groups := []*Group{
+		{Machines: []int{0}, Area: 0},
+		{Machines: []int{1}, Area: 0},
+	}
+	bags := [][]Item{
+		{{Key: 0, Size: 10}},
+		{{Key: 1, Size: 1}},
+	}
+	asg, err := AssignGroupBagLPT(groups, bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg[0][0] != 0 {
+		t.Fatalf("first item to group %d, want 0", asg[0][0])
+	}
+	// Second bag must go to the now-lighter group 1.
+	if asg[1][0] != 1 {
+		t.Errorf("second item to group %d, want 1", asg[1][0])
+	}
+}
+
+func TestListSchedule(t *testing.T) {
+	in := sched.NewInstance(2)
+	in.AddJob(3, 0)
+	in.AddJob(2, 0)
+	in.AddJob(1, 1)
+	s, err := ListSchedule(in, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Job 1 (bag 0) cannot share with job 0: machines differ.
+	if s.Machine[0] == s.Machine[1] {
+		t.Error("bag conflict in list schedule")
+	}
+}
+
+func TestListScheduleInfeasible(t *testing.T) {
+	in := sched.NewInstance(1)
+	in.AddJob(1, 0)
+	in.AddJob(1, 0)
+	if _, err := ListSchedule(in, []int{0, 1}); err == nil {
+		t.Error("expected failure: bag larger than machine count")
+	}
+}
+
+func TestBagLPTFeasibleAndBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(6)
+		in := sched.NewInstance(m)
+		nBags := 1 + rng.Intn(8)
+		for b := 0; b < nBags; b++ {
+			cnt := 1 + rng.Intn(m)
+			for k := 0; k < cnt; k++ {
+				in.AddJob(0.05+rng.Float64(), b)
+			}
+		}
+		s, err := BagLPT(in)
+		if err != nil {
+			return false
+		}
+		if s.Validate() != nil {
+			return false
+		}
+		// Global sanity: makespan is at least the LB and at most
+		// area/m + nBags*pmax (each bag adds at most pmax spread).
+		lb := sched.LowerBound(in)
+		ub := in.TotalArea()/float64(m) + float64(nBags)*in.MaxJobSize()
+		mk := s.Makespan()
+		return mk >= lb-1e-9 && mk <= ub+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBagLPTInfeasibleInstance(t *testing.T) {
+	in := sched.NewInstance(1)
+	in.AddJob(1, 0)
+	in.AddJob(1, 0)
+	if _, err := BagLPT(in); err == nil {
+		t.Error("expected infeasibility error")
+	}
+}

@@ -1,0 +1,529 @@
+// Package lp implements a two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  a_i·x {<=, >=, =} b_i   for every constraint i
+//	            x >= 0
+//
+// It is the linear-programming substrate below the branch-and-bound MILP
+// solver in package milp, which together replace the Lenstra/Kannan integer
+// programming oracle used by the paper. The implementation is a dense
+// tableau simplex with Dantzig pricing and a Bland's-rule fallback that
+// guarantees termination on degenerate problems.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded below.
+	StatusUnbounded
+	// StatusIterLimit means the iteration limit was exhausted.
+	StatusIterLimit
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Sense is the relation of a constraint row.
+type Sense int
+
+const (
+	// LE is a_i·x <= b_i.
+	LE Sense = iota
+	// GE is a_i·x >= b_i.
+	GE
+	// EQ is a_i·x = b_i.
+	EQ
+)
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is one row of the program.
+type Constraint struct {
+	Terms []Term
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is a linear program under construction. The zero value is an
+// empty problem; add variables before referencing them in constraints.
+type Problem struct {
+	obj  []float64
+	rows []Constraint
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumRows returns the number of constraints added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddVar adds a non-negative variable with the given objective coefficient
+// and returns its index.
+func (p *Problem) AddVar(obj float64) int {
+	p.obj = append(p.obj, obj)
+	return len(p.obj) - 1
+}
+
+// SetObj changes the objective coefficient of variable v.
+func (p *Problem) SetObj(v int, obj float64) { p.obj[v] = obj }
+
+// AddConstraint adds a row and returns its index. Terms referencing
+// variables that do not exist cause Solve to fail.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) int {
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	p.rows = append(p.rows, Constraint{Terms: cp, Sense: sense, RHS: rhs})
+	return len(p.rows) - 1
+}
+
+// Clone returns an independent copy of the problem.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		obj:  make([]float64, len(p.obj)),
+		rows: make([]Constraint, len(p.rows)),
+	}
+	copy(q.obj, p.obj)
+	for i, r := range p.rows {
+		terms := make([]Term, len(r.Terms))
+		copy(terms, r.Terms)
+		q.rows[i] = Constraint{Terms: terms, Sense: r.Sense, RHS: r.RHS}
+	}
+	return q
+}
+
+// CheckFeasible reports whether x satisfies every constraint of the
+// problem (and non-negativity) within tol.
+func (p *Problem) CheckFeasible(x []float64, tol float64) bool {
+	if len(x) != len(p.obj) {
+		return false
+	}
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	for _, r := range p.rows {
+		act := 0.0
+		for _, t := range r.Terms {
+			act += t.Coef * x[t.Var]
+		}
+		switch r.Sense {
+		case LE:
+			if act > r.RHS+tol {
+				return false
+			}
+		case GE:
+			if act < r.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(act-r.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Objective evaluates the objective at x.
+func (p *Problem) Objective(x []float64) float64 {
+	obj := 0.0
+	for i, c := range p.obj {
+		obj += c * x[i]
+	}
+	return obj
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status Status
+	// X holds the variable values when Status is StatusOptimal.
+	X []float64
+	// Obj is the objective value when Status is StatusOptimal.
+	Obj float64
+	// Iters is the total number of simplex pivots performed.
+	Iters int
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIters bounds total pivots across both phases. Zero means the
+	// default of 200000.
+	MaxIters int
+}
+
+const (
+	pivotEps = 1e-9
+	feasEps  = 1e-7
+)
+
+// ErrBadProblem reports a structurally invalid problem.
+var ErrBadProblem = errors.New("lp: constraint references unknown variable")
+
+// Solve runs two-phase simplex and returns the result. The problem is not
+// modified.
+func (p *Problem) Solve(opt Options) (Result, error) {
+	maxIters := opt.MaxIters
+	if maxIters <= 0 {
+		maxIters = 200000
+	}
+	n := len(p.obj)
+	m := len(p.rows)
+	for _, r := range p.rows {
+		for _, t := range r.Terms {
+			if t.Var < 0 || t.Var >= n {
+				return Result{}, ErrBadProblem
+			}
+		}
+	}
+
+	// Column layout: [structural 0..n) | slack/surplus | artificial].
+	// Every row gets either a slack (LE), a surplus+artificial (GE) or an
+	// artificial (EQ); rows are normalized to non-negative RHS first.
+	type rowAux struct {
+		slack, art int // column indices or -1
+	}
+	aux := make([]rowAux, m)
+	ncols := n
+	// Dense matrix built row by row.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i, r := range p.rows {
+		row := make([]float64, n)
+		for _, t := range r.Terms {
+			row[t.Var] += t.Coef
+		}
+		rhs := r.RHS
+		sense := r.Sense
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		a[i] = row
+		b[i] = rhs
+		aux[i] = rowAux{slack: -1, art: -1}
+		switch sense {
+		case LE:
+			aux[i].slack = ncols
+			ncols++
+		case GE:
+			aux[i].slack = ncols
+			ncols++
+			aux[i].art = ncols
+			ncols++
+		case EQ:
+			aux[i].art = ncols
+			ncols++
+		}
+	}
+
+	// Rebuild senses after normalization for slack signs.
+	slackSign := make([]float64, m)
+	hasArt := make([]bool, m)
+	for i, r := range p.rows {
+		sense := r.Sense
+		if r.RHS < 0 {
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			slackSign[i] = 1
+		case GE:
+			slackSign[i] = -1
+			hasArt[i] = true
+		case EQ:
+			slackSign[i] = 0
+			hasArt[i] = true
+		}
+	}
+
+	// Full tableau: m rows x ncols columns plus RHS.
+	t := &tableau{
+		m: m, n: ncols, nStruct: n,
+		a:     make([][]float64, m),
+		b:     make([]float64, m),
+		basis: make([]int, m),
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, ncols)
+		copy(row, a[i])
+		if aux[i].slack >= 0 {
+			row[aux[i].slack] = slackSign[i]
+		}
+		if aux[i].art >= 0 {
+			row[aux[i].art] = 1
+		}
+		t.a[i] = row
+		t.b[i] = b[i]
+		if aux[i].art >= 0 {
+			t.basis[i] = aux[i].art
+		} else {
+			t.basis[i] = aux[i].slack
+		}
+	}
+
+	isArt := make([]bool, ncols)
+	for i := 0; i < m; i++ {
+		if aux[i].art >= 0 {
+			isArt[aux[i].art] = true
+		}
+	}
+
+	itersLeft := maxIters
+	totalIters := 0
+
+	// Phase I: minimize the sum of artificial variables.
+	needPhase1 := false
+	for i := 0; i < m; i++ {
+		if hasArt[i] {
+			needPhase1 = true
+			break
+		}
+	}
+	if needPhase1 {
+		c1 := make([]float64, ncols)
+		for j := 0; j < ncols; j++ {
+			if isArt[j] {
+				c1[j] = 1
+			}
+		}
+		status, iters := t.optimize(c1, itersLeft)
+		totalIters += iters
+		itersLeft -= iters
+		if status == StatusIterLimit {
+			return Result{Status: StatusIterLimit, Iters: totalIters}, nil
+		}
+		// Phase-I objective value = sum of artificials.
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			if isArt[t.basis[i]] {
+				sum += t.b[i]
+			}
+		}
+		if sum > feasEps {
+			return Result{Status: StatusInfeasible, Iters: totalIters}, nil
+		}
+		// Drive remaining artificials out of the basis where possible.
+		t.evictArtificials(isArt)
+	}
+
+	// Phase II: original objective over non-artificial columns.
+	c2 := make([]float64, ncols)
+	copy(c2, p.obj)
+	t.banned = isArt
+	status, iters := t.optimize(c2, itersLeft)
+	totalIters += iters
+	if status == StatusIterLimit {
+		return Result{Status: StatusIterLimit, Iters: totalIters}, nil
+	}
+	if status == StatusUnbounded {
+		return Result{Status: StatusUnbounded, Iters: totalIters}, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if t.basis[i] < n {
+			x[t.basis[i]] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	return Result{Status: StatusOptimal, X: x, Obj: obj, Iters: totalIters}, nil
+}
+
+// tableau is the dense simplex working state.
+type tableau struct {
+	m, n    int
+	nStruct int
+	a       [][]float64
+	b       []float64
+	basis   []int
+	banned  []bool // columns that may not enter (artificials in phase II)
+}
+
+// optimize runs primal simplex minimizing c over the current tableau.
+// It returns the terminal status and the number of pivots performed.
+func (t *tableau) optimize(c []float64, maxIters int) (Status, int) {
+	// Reduced costs are recomputed per iteration from the basis; for the
+	// dense tableau we maintain the objective row explicitly.
+	z := make([]float64, t.n)
+	copy(z, c)
+	zb := 0.0
+	// Price out the current basis.
+	for i := 0; i < t.m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			z[j] -= cb * t.a[i][j]
+		}
+		zb -= cb * t.b[i]
+	}
+
+	iters := 0
+	degenerate := 0
+	useBland := false
+	for {
+		if iters >= maxIters {
+			return StatusIterLimit, iters
+		}
+		// Entering column.
+		enter := -1
+		if useBland {
+			for j := 0; j < t.n; j++ {
+				if (t.banned == nil || !t.banned[j]) && z[j] < -pivotEps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -pivotEps
+			for j := 0; j < t.n; j++ {
+				if (t.banned == nil || !t.banned[j]) && z[j] < best {
+					best = z[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return StatusOptimal, iters
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > pivotEps {
+				ratio := t.b[i] / aij
+				if ratio < bestRatio-pivotEps ||
+					(ratio < bestRatio+pivotEps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return StatusUnbounded, iters
+		}
+		if bestRatio < pivotEps {
+			degenerate++
+			if degenerate > 2*(t.m+t.n) {
+				useBland = true
+			}
+		} else {
+			degenerate = 0
+		}
+		t.pivot(leave, enter, z, &zb)
+		iters++
+	}
+}
+
+// pivot performs a single pivot on (row, col) and updates the objective
+// row z and objective constant zb.
+func (t *tableau) pivot(row, col int, z []float64, zb *float64) {
+	piv := t.a[row][col]
+	inv := 1.0 / piv
+	arow := t.a[row]
+	for j := 0; j < t.n; j++ {
+		arow[j] *= inv
+	}
+	t.b[row] *= inv
+	arow[col] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := 0; j < t.n; j++ {
+			ai[j] -= f * arow[j]
+		}
+		ai[col] = 0 // exact
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	f := z[col]
+	if f != 0 {
+		for j := 0; j < t.n; j++ {
+			z[j] -= f * arow[j]
+		}
+		z[col] = 0
+		*zb -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// evictArtificials pivots basic artificial variables (at value zero after
+// a successful phase I) out of the basis when a non-artificial column with
+// a nonzero coefficient exists in their row.
+func (t *tableau) evictArtificials(isArt []bool) {
+	z := make([]float64, t.n) // dummy objective row for pivoting
+	zb := 0.0
+	for i := 0; i < t.m; i++ {
+		if !isArt[t.basis[i]] {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			if !isArt[j] && math.Abs(t.a[i][j]) > 1e-7 {
+				t.pivot(i, j, z, &zb)
+				break
+			}
+		}
+		// If no pivot column exists the row is redundant; the artificial
+		// stays basic at value zero, which is harmless because phase II
+		// bans artificial columns from entering.
+	}
+}

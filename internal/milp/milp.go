@@ -1,0 +1,313 @@
+// Package milp implements a branch-and-bound mixed-integer linear program
+// solver on top of the simplex solver in package lp.
+//
+// It plays the role of the Lenstra/Kannan integer-programming oracle in the
+// paper: the EPTAS only needs exact feasibility/optimality for MILPs whose
+// integral dimension is a function of 1/epsilon, and branch-and-bound has
+// exactly that profile — worst-case cost exponential only in the number of
+// integer variables.
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal integer solution was proven.
+	StatusOptimal Status = iota
+	// StatusFeasible means an integer solution was found but optimality
+	// was not proven within the limits.
+	StatusFeasible
+	// StatusInfeasible means no integer solution exists.
+	StatusInfeasible
+	// StatusLimit means limits were exhausted with no integer solution.
+	StatusLimit
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusLimit:
+		return "limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Model is a mixed-integer program: an LP plus integrality marks.
+type Model struct {
+	// Prob is the underlying linear program (variables are >= 0).
+	Prob *lp.Problem
+	// Integer lists the variable indices that must take integer values.
+	Integer []int
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes bounds the number of branch-and-bound nodes. Zero means
+	// the default of 20000.
+	MaxNodes int
+	// TimeLimit aborts the search when exceeded. Zero means no limit.
+	TimeLimit time.Duration
+	// IntTol is the integrality tolerance. Zero means 1e-6.
+	IntTol float64
+	// LPMaxIters bounds simplex pivots per node. Zero means the lp default.
+	LPMaxIters int
+	// StopAtFirst stops at the first integer-feasible solution, which is
+	// the right mode for pure feasibility models (zero objective).
+	StopAtFirst bool
+	// DisableRounding turns off the largest-remainder rounding heuristic
+	// (used by the EX-A2 ablation to quantify its effect).
+	DisableRounding bool
+}
+
+// Solution is the outcome of Solve.
+type Solution struct {
+	Status Status
+	// X holds variable values when Status is StatusOptimal or
+	// StatusFeasible; integer variables are snapped to exact integers.
+	X []float64
+	// Obj is the objective value of X.
+	Obj float64
+	// Nodes is the number of branch-and-bound nodes expanded.
+	Nodes int
+	// Bound is the best proven lower bound on the objective.
+	Bound float64
+}
+
+// bound is one branching decision: var <= val or var >= val.
+type boundChange struct {
+	v     int
+	upper bool
+	val   float64
+}
+
+type node struct {
+	bounds []boundChange
+	lpObj  float64 // parent LP bound (priority)
+	depth  int
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].lpObj != q[j].lpObj {
+		return q[i].lpObj < q[j].lpObj
+	}
+	return q[i].depth > q[j].depth // prefer deeper: diving behaviour
+}
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound and returns the best solution found.
+func Solve(m *Model, opt Options) (Solution, error) {
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 20000
+	}
+	if opt.IntTol <= 0 {
+		opt.IntTol = 1e-6
+	}
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = time.Now().Add(opt.TimeLimit)
+	}
+
+	isInt := make(map[int]bool, len(m.Integer))
+	for _, v := range m.Integer {
+		isInt[v] = true
+	}
+
+	var (
+		incumbent    []float64
+		incumbentObj = math.Inf(1)
+		haveInc      bool
+		nodes        int
+		bestBound    = math.Inf(1)
+	)
+
+	q := &nodeQueue{}
+	heap.Push(q, &node{lpObj: math.Inf(-1)})
+
+	rootBound := math.Inf(-1)
+	for q.Len() > 0 {
+		if nodes >= opt.MaxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		nd := heap.Pop(q).(*node)
+		if haveInc && nd.lpObj >= incumbentObj-1e-9 {
+			continue // pruned by bound
+		}
+		nodes++
+
+		prob := m.Prob.Clone()
+		for _, bc := range nd.bounds {
+			if bc.upper {
+				prob.AddConstraint([]lp.Term{{Var: bc.v, Coef: 1}}, lp.LE, bc.val)
+			} else {
+				prob.AddConstraint([]lp.Term{{Var: bc.v, Coef: 1}}, lp.GE, bc.val)
+			}
+		}
+		res, err := prob.Solve(lp.Options{MaxIters: opt.LPMaxIters})
+		if err != nil {
+			return Solution{}, err
+		}
+		switch res.Status {
+		case lp.StatusInfeasible:
+			continue
+		case lp.StatusUnbounded:
+			// An unbounded relaxation with integer variables present is
+			// treated as an error: our models are always bounded.
+			return Solution{}, fmt.Errorf("milp: LP relaxation unbounded")
+		case lp.StatusIterLimit:
+			// Treat as unexplorable; conservatively keep searching.
+			continue
+		}
+		if nd.depth == 0 {
+			rootBound = res.Obj
+		}
+		if haveInc && res.Obj >= incumbentObj-1e-9 {
+			continue
+		}
+
+		// Rounding heuristic: a sum-preserving largest-remainder round
+		// of the integer variables often hits a feasible point directly
+		// (configuration LPs are near-integral), avoiding deep search.
+		if cand := roundHeuristic(res.X, m.Integer); !opt.DisableRounding && cand != nil && m.Prob.CheckFeasible(cand, 1e-6) {
+			obj := m.Prob.Objective(cand)
+			if !haveInc || obj < incumbentObj-1e-12 {
+				incumbent = cand
+				incumbentObj = obj
+				haveInc = true
+				if opt.StopAtFirst {
+					return Solution{Status: StatusFeasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Bound: rootBound}, nil
+				}
+			}
+		}
+
+		// Find the most fractional integer variable.
+		branchVar := -1
+		worst := opt.IntTol
+		for _, v := range m.Integer {
+			x := res.X[v]
+			frac := math.Abs(x - math.Round(x))
+			if frac > worst {
+				worst = frac
+				branchVar = v
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible.
+			if res.Obj < incumbentObj-1e-12 || !haveInc {
+				incumbent = snap(res.X, isInt)
+				incumbentObj = res.Obj
+				haveInc = true
+				if opt.StopAtFirst {
+					return Solution{Status: StatusFeasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Bound: rootBound}, nil
+				}
+			}
+			continue
+		}
+
+		xv := res.X[branchVar]
+		down := append(append([]boundChange(nil), nd.bounds...), boundChange{v: branchVar, upper: true, val: math.Floor(xv)})
+		up := append(append([]boundChange(nil), nd.bounds...), boundChange{v: branchVar, upper: false, val: math.Ceil(xv)})
+		heap.Push(q, &node{bounds: down, lpObj: res.Obj, depth: nd.depth + 1})
+		heap.Push(q, &node{bounds: up, lpObj: res.Obj, depth: nd.depth + 1})
+	}
+
+	if q.Len() == 0 {
+		bestBound = incumbentObj // search space exhausted: bound met
+	} else {
+		bestBound = (*q)[0].lpObj
+	}
+
+	if haveInc {
+		status := StatusFeasible
+		if q.Len() == 0 || bestBound >= incumbentObj-1e-9 {
+			status = StatusOptimal
+		}
+		return Solution{Status: status, X: incumbent, Obj: incumbentObj, Nodes: nodes, Bound: bestBound}, nil
+	}
+	if q.Len() == 0 {
+		return Solution{Status: StatusInfeasible, Nodes: nodes}, nil
+	}
+	return Solution{Status: StatusLimit, Nodes: nodes, Bound: bestBound}, nil
+}
+
+// roundHeuristic rounds the integer components of x while preserving
+// their total: all are floored, then the rounded total deficit is
+// distributed to the variables with the largest fractional parts. This
+// keeps aggregate rows like sum(x)=m satisfied and favours the columns
+// the LP already leaned on. Returns nil when x is already integral.
+func roundHeuristic(x []float64, integer []int) []float64 {
+	type frac struct {
+		v int
+		f float64
+	}
+	var fracs []frac
+	total := 0.0
+	floorSum := 0.0
+	for _, v := range integer {
+		total += x[v]
+		f := x[v] - math.Floor(x[v])
+		floorSum += math.Floor(x[v])
+		if f > 1e-9 && f < 1-1e-9 {
+			fracs = append(fracs, frac{v, f})
+		}
+	}
+	if len(fracs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(x))
+	copy(out, x)
+	for _, v := range integer {
+		out[v] = math.Floor(x[v] + 1e-9)
+	}
+	deficit := int(math.Round(total - floorSum))
+	sort.Slice(fracs, func(i, j int) bool {
+		if fracs[i].f != fracs[j].f {
+			return fracs[i].f > fracs[j].f
+		}
+		return fracs[i].v < fracs[j].v
+	})
+	for i := 0; i < deficit && i < len(fracs); i++ {
+		out[fracs[i].v]++
+	}
+	return out
+}
+
+// snap rounds the integer components of x to exact integers.
+func snap(x []float64, isInt map[int]bool) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for v := range isInt {
+		out[v] = math.Round(out[v])
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+)
+
+const tol = 1e-6
+
+func TestPureLPPassThrough(t *testing.T) {
+	// No integer variables: identical to the LP optimum.
+	p := lp.NewProblem()
+	x := p.AddVar(-1)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 2.5)
+	sol, err := Solve(&Model{Prob: p}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj+2.5) > tol {
+		t.Errorf("status=%v obj=%g", sol.Status, sol.Obj)
+	}
+}
+
+func TestIntegerRoundingDown(t *testing.T) {
+	// min -x, x <= 2.5, x integer => x = 2.
+	p := lp.NewProblem()
+	x := p.AddVar(-1)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 2.5)
+	sol, err := Solve(&Model{Prob: p, Integer: []int{x}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.X[x]-2) > tol {
+		t.Errorf("status=%v x=%v", sol.Status, sol.X)
+	}
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 10a+6b+4c st 1a+1b+1c<=2, 3a+2b+1c<=4, binary-ish (0..1 ints).
+	p := lp.NewProblem()
+	a := p.AddVar(-10)
+	b := p.AddVar(-6)
+	c := p.AddVar(-4)
+	p.AddConstraint([]lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}, {Var: c, Coef: 1}}, lp.LE, 2)
+	p.AddConstraint([]lp.Term{{Var: a, Coef: 3}, {Var: b, Coef: 2}, {Var: c, Coef: 1}}, lp.LE, 4)
+	for _, v := range []int{a, b, c} {
+		p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, 1)
+	}
+	sol, err := Solve(&Model{Prob: p, Integer: []int{a, b, c}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: a=1, c=1 -> 14? check b=1,c=... a+b: 3+2=5 >4 no. a+c: 4<=4 ok val 14. b+c: 3<=4 val 10.
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj+14) > tol {
+		t.Errorf("status=%v obj=%g x=%v", sol.Status, sol.Obj, sol.X)
+	}
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 0.4 <= x <= 0.6 has no integer point.
+	p := lp.NewProblem()
+	x := p.AddVar(0)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.GE, 0.4)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 0.6)
+	sol, err := Solve(&Model{Prob: p, Integer: []int{x}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddVar(0)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.GE, 2)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 1)
+	sol, err := Solve(&Model{Prob: p, Integer: []int{x}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestStopAtFirstFeasibility(t *testing.T) {
+	// Zero objective: any integer point in [1.2, 3.8] works.
+	p := lp.NewProblem()
+	x := p.AddVar(0)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.GE, 1.2)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 3.8)
+	sol, err := Solve(&Model{Prob: p, Integer: []int{x}}, Options{StopAtFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusFeasible && sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	v := sol.X[x]
+	if v < 2-tol || v > 3+tol || math.Abs(v-math.Round(v)) > tol {
+		t.Errorf("x = %g, want integer in [2,3]", v)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A model engineered to branch at least once, with MaxNodes=1.
+	p := lp.NewProblem()
+	x := p.AddVar(-1)
+	y := p.AddVar(-1)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 2}, {Var: y, Coef: 2}}, lp.LE, 3)
+	sol, err := Solve(&Model{Prob: p, Integer: []int{x, y}}, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusLimit && sol.Status != StatusFeasible && sol.Status != StatusOptimal {
+		t.Errorf("status = %v", sol.Status)
+	}
+	if sol.Nodes > 1 {
+		t.Errorf("nodes = %d, want <= 1", sol.Nodes)
+	}
+}
+
+func TestDisableRoundingStillSolves(t *testing.T) {
+	// Same model with and without the heuristic must agree on the
+	// optimum; without it the search typically needs more nodes.
+	p := lp.NewProblem()
+	x := p.AddVar(-3)
+	y := p.AddVar(-2)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 2}, {Var: y, Coef: 1}}, lp.LE, 7.5)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 3}}, lp.LE, 9.5)
+	m := &Model{Prob: p, Integer: []int{x, y}}
+	with, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Solve(m, Options{DisableRounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Status != StatusOptimal || without.Status != StatusOptimal {
+		t.Fatalf("status %v / %v", with.Status, without.Status)
+	}
+	if math.Abs(with.Obj-without.Obj) > tol {
+		t.Errorf("objectives differ: %g vs %g", with.Obj, without.Obj)
+	}
+	if without.Nodes < with.Nodes {
+		t.Logf("note: heuristic run used more nodes (%d vs %d)", with.Nodes, without.Nodes)
+	}
+}
+
+// TestAssignmentProblem solves a small integral assignment problem and
+// checks against brute force.
+func TestAssignmentProblem(t *testing.T) {
+	costs := [3][3]float64{{4, 2, 8}, {4, 3, 7}, {3, 1, 6}}
+	p := lp.NewProblem()
+	var vars [3][3]int
+	var ints []int
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			vars[i][j] = p.AddVar(costs[i][j])
+			ints = append(ints, vars[i][j])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		row := []lp.Term{}
+		col := []lp.Term{}
+		for j := 0; j < 3; j++ {
+			row = append(row, lp.Term{Var: vars[i][j], Coef: 1})
+			col = append(col, lp.Term{Var: vars[j][i], Coef: 1})
+		}
+		p.AddConstraint(row, lp.EQ, 1)
+		p.AddConstraint(col, lp.EQ, 1)
+	}
+	sol, err := Solve(&Model{Prob: p, Integer: ints}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force.
+	best := math.Inf(1)
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, perm := range perms {
+		c := 0.0
+		for i, j := range perm {
+			c += costs[i][j]
+		}
+		if c < best {
+			best = c
+		}
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj-best) > tol {
+		t.Errorf("obj = %g, want %g", sol.Obj, best)
+	}
+}
+
+// TestRandomIntegerKnapsackVsBruteForce compares branch and bound against
+// exhaustive enumeration on random bounded integer programs.
+func TestRandomIntegerKnapsackVsBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3) // 2..4 vars, each in 0..3
+		p := lp.NewProblem()
+		obj := make([]float64, n)
+		for i := 0; i < n; i++ {
+			obj[i] = math.Round(rng.Float64()*10 - 5)
+			p.AddVar(obj[i])
+			p.AddConstraint([]lp.Term{{Var: i, Coef: 1}}, lp.LE, 3)
+		}
+		// One knapsack row keeps it feasible and bounded.
+		w := make([]float64, n)
+		terms := make([]lp.Term, n)
+		for i := range w {
+			w[i] = 1 + math.Round(rng.Float64()*3)
+			terms[i] = lp.Term{Var: i, Coef: w[i]}
+		}
+		cap := 2 + math.Round(rng.Float64()*8)
+		p.AddConstraint(terms, lp.LE, cap)
+		ints := make([]int, n)
+		for i := range ints {
+			ints[i] = i
+		}
+		sol, err := Solve(&Model{Prob: p, Integer: ints}, Options{})
+		if err != nil || sol.Status != StatusOptimal {
+			return false
+		}
+		// Brute force.
+		best := math.Inf(1)
+		var rec func(i int, used float64, val float64)
+		rec = func(i int, used, val float64) {
+			if used > cap {
+				return
+			}
+			if i == n {
+				if val < best {
+					best = val
+				}
+				return
+			}
+			for v := 0; v <= 3; v++ {
+				rec(i+1, used+float64(v)*w[i], val+float64(v)*obj[i])
+			}
+		}
+		rec(0, 0, 0)
+		return math.Abs(sol.Obj-best) < 1e-5
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package pattern implements the machine configurations ("patterns") of
+// Definition 3 of the paper: multisets of job slots for medium and large
+// sizes, with at most one slot per priority bag, arbitrary multiplicities
+// of anonymous X-slots for non-priority large jobs, total height at most
+// T = 1+2eps+eps^2 and at most q slots overall.
+package pattern
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/classify"
+	"repro/internal/numeric"
+	"repro/internal/sched"
+)
+
+// PrioSlot is a slot reserved for one job of a specific priority bag with
+// a specific (medium or large) size.
+type PrioSlot struct {
+	// Bag is the bag id in the transformed instance.
+	Bag int
+	// SizeIdx indexes classify.Info.Sizes.
+	SizeIdx int
+}
+
+// Pattern is one valid machine configuration.
+type Pattern struct {
+	// Prio lists the selected priority slots, sorted by bag id; at most
+	// one per bag (Definition 3).
+	Prio []PrioSlot
+	// XCount[i] is the multiplicity of the i-th X entry type (see
+	// Space.XSizes) on this pattern.
+	XCount []int
+	// Height is the total size of all slots.
+	Height float64
+	// NumJobs is the total number of slots.
+	NumJobs int
+}
+
+// chiBag reports whether the pattern contains a slot of the given bag
+// (the paper's characteristic function on full bags).
+func (p *Pattern) chiBag(bag int) bool {
+	for _, s := range p.Prio {
+		if s.Bag == bag {
+			return true
+		}
+	}
+	return false
+}
+
+// ChiBag reports whether the pattern holds a slot of the given bag.
+func (p *Pattern) ChiBag(bag int) bool { return p.chiBag(bag) }
+
+// ChiPrio returns the multiplicity (0 or 1) of the (bag, sizeIdx) slot.
+func (p *Pattern) ChiPrio(bag, sizeIdx int) int {
+	for _, s := range p.Prio {
+		if s.Bag == bag && s.SizeIdx == sizeIdx {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Space is the enumerated pattern space for one transformed instance.
+type Space struct {
+	// T is the height bound of valid patterns.
+	T float64
+	// Q is the slot-count bound of valid patterns.
+	Q int
+	// XSizes lists the size indices available as X entries (large sizes
+	// present in non-priority bags), in decreasing size order.
+	XSizes []int
+	// PrioBags lists the priority bags holding medium or large jobs, in
+	// increasing id order.
+	PrioBags []int
+	// PrioSizes[i] lists the medium/large size indices present in
+	// PrioBags[i], in decreasing size order.
+	PrioSizes [][]int
+	// Patterns is the enumerated set of valid patterns. Patterns[0] is
+	// always the empty pattern.
+	Patterns []Pattern
+	// Sizes is the shared size table (classify.Info.Sizes).
+	Sizes []float64
+}
+
+// ErrTooManyPatterns reports that enumeration exceeded the limit; callers
+// should increase eps or the limit.
+type ErrTooManyPatterns struct{ Limit int }
+
+func (e ErrTooManyPatterns) Error() string {
+	return fmt.Sprintf("pattern: enumeration exceeded limit of %d patterns (reduce accuracy or raise Options.PatternLimit)", e.Limit)
+}
+
+// DefaultLimit is the default pattern-enumeration bound. It is sized so
+// that the downstream MILP (whose LP has one column per pattern) stays
+// tractable for the dense simplex solver; guesses whose pattern space
+// exceeds it are rejected quickly and the driver degrades gracefully.
+const DefaultLimit = 4000
+
+// Options tunes enumeration.
+type Options struct {
+	// Limit bounds the number of enumerated patterns; zero means
+	// DefaultLimit.
+	Limit int
+}
+
+// Enumerate builds the pattern space for the transformed instance in,
+// whose bag priority flags are given by prio (length in.NumBags) and
+// whose job classes follow info's thresholds.
+func Enumerate(in *sched.Instance, info *classify.Info, prio []bool, opt Options) (*Space, error) {
+	limit := opt.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	sp := &Space{T: info.T, Q: info.Q, Sizes: info.Sizes}
+
+	// Per-bag medium/large size counts on the transformed instance.
+	counts := make([]map[int]int, in.NumBags)
+	for b := range counts {
+		counts[b] = make(map[int]int)
+	}
+	for _, job := range in.Jobs {
+		cls := info.ClassOf(job.Size)
+		if cls == classify.Small {
+			continue
+		}
+		si := sizeIndex(info.Sizes, job.Size)
+		if si < 0 {
+			return nil, fmt.Errorf("pattern: job size %g not in size table", job.Size)
+		}
+		counts[job.Bag][si]++
+	}
+
+	// X entries: large sizes present in non-priority bags. (Medium jobs
+	// of non-priority bags were removed by the transformation.) The
+	// available job count caps the slot multiplicity: slots beyond the
+	// job supply can never be filled, so enumerating them only inflates
+	// the pattern space.
+	xAvail := make(map[int]int)
+	for b := 0; b < in.NumBags; b++ {
+		if prio[b] {
+			continue
+		}
+		for si, c := range counts[b] {
+			if info.SizeClass[si] == classify.Large {
+				xAvail[si] += c
+			} else if info.SizeClass[si] == classify.Medium {
+				return nil, fmt.Errorf("pattern: medium job in non-priority bag %d; instance not transformed", b)
+			}
+		}
+	}
+	var xCaps []int
+	for si := range info.Sizes { // decreasing size order
+		if xAvail[si] > 0 {
+			sp.XSizes = append(sp.XSizes, si)
+			xCaps = append(xCaps, xAvail[si])
+		}
+	}
+
+	// Priority bags with medium/large jobs.
+	for b := 0; b < in.NumBags; b++ {
+		if !prio[b] || len(counts[b]) == 0 {
+			continue
+		}
+		var sizes []int
+		for si := range info.Sizes {
+			if counts[b][si] > 0 {
+				sizes = append(sizes, si)
+			}
+		}
+		if len(sizes) > 0 {
+			sp.PrioBags = append(sp.PrioBags, b)
+			sp.PrioSizes = append(sp.PrioSizes, sizes)
+		}
+	}
+
+	// DFS over priority bag choices then X multiplicities.
+	var (
+		cur    Pattern
+		xs     = make([]int, len(sp.XSizes))
+		emitEr error
+	)
+	emit := func(height float64, jobs int) bool {
+		if len(sp.Patterns) >= limit {
+			emitEr = ErrTooManyPatterns{Limit: limit}
+			return false
+		}
+		p := Pattern{
+			Prio:    append([]PrioSlot(nil), cur.Prio...),
+			XCount:  append([]int(nil), xs...),
+			Height:  height,
+			NumJobs: jobs,
+		}
+		sp.Patterns = append(sp.Patterns, p)
+		return true
+	}
+
+	var enumX func(i int, height float64, jobs int) bool
+	enumX = func(i int, height float64, jobs int) bool {
+		if i == len(sp.XSizes) {
+			return emit(height, jobs)
+		}
+		size := info.Sizes[sp.XSizes[i]]
+		maxC := jobsLeft(sp.Q, jobs)
+		if c := int(math.Floor((sp.T - height + numeric.Tol) / size)); c < maxC {
+			maxC = c
+		}
+		if xCaps[i] < maxC {
+			maxC = xCaps[i]
+		}
+		for c := 0; c <= maxC; c++ {
+			xs[i] = c
+			if !enumX(i+1, height+float64(c)*size, jobs+c) {
+				return false
+			}
+		}
+		xs[i] = 0
+		return true
+	}
+
+	var enumPrio func(i int, height float64, jobs int) bool
+	enumPrio = func(i int, height float64, jobs int) bool {
+		if i == len(sp.PrioBags) {
+			return enumX(0, height, jobs)
+		}
+		// Option: no slot of this bag.
+		if !enumPrio(i+1, height, jobs) {
+			return false
+		}
+		if jobs >= sp.Q {
+			return true
+		}
+		for _, si := range sp.PrioSizes[i] {
+			h := height + info.Sizes[si]
+			if h > sp.T+numeric.Tol {
+				continue
+			}
+			cur.Prio = append(cur.Prio, PrioSlot{Bag: sp.PrioBags[i], SizeIdx: si})
+			ok := enumPrio(i+1, h, jobs+1)
+			cur.Prio = cur.Prio[:len(cur.Prio)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	enumPrio(0, 0, 0)
+	if emitEr != nil {
+		return nil, emitEr
+	}
+	return sp, nil
+}
+
+// XMult returns the multiplicity of X slots of size index si on pattern p.
+func (sp *Space) XMult(p *Pattern, si int) int {
+	for i, xsi := range sp.XSizes {
+		if xsi == si {
+			return p.XCount[i]
+		}
+	}
+	return 0
+}
+
+func jobsLeft(q, jobs int) int {
+	if q > jobs {
+		return q - jobs
+	}
+	return 0
+}
+
+// sizeIndex locates size in the decreasing size table within tolerance.
+func sizeIndex(sizes []float64, size float64) int {
+	lo, hi := 0, len(sizes)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case numeric.Eq(sizes[mid], size):
+			return mid
+		case sizes[mid] > size:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	for i, s := range sizes {
+		if numeric.Eq(s, size) {
+			return i
+		}
+	}
+	return -1
+}

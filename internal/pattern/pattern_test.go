@@ -1,0 +1,242 @@
+package pattern
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/round"
+	"repro/internal/sched"
+)
+
+// build makes a rounded instance and classification for tests.
+func build(t *testing.T, eps float64, machines int, jobs []struct {
+	size float64
+	bag  int
+}, opt classify.Options) (*sched.Instance, *classify.Info) {
+	t.Helper()
+	in := sched.NewInstance(machines)
+	for _, j := range jobs {
+		v, _ := round.UpGeometric(j.size, eps)
+		in.AddJob(v, j.bag)
+	}
+	info, err := classify.Classify(in, eps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, info
+}
+
+type jb = struct {
+	size float64
+	bag  int
+}
+
+func TestEnumerateEmptyInstance(t *testing.T) {
+	in := sched.NewInstance(2)
+	info, err := classify.Classify(in, 0.5, classify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Enumerate(in, info, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Patterns) != 1 {
+		t.Fatalf("patterns = %d, want 1 (the empty pattern)", len(sp.Patterns))
+	}
+	if sp.Patterns[0].NumJobs != 0 || sp.Patterns[0].Height != 0 {
+		t.Error("pattern 0 is not empty")
+	}
+}
+
+func TestEnumerateValidity(t *testing.T) {
+	in, info := build(t, 0.5, 4, []jb{
+		{1.0, 0}, {0.6, 0}, {1.0, 1}, {0.3, 1}, {0.1, 2},
+	}, classify.Options{AllPriority: true})
+	prio := info.Priority
+	sp, err := Enumerate(in, info, prio, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Patterns) == 0 || sp.Patterns[0].NumJobs != 0 {
+		t.Fatal("missing empty pattern at index 0")
+	}
+	for pi, p := range sp.Patterns {
+		if p.Height > sp.T+1e-9 {
+			t.Errorf("pattern %d height %g > T %g", pi, p.Height, sp.T)
+		}
+		if p.NumJobs > sp.Q {
+			t.Errorf("pattern %d has %d slots > q %d", pi, p.NumJobs, sp.Q)
+		}
+		seen := map[int]bool{}
+		for _, s := range p.Prio {
+			if seen[s.Bag] {
+				t.Errorf("pattern %d has two slots of bag %d", pi, s.Bag)
+			}
+			seen[s.Bag] = true
+		}
+		// Height must equal the sum of slot sizes.
+		h := 0.0
+		n := 0
+		for _, s := range p.Prio {
+			h += info.Sizes[s.SizeIdx]
+			n++
+		}
+		for i, c := range p.XCount {
+			h += float64(c) * info.Sizes[sp.XSizes[i]]
+			n += c
+		}
+		if math.Abs(h-p.Height) > 1e-9 || n != p.NumJobs {
+			t.Errorf("pattern %d bookkeeping wrong: h=%g vs %g, n=%d vs %d", pi, h, p.Height, n, p.NumJobs)
+		}
+	}
+}
+
+func TestEnumerateCompletenessTiny(t *testing.T) {
+	// One priority bag with one large size s=1.0 (rounded), T=2.25, q=9:
+	// patterns: empty, {bag slot}. Expect exactly 2.
+	in, info := build(t, 0.5, 2, []jb{{1.0, 0}}, classify.Options{AllPriority: true})
+	sp, err := Enumerate(in, info, info.Priority, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Patterns) != 2 {
+		t.Fatalf("patterns = %d, want 2", len(sp.Patterns))
+	}
+}
+
+func TestEnumerateXMultiplicities(t *testing.T) {
+	// Two non-priority bags each with one large job of (rounded) size 1:
+	// X entry with availability 2, T=2.25 -> multiplicities 0,1,2.
+	in, info := build(t, 0.5, 4, []jb{{1.0, 0}, {1.0, 1}}, classify.Options{})
+	prio := []bool{false, false}
+	sp, err := Enumerate(in, info, prio, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.XSizes) != 1 {
+		t.Fatalf("XSizes = %v, want one entry", sp.XSizes)
+	}
+	if len(sp.Patterns) != 3 {
+		t.Fatalf("patterns = %d, want 3 (x in {0,1,2})", len(sp.Patterns))
+	}
+}
+
+func TestEnumerateXCappedByAvailability(t *testing.T) {
+	// One non-priority large job of size ~0.5: height-wise 4 slots fit
+	// (T=2.25), but only 1 job exists, so multiplicities are 0,1.
+	in, info := build(t, 0.5, 4, []jb{{0.51, 0}}, classify.Options{})
+	prio := []bool{false}
+	sp, err := Enumerate(in, info, prio, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Patterns) != 2 {
+		t.Fatalf("patterns = %d, want 2 (availability cap)", len(sp.Patterns))
+	}
+}
+
+func TestEnumerateHeightPruning(t *testing.T) {
+	// Two priority bags with large jobs of (rounded) size 1.5: two
+	// together exceed T=2.25, so the combination must be pruned.
+	in, info := build(t, 0.5, 2, []jb{{1.4, 0}, {1.4, 1}}, classify.Options{AllPriority: true})
+	sp, err := Enumerate(in, info, info.Priority, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sp.Patterns {
+		if len(p.Prio) > 1 {
+			t.Errorf("pattern with both oversized slots: %+v", p)
+		}
+	}
+	// empty, {bag0}, {bag1}.
+	if len(sp.Patterns) != 3 {
+		t.Errorf("patterns = %d, want 3", len(sp.Patterns))
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	var jobs []jb
+	for b := 0; b < 12; b++ {
+		jobs = append(jobs, jb{1.0, b}, jb{0.6, b})
+	}
+	in, info := build(t, 0.5, 24, jobs, classify.Options{AllPriority: true})
+	_, err := Enumerate(in, info, info.Priority, Options{Limit: 10})
+	if err == nil {
+		t.Fatal("expected ErrTooManyPatterns")
+	}
+	if _, ok := err.(ErrTooManyPatterns); !ok {
+		t.Fatalf("error type = %T", err)
+	}
+}
+
+func TestEnumerateRejectsUntransformedMediums(t *testing.T) {
+	// A medium job in a non-priority bag means the caller forgot the
+	// transformation.
+	in, info := build(t, 0.5, 4, []jb{{0.3, 0}, {1.0, 1}}, classify.Options{})
+	if info.ClassOf(in.Jobs[0].Size) != classify.Medium {
+		t.Skip("size did not land in the medium band under this rounding")
+	}
+	prio := []bool{false, true}
+	if _, err := Enumerate(in, info, prio, Options{}); err == nil {
+		t.Error("expected medium-in-non-priority-bag error")
+	}
+}
+
+func TestChiFunctions(t *testing.T) {
+	in, info := build(t, 0.5, 4, []jb{{1.0, 0}, {0.6, 1}}, classify.Options{AllPriority: true})
+	sp, err := Enumerate(in, info, info.Priority, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sp.Patterns {
+		for _, s := range p.Prio {
+			if p.ChiPrio(s.Bag, s.SizeIdx) != 1 {
+				t.Error("ChiPrio(slot) != 1")
+			}
+			if !p.ChiBag(s.Bag) {
+				t.Error("ChiBag(slot bag) false")
+			}
+		}
+		if p.ChiBag(99) {
+			t.Error("ChiBag(absent bag) true")
+		}
+		if p.ChiPrio(0, 9999) != 0 {
+			t.Error("ChiPrio(absent size) != 0")
+		}
+	}
+}
+
+func TestXMultLookup(t *testing.T) {
+	in, info := build(t, 0.5, 4, []jb{{1.0, 0}, {1.0, 1}}, classify.Options{})
+	sp, err := Enumerate(in, info, []bool{false, false}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := sp.XSizes[0]
+	found2 := false
+	for i := range sp.Patterns {
+		m := sp.XMult(&sp.Patterns[i], si)
+		if m == 2 {
+			found2 = true
+		}
+		if sp.XMult(&sp.Patterns[i], 9999) != 0 {
+			t.Error("XMult(absent size) != 0")
+		}
+	}
+	if !found2 {
+		t.Error("no pattern with X multiplicity 2")
+	}
+}
+
+func TestDefaultLimitApplied(t *testing.T) {
+	in := sched.NewInstance(2)
+	info, err := classify.Classify(in, 0.5, classify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Enumerate(in, info, nil, Options{Limit: 0}); err != nil {
+		t.Fatalf("default limit should allow the empty space: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+package placer
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/round"
+	"repro/internal/sched"
+)
+
+// mkState builds a bare placement state over the given instance with all
+// bags marked priority.
+func mkState(t *testing.T, in *sched.Instance) *state {
+	t.Helper()
+	info, err := classify.Classify(in, 0.5, classify.Options{AllPriority: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio := make([]bool, in.NumBags)
+	for i := range prio {
+		prio[i] = true
+	}
+	bags := make([]map[int]int, in.Machines)
+	for i := range bags {
+		bags[i] = make(map[int]int)
+	}
+	return &state{
+		in:     in,
+		info:   info,
+		prio:   prio,
+		sched:  sched.NewSchedule(in),
+		loads:  make([]float64, in.Machines),
+		bagsOn: bags,
+		origin: map[int]int{},
+	}
+}
+
+func sz(t *testing.T, raw float64) float64 {
+	t.Helper()
+	v, _ := round.UpGeometric(raw, 0.5)
+	return v
+}
+
+// TestChaseDirectOrigin reproduces the basic Lemma 11 situation: a large
+// job was swapped away from its MILP machine, a small job of the same bag
+// landed next to it, and the repair moves the small job to the large
+// job's origin machine.
+func TestChaseDirectOrigin(t *testing.T) {
+	in := sched.NewInstance(2)
+	large := in.AddJob(sz(t, 1.0), 0)
+	small := in.AddJob(sz(t, 0.05), 0)
+	st := mkState(t, in)
+	// The MILP put the large job on machine 0, a Lemma 7 swap moved it
+	// to machine 1; the small job was distributed to machine 1.
+	st.assign(large, 1)
+	st.origin[large] = 0
+	st.assign(small, 1)
+	if len(st.sched.Conflicts()) != 1 {
+		t.Fatal("setup must conflict")
+	}
+	st.repairOriginChasing()
+	if st.stats.OriginMoves != 1 {
+		t.Errorf("OriginMoves = %d, want 1", st.stats.OriginMoves)
+	}
+	if got := st.sched.Machine[small]; got != 0 {
+		t.Errorf("small job on machine %d, want origin machine 0", got)
+	}
+	if err := st.sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaseFollowsChain: the origin machine is blocked by another large
+// job of the same bag, whose own origin is free — the chase must follow
+// the chain.
+func TestChaseFollowsChain(t *testing.T) {
+	in := sched.NewInstance(3)
+	largeA := in.AddJob(sz(t, 1.0), 0)
+	largeB := in.AddJob(sz(t, 1.0), 0)
+	small := in.AddJob(sz(t, 0.05), 0)
+	st := mkState(t, in)
+	// MILP: A on 0, B on 1. Swaps moved A to 2 and B to 0.
+	st.assign(largeA, 2)
+	st.origin[largeA] = 0
+	st.assign(largeB, 0)
+	st.origin[largeB] = 1
+	// Small job of bag 0 lands with A on machine 2.
+	st.assign(small, 2)
+	st.repairOriginChasing()
+	if st.stats.OriginMoves != 1 {
+		t.Fatalf("OriginMoves = %d, want 1", st.stats.OriginMoves)
+	}
+	if got := st.sched.Machine[small]; got != 1 {
+		t.Errorf("small job on machine %d, want chained origin 1", got)
+	}
+	if err := st.sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaseCycleFallsBack: if origins form a cycle with every machine
+// blocked, the chase gives up and the generic repair resolves it.
+func TestChaseCycleFallsBack(t *testing.T) {
+	in := sched.NewInstance(3)
+	largeA := in.AddJob(sz(t, 1.0), 0)
+	largeB := in.AddJob(sz(t, 1.0), 0)
+	small := in.AddJob(sz(t, 0.05), 0)
+	st := mkState(t, in)
+	// A and B point at each other's machines.
+	st.assign(largeA, 0)
+	st.origin[largeA] = 1
+	st.assign(largeB, 1)
+	st.origin[largeB] = 0
+	st.assign(small, 0)
+	st.repairOriginChasing()
+	// The chase cannot succeed (0 -> 1 -> 0 cycle); machine 2 is free,
+	// so generic repair must finish the job.
+	if err := st.repairGeneric(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.sched.Machine[small]; got != 2 {
+		t.Errorf("small job on machine %d, want 2", got)
+	}
+}

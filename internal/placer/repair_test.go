@@ -1,0 +1,145 @@
+package placer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classify"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestGenericRepairProperty injects random (feasibility-preserving)
+// corrupted assignments and checks that the generic repair always
+// terminates with a feasible schedule whenever one exists.
+func TestGenericRepairProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(6)
+		in := sched.NewInstance(m)
+		nBags := 1 + rng.Intn(6)
+		for b := 0; b < nBags; b++ {
+			cnt := 1 + rng.Intn(m) // per-bag count <= m: always repairable
+			for k := 0; k < cnt; k++ {
+				in.AddJob(0.05+rng.Float64(), b)
+			}
+		}
+		info, err := classify.Classify(in, 0.5, classify.Options{})
+		if err != nil {
+			return false
+		}
+		st := &state{
+			in:     in,
+			info:   info,
+			prio:   make([]bool, in.NumBags),
+			sched:  sched.NewSchedule(in),
+			loads:  make([]float64, m),
+			bagsOn: make([]map[int]int, m),
+			origin: map[int]int{},
+		}
+		for i := range st.bagsOn {
+			st.bagsOn[i] = make(map[int]int)
+		}
+		// Adversarial corruption: assign every job to a random machine,
+		// bag-constraints be damned.
+		for j := range in.Jobs {
+			st.assign(j, rng.Intn(m))
+		}
+		if err := st.repairGeneric(); err != nil {
+			return false
+		}
+		return st.sched.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSwapRepairNeverBreaksFeasibleState: running the Lemma 7 repair on a
+// state with no ML conflicts must be a no-op.
+func TestSwapRepairNoOpOnCleanState(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.ManyLarge, Machines: 6, Bags: 6, Seed: 4,
+	})
+	info, err := classify.Classify(in, 0.5, classify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &state{
+		in:     in,
+		info:   info,
+		prio:   make([]bool, in.NumBags),
+		sched:  sched.NewSchedule(in),
+		loads:  make([]float64, in.Machines),
+		bagsOn: make([]map[int]int, in.Machines),
+		origin: map[int]int{},
+	}
+	for i := range st.bagsOn {
+		st.bagsOn[i] = make(map[int]int)
+	}
+	// Conflict-free round-robin by construction (2 jobs per bag).
+	byBag := in.JobsByBag()
+	for b, jobs := range byBag {
+		for k, j := range jobs {
+			st.assign(j, (b+k*3)%in.Machines)
+		}
+	}
+	if len(st.sched.Conflicts()) != 0 {
+		t.Skip("layout unexpectedly conflicting")
+	}
+	before := append([]int(nil), st.sched.Machine...)
+	st.repairLargeConflicts()
+	for j := range before {
+		if st.sched.Machine[j] != before[j] {
+			t.Fatalf("repair moved job %d without any conflict", j)
+		}
+	}
+	if st.stats.SwapRepairs != 0 {
+		t.Errorf("SwapRepairs = %d on clean state", st.stats.SwapRepairs)
+	}
+}
+
+// TestOriginChasingIsBounded: repair must terminate even with dense
+// random origin maps.
+func TestOriginChasingIsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		m := 3 + rng.Intn(5)
+		in := sched.NewInstance(m)
+		// One priority bag with several large jobs and one small.
+		for k := 0; k < m-1; k++ {
+			in.AddJob(1, 0)
+		}
+		in.AddJob(0.05, 0)
+		info, err := classify.Classify(in, 0.5, classify.Options{AllPriority: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &state{
+			in:     in,
+			info:   info,
+			prio:   []bool{true},
+			sched:  sched.NewSchedule(in),
+			loads:  make([]float64, m),
+			bagsOn: make([]map[int]int, m),
+			origin: map[int]int{},
+		}
+		for i := range st.bagsOn {
+			st.bagsOn[i] = make(map[int]int)
+		}
+		perm := rng.Perm(m - 1)
+		for k := 0; k < m-1; k++ {
+			st.assign(k, perm[k])
+			st.origin[k] = rng.Intn(m) // arbitrary, possibly cyclic origins
+		}
+		st.assign(m-1, perm[0]) // small job conflicts with job 0
+		st.repairOriginChasing()
+		if err := st.repairGeneric(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := st.sched.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package round implements the standard scaling and rounding machinery of
+// the EPTAS (Section 2 of the paper): scaling an instance by a makespan
+// guess, geometric rounding of job sizes to powers of (1+eps), and the
+// dual-approximation binary-search driver over makespan guesses.
+package round
+
+import (
+	"math"
+
+	"repro/internal/sched"
+)
+
+// Exponent returns the smallest integer e with (1+eps)^e >= size.
+// size must be positive.
+func Exponent(size, eps float64) int {
+	e := math.Log(size) / math.Log1p(eps)
+	// Guard against size being an exact power: nudge before the ceil so
+	// representable powers map to themselves.
+	return int(math.Ceil(e - 1e-9))
+}
+
+// Value returns (1+eps)^e.
+func Value(e int, eps float64) float64 {
+	return math.Pow(1+eps, float64(e))
+}
+
+// UpGeometric rounds size up to the next power of (1+eps) and returns the
+// rounded value together with its exponent.
+func UpGeometric(size, eps float64) (float64, int) {
+	e := Exponent(size, eps)
+	v := Value(e, eps)
+	if v < size { // floating point slack
+		e++
+		v = Value(e, eps)
+	}
+	return v, e
+}
+
+// ScaleRound returns a copy of in with every job size divided by target
+// and rounded up to a power of (1+eps). Job IDs, bags, order and machine
+// count are preserved, so a schedule of the result is a schedule of in.
+// The second result holds the geometric exponent of each job.
+func ScaleRound(in *sched.Instance, target, eps float64) (*sched.Instance, []int) {
+	out := in.Clone()
+	exps := make([]int, len(out.Jobs))
+	for i := range out.Jobs {
+		v, e := UpGeometric(out.Jobs[i].Size/target, eps)
+		out.Jobs[i].Size = v
+		exps[i] = e
+	}
+	return out, exps
+}
+
+// Decision builds a schedule for a makespan guess. It returns the schedule
+// (on the original instance) and whether the guess was accepted. A nil
+// schedule with ok=true is invalid.
+type Decision func(guess float64) (*sched.Schedule, bool)
+
+// SearchResult reports the outcome of the binary search.
+type SearchResult struct {
+	// Schedule is the best schedule produced by any accepted guess, or
+	// nil if no guess was accepted.
+	Schedule *sched.Schedule
+	// Makespan is the true makespan of Schedule.
+	Makespan float64
+	// Guesses is the number of decision invocations.
+	Guesses int
+	// FinalGuess is the last accepted guess value.
+	FinalGuess float64
+}
+
+// Search runs dual-approximation binary search for the smallest accepted
+// makespan guess in [lb, ub], stopping when the interval is narrower than
+// step or after maxGuesses decisions. The best schedule over all accepted
+// guesses (by true makespan) is returned.
+func Search(lb, ub, step float64, maxGuesses int, dec Decision) SearchResult {
+	res := SearchResult{Makespan: math.Inf(1)}
+	if maxGuesses <= 0 {
+		maxGuesses = 40
+	}
+	if step <= 0 {
+		step = 1e-9
+	}
+	lo, hi := lb, ub
+	// Always test the upper bound first: it must be accepted and gives a
+	// fallback schedule.
+	if s, ok := dec(hi); ok && s != nil {
+		res.Guesses++
+		ms := s.Makespan()
+		if ms < res.Makespan {
+			res.Schedule, res.Makespan, res.FinalGuess = s, ms, hi
+		}
+	} else {
+		res.Guesses++
+	}
+	for hi-lo > step && res.Guesses < maxGuesses {
+		mid := (lo + hi) / 2
+		s, ok := dec(mid)
+		res.Guesses++
+		if ok && s != nil {
+			hi = mid
+			if ms := s.Makespan(); ms < res.Makespan {
+				res.Schedule, res.Makespan, res.FinalGuess = s, ms, mid
+			}
+		} else {
+			lo = mid
+		}
+	}
+	return res
+}

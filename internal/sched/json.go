@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the wire format for instances.
+type instanceJSON struct {
+	Machines int       `json:"machines"`
+	NumBags  int       `json:"num_bags"`
+	Jobs     []jobJSON `json:"jobs"`
+}
+
+type jobJSON struct {
+	ID   int     `json:"id"`
+	Size float64 `json:"size"`
+	Bag  int     `json:"bag"`
+}
+
+// MarshalJSON encodes the instance in a stable, self-describing format.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	w := instanceJSON{Machines: in.Machines, NumBags: in.NumBags, Jobs: make([]jobJSON, len(in.Jobs))}
+	for i, j := range in.Jobs {
+		w.Jobs[i] = jobJSON{ID: int(j.ID), Size: j.Size, Bag: j.Bag}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes an instance and validates it.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var w instanceJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	in.Machines = w.Machines
+	in.NumBags = w.NumBags
+	in.Jobs = make([]Job, len(w.Jobs))
+	for i, j := range w.Jobs {
+		in.Jobs[i] = Job{ID: JobID(j.ID), Size: j.Size, Bag: j.Bag}
+		if j.Bag >= in.NumBags {
+			in.NumBags = j.Bag + 1
+		}
+	}
+	return in.Validate()
+}
+
+// ReadInstance decodes a JSON instance from r.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var in Instance
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("sched: decoding instance: %w", err)
+	}
+	return &in, nil
+}
+
+// WriteInstance encodes the instance as indented JSON to w.
+func WriteInstance(w io.Writer, in *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// scheduleJSON is the wire format for schedules.
+type scheduleJSON struct {
+	Machines   int       `json:"machines"`
+	Assignment []int     `json:"assignment"`
+	Makespan   float64   `json:"makespan"`
+	Loads      []float64 `json:"loads"`
+}
+
+// MarshalJSON encodes the schedule together with derived statistics.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	w := scheduleJSON{
+		Machines:   s.Inst.Machines,
+		Assignment: s.Machine,
+		Makespan:   s.Makespan(),
+		Loads:      s.Loads(),
+	}
+	return json.Marshal(w)
+}
+
+// WriteSchedule encodes the schedule as indented JSON to w.
+func WriteSchedule(w io.Writer, s *Schedule) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,402 @@
+// Package transform implements the instance transformation of Section 2.2
+// of the paper and its inverse.
+//
+// Apply splits every non-priority bag B_l of an instance I into a bag B'_l
+// holding its large jobs and the remaining bag B_l holding its small jobs
+// plus one "filler" job (of size pmax, the largest small size in B_l) per
+// large or medium job; the medium jobs of non-priority bags are removed
+// entirely. The result is the modified instance I' in which non-priority
+// bags contain either only large or only small jobs (Lemma 2: any makespan
+// C solution of I induces a makespan (1+eps)C solution of I').
+//
+// Lift inverts the transformation on a solution S' of I': it re-inserts
+// the removed medium jobs via an integral max-flow (Lemma 3, adding at
+// most 2*eps height), then swaps real small jobs with filler jobs so that
+// only fillers conflict, and deletes the fillers (Lemma 4, no height
+// increase beyond S').
+package transform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/flow"
+	"repro/internal/sched"
+)
+
+// Transformed couples an original instance with its modified version and
+// the bookkeeping needed to lift solutions back.
+type Transformed struct {
+	// Orig is the input instance (scaled and rounded).
+	Orig *sched.Instance
+	// Info is the classification of Orig.
+	Info *classify.Info
+	// Inst is the modified instance I'.
+	Inst *sched.Instance
+	// OrigJob maps a job index of Inst to its job index in Orig, or -1
+	// for filler jobs.
+	OrigJob []int
+	// FillerBag maps a filler job index of Inst to its bag in Inst
+	// (equal to the original bag id); -1 for non-filler jobs.
+	FillerBag []int
+	// FillerFor maps a filler job index of Inst to the Orig job index of
+	// the large/medium job it substitutes; -1 for non-filler jobs.
+	FillerFor []int
+	// LargeBagOf maps an original bag id to the id of the new bag B'_l
+	// holding its large jobs, or -1 when the bag was not split.
+	LargeBagOf []int
+	// OrigBagOf maps a bag id of Inst to the original bag id it derives
+	// from (identity for ids < Orig.NumBags).
+	OrigBagOf []int
+	// DroppedMedium lists, per original bag, the Orig job indices of the
+	// medium jobs that were removed (non-empty only for split bags).
+	DroppedMedium [][]int
+	// Priority reports priority status per bag of Inst: original bags
+	// keep their flag, new B'_l bags are non-priority.
+	Priority []bool
+}
+
+// Apply performs the Section 2.2 transformation. Priority bags are copied
+// unchanged. Every non-priority bag is split as described in the package
+// comment. (The paper leaves bags without small jobs unmodified; we split
+// them uniformly — they receive no fillers, and their medium jobs are
+// re-inserted by Lift exactly like the paper's Lemma 3 — which preserves
+// the invariant that all medium jobs of I' belong to priority bags.)
+func Apply(in *sched.Instance, info *classify.Info) *Transformed {
+	t := &Transformed{
+		Orig:          in,
+		Info:          info,
+		Inst:          sched.NewInstance(in.Machines),
+		LargeBagOf:    make([]int, in.NumBags),
+		DroppedMedium: make([][]int, in.NumBags),
+	}
+	for b := range t.LargeBagOf {
+		t.LargeBagOf[b] = -1
+	}
+	t.Inst.NumBags = in.NumBags
+	t.OrigBagOf = make([]int, in.NumBags)
+	for b := range t.OrigBagOf {
+		t.OrigBagOf[b] = b
+	}
+
+	// Largest small size per bag (pmax for fillers).
+	pmax := make([]float64, in.NumBags)
+	hasSmall := make([]bool, in.NumBags)
+	for j, job := range in.Jobs {
+		if info.JobClass[j] == classify.Small {
+			hasSmall[job.Bag] = true
+			if job.Size > pmax[job.Bag] {
+				pmax[job.Bag] = job.Size
+			}
+		}
+	}
+
+	addJob := func(origIdx int, size float64, bag int, fillerFor int) {
+		idx := len(t.Inst.Jobs)
+		t.Inst.Jobs = append(t.Inst.Jobs, sched.Job{ID: sched.JobID(idx), Size: size, Bag: bag})
+		if bag >= t.Inst.NumBags {
+			t.Inst.NumBags = bag + 1
+		}
+		if fillerFor >= 0 {
+			t.OrigJob = append(t.OrigJob, -1)
+			t.FillerBag = append(t.FillerBag, bag)
+			t.FillerFor = append(t.FillerFor, fillerFor)
+		} else {
+			t.OrigJob = append(t.OrigJob, origIdx)
+			t.FillerBag = append(t.FillerBag, -1)
+			t.FillerFor = append(t.FillerFor, -1)
+		}
+	}
+
+	newBag := func(origBag int) int {
+		if t.LargeBagOf[origBag] >= 0 {
+			return t.LargeBagOf[origBag]
+		}
+		id := t.Inst.NumBags
+		t.Inst.NumBags = id + 1
+		t.LargeBagOf[origBag] = id
+		t.OrigBagOf = append(t.OrigBagOf, origBag)
+		return id
+	}
+
+	for j, job := range in.Jobs {
+		b := job.Bag
+		if info.Priority[b] {
+			addJob(j, job.Size, b, -1)
+			continue
+		}
+		switch info.JobClass[j] {
+		case classify.Small:
+			addJob(j, job.Size, b, -1)
+		case classify.Large:
+			addJob(j, job.Size, newBag(b), -1)
+			if hasSmall[b] {
+				addJob(-1, pmax[b], b, j)
+			}
+		case classify.Medium:
+			t.DroppedMedium[b] = append(t.DroppedMedium[b], j)
+			if hasSmall[b] {
+				addJob(-1, pmax[b], b, j)
+			}
+		}
+	}
+
+	t.Priority = make([]bool, t.Inst.NumBags)
+	for b := 0; b < in.NumBags; b++ {
+		t.Priority[b] = info.Priority[b]
+	}
+	// New B'_l bags stay non-priority.
+	return t
+}
+
+// LiftStats reports what the lift had to do.
+type LiftStats struct {
+	// MediumInserted is the number of dropped medium jobs re-inserted.
+	MediumInserted int
+	// MachineCap is the final per-machine capacity of the Lemma 3 flow.
+	MachineCap int
+	// FillerSwaps is the number of Lemma 4 swaps performed.
+	FillerSwaps int
+	// FallbackMoves counts conflicts resolved by the generic fallback
+	// (least-loaded free machine) instead of a filler swap.
+	FallbackMoves int
+}
+
+// Lift converts a feasible solution of Inst into a feasible solution of
+// Orig. The returned schedule assigns every job of Orig.
+func (t *Transformed) Lift(s *sched.Schedule) (*sched.Schedule, LiftStats, error) {
+	var stats LiftStats
+	if s.Inst != t.Inst {
+		return nil, stats, fmt.Errorf("transform: schedule does not belong to the transformed instance")
+	}
+	m := t.Orig.Machines
+
+	// Machine assignment for every Orig job; -1 until known.
+	asg := make([]int, len(t.Orig.Jobs))
+	for i := range asg {
+		asg[i] = -1
+	}
+	for j, mach := range s.Machine {
+		if oj := t.OrigJob[j]; oj >= 0 {
+			asg[oj] = mach
+		}
+	}
+
+	// Step 1 (Lemma 3): re-insert dropped medium jobs with an integral
+	// max-flow. For each split bag l, its mediums may use any machine
+	// without a job of B'_l; edge capacity 1 enforces at most one medium
+	// of a bag per machine; the per-machine sink capacity starts at the
+	// paper's ceil(total/((1-eps)m)) and grows until the flow saturates.
+	mediumBags := make([]int, 0)
+	totalMedium := 0
+	for b, list := range t.DroppedMedium {
+		if len(list) > 0 {
+			mediumBags = append(mediumBags, b)
+			totalMedium += len(list)
+		}
+	}
+	medAssign := make(map[int]int) // Orig job idx -> machine
+	if totalMedium > 0 {
+		// Machines blocked per bag: those holding a job of B'_l.
+		blocked := make(map[int]map[int]bool, len(mediumBags))
+		for _, b := range mediumBags {
+			blocked[b] = make(map[int]bool)
+		}
+		for j, mach := range s.Machine {
+			bag := t.Inst.Jobs[j].Bag
+			ob := t.OrigBagOf[bag]
+			if bag >= t.Orig.NumBags { // a B'_l bag
+				if bl, ok := blocked[ob]; ok {
+					bl[mach] = true
+				}
+			}
+		}
+		capStart := int(math.Ceil(float64(totalMedium) / math.Max(1, (1-t.Info.Eps)*float64(m))))
+		if capStart < 1 {
+			capStart = 1
+		}
+		solved := false
+		for c := capStart; c <= totalMedium; c++ {
+			g := flow.NewGraph(2 + len(mediumBags) + m)
+			src, sink := 0, 1
+			bagNode := func(i int) int { return 2 + i }
+			machNode := func(i int) int { return 2 + len(mediumBags) + i }
+			type edgeRef struct {
+				bagIdx  int
+				machine int
+				e       *flow.Edge
+			}
+			var refs []edgeRef
+			for i, b := range mediumBags {
+				if _, err := g.AddEdge(src, bagNode(i), len(t.DroppedMedium[b])); err != nil {
+					return nil, stats, err
+				}
+				for mach := 0; mach < m; mach++ {
+					if blocked[b][mach] {
+						continue
+					}
+					e, err := g.AddEdge(bagNode(i), machNode(mach), 1)
+					if err != nil {
+						return nil, stats, err
+					}
+					refs = append(refs, edgeRef{bagIdx: i, machine: mach, e: e})
+				}
+			}
+			for mach := 0; mach < m; mach++ {
+				if _, err := g.AddEdge(machNode(mach), sink, c); err != nil {
+					return nil, stats, err
+				}
+			}
+			val, err := g.MaxFlow(src, sink)
+			if err != nil {
+				return nil, stats, err
+			}
+			if val < totalMedium {
+				continue
+			}
+			// Decode: each saturated bag->machine edge hosts one medium.
+			next := make([]int, len(mediumBags)) // next medium per bag
+			for _, r := range refs {
+				if r.e.Flow() <= 0 {
+					continue
+				}
+				b := mediumBags[r.bagIdx]
+				job := t.DroppedMedium[b][next[r.bagIdx]]
+				next[r.bagIdx]++
+				medAssign[job] = r.machine
+				asg[job] = r.machine
+			}
+			stats.MachineCap = c
+			stats.MediumInserted = totalMedium
+			solved = true
+			break
+		}
+		if !solved {
+			return nil, stats, fmt.Errorf("transform: lemma 3 flow infeasible for %d medium jobs", totalMedium)
+		}
+	}
+
+	// Step 2 (Lemma 4): in the merged-bag view, resolve conflicts between
+	// a real small job of bag l and a large/medium job of the same
+	// original bag by swapping the small job with a filler located on a
+	// machine free of bag-l large/medium jobs; then delete the fillers
+	// (they are not jobs of Orig).
+	//
+	// heavy[l] = set of machines holding a large job of B'_l or an
+	// inserted medium of l.
+	heavy := make(map[int]map[int]bool)
+	markHeavy := func(b, mach int) {
+		if heavy[b] == nil {
+			heavy[b] = make(map[int]bool)
+		}
+		heavy[b][mach] = true
+	}
+	for j, mach := range s.Machine {
+		bag := t.Inst.Jobs[j].Bag
+		if bag >= t.Orig.NumBags {
+			markHeavy(t.OrigBagOf[bag], mach)
+		}
+	}
+	for job, mach := range medAssign {
+		markHeavy(t.Orig.Jobs[job].Bag, mach)
+	}
+
+	// Fillers per bag, with their machines (from s).
+	fillers := make(map[int][]int) // bag -> Inst job idxs (fillers)
+	for j := range t.Inst.Jobs {
+		if t.FillerBag[j] >= 0 {
+			fillers[t.FillerBag[j]] = append(fillers[t.FillerBag[j]], j)
+		}
+	}
+	// Loads of the merged schedule (for fallback target choice), on Inst
+	// sizes plus inserted mediums.
+	loads := s.Loads()
+	for job, mach := range medAssign {
+		loads[mach] += t.Orig.Jobs[job].Size
+	}
+
+	for b, hv := range heavy {
+		if len(hv) == 0 {
+			continue
+		}
+		// Real small jobs of bag b and their machines.
+		fillerMach := make(map[int]int) // filler Inst idx -> machine
+		usedFiller := make(map[int]bool)
+		for _, fj := range fillers[b] {
+			fillerMach[fj] = s.Machine[fj]
+		}
+		for j, mach := range s.Machine {
+			if t.Inst.Jobs[j].Bag != b || t.FillerBag[j] >= 0 {
+				continue
+			}
+			oj := t.OrigJob[j]
+			if oj < 0 || !hv[mach] {
+				continue
+			}
+			// Conflict: real small job oj on a heavy machine. Find a
+			// filler of bag b on a non-heavy machine and swap.
+			swapped := false
+			keys := make([]int, 0, len(fillerMach))
+			for fj := range fillerMach {
+				keys = append(keys, fj)
+			}
+			sort.Ints(keys)
+			for _, fj := range keys {
+				fm := fillerMach[fj]
+				if usedFiller[fj] || hv[fm] {
+					continue
+				}
+				// Swap: small -> fm, filler -> mach (deleted later).
+				asg[oj] = fm
+				loads[fm] += t.Inst.Jobs[j].Size - t.Inst.Jobs[fj].Size
+				loads[mach] += t.Inst.Jobs[fj].Size - t.Inst.Jobs[j].Size
+				fillerMach[fj] = mach
+				usedFiller[fj] = true
+				stats.FillerSwaps++
+				swapped = true
+				break
+			}
+			if !swapped {
+				// Fallback: least-loaded machine with no job of the
+				// merged bag b at all.
+				target := t.freeMachine(b, asg, loads)
+				if target < 0 {
+					return nil, stats, fmt.Errorf("transform: no free machine for small job %d of bag %d", oj, b)
+				}
+				loads[target] += t.Inst.Jobs[j].Size
+				loads[mach] -= t.Inst.Jobs[j].Size
+				asg[oj] = target
+				stats.FallbackMoves++
+			}
+		}
+	}
+
+	out := &sched.Schedule{Inst: t.Orig, Machine: asg}
+	if err := out.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("transform: lifted schedule invalid: %w", err)
+	}
+	return out, stats, nil
+}
+
+// freeMachine returns the least-loaded machine with no job of original
+// bag b under the partial assignment asg, or -1 if none exists.
+func (t *Transformed) freeMachine(b int, asg []int, loads []float64) int {
+	used := make([]bool, t.Orig.Machines)
+	for oj, mach := range asg {
+		if mach >= 0 && t.Orig.Jobs[oj].Bag == b {
+			used[mach] = true
+		}
+	}
+	best := -1
+	for mach := 0; mach < t.Orig.Machines; mach++ {
+		if used[mach] {
+			continue
+		}
+		if best < 0 || loads[mach] < loads[best] {
+			best = mach
+		}
+	}
+	return best
+}

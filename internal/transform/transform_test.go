@@ -1,0 +1,302 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classify"
+	"repro/internal/greedy"
+	"repro/internal/round"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// prep scales an instance by its bag-LPT makespan, rounds, classifies
+// with a small priority cap (so non-priority bags exist) and transforms.
+func prep(t *testing.T, in *sched.Instance, eps float64) (*Transformed, *classify.Info) {
+	t.Helper()
+	ub, err := greedy.BagLPT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, _ := round.ScaleRound(in, ub.Makespan(), eps)
+	info, err := classify.Classify(scaled, eps, classify.Options{BPrimeOverride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Apply(scaled, info), info
+}
+
+func testInstance(seed int64) *sched.Instance {
+	return workload.MustGenerate(workload.Spec{
+		Family: workload.Uniform, Machines: 10, Jobs: 40, Bags: 20, Seed: seed,
+	})
+}
+
+func TestApplyInvariants(t *testing.T) {
+	tr, info := prep(t, testInstance(1), 0.5)
+	if err := tr.Inst.Validate(); err != nil {
+		t.Fatalf("transformed instance invalid: %v", err)
+	}
+	if err := tr.Inst.Feasible(); err != nil {
+		t.Fatalf("transformed instance infeasible: %v", err)
+	}
+	// Priority bags copied unchanged: same job multiset.
+	origCount := make(map[int]int)
+	for _, job := range tr.Orig.Jobs {
+		if info.Priority[job.Bag] {
+			origCount[job.Bag]++
+		}
+	}
+	newCount := make(map[int]int)
+	for _, job := range tr.Inst.Jobs {
+		if job.Bag < tr.Orig.NumBags && info.Priority[job.Bag] {
+			newCount[job.Bag]++
+		}
+	}
+	for b, c := range origCount {
+		if newCount[b] != c {
+			t.Errorf("priority bag %d: %d jobs became %d", b, c, newCount[b])
+		}
+	}
+	// Job count at most doubles (Lemma 2's observation).
+	if len(tr.Inst.Jobs) > 2*len(tr.Orig.Jobs) {
+		t.Errorf("job count %d > 2*%d", len(tr.Inst.Jobs), len(tr.Orig.Jobs))
+	}
+}
+
+func TestNoMediumInNonPriorityBags(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		tr, info := prep(t, testInstance(seed), 0.5)
+		for j, job := range tr.Inst.Jobs {
+			if tr.Priority[job.Bag] {
+				continue
+			}
+			if info.ClassOf(job.Size) == classify.Medium {
+				t.Fatalf("seed %d: medium job %d in non-priority bag %d", seed, j, job.Bag)
+			}
+		}
+	}
+}
+
+func TestSplitBagsSeparateClasses(t *testing.T) {
+	tr, info := prep(t, testInstance(2), 0.5)
+	for j, job := range tr.Inst.Jobs {
+		if tr.Priority[job.Bag] {
+			continue
+		}
+		cls := info.ClassOf(job.Size)
+		if job.Bag >= tr.Orig.NumBags {
+			// B'_l bags hold only large jobs.
+			if cls != classify.Large {
+				t.Errorf("job %d (class %v) in large-only bag %d", j, cls, job.Bag)
+			}
+		} else if cls != classify.Small {
+			// Remaining non-priority original bags hold only small jobs.
+			t.Errorf("job %d (class %v) left in small-only bag %d", j, cls, job.Bag)
+		}
+	}
+}
+
+func TestFillerAccounting(t *testing.T) {
+	tr, info := prep(t, testInstance(3), 0.5)
+	// Count fillers per split bag and ML jobs per split bag (with smalls).
+	fillers := make(map[int]int)
+	for j := range tr.Inst.Jobs {
+		if tr.FillerBag[j] >= 0 {
+			fillers[tr.FillerBag[j]]++
+			if tr.OrigJob[j] != -1 {
+				t.Errorf("filler %d has an orig job", j)
+			}
+			if tr.FillerFor[j] < 0 {
+				t.Errorf("filler %d lacks a source job", j)
+			}
+			// Fillers are small.
+			if info.ClassOf(tr.Inst.Jobs[j].Size) != classify.Small {
+				t.Errorf("filler %d is not small", j)
+			}
+		}
+	}
+	hasSmall := make(map[int]bool)
+	mlCount := make(map[int]int)
+	for j, job := range tr.Orig.Jobs {
+		if info.Priority[job.Bag] {
+			continue
+		}
+		if info.JobClass[j] == classify.Small {
+			hasSmall[job.Bag] = true
+		} else {
+			mlCount[job.Bag]++
+		}
+	}
+	for b, c := range mlCount {
+		want := 0
+		if hasSmall[b] {
+			want = c
+		}
+		if fillers[b] != want {
+			t.Errorf("bag %d: %d fillers, want %d", b, fillers[b], want)
+		}
+	}
+}
+
+func TestLemma2ConstructionBound(t *testing.T) {
+	// Build S' from a feasible S per the Lemma 2 proof and verify the
+	// (1+eps) bound, for several seeds and eps values.
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, eps := range []float64{0.5, 0.33} {
+			in := testInstance(seed)
+			s, err := greedy.BagLPT(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ubMk := s.Makespan()
+			scaled, _ := round.ScaleRound(in, ubMk, eps)
+			info, err := classify.Classify(scaled, eps, classify.Options{BPrimeOverride: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := Apply(scaled, info)
+			// Makespan of s in scaled sizes.
+			loads := make([]float64, scaled.Machines)
+			for j, m := range s.Machine {
+				loads[m] += scaled.Jobs[j].Size
+			}
+			c := 0.0
+			for _, l := range loads {
+				c = math.Max(c, l)
+			}
+			// S' per the proof.
+			sp := sched.NewSchedule(tr.Inst)
+			for j := range tr.Inst.Jobs {
+				if tr.OrigJob[j] >= 0 {
+					sp.Machine[j] = s.Machine[tr.OrigJob[j]]
+				} else {
+					sp.Machine[j] = s.Machine[tr.FillerFor[j]]
+				}
+			}
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("seed %d eps %g: S' infeasible: %v", seed, eps, err)
+			}
+			if mk := sp.Makespan(); mk > (1+eps)*c+1e-9 {
+				t.Errorf("seed %d eps %g: S' makespan %g > (1+eps)*%g", seed, eps, mk, c)
+			}
+		}
+	}
+}
+
+func TestLiftRoundTrip(t *testing.T) {
+	// A feasible schedule of I' must lift to a feasible schedule of I
+	// covering every original job.
+	prop := func(seed int64) bool {
+		in := workload.MustGenerate(workload.Spec{
+			Family: workload.Uniform, Machines: 8, Jobs: 30, Bags: 15,
+			Seed: 1 + (seed%1000+1000)%1000,
+		})
+		tr, _ := prepQuiet(in, 0.5)
+		if tr == nil {
+			return true
+		}
+		sPrime, err := greedy.BagLPT(tr.Inst)
+		if err != nil {
+			return true // transformed instance may be infeasible for LPT only if bags > m
+		}
+		lifted, _, err := tr.Lift(sPrime)
+		if err != nil {
+			return false
+		}
+		return lifted.Validate() == nil && len(lifted.Machine) == len(in.Jobs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func prepQuiet(in *sched.Instance, eps float64) (*Transformed, *classify.Info) {
+	ub, err := greedy.BagLPT(in)
+	if err != nil {
+		return nil, nil
+	}
+	scaled, _ := round.ScaleRound(in, ub.Makespan(), eps)
+	info, err := classify.Classify(scaled, eps, classify.Options{BPrimeOverride: 2})
+	if err != nil {
+		return nil, nil
+	}
+	return Apply(scaled, info), info
+}
+
+func TestLiftInsertsAllMediums(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		in := testInstance(seed)
+		tr, _ := prep(t, in, 0.5)
+		dropped := 0
+		for _, l := range tr.DroppedMedium {
+			dropped += len(l)
+		}
+		sPrime, err := greedy.BagLPT(tr.Inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lifted, stats, err := tr.Lift(sPrime)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if stats.MediumInserted != dropped {
+			t.Errorf("seed %d: inserted %d mediums, dropped %d", seed, stats.MediumInserted, dropped)
+		}
+		if err := lifted.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestLiftRejectsForeignSchedule(t *testing.T) {
+	in := testInstance(1)
+	tr, _ := prep(t, in, 0.5)
+	other := sched.NewSchedule(in)
+	if _, _, err := tr.Lift(other); err == nil {
+		t.Error("expected error for schedule of the wrong instance")
+	}
+}
+
+func TestLiftBoundsHeightIncrease(t *testing.T) {
+	// The lift's height increase over S' comes only from medium
+	// insertion (<= 2eps per the paper, measured here loosely) — filler
+	// swaps never increase the receiving machine's load.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		in := workload.MustGenerate(workload.Spec{
+			Family: workload.Geometric, Machines: 8, Jobs: 32, Bags: 16, Seed: rng.Int63n(1000),
+		})
+		tr, info := prep(t, in, 0.5)
+		sPrime, err := greedy.BagLPT(tr.Inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := sPrime.Makespan()
+		lifted, stats, err := tr.Lift(sPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measure lifted makespan in scaled sizes.
+		loads := make([]float64, in.Machines)
+		for j, m := range lifted.Machine {
+			loads[m] += tr.Orig.Jobs[j].Size
+		}
+		after := 0.0
+		for _, l := range loads {
+			after = math.Max(after, l)
+		}
+		// Allowed: medium insertion adds at most cap * eps^K per machine
+		// plus filler-swap slack of one pmax (a real small replacing a
+		// filler of equal-or-larger size never increases load; the
+		// fallback may add one small job).
+		epsK := math.Pow(0.5, float64(info.K))
+		allow := float64(stats.MachineCap)*epsK + info.SmallThreshold()
+		if after > before+allow+1e-9 {
+			t.Errorf("trial %d: lift grew makespan %.4f -> %.4f (allow %.4f)", trial, before, after, allow)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package workload generates deterministic synthetic instances for the
+// experiment suite. The paper has no published datasets (it is a theory
+// paper), so these families are designed to exercise every code path of
+// the EPTAS: mixes of large/medium/small jobs, few and many bags, and the
+// adversarial large-job placement of the paper's Figure 1.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Family names a generator.
+type Family string
+
+const (
+	// Uniform draws sizes uniformly from [minSize, maxSize].
+	Uniform Family = "uniform"
+	// Bimodal mixes a fraction of large jobs with many small ones.
+	Bimodal Family = "bimodal"
+	// Geometric draws sizes as powers of 2 with geometric frequencies.
+	Geometric Family = "geometric"
+	// Unit makes all jobs size 1 (pure cardinality constraints).
+	Unit Family = "unit"
+	// Adversarial is the paper's Figure 1 family: per machine-pair, two
+	// large jobs from one bag plus small jobs that only fit if the large
+	// jobs are spread correctly.
+	Adversarial Family = "adversarial"
+	// SmallHeavy is dominated by small jobs in many bags.
+	SmallHeavy Family = "smallheavy"
+	// Skewed gives a few bags most of the jobs.
+	Skewed Family = "skewed"
+	// ManyLarge gives every bag two large jobs from a tiny size palette.
+	// It maximizes pressure on large-job placement: schemes that track
+	// every bag individually (the Das–Wiese configuration program) see
+	// their pattern space grow combinatorially with the bag count, while
+	// the EPTAS's priority mechanism keeps it flat (EX-T2).
+	ManyLarge Family = "manylarge"
+)
+
+// Families lists all generator families in a stable order.
+func Families() []Family {
+	return []Family{Uniform, Bimodal, Geometric, Unit, Adversarial, SmallHeavy, Skewed, ManyLarge}
+}
+
+// Spec describes an instance to generate.
+type Spec struct {
+	// Family selects the generator.
+	Family Family
+	// Machines is the machine count (>= 1).
+	Machines int
+	// Jobs is the approximate job count (exact for most families).
+	Jobs int
+	// Bags is the bag count; generators keep every bag below Machines
+	// jobs so instances stay feasible.
+	Bags int
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// Name returns a compact label for tables and benchmarks.
+func (s Spec) Name() string {
+	return fmt.Sprintf("%s/m%d/n%d/b%d", s.Family, s.Machines, s.Jobs, s.Bags)
+}
+
+// Generate builds the instance. The same spec always yields the same
+// instance.
+func Generate(spec Spec) (*sched.Instance, error) {
+	if spec.Machines < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 machine")
+	}
+	if spec.Bags < 1 {
+		spec.Bags = 1
+	}
+	// Keep the instance feasible: every bag holds at most Machines jobs,
+	// so the bag count must cover the job count.
+	if minBags := (spec.Jobs + spec.Machines - 1) / spec.Machines; spec.Bags < minBags {
+		spec.Bags = minBags
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var in *sched.Instance
+	switch spec.Family {
+	case Uniform:
+		in = uniform(spec, rng)
+	case Bimodal:
+		in = bimodal(spec, rng)
+	case Geometric:
+		in = geometric(spec, rng)
+	case Unit:
+		in = unit(spec, rng)
+	case Adversarial:
+		in = adversarial(spec)
+	case SmallHeavy:
+		in = smallHeavy(spec, rng)
+	case Skewed:
+		in = skewed(spec, rng)
+	case ManyLarge:
+		in = manyLarge(spec, rng)
+	default:
+		return nil, fmt.Errorf("workload: unknown family %q", spec.Family)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid instance: %w", err)
+	}
+	if err := in.Feasible(); err != nil {
+		return nil, fmt.Errorf("workload: generated infeasible instance: %w", err)
+	}
+	return in, nil
+}
+
+// MustGenerate is Generate for tests and benchmarks; it panics on error.
+func MustGenerate(spec Spec) *sched.Instance {
+	in, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// bagSequence deals bag indices so that no bag exceeds the machine count;
+// it cycles through bags round-robin with random interleave.
+type bagSequence struct {
+	rng    *rand.Rand
+	counts []int
+	limit  int
+}
+
+func newBagSequence(rng *rand.Rand, bags, machines int) *bagSequence {
+	return &bagSequence{rng: rng, counts: make([]int, bags), limit: machines}
+}
+
+func (b *bagSequence) next() int {
+	for tries := 0; tries < 8; tries++ {
+		bag := b.rng.Intn(len(b.counts))
+		if b.counts[bag] < b.limit {
+			b.counts[bag]++
+			return bag
+		}
+	}
+	// Fall back to the first bag with room.
+	for bag, c := range b.counts {
+		if c < b.limit {
+			b.counts[bag]++
+			return bag
+		}
+	}
+	// All bags full: open a new bag to preserve feasibility.
+	b.counts = append(b.counts, 1)
+	return len(b.counts) - 1
+}
+
+func uniform(spec Spec, rng *rand.Rand) *sched.Instance {
+	in := sched.NewInstance(spec.Machines)
+	in.NumBags = spec.Bags
+	seq := newBagSequence(rng, spec.Bags, spec.Machines)
+	for i := 0; i < spec.Jobs; i++ {
+		size := 0.1 + 0.9*rng.Float64()
+		in.AddJob(size, seq.next())
+	}
+	return in
+}
+
+func bimodal(spec Spec, rng *rand.Rand) *sched.Instance {
+	in := sched.NewInstance(spec.Machines)
+	in.NumBags = spec.Bags
+	seq := newBagSequence(rng, spec.Bags, spec.Machines)
+	for i := 0; i < spec.Jobs; i++ {
+		var size float64
+		if rng.Float64() < 0.25 {
+			size = 0.7 + 0.3*rng.Float64() // large mode
+		} else {
+			size = 0.05 + 0.1*rng.Float64() // small mode
+		}
+		in.AddJob(size, seq.next())
+	}
+	return in
+}
+
+func geometric(spec Spec, rng *rand.Rand) *sched.Instance {
+	in := sched.NewInstance(spec.Machines)
+	in.NumBags = spec.Bags
+	seq := newBagSequence(rng, spec.Bags, spec.Machines)
+	for i := 0; i < spec.Jobs; i++ {
+		// Size 2^-d with d geometric: many small, few large.
+		d := 0
+		for d < 5 && rng.Float64() < 0.55 {
+			d++
+		}
+		size := 1.0
+		for k := 0; k < d; k++ {
+			size /= 2
+		}
+		in.AddJob(size, seq.next())
+	}
+	return in
+}
+
+func unit(spec Spec, rng *rand.Rand) *sched.Instance {
+	in := sched.NewInstance(spec.Machines)
+	in.NumBags = spec.Bags
+	seq := newBagSequence(rng, spec.Bags, spec.Machines)
+	for i := 0; i < spec.Jobs; i++ {
+		in.AddJob(1, seq.next())
+	}
+	return in
+}
+
+// adversarial reproduces Figure 1 of the paper, tiled over machine pairs:
+// per pair, two large jobs (0.6 and 0.55) from two different bags — so
+// placing them together is feasible — plus small jobs of size 0.2 from a
+// per-pair bag. Stacking the large jobs forces the small jobs (which need
+// pairwise-distinct machines) to pile on top, well above OPT; spreading
+// the large jobs packs each machine to about 1.0. Spec.Jobs and Spec.Bags
+// are derived from Machines for this family.
+func adversarial(spec Spec) *sched.Instance {
+	in := sched.NewInstance(spec.Machines)
+	pairs := spec.Machines / 2
+	if pairs == 0 {
+		pairs = 1
+		in.Machines = 2
+	}
+	smallsPerPair := 4
+	if in.Machines < smallsPerPair {
+		smallsPerPair = in.Machines
+	}
+	bag := 2 // bags 0 and 1 hold the large jobs across all pairs
+	for p := 0; p < pairs; p++ {
+		in.AddJob(0.6, 0)
+		in.AddJob(0.55, 1)
+		smallBag := bag
+		bag++
+		// Small jobs of 0.2: fits as (0.6+0.2+0.2 | 0.55+0.2+0.2)
+		// = (1.0 | 0.95), but stacking 0.6+0.55 forces 1.15+.
+		for k := 0; k < smallsPerPair; k++ {
+			in.AddJob(0.2, smallBag)
+		}
+	}
+	in.NumBags = bag
+	return in
+}
+
+func smallHeavy(spec Spec, rng *rand.Rand) *sched.Instance {
+	in := sched.NewInstance(spec.Machines)
+	in.NumBags = spec.Bags
+	seq := newBagSequence(rng, spec.Bags, spec.Machines)
+	nLarge := spec.Jobs / 10
+	for i := 0; i < nLarge; i++ {
+		in.AddJob(0.5+0.5*rng.Float64(), seq.next())
+	}
+	for i := nLarge; i < spec.Jobs; i++ {
+		in.AddJob(0.01+0.05*rng.Float64(), seq.next())
+	}
+	return in
+}
+
+func manyLarge(spec Spec, rng *rand.Rand) *sched.Instance {
+	in := sched.NewInstance(spec.Machines)
+	in.NumBags = spec.Bags
+	palette := []float64{0.8, 0.64, 0.52}
+	for b := 0; b < spec.Bags; b++ {
+		in.AddJob(palette[rng.Intn(len(palette))], b)
+		in.AddJob(palette[rng.Intn(len(palette))], b)
+	}
+	return in
+}
+
+func skewed(spec Spec, rng *rand.Rand) *sched.Instance {
+	in := sched.NewInstance(spec.Machines)
+	in.NumBags = spec.Bags
+	// First two bags get half the jobs (capped by machines), the rest is
+	// spread.
+	counts := make([]int, spec.Bags)
+	heavy := spec.Jobs / 2
+	if heavy > 2*spec.Machines {
+		heavy = 2 * spec.Machines
+	}
+	for i := 0; i < heavy; i++ {
+		counts[i%2]++
+	}
+	rest := spec.Jobs - heavy
+	seq := newBagSequence(rng, spec.Bags, spec.Machines)
+	seq.counts[0], seq.counts[1] = counts[0], counts[1]
+	bagsOf := make([]int, 0, spec.Jobs)
+	for b := 0; b < 2; b++ {
+		for k := 0; k < counts[b]; k++ {
+			bagsOf = append(bagsOf, b)
+		}
+	}
+	for i := 0; i < rest; i++ {
+		bagsOf = append(bagsOf, seq.next())
+	}
+	sort.Ints(bagsOf) // deterministic layout
+	for _, b := range bagsOf {
+		in.AddJob(0.1+0.6*rng.Float64(), b)
+	}
+	return in
+}

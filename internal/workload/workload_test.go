@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestAllFamiliesGenerateValidInstances(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			in, err := Generate(Spec{Family: fam, Machines: 6, Jobs: 30, Bags: 8, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Feasible(); err != nil {
+				t.Fatal(err)
+			}
+			if len(in.Jobs) == 0 {
+				t.Error("no jobs generated")
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, fam := range Families() {
+		a := MustGenerate(Spec{Family: fam, Machines: 5, Jobs: 25, Bags: 7, Seed: 42})
+		b := MustGenerate(Spec{Family: fam, Machines: 5, Jobs: 25, Bags: 7, Seed: 42})
+		if len(a.Jobs) != len(b.Jobs) {
+			t.Fatalf("%s: job counts differ", fam)
+		}
+		for i := range a.Jobs {
+			if a.Jobs[i] != b.Jobs[i] {
+				t.Fatalf("%s: job %d differs", fam, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := MustGenerate(Spec{Family: Uniform, Machines: 5, Jobs: 25, Bags: 7, Seed: 1})
+	b := MustGenerate(Spec{Family: Uniform, Machines: 5, Jobs: 25, Bags: 7, Seed: 2})
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i].Size != b.Jobs[i].Size {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestJobCountRespected(t *testing.T) {
+	for _, fam := range Families() {
+		if fam == Adversarial || fam == ManyLarge {
+			continue // these derive their size from Machines/Bags
+		}
+		in := MustGenerate(Spec{Family: fam, Machines: 8, Jobs: 33, Bags: 10, Seed: 5})
+		if len(in.Jobs) != 33 {
+			t.Errorf("%s: %d jobs, want 33", fam, len(in.Jobs))
+		}
+	}
+}
+
+func TestBagsAutoExtendForFeasibility(t *testing.T) {
+	// 30 jobs on 3 machines need at least 10 bags.
+	in := MustGenerate(Spec{Family: Uniform, Machines: 3, Jobs: 30, Bags: 2, Seed: 1})
+	if err := in.Feasible(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumBags < 10 {
+		t.Errorf("bags = %d, want >= 10", in.NumBags)
+	}
+}
+
+func TestAdversarialShape(t *testing.T) {
+	in := MustGenerate(Spec{Family: Adversarial, Machines: 6})
+	// Per pair: 2 large + 4 small.
+	pairs := 3
+	if len(in.Jobs) != pairs*6 {
+		t.Errorf("jobs = %d, want %d", len(in.Jobs), pairs*6)
+	}
+	large, small := 0, 0
+	for _, j := range in.Jobs {
+		switch j.Size {
+		case 0.6, 0.55:
+			large++
+		case 0.2:
+			small++
+		default:
+			t.Errorf("unexpected size %g", j.Size)
+		}
+	}
+	if large != 2*pairs || small != 4*pairs {
+		t.Errorf("large=%d small=%d", large, small)
+	}
+}
+
+func TestAdversarialMinimumMachines(t *testing.T) {
+	in := MustGenerate(Spec{Family: Adversarial, Machines: 1})
+	if in.Machines < 2 {
+		t.Errorf("machines = %d, want >= 2", in.Machines)
+	}
+	if err := in.Feasible(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFamily(t *testing.T) {
+	if _, err := Generate(Spec{Family: "nope", Machines: 2, Jobs: 4}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestZeroMachinesRejected(t *testing.T) {
+	if _, err := Generate(Spec{Family: Uniform, Machines: 0, Jobs: 4}); err == nil {
+		t.Error("zero machines accepted")
+	}
+}
+
+func TestSpecName(t *testing.T) {
+	s := Spec{Family: Uniform, Machines: 4, Jobs: 10, Bags: 3}
+	if s.Name() != "uniform/m4/n10/b3" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestUnitSizes(t *testing.T) {
+	in := MustGenerate(Spec{Family: Unit, Machines: 4, Jobs: 12, Bags: 4, Seed: 1})
+	for _, j := range in.Jobs {
+		if j.Size != 1 {
+			t.Fatalf("unit family produced size %g", j.Size)
+		}
+	}
+}
+
+func TestManyLargeShape(t *testing.T) {
+	in := MustGenerate(Spec{Family: ManyLarge, Machines: 8, Bags: 12, Seed: 1})
+	if len(in.Jobs) != 24 {
+		t.Fatalf("jobs = %d, want 24 (two per bag)", len(in.Jobs))
+	}
+	counts := in.BagCounts()
+	for b, c := range counts {
+		if c != 2 {
+			t.Errorf("bag %d has %d jobs, want 2", b, c)
+		}
+	}
+	for _, j := range in.Jobs {
+		if j.Size < 0.5 {
+			t.Errorf("manylarge produced non-large size %g", j.Size)
+		}
+	}
+}
+
+func TestSmallHeavyComposition(t *testing.T) {
+	in := MustGenerate(Spec{Family: SmallHeavy, Machines: 8, Jobs: 50, Bags: 12, Seed: 1})
+	large := 0
+	for _, j := range in.Jobs {
+		if j.Size >= 0.5 {
+			large++
+		}
+	}
+	if large == 0 || large > len(in.Jobs)/4 {
+		t.Errorf("smallheavy large count = %d of %d", large, len(in.Jobs))
+	}
+}

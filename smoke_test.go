@@ -1,0 +1,34 @@
+package bagsched
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSmokeEPTAS runs the full pipeline end to end on one instance per
+// workload family and checks feasibility and the approximation band
+// against the combinatorial lower bound.
+func TestSmokeEPTAS(t *testing.T) {
+	for _, fam := range workload.Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			in := workload.MustGenerate(workload.Spec{
+				Family: fam, Machines: 4, Jobs: 24, Bags: 5, Seed: 7,
+			})
+			res, err := SolveEPTAS(in, 0.5)
+			if err != nil {
+				t.Fatalf("SolveEPTAS: %v", err)
+			}
+			if err := res.Schedule.Validate(); err != nil {
+				t.Fatalf("invalid schedule: %v", err)
+			}
+			lb := LowerBound(in)
+			t.Logf("family=%s makespan=%.4f lb=%.4f ratio=%.3f fallback=%v guesses=%d patterns=%d",
+				fam, res.Makespan, lb, res.Makespan/lb, res.Stats.Fallback, res.Stats.Guesses, res.Stats.Patterns)
+			if res.Makespan > lb*3 {
+				t.Errorf("makespan %.4f more than 3x lower bound %.4f", res.Makespan, lb)
+			}
+		})
+	}
+}
