@@ -25,12 +25,38 @@
 // exact branch-and-bound solver for small instances (SolveExact) are also
 // provided, along with JSON input/output and deterministic workload
 // generators under internal/workload for the experiment suite.
+//
+// # Batch and parallel solving
+//
+// The solver is deterministic and CPU-bound, which makes it trivially
+// parallel at two levels, both result-transparent:
+//
+//   - SolveBatch (and NewPool for a reusable pool with a fixed worker
+//     count) solves many instances concurrently and returns outcomes in
+//     input order; every per-instance result matches a sequential
+//     SolveEPTAS call (see WithSpeculation for the wall-clock caveat
+//     that bounds this guarantee).
+//
+//   - Within one solve, the dual-approximation binary search evaluates
+//     up to three speculative makespan guesses concurrently (on
+//     multi-core machines, by default). The consumed guess sequence,
+//     Stats and schedule are identical to the sequential search;
+//     WithSpeculation tunes or disables it.
+//
+// For example:
+//
+//	outs := bagsched.SolveBatch(instances, 0.5)
+//	for i, o := range outs {
+//	    if o.Err != nil { ... }
+//	    fmt.Println(i, o.Result.Makespan)
+//	}
 package bagsched
 
 import (
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/batch"
 	"repro/internal/cfgmilp"
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -111,15 +137,67 @@ func WithPriorityCap(bprime int) Option {
 	return func(o *core.Options) { o.BPrimeOverride = bprime }
 }
 
+// WithSpeculation controls speculative parallel guess evaluation in the
+// binary search: 1 forces the strictly sequential search; any larger
+// value (all treated alike) evaluates the current midpoint plus its two
+// possible successors concurrently. The default (0) speculates whenever
+// more than one CPU is available. Speculation does not change the result
+// — only wall-clock time — as long as per-guess MILP solves stay within
+// their deterministic node budgets rather than the wall-clock time-limit
+// backstop (see Stats; on the instances of this repo's experiment suite
+// the node budget always binds first).
+func WithSpeculation(n int) Option {
+	return func(o *core.Options) { o.Speculate = n }
+}
+
 // SolveEPTAS schedules in with the EPTAS at accuracy eps in (0,1). The
 // result is always a feasible schedule; its makespan is within 1+O(eps)
 // of optimal.
 func SolveEPTAS(in *Instance, eps float64, opts ...Option) (*Result, error) {
+	return core.Solve(in, buildOptions(eps, opts))
+}
+
+func buildOptions(eps float64, opts []Option) core.Options {
 	o := core.Options{Eps: eps}
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return core.Solve(in, o)
+	return o
+}
+
+// BatchOutcome pairs the result of one batched instance with its error;
+// exactly one of the two fields is non-nil.
+type BatchOutcome = batch.Outcome
+
+// Pool solves batches of instances concurrently on a fixed number of
+// workers. A Pool is stateless between calls and safe for concurrent
+// use.
+type Pool struct{ inner *batch.Pool }
+
+// NewPool returns a pool with the given worker count; values <= 0 select
+// GOMAXPROCS workers.
+func NewPool(workers int) *Pool { return &Pool{inner: batch.NewPool(workers)} }
+
+// Workers reports the pool's worker count.
+func (p *Pool) Workers() int { return p.inner.Workers() }
+
+// SolveEPTAS solves every instance with the EPTAS at accuracy eps,
+// distributing the solves over the pool's workers. Outcomes are returned
+// in input order, and each matches a sequential SolveEPTAS call on that
+// instance (see WithSpeculation for the wall-clock caveat that bounds
+// this guarantee).
+func (p *Pool) SolveEPTAS(ins []*Instance, eps float64, opts ...Option) []BatchOutcome {
+	tasks := make([]batch.Task, len(ins))
+	for i, in := range ins {
+		tasks[i] = batch.Task{Instance: in, Options: buildOptions(eps, opts)}
+	}
+	return p.inner.Solve(tasks)
+}
+
+// SolveBatch solves every instance with the EPTAS at accuracy eps on a
+// fresh GOMAXPROCS-sized pool. See Pool.SolveEPTAS.
+func SolveBatch(ins []*Instance, eps float64, opts ...Option) []BatchOutcome {
+	return NewPool(0).SolveEPTAS(ins, eps, opts...)
 }
 
 // SolveDasWiese schedules in with the configuration-program scheme with

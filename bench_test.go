@@ -28,7 +28,7 @@ func BenchmarkExF1AdversarialEPTAS(b *testing.B) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.Adversarial, Machines: 8})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := SolveEPTAS(in, 0.3)
+		res, err := SolveEPTAS(in, 0.3, WithSpeculation(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -44,7 +44,7 @@ func benchEPTASQuality(b *testing.B, eps float64) {
 	})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := SolveEPTAS(in, eps); err != nil {
+		if _, err := SolveEPTAS(in, eps, WithSpeculation(1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,7 +62,7 @@ func benchEPTASSize(b *testing.B, n int) {
 	})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := SolveEPTAS(in, 0.5); err != nil {
+		if _, err := SolveEPTAS(in, 0.5, WithSpeculation(1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -82,7 +82,7 @@ func benchBags(b *testing.B, bags int, dasWiese bool) {
 		if dasWiese {
 			_, err = SolveDasWiese(in, 0.5)
 		} else {
-			_, err = SolveEPTAS(in, 0.5)
+			_, err = SolveEPTAS(in, 0.5, WithSpeculation(1))
 		}
 		if err != nil {
 			b.Fatal(err)
@@ -93,6 +93,57 @@ func benchBags(b *testing.B, bags int, dasWiese bool) {
 func BenchmarkExT2Bags04_EPTAS(b *testing.B)    { benchBags(b, 4, false) }
 func BenchmarkExT2Bags08_EPTAS(b *testing.B)    { benchBags(b, 8, false) }
 func BenchmarkExT2Bags08_DasWiese(b *testing.B) { benchBags(b, 8, true) }
+
+// --- EX-S1: batch solving throughput (sequential loop vs worker pool) ---
+
+// BenchmarkExS1Batch16_Sequential is the baseline: a plain loop of
+// sequential solves over the 16-instance bimodal fleet (bimodalBatch in
+// batch_test.go). Compare its per-op wall-clock against
+// BenchmarkExS1Batch16_Pool on a multi-core machine to see the pool's
+// speedup; on one core the two coincide.
+func BenchmarkExS1Batch16_Sequential(b *testing.B) {
+	ins := bimodalBatch(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			if _, err := SolveEPTAS(in, 0.5, WithSpeculation(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkExS1Batch16_Pool(b *testing.B) {
+	ins := bimodalBatch(b, 16)
+	pool := NewPool(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range pool.SolveEPTAS(ins, 0.5) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
+
+// --- EX-S2: speculative guess evaluation inside one solve ---
+
+func benchSpeculate(b *testing.B, speculate int) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 8, Jobs: 40, Bags: 10, Seed: 77,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEPTAS(in, 0.4, WithSpeculation(speculate)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExS2SpeculationOff(b *testing.B) { benchSpeculate(b, 1) }
+func BenchmarkExS2SpeculationOn(b *testing.B)  { benchSpeculate(b, 3) }
 
 // --- EX-L6: pattern enumeration cost per eps ---
 
@@ -171,7 +222,7 @@ func benchAlgo(b *testing.B, fam workload.Family, algo string) {
 		var err error
 		switch algo {
 		case "eptas":
-			_, err = SolveEPTAS(in, 0.5)
+			_, err = SolveEPTAS(in, 0.5, WithSpeculation(1))
 		case "baglpt":
 			_, err = SolveBagLPT(in)
 		case "greedy":
@@ -198,7 +249,7 @@ func benchMode(b *testing.B, mode MILPMode) {
 	})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := SolveEPTAS(in, 0.5, WithMode(mode), WithMILPNodes(4000)); err != nil {
+		if _, err := SolveEPTAS(in, 0.5, WithMode(mode), WithMILPNodes(4000), WithSpeculation(1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -216,8 +267,9 @@ func benchRounding(b *testing.B, disable bool) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Solve(in, core.Options{
-			Eps:  0.5,
-			MILP: milp.Options{DisableRounding: disable},
+			Eps:       0.5,
+			MILP:      milp.Options{DisableRounding: disable},
+			Speculate: 1,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -1,10 +1,16 @@
-// Command bagsched solves a bag-constrained scheduling instance read from
-// a JSON file (or stdin) and prints the schedule and statistics.
+// Command bagsched solves bag-constrained scheduling instances and prints
+// schedules and statistics.
 //
 // Usage:
 //
 //	bagsched [-algo eptas|baglpt|lpt|greedy|roundrobin|exact|daswiese]
 //	         [-eps 0.5] [-in instance.json] [-out schedule.json] [-v]
+//	bagsched -batch dir [-eps 0.5] [-workers N]
+//
+// In batch mode every instance JSON in dir (files matching *.json,
+// excluding earlier *.schedule.json outputs) is solved with the EPTAS on
+// a worker pool, and each schedule is written alongside its instance as
+// <name>.schedule.json.
 //
 // The instance format is:
 //
@@ -16,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	bagsched "repro"
@@ -27,13 +36,120 @@ func main() {
 	eps := flag.Float64("eps", 0.5, "accuracy parameter for eptas/daswiese")
 	inPath := flag.String("in", "-", "instance JSON file, or - for stdin")
 	outPath := flag.String("out", "", "write the schedule JSON here (default: stdout summary only)")
+	batchDir := flag.String("batch", "", "solve every instance JSON in this directory on a worker pool")
+	workers := flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-machine loads")
 	flag.Parse()
 
-	if err := run(*algo, *eps, *inPath, *outPath, *verbose); err != nil {
+	var err error
+	if *batchDir != "" {
+		switch {
+		case *inPath != "-":
+			err = fmt.Errorf("-batch and -in are mutually exclusive")
+		case *outPath != "":
+			err = fmt.Errorf("-batch writes one schedule per instance; -out does not apply")
+		case *verbose:
+			err = fmt.Errorf("-v is not supported in batch mode")
+		default:
+			err = runBatch(*batchDir, *algo, *eps, *workers)
+		}
+	} else if *workers != 0 {
+		err = fmt.Errorf("-workers applies to batch mode only (use -batch)")
+	} else {
+		err = run(*algo, *eps, *inPath, *outPath, *verbose)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bagsched:", err)
 		os.Exit(1)
 	}
+}
+
+// runBatch solves every instance JSON in dir concurrently and writes each
+// schedule alongside its instance.
+func runBatch(dir, algo string, eps float64, workers int) error {
+	if algo != "eptas" {
+		return fmt.Errorf("batch mode supports -algo eptas only (got %q)", algo)
+	}
+	paths, err := batchInputs(dir)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no instance JSONs in %s", dir)
+	}
+	ins := make([]*sched.Instance, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		ins[i], err = sched.ReadInstance(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+
+	pool := bagsched.NewPool(workers)
+	start := time.Now()
+	outs := pool.SolveEPTAS(ins, eps)
+	elapsed := time.Since(start)
+
+	failed := 0
+	for i, o := range outs {
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", paths[i], o.Err)
+			continue
+		}
+		outPath := strings.TrimSuffix(paths[i], ".json") + ".schedule.json"
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		werr := sched.WriteSchedule(f, o.Result.Schedule)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("%s: makespan %.6f (%.2fx lower bound) -> %s\n",
+			paths[i], o.Result.Makespan, o.Result.Makespan/o.Result.LowerBound, outPath)
+	}
+	solved := len(outs) - failed
+	effWorkers := pool.Workers()
+	if len(ins) < effWorkers {
+		effWorkers = len(ins)
+	}
+	fmt.Printf("solved %d/%d instances in %s on %d workers (%.1f instances/s)\n",
+		solved, len(outs), elapsed, effWorkers,
+		float64(solved)/elapsed.Seconds())
+	if failed > 0 {
+		return fmt.Errorf("%d instance(s) failed", failed)
+	}
+	return nil
+}
+
+// batchInputs lists the instance JSONs of dir in sorted order, skipping
+// schedule outputs from earlier batch runs. The directory is read
+// literally (no glob interpretation), so metacharacters in its name are
+// fine.
+func batchInputs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".schedule.json") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	sort.Strings(paths)
+	return paths, nil
 }
 
 func run(algo string, eps float64, inPath, outPath string, verbose bool) error {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-ex all|F1|F2|F3|T1|T2|L1|L6|L7|L8|L9|L11|B1|A1] [-quick] [-seeds N]
+//	experiments [-ex all|F1|F2|F3|T1|T2|S1|L1|L6|L7|L8|L9|L11|B1|A1] [-quick] [-seeds N]
 //
 // Output is GitHub-flavoured markdown on stdout, suitable for pasting
 // into EXPERIMENTS.md.

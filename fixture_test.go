@@ -13,6 +13,12 @@ import (
 // end: read a committed instance, solve it, serialize the schedule, and
 // check the decoded statistics agree — the workflow of cmd/benchgen +
 // cmd/bagsched.
+//
+// The fixture is deterministic (workload generators are seeded);
+// regenerate it with:
+//
+//	go run ./cmd/benchgen -family bimodal -machines 6 -jobs 24 -bags 8 \
+//	    -out testdata/bimodal_m6_n24.json
 func TestFixtureRoundTrip(t *testing.T) {
 	f, err := os.Open(filepath.Join("testdata", "bimodal_m6_n24.json"))
 	if err != nil {

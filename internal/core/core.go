@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/cfgmilp"
@@ -49,6 +50,20 @@ type Options struct {
 	// BPrimeOverride caps the Definition 2 priority constant b'; see
 	// classify.Options.BPrimeOverride.
 	BPrimeOverride int
+	// Speculate controls speculative parallel guess evaluation in the
+	// binary search. 1 evaluates guesses strictly sequentially; any
+	// larger value (all treated alike) evaluates the current midpoint
+	// and its two possible successor midpoints concurrently (up to
+	// three live pipelines per round). 0 picks automatically:
+	// speculative when more than one CPU is available. Speculation is
+	// result-transparent — the consumed guess sequence, Stats and the
+	// accepted schedule are bit-for-bit identical to the sequential
+	// search — provided per-guess outcomes are load-independent, i.e.
+	// the MILP's deterministic node budget rather than its wall-clock
+	// backstop (Options.MILP.TimeLimit) is what binds; a solve close
+	// enough to the time limit can flip a guess under CPU contention,
+	// sequentially or not.
+	Speculate int
 }
 
 // Stats aggregates work over the whole binary search.
@@ -124,15 +139,36 @@ func Solve(in *sched.Instance, opt Options) (*Result, error) {
 		return res, nil
 	}
 
-	decision := func(guess float64) (*sched.Schedule, bool) {
-		s := decideOnce(in, guess, opt, &res.Stats)
-		if s == nil {
-			res.Stats.FailedGuesses++
-			return nil, false
+	var search round.SearchResult
+	if speculative(opt) {
+		// Evaluate pipelines for several candidate guesses concurrently.
+		// eval is pure; all Stats mutation happens in commit, which the
+		// search invokes in deterministic sequential order for consumed
+		// guesses only (discarded speculative pipelines never report).
+		eval := func(guess float64, cancel <-chan struct{}) (*PipelineResult, bool) {
+			pr, err := runPipeline(in, guess, opt, cancel)
+			return pr, err == nil
 		}
-		return s, true
+		commit := func(_ float64, pr *PipelineResult, ok bool) *sched.Schedule {
+			if !ok {
+				res.Stats.FailedGuesses++
+				return nil
+			}
+			res.Stats.absorb(pr)
+			return pr.Final
+		}
+		search = round.SearchSpec(lb, ub, opt.Eps*lb/4, opt.MaxGuesses, eval, commit)
+	} else {
+		decision := func(guess float64) (*sched.Schedule, bool) {
+			s := decideOnce(in, guess, opt, &res.Stats)
+			if s == nil {
+				res.Stats.FailedGuesses++
+				return nil, false
+			}
+			return s, true
+		}
+		search = round.Search(lb, ub, opt.Eps*lb/4, opt.MaxGuesses, decision)
 	}
-	search := round.Search(lb, ub, opt.Eps*lb/4, opt.MaxGuesses, decision)
 	res.Stats.Guesses = search.Guesses
 
 	if search.Schedule == nil || ub < search.Makespan {
@@ -187,20 +223,38 @@ type PipelineResult struct {
 // priority bags means more anonymous X slots, a smaller pattern space,
 // and more work for the Lemma 7/11 repairs) before giving up.
 func RunPipeline(in *sched.Instance, guess float64, opt Options) (*PipelineResult, error) {
+	return runPipeline(in, guess, opt, nil)
+}
+
+// errCanceled marks a speculative pipeline abandoned by the search.
+var errCanceled = errors.New("pipeline canceled")
+
+// runPipeline is RunPipeline with an optional cancellation channel:
+// closing cancel aborts the pipeline (between ladder attempts, between
+// pipeline stages and, via milp.Options.Cancel, inside the
+// branch-and-bound loop) so abandoned speculative evaluations stop
+// burning CPU.
+func runPipeline(in *sched.Instance, guess float64, opt Options, cancel <-chan struct{}) (*PipelineResult, error) {
 	caps := []int{opt.BPrimeOverride}
 	if opt.BPrimeOverride == 0 && !opt.AllPriority {
 		caps = []int{0, 4, 2, 1}
 	}
 	var lastErr error
 	for i, bp := range caps {
-		// Non-final ladder attempts get a short solver budget: if the
-		// theoretical priority constant makes the MILP expensive, a
-		// smaller cap is almost always the faster route.
-		budget := time.Duration(0)
-		if i < len(caps)-1 && len(caps) > 1 {
-			budget = 400 * time.Millisecond
+		if canceled(cancel) {
+			return nil, errCanceled
 		}
-		pr, err := runPipelineWithCap(in, guess, opt, bp, budget)
+		// Non-final ladder attempts get a short node budget: if the
+		// theoretical priority constant makes the MILP expensive, a
+		// smaller cap is almost always the faster route. The budget is a
+		// node count, not wall-clock, so which rung succeeds does not
+		// depend on machine load — per-guess outcomes (and hence the
+		// whole search) stay deterministic under concurrency.
+		nodeBudget := 0
+		if i < len(caps)-1 && len(caps) > 1 {
+			nodeBudget = ladderNodeBudget
+		}
+		pr, err := runPipelineWithCap(in, guess, opt, bp, nodeBudget, cancel)
 		if err == nil {
 			return pr, nil
 		}
@@ -228,7 +282,27 @@ func retryWithSmallerCap(err error) bool {
 // its node or time budget rather than proving infeasibility.
 var errMILPLimit = errors.New("MILP resource limit")
 
-func runPipelineWithCap(in *sched.Instance, guess float64, opt Options, bprime int, timeBudget time.Duration) (*PipelineResult, error) {
+// canceled reports whether the cancellation channel is closed; a nil
+// channel never cancels.
+func canceled(cancel <-chan struct{}) bool {
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// ladderNodeBudget bounds branch-and-bound nodes on non-final ladder
+// attempts. Feasibility models are usually solved at the root or after a
+// few dives, so this is generous for a rung that is going to succeed,
+// while keeping a rung that would blow up cheap to abandon. Unlike a
+// wall-clock budget it is load-independent, at the cost of a larger
+// worst case: a rung whose individual nodes are slow now runs until the
+// node budget or the MILP TimeLimit backstop, whichever comes first.
+const ladderNodeBudget = 150
+
+func runPipelineWithCap(in *sched.Instance, guess float64, opt Options, bprime int, nodeBudget int, cancel <-chan struct{}) (*PipelineResult, error) {
 	pr := &PipelineResult{Guess: guess}
 	pr.Scaled, _ = round.ScaleRound(in, guess, opt.Eps)
 	info, err := classify.Classify(pr.Scaled, opt.Eps, classify.Options{
@@ -254,11 +328,21 @@ func runPipelineWithCap(in *sched.Instance, guess float64, opt Options, bprime i
 		prio = pr.Transformed.Priority
 	}
 
-	sp, err := pattern.Enumerate(tInst, info, prio, pattern.Options{Limit: opt.PatternLimit})
+	if canceled(cancel) {
+		return nil, errCanceled
+	}
+	patOpt := pattern.Options{Limit: opt.PatternLimit}
+	if cancel != nil {
+		patOpt.Cancel = func() bool { return canceled(cancel) }
+	}
+	sp, err := pattern.Enumerate(tInst, info, prio, patOpt)
 	if err != nil {
 		return nil, err
 	}
 	pr.Space = sp
+	if canceled(cancel) {
+		return nil, errCanceled
+	}
 	built, err := cfgmilp.Build(tInst, info, prio, sp, opt.Mode)
 	if err != nil {
 		return nil, err
@@ -275,11 +359,21 @@ func runPipelineWithCap(in *sched.Instance, guess float64, opt Options, bprime i
 	if milpOpt.TimeLimit <= 0 {
 		// A guess that cannot be decided quickly is treated as rejected;
 		// the binary search then moves on. This bounds the worst case on
-		// pathologically large pattern spaces.
+		// pathologically large pattern spaces. The node budgets above and
+		// below are what normally bind — this wall-clock backstop is the
+		// only load-dependent limit in the pipeline.
 		milpOpt.TimeLimit = 2 * time.Second
 	}
-	if timeBudget > 0 && timeBudget < milpOpt.TimeLimit {
-		milpOpt.TimeLimit = timeBudget
+	if nodeBudget > 0 && nodeBudget < milpOpt.MaxNodes {
+		milpOpt.MaxNodes = nodeBudget
+	}
+	if cancel != nil {
+		// Chain with any caller-supplied cancel predicate rather than
+		// replacing it.
+		user := milpOpt.Cancel
+		milpOpt.Cancel = func() bool {
+			return canceled(cancel) || (user != nil && user())
+		}
 	}
 	sol, err := milp.Solve(built.Model, milpOpt)
 	if err != nil {
@@ -291,6 +385,9 @@ func runPipelineWithCap(in *sched.Instance, guess float64, opt Options, bprime i
 	}
 	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
 		return nil, fmt.Errorf("eptas: MILP %s at guess %g", sol.Status, guess)
+	}
+	if canceled(cancel) {
+		return nil, errCanceled
 	}
 	plan := built.Decode(sol)
 	placed, pstats, err := placer.Place(placer.Input{
@@ -326,6 +423,32 @@ func runPipelineWithCap(in *sched.Instance, guess float64, opt Options, bprime i
 	return pr, nil
 }
 
+// speculative reports whether opt asks for speculative parallel guess
+// evaluation; the 0 default enables it whenever a second CPU exists.
+func speculative(opt Options) bool {
+	if opt.Speculate == 0 {
+		return runtime.GOMAXPROCS(0) > 1
+	}
+	return opt.Speculate > 1
+}
+
+// absorb accumulates the per-guess statistics of one accepted pipeline,
+// exactly as the sequential search does: node counts add up, the
+// remaining fields describe the last accepted guess.
+func (s *Stats) absorb(pr *PipelineResult) {
+	s.MILPNodes += pr.MILPNodes
+	s.Patterns = len(pr.Space.Patterns)
+	s.IntegerVars = pr.IntegerVars
+	s.K, s.Q, s.BPrime = pr.Info.K, pr.Info.Q, pr.Info.BPrime
+	prio := pr.Info.Priority
+	if pr.Transformed != nil {
+		prio = pr.Transformed.Priority
+	}
+	s.PriorityBags = countTrue(prio)
+	s.Place = pr.PlaceStats
+	s.Lift = pr.LiftStats
+}
+
 // decideOnce runs the per-guess pipeline; a nil result means the guess
 // was rejected.
 func decideOnce(in *sched.Instance, guess float64, opt Options, stats *Stats) *sched.Schedule {
@@ -333,17 +456,7 @@ func decideOnce(in *sched.Instance, guess float64, opt Options, stats *Stats) *s
 	if err != nil {
 		return nil
 	}
-	stats.MILPNodes += pr.MILPNodes
-	stats.Patterns = len(pr.Space.Patterns)
-	stats.IntegerVars = pr.IntegerVars
-	stats.K, stats.Q, stats.BPrime = pr.Info.K, pr.Info.Q, pr.Info.BPrime
-	prio := pr.Info.Priority
-	if pr.Transformed != nil {
-		prio = pr.Transformed.Priority
-	}
-	stats.PriorityBags = countTrue(prio)
-	stats.Place = pr.PlaceStats
-	stats.Lift = pr.LiftStats
+	stats.absorb(pr)
 	return pr.Final
 }
 

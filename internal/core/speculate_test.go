@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSpeculativeSolveMatchesSequential checks the tentpole determinism
+// guarantee: speculative parallel guess evaluation must be
+// result-transparent — makespan, schedule and every Stats field identical
+// to the strictly sequential search, for every workload family.
+func TestSpeculativeSolveMatchesSequential(t *testing.T) {
+	for _, fam := range workload.Families() {
+		for _, eps := range []float64{0.75, 0.5} {
+			in := workload.MustGenerate(workload.Spec{
+				Family: fam, Machines: 4, Jobs: 18, Bags: 6, Seed: 7,
+			})
+			seq, err := Solve(in, Options{Eps: eps, Speculate: 1})
+			if err != nil {
+				t.Fatalf("%s eps=%g sequential: %v", fam, eps, err)
+			}
+			spec, err := Solve(in, Options{Eps: eps, Speculate: 3})
+			if err != nil {
+				t.Fatalf("%s eps=%g speculative: %v", fam, eps, err)
+			}
+			if spec.Makespan != seq.Makespan {
+				t.Errorf("%s eps=%g: makespan %v (speculative) != %v (sequential)",
+					fam, eps, spec.Makespan, seq.Makespan)
+			}
+			if spec.Stats != seq.Stats {
+				t.Errorf("%s eps=%g: stats diverge:\nspec %+v\nseq  %+v",
+					fam, eps, spec.Stats, seq.Stats)
+			}
+			if len(spec.Schedule.Machine) != len(seq.Schedule.Machine) {
+				t.Fatalf("%s eps=%g: schedule lengths differ", fam, eps)
+			}
+			for j := range spec.Schedule.Machine {
+				if spec.Schedule.Machine[j] != seq.Schedule.Machine[j] {
+					t.Errorf("%s eps=%g: job %d on machine %d (speculative) vs %d (sequential)",
+						fam, eps, j, spec.Schedule.Machine[j], seq.Schedule.Machine[j])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSpeculativeDefault checks the Speculate knob's auto/explicit
+// interpretation.
+func TestSpeculativeDefault(t *testing.T) {
+	if speculative(Options{Speculate: 1}) {
+		t.Error("Speculate=1 must force the sequential search")
+	}
+	if !speculative(Options{Speculate: 2}) || !speculative(Options{Speculate: 4}) {
+		t.Error("Speculate>1 must enable speculation")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("S1", runS1)
+}
+
+// runS1 measures batch-solving throughput against the worker count: a
+// fleet of bimodal instances (the EX-T2 family) is solved sequentially
+// and on pools of growing size, reporting wall-clock, speedup and
+// per-core throughput, and verifying that every per-instance makespan is
+// identical to the sequential path.
+func runS1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "S1",
+		Title:  "Batch-solving throughput per worker count",
+		Claim:  "independent EPTAS solves parallelize across cores with no change to any result (the dual-approximation search is pure per instance)",
+		Header: []string{"workers", "instances", "wall", "speedup", "inst/s", "inst/s/worker", "deterministic"},
+	}
+	n := 32
+	if cfg.Quick {
+		n = 8
+	}
+	tasks := make([]batch.Task, n)
+	for i := range tasks {
+		in, err := workload.Generate(workload.Spec{
+			Family: workload.Bimodal, Machines: 6, Jobs: 24, Bags: 8, Seed: int64(500 + i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = batch.Task{Instance: in, Options: core.Options{Eps: 0.5, Speculate: 1}}
+	}
+
+	// Sequential reference: one worker, strictly ordered.
+	baseStart := time.Now()
+	base := batch.NewPool(1).Solve(tasks)
+	baseWall := time.Since(baseStart).Seconds()
+	for i, o := range base {
+		if o.Err != nil {
+			return nil, fmt.Errorf("S1: sequential instance %d: %w", i, o.Err)
+		}
+	}
+
+	maxW := runtime.GOMAXPROCS(0)
+	var counts []int
+	for w := 2; w < maxW; w *= 2 {
+		counts = append(counts, w)
+	}
+	if maxW > 1 {
+		counts = append(counts, maxW)
+	}
+	// The baseline run doubles as the workers=1 row.
+	addRow := func(w int, wall float64, identical bool) {
+		t.Rows = append(t.Rows, []string{
+			d(w), d(n), ms(wall),
+			fmt.Sprintf("%.2fx", baseWall/wall),
+			fmt.Sprintf("%.1f", float64(n)/wall),
+			fmt.Sprintf("%.1f", float64(n)/wall/float64(w)),
+			yes(identical),
+		})
+	}
+	addRow(1, baseWall, true)
+	for _, w := range counts {
+		start := time.Now()
+		outs := batch.NewPool(w).Solve(tasks)
+		wall := time.Since(start).Seconds()
+		identical := true
+		for i, o := range outs {
+			if o.Err != nil {
+				return nil, fmt.Errorf("S1: workers=%d instance %d: %w", w, i, o.Err)
+			}
+			if o.Result.Makespan != base[i].Result.Makespan {
+				identical = false
+			}
+		}
+		addRow(w, wall, identical)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d. Speedup is relative to the one-worker pool over the same task list; 'deterministic' verifies per-instance makespans are byte-identical across worker counts.", maxW),
+		"In-solve speculation is pinned off (Speculate=1) so the sweep isolates instance-level parallelism.")
+	return t, nil
+}

@@ -64,6 +64,10 @@ type Options struct {
 	MaxNodes int
 	// TimeLimit aborts the search when exceeded. Zero means no limit.
 	TimeLimit time.Duration
+	// Cancel, when non-nil, is polled once per node; returning true
+	// aborts the search like an expired TimeLimit. Used to stop
+	// speculative solves whose result is no longer needed.
+	Cancel func() bool
 	// IntTol is the integrality tolerance. Zero means 1e-6.
 	IntTol float64
 	// LPMaxIters bounds simplex pivots per node. Zero means the lp default.
@@ -157,6 +161,9 @@ func Solve(m *Model, opt Options) (Solution, error) {
 			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		if opt.Cancel != nil && opt.Cancel() {
 			break
 		}
 		nd := heap.Pop(q).(*node)

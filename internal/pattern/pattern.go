@@ -6,6 +6,7 @@
 package pattern
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -102,7 +103,14 @@ type Options struct {
 	// Limit bounds the number of enumerated patterns; zero means
 	// DefaultLimit.
 	Limit int
+	// Cancel, when non-nil, is polled once per emitted pattern;
+	// returning true aborts the enumeration with ErrCanceled. Used to
+	// stop speculative pipelines whose result is no longer needed.
+	Cancel func() bool
 }
+
+// ErrCanceled is returned when Options.Cancel aborted the enumeration.
+var ErrCanceled = errors.New("pattern: enumeration canceled")
 
 // Enumerate builds the pattern space for the transformed instance in,
 // whose bag priority flags are given by prio (length in.NumBags) and
@@ -181,6 +189,10 @@ func Enumerate(in *sched.Instance, info *classify.Info, prio []bool, opt Options
 		emitEr error
 	)
 	emit := func(height float64, jobs int) bool {
+		if opt.Cancel != nil && opt.Cancel() {
+			emitEr = ErrCanceled
+			return false
+		}
 		if len(sp.Patterns) >= limit {
 			emitEr = ErrTooManyPatterns{Limit: limit}
 			return false

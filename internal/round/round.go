@@ -69,12 +69,16 @@ type SearchResult struct {
 	FinalGuess float64
 }
 
+func newSearchResult() SearchResult {
+	return SearchResult{Makespan: math.Inf(1)}
+}
+
 // Search runs dual-approximation binary search for the smallest accepted
 // makespan guess in [lb, ub], stopping when the interval is narrower than
 // step or after maxGuesses decisions. The best schedule over all accepted
 // guesses (by true makespan) is returned.
 func Search(lb, ub, step float64, maxGuesses int, dec Decision) SearchResult {
-	res := SearchResult{Makespan: math.Inf(1)}
+	res := newSearchResult()
 	if maxGuesses <= 0 {
 		maxGuesses = 40
 	}

@@ -1,0 +1,164 @@
+package round
+
+import "repro/internal/sched"
+
+// inflight is one speculative guess evaluation running in its own
+// goroutine. val and ok are written exactly once, before done is closed.
+// Closing cancel tells the evaluation its result will never be consumed,
+// so it may abort early.
+type inflight[T any] struct {
+	guess  float64
+	done   chan struct{}
+	cancel chan struct{}
+	val    T
+	ok     bool
+}
+
+func start[T any](guess float64, eval func(guess float64, cancel <-chan struct{}) (T, bool)) *inflight[T] {
+	f := &inflight[T]{
+		guess:  guess,
+		done:   make(chan struct{}),
+		cancel: make(chan struct{}),
+	}
+	go func() {
+		f.val, f.ok = eval(guess, f.cancel)
+		close(f.done)
+	}()
+	return f
+}
+
+// abandon cancels an evaluation whose result will not be consumed. Nil
+// receivers are allowed (no speculation was launched for that branch).
+func (f *inflight[T]) abandon() {
+	if f != nil {
+		close(f.cancel)
+	}
+}
+
+// drain blocks until every abandoned evaluation has actually returned,
+// so no eval goroutine — which reads the caller's instance — outlives
+// the search.
+func drain[T any](abandoned []*inflight[T]) {
+	for _, f := range abandoned {
+		<-f.done
+	}
+}
+
+// SearchSpec runs the same dual-approximation binary search as Search but
+// evaluates makespan guesses speculatively in parallel. The sequential
+// search's future guesses form a binary tree rooted at the current
+// midpoint: if the midpoint is accepted the next guess is the lower-half
+// midpoint, otherwise the upper-half midpoint. Each round therefore
+// launches the current guess and both possible successors concurrently —
+// up to three live evaluations at a time (two in the opening round,
+// where the first midpoint runs alongside the upper-bound probe), plus
+// any abandoned evaluations still winding down — and abandons the
+// successor on the branch not taken.
+//
+// eval evaluates one guess and must be safe for concurrent use and pure
+// (independent of evaluation order); ok=false means the guess was
+// rejected. When the search abandons a speculative evaluation it closes
+// cancel, after which eval may give up early; its result is discarded
+// either way. commit is invoked exactly once per *consumed* guess, in
+// the precise order the sequential search would have evaluated them, and
+// returns the schedule for accepted guesses (nil rejects the guess).
+// Abandoned evaluations are never committed, so the consumed guess
+// sequence, the commit order and the returned result are all bit-for-bit
+// identical to Search over the equivalent sequential decision, regardless
+// of completion order of the concurrent evaluations. Before returning,
+// SearchSpec waits for every abandoned evaluation to wind down, so no
+// eval goroutine outlives the call.
+func SearchSpec[T any](lb, ub, step float64, maxGuesses int,
+	eval func(guess float64, cancel <-chan struct{}) (T, bool),
+	commit func(guess float64, v T, ok bool) *sched.Schedule,
+) SearchResult {
+	res := newSearchResult()
+	if maxGuesses <= 0 {
+		maxGuesses = 40
+	}
+	if step <= 0 {
+		step = 1e-9
+	}
+	lo, hi := lb, ub
+
+	// Abandoned evaluations are cancelled immediately but drained only at
+	// return, so they wind down concurrently with the remaining rounds.
+	var abandoned []*inflight[T]
+	discard := func(f *inflight[T]) {
+		if f != nil {
+			f.abandon()
+			abandoned = append(abandoned, f)
+		}
+	}
+	defer func() { drain(abandoned) }()
+
+	consume := func(f *inflight[T]) bool {
+		<-f.done
+		s := commit(f.guess, f.val, f.ok)
+		res.Guesses++
+		if f.ok && s != nil {
+			if ms := s.Makespan(); ms < res.Makespan {
+				res.Schedule, res.Makespan, res.FinalGuess = s, ms, f.guess
+			}
+			return true
+		}
+		return false
+	}
+
+	// Probe the upper bound first (it supplies the fallback schedule) and
+	// speculate on the first midpoint while it runs: consuming the probe
+	// never narrows the interval, so the midpoint is consumed next
+	// whenever the loop runs at all.
+	probe := start(hi, eval)
+	var next *inflight[T]
+	if hi-lo > step && maxGuesses > 1 {
+		next = start((lo+hi)/2, eval)
+	}
+	consume(probe)
+
+	for hi-lo > step && res.Guesses < maxGuesses {
+		mid := (lo + hi) / 2
+		cur := next
+		next = nil
+		if cur == nil || cur.guess != mid {
+			discard(cur)
+			cur = start(mid, eval)
+		}
+		// Launch both possible successors while cur evaluates — unless
+		// cur has already finished, in which case its branch is known
+		// the moment we consume it and the next iteration starts the
+		// right midpoint directly; speculating would only create an
+		// instantly-abandoned pipeline. The guards mirror the loop
+		// conditions at the next iteration ((lo+mid)/2 and (mid+hi)/2
+		// are the exact midpoints the halved intervals produce), so a
+		// successor is only skipped when the loop could not consume it
+		// anyway.
+		var onAccept, onReject *inflight[T]
+		curDone := false
+		select {
+		case <-cur.done:
+			curDone = true
+		default:
+		}
+		if !curDone && res.Guesses+1 < maxGuesses {
+			if mid-lo > step {
+				onAccept = start((lo+mid)/2, eval)
+			}
+			if hi-mid > step {
+				onReject = start((mid+hi)/2, eval)
+			}
+		}
+		if consume(cur) {
+			hi = mid
+			next = onAccept
+			discard(onReject)
+		} else {
+			lo = mid
+			next = onReject
+			discard(onAccept)
+		}
+	}
+	// A successor speculated for an iteration that never ran.
+	discard(next)
+	return res
+}

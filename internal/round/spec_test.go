@@ -1,0 +1,203 @@
+package round
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// guessSchedule builds a fresh one-job schedule whose makespan equals ms,
+// letting tests control the makespan the search observes per guess.
+func guessSchedule(ms float64) *sched.Schedule {
+	in := sched.NewInstance(1)
+	in.AddJob(ms, 0)
+	return &sched.Schedule{Inst: in, Machine: []int{0}}
+}
+
+// searchPair runs Search and SearchSpec over the same accept predicate
+// and records the committed guess order of each.
+func searchPair(t *testing.T, lb, ub, step float64, maxGuesses int, accept func(float64) bool) (seq, spec SearchResult, seqOrder, specOrder []float64) {
+	t.Helper()
+	dec := func(g float64) (*sched.Schedule, bool) {
+		seqOrder = append(seqOrder, g)
+		if accept(g) {
+			return guessSchedule(g), true
+		}
+		return nil, false
+	}
+	seq = Search(lb, ub, step, maxGuesses, dec)
+
+	var mu sync.Mutex
+	eval := func(g float64, _ <-chan struct{}) (float64, bool) { return g, accept(g) }
+	commit := func(g float64, v float64, ok bool) *sched.Schedule {
+		mu.Lock()
+		specOrder = append(specOrder, g)
+		mu.Unlock()
+		if !ok {
+			return nil
+		}
+		return guessSchedule(v)
+	}
+	spec = SearchSpec(lb, ub, step, maxGuesses, eval, commit)
+	return seq, spec, seqOrder, specOrder
+}
+
+func checkIdentical(t *testing.T, seq, spec SearchResult, seqOrder, specOrder []float64) {
+	t.Helper()
+	if seq.Guesses != spec.Guesses {
+		t.Errorf("guess counts differ: seq=%d spec=%d", seq.Guesses, spec.Guesses)
+	}
+	if seq.FinalGuess != spec.FinalGuess {
+		t.Errorf("final guesses differ: seq=%v spec=%v", seq.FinalGuess, spec.FinalGuess)
+	}
+	if (seq.Schedule == nil) != (spec.Schedule == nil) {
+		t.Fatalf("schedule presence differs: seq=%v spec=%v", seq.Schedule != nil, spec.Schedule != nil)
+	}
+	if seq.Schedule != nil && seq.Makespan != spec.Makespan {
+		t.Errorf("makespans differ: seq=%v spec=%v", seq.Makespan, spec.Makespan)
+	}
+	if len(seqOrder) != len(specOrder) {
+		t.Fatalf("commit orders differ in length: seq=%v spec=%v", seqOrder, specOrder)
+	}
+	for i := range seqOrder {
+		if seqOrder[i] != specOrder[i] {
+			t.Fatalf("commit order diverges at %d: seq=%v spec=%v", i, seqOrder, specOrder)
+		}
+	}
+}
+
+// TestSearchSpecMatchesSequential checks that the speculative search
+// consumes the exact guess sequence of the sequential search — same
+// guesses, same order, same result — across thresholds that exercise
+// accept-heavy, reject-heavy and mixed paths.
+func TestSearchSpecMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		lb, ub    float64
+		step      float64
+		maxG      int
+		threshold float64
+	}{
+		{"accept-all", 1, 2, 1e-6, 40, 0},
+		{"reject-below-mid", 1, 2, 1e-6, 40, 1.5},
+		{"accept-high-only", 1, 2, 1e-6, 40, 1.97},
+		{"tight-threshold", 1, 2, 1e-6, 40, 1.2345},
+		{"few-guesses", 1, 2, 1e-6, 3, 1.3},
+		{"two-guesses", 1, 2, 1e-6, 2, 1.3},
+		{"one-guess", 1, 2, 1e-6, 1, 1.3},
+		{"wide-step", 1, 2, 0.3, 40, 1.4},
+		{"degenerate-interval", 1.5, 1.5, 1e-6, 40, 1.0},
+		{"default-params", 1, 8, 0, 0, 3.21},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			accept := func(g float64) bool { return g >= tc.threshold }
+			seq, spec, so, po := searchPair(t, tc.lb, tc.ub, tc.step, tc.maxG, accept)
+			checkIdentical(t, seq, spec, so, po)
+		})
+	}
+}
+
+// TestSearchSpecRejectAll checks the no-accepted-guess path: both
+// searches report a nil schedule and +Inf makespan.
+func TestSearchSpecRejectAll(t *testing.T) {
+	seq, spec, so, po := searchPair(t, 1, 2, 1e-6, 10, func(float64) bool { return false })
+	checkIdentical(t, seq, spec, so, po)
+	if spec.Schedule != nil || !math.IsInf(spec.Makespan, 1) {
+		t.Errorf("reject-all produced a schedule: %+v", spec)
+	}
+}
+
+// TestSearchSpecCommitSeesValue checks that commit receives the value the
+// concurrent eval produced for that exact guess.
+func TestSearchSpecCommitSeesValue(t *testing.T) {
+	eval := func(g float64, _ <-chan struct{}) (float64, bool) { return 3 * g, true }
+	commit := func(g float64, v float64, ok bool) *sched.Schedule {
+		if v != 3*g {
+			t.Errorf("commit for guess %v got value %v, want %v", g, v, 3*g)
+		}
+		if !ok {
+			return nil
+		}
+		return guessSchedule(g)
+	}
+	res := SearchSpec(1, 2, 1e-3, 20, eval, commit)
+	if res.Schedule == nil {
+		t.Fatal("no schedule from accept-all search")
+	}
+}
+
+// TestSearchSpecDrainsAbandoned checks that no eval goroutine outlives
+// SearchSpec: abandoned evaluations are cancelled and awaited before the
+// search returns, even when they are slow to notice the cancellation.
+func TestSearchSpecDrainsAbandoned(t *testing.T) {
+	var active atomic.Int32
+	eval := func(g float64, cancel <-chan struct{}) (float64, bool) {
+		active.Add(1)
+		defer active.Add(-1)
+		select {
+		case <-cancel:
+		case <-time.After(2 * time.Millisecond):
+		}
+		return g, g >= 1.5
+	}
+	commit := func(g float64, v float64, ok bool) *sched.Schedule {
+		if !ok {
+			return nil
+		}
+		return guessSchedule(v)
+	}
+	res := SearchSpec(1, 2, 1e-3, 20, eval, commit)
+	if res.Schedule == nil {
+		t.Fatal("no schedule")
+	}
+	if n := active.Load(); n != 0 {
+		t.Errorf("%d eval goroutines still running after SearchSpec returned", n)
+	}
+}
+
+// TestSearchSpecAbandonsLosers checks that every speculative evaluation
+// is either committed or canceled — no evaluation is silently left
+// running after the search returns.
+func TestSearchSpecAbandonsLosers(t *testing.T) {
+	var mu sync.Mutex
+	committed := map[float64]bool{}
+	cancels := map[float64]<-chan struct{}{}
+	eval := func(g float64, cancel <-chan struct{}) (float64, bool) {
+		mu.Lock()
+		cancels[g] = cancel
+		mu.Unlock()
+		return g, g >= 1.3
+	}
+	commit := func(g float64, v float64, ok bool) *sched.Schedule {
+		mu.Lock()
+		committed[g] = true
+		mu.Unlock()
+		if !ok {
+			return nil
+		}
+		return guessSchedule(v)
+	}
+	res := SearchSpec(1, 2, 1e-2, 40, eval, commit)
+	if res.Schedule == nil {
+		t.Fatal("no schedule")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for g, cancel := range cancels {
+		if committed[g] {
+			continue
+		}
+		select {
+		case <-cancel:
+		default:
+			t.Errorf("speculative eval of guess %v was neither committed nor canceled", g)
+		}
+	}
+	if len(cancels) <= len(committed) {
+		t.Logf("note: every eval was consumed (%d evals, %d commits)", len(cancels), len(committed))
+	}
+}
