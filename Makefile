@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench bench-smoke bench-json ci
 
 all: ci
 
@@ -19,5 +19,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
+# bench-smoke runs every benchmark exactly once so CI notices when a
+# benchmark rots (fails to compile or crashes) without paying for real
+# measurements.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# bench-json snapshots the EPTAS hot-path benchmarks to BENCH_<date>.json,
+# extending the performance trajectory. See cmd/benchjson.
+bench-json:
+	$(GO) run ./cmd/benchjson
+
 # ci is what .github/workflows/ci.yml runs.
-ci: vet build race
+ci: vet build race bench-smoke

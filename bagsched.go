@@ -50,9 +50,19 @@
 //	    if o.Err != nil { ... }
 //	    fmt.Println(i, o.Result.Makespan)
 //	}
+//
+// # Cancellation
+//
+// Every solver entry point has a Context variant (SolveEPTASContext,
+// SolveBatchContext, Pool.SolveEPTASContext, SolveDasWieseContext).
+// Cancellation reaches every layer — between binary-search guesses,
+// between pipeline stages, inside pattern enumeration and inside the
+// MILP branch-and-bound loop — so a canceled or expired context aborts
+// a solve promptly with ctx.Err().
 package bagsched
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/baselines"
@@ -150,11 +160,30 @@ func WithSpeculation(n int) Option {
 	return func(o *core.Options) { o.Speculate = n }
 }
 
+// WithMemo toggles the cross-guess memoization of the per-guess pipeline
+// (default on). Geometric rounding collapses adjacent makespan guesses
+// into equivalence classes, and the solver decides each class once;
+// results are bit-for-bit identical with the memo on or off — disabling
+// it only repeats work (kept for tests and ablation experiments). See
+// Stats.CacheHits.
+func WithMemo(on bool) Option {
+	return func(o *core.Options) { o.DisableMemo = !on }
+}
+
 // SolveEPTAS schedules in with the EPTAS at accuracy eps in (0,1). The
 // result is always a feasible schedule; its makespan is within 1+O(eps)
 // of optimal.
 func SolveEPTAS(in *Instance, eps float64, opts ...Option) (*Result, error) {
-	return core.Solve(in, buildOptions(eps, opts))
+	return SolveEPTASContext(context.Background(), in, eps, opts...)
+}
+
+// SolveEPTASContext is SolveEPTAS under a context. Cancellation reaches
+// every layer of the solver — between binary-search guesses, between
+// pipeline stages, inside pattern enumeration and inside the MILP
+// branch-and-bound loop — so a canceled or expired context aborts the
+// solve promptly and returns ctx.Err().
+func SolveEPTASContext(ctx context.Context, in *Instance, eps float64, opts ...Option) (*Result, error) {
+	return core.SolveContext(ctx, in, buildOptions(eps, opts))
 }
 
 func buildOptions(eps float64, opts []Option) core.Options {
@@ -187,11 +216,19 @@ func (p *Pool) Workers() int { return p.inner.Workers() }
 // instance (see WithSpeculation for the wall-clock caveat that bounds
 // this guarantee).
 func (p *Pool) SolveEPTAS(ins []*Instance, eps float64, opts ...Option) []BatchOutcome {
+	return p.SolveEPTASContext(context.Background(), ins, eps, opts...)
+}
+
+// SolveEPTASContext is Pool.SolveEPTAS under a context shared by the
+// whole batch: when it is canceled or expires, unfinished solves abort
+// promptly (their Outcome.Err is ctx.Err()) while finished outcomes are
+// kept, so a deadline caps the batch's wall-clock time.
+func (p *Pool) SolveEPTASContext(ctx context.Context, ins []*Instance, eps float64, opts ...Option) []BatchOutcome {
 	tasks := make([]batch.Task, len(ins))
 	for i, in := range ins {
 		tasks[i] = batch.Task{Instance: in, Options: buildOptions(eps, opts)}
 	}
-	return p.inner.Solve(tasks)
+	return p.inner.SolveContext(ctx, tasks)
 }
 
 // SolveBatch solves every instance with the EPTAS at accuracy eps on a
@@ -200,11 +237,23 @@ func SolveBatch(ins []*Instance, eps float64, opts ...Option) []BatchOutcome {
 	return NewPool(0).SolveEPTAS(ins, eps, opts...)
 }
 
+// SolveBatchContext is SolveBatch under a context; see
+// Pool.SolveEPTASContext.
+func SolveBatchContext(ctx context.Context, ins []*Instance, eps float64, opts ...Option) []BatchOutcome {
+	return NewPool(0).SolveEPTASContext(ctx, ins, eps, opts...)
+}
+
 // SolveDasWiese schedules in with the configuration-program scheme with
 // every bag treated as priority (no instance transformation) — the
 // PTAS-style approach whose cost grows with the number of bags.
 func SolveDasWiese(in *Instance, eps float64) (*Result, error) {
 	return baselines.DasWieseConfig(in, eps)
+}
+
+// SolveDasWieseContext is SolveDasWiese under a context; a canceled or
+// expired context aborts the solve and returns ctx.Err().
+func SolveDasWieseContext(ctx context.Context, in *Instance, eps float64) (*Result, error) {
+	return baselines.DasWieseConfigContext(ctx, in, eps)
 }
 
 // SolveBagLPT schedules in with the paper's bag-LPT heuristic.

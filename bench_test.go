@@ -7,6 +7,7 @@ package bagsched
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
 	"testing"
 
 	"repro/internal/baselines"
@@ -164,7 +165,7 @@ func benchPatternEnum(b *testing.B, eps float64) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sp, err := pattern.Enumerate(tr.Inst, info, tr.Priority, pattern.Options{Limit: 2_000_000})
+		sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{Limit: 2_000_000})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -333,7 +334,7 @@ func BenchmarkMILPKnapsack(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := milp.Solve(m, milp.Options{}); err != nil {
+		if _, err := milp.Solve(context.Background(), m, milp.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

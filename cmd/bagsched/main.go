@@ -4,13 +4,19 @@
 // Usage:
 //
 //	bagsched [-algo eptas|baglpt|lpt|greedy|roundrobin|exact|daswiese]
-//	         [-eps 0.5] [-in instance.json] [-out schedule.json] [-v]
-//	bagsched -batch dir [-eps 0.5] [-workers N]
+//	         [-eps 0.5] [-in instance.json] [-out schedule.json]
+//	         [-timeout 30s] [-v]
+//	bagsched -batch dir [-eps 0.5] [-workers N] [-timeout 5m]
 //
 // In batch mode every instance JSON in dir (files matching *.json,
 // excluding earlier *.schedule.json outputs) is solved with the EPTAS on
 // a worker pool, and each schedule is written alongside its instance as
 // <name>.schedule.json.
+//
+// -timeout bounds the solver's wall-clock time via context cancellation
+// (eptas and daswiese; in batch mode the deadline covers the whole
+// batch). With -algo eptas, -v additionally prints the per-stage timing
+// and cache report of the pipeline engine.
 //
 // The instance format is:
 //
@@ -19,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	bagsched "repro"
+	"repro/internal/pipeline"
 	"repro/internal/sched"
 )
 
@@ -38,8 +46,16 @@ func main() {
 	outPath := flag.String("out", "", "write the schedule JSON here (default: stdout summary only)")
 	batchDir := flag.String("batch", "", "solve every instance JSON in this directory on a worker pool")
 	workers := flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
-	verbose := flag.Bool("v", false, "print per-machine loads")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this long (eptas/daswiese; 0 = no limit)")
+	verbose := flag.Bool("v", false, "print per-machine loads (and, for eptas, per-stage timing and cache report)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var err error
 	if *batchDir != "" {
@@ -51,12 +67,16 @@ func main() {
 		case *verbose:
 			err = fmt.Errorf("-v is not supported in batch mode")
 		default:
-			err = runBatch(*batchDir, *algo, *eps, *workers)
+			err = runBatch(ctx, *batchDir, *algo, *eps, *workers)
 		}
 	} else if *workers != 0 {
 		err = fmt.Errorf("-workers applies to batch mode only (use -batch)")
 	} else {
-		err = run(*algo, *eps, *inPath, *outPath, *verbose)
+		if *timeout > 0 && *algo != "eptas" && *algo != "daswiese" {
+			err = fmt.Errorf("-timeout supports -algo eptas or daswiese only (got %q; use -algo exact's own limit instead)", *algo)
+		} else {
+			err = run(ctx, *algo, *eps, *inPath, *outPath, *verbose)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bagsched:", err)
@@ -66,7 +86,7 @@ func main() {
 
 // runBatch solves every instance JSON in dir concurrently and writes each
 // schedule alongside its instance.
-func runBatch(dir, algo string, eps float64, workers int) error {
+func runBatch(ctx context.Context, dir, algo string, eps float64, workers int) error {
 	if algo != "eptas" {
 		return fmt.Errorf("batch mode supports -algo eptas only (got %q)", algo)
 	}
@@ -92,7 +112,7 @@ func runBatch(dir, algo string, eps float64, workers int) error {
 
 	pool := bagsched.NewPool(workers)
 	start := time.Now()
-	outs := pool.SolveEPTAS(ins, eps)
+	outs := pool.SolveEPTASContext(ctx, ins, eps)
 	elapsed := time.Since(start)
 
 	failed := 0
@@ -152,7 +172,7 @@ func batchInputs(dir string) ([]string, error) {
 	return paths, nil
 }
 
-func run(algo string, eps float64, inPath, outPath string, verbose bool) error {
+func run(ctx context.Context, algo string, eps float64, inPath, outPath string, verbose bool) error {
 	var in *sched.Instance
 	var err error
 	if inPath == "-" {
@@ -173,7 +193,7 @@ func run(algo string, eps float64, inPath, outPath string, verbose bool) error {
 	var s *sched.Schedule
 	switch algo {
 	case "eptas":
-		res, err := bagsched.SolveEPTAS(in, eps)
+		res, err := bagsched.SolveEPTASContext(ctx, in, eps)
 		if err != nil {
 			return err
 		}
@@ -181,8 +201,11 @@ func run(algo string, eps float64, inPath, outPath string, verbose bool) error {
 		fmt.Printf("lower bound: %.6f\n", res.LowerBound)
 		fmt.Printf("guesses: %d  patterns: %d  milp nodes: %d  fallback: %v\n",
 			res.Stats.Guesses, res.Stats.Patterns, res.Stats.MILPNodes, res.Stats.Fallback)
+		if verbose {
+			printEngineReport(res.Stats)
+		}
 	case "daswiese":
-		res, err := bagsched.SolveDasWiese(in, eps)
+		res, err := bagsched.SolveDasWieseContext(ctx, in, eps)
 		if err != nil {
 			return err
 		}
@@ -234,4 +257,20 @@ func run(algo string, eps float64, inPath, outPath string, verbose bool) error {
 		fmt.Printf("schedule written to %s\n", outPath)
 	}
 	return nil
+}
+
+// printEngineReport prints the per-stage timing and cross-guess cache
+// report of one EPTAS solve.
+func printEngineReport(st bagsched.Stats) {
+	fmt.Printf("pipeline: %d runs over %d guesses\n", st.PipelineRuns, st.Guesses)
+	for _, name := range pipeline.StageNames() {
+		if d, ok := st.StageTime[name]; ok {
+			fmt.Printf("  stage %-9s %12s\n", name, d.Round(time.Microsecond))
+		}
+	}
+	total := st.CacheHits + st.CacheMisses
+	if total > 0 {
+		fmt.Printf("guess cache: %d hits / %d lookups (%.0f%%)\n",
+			st.CacheHits, total, 100*float64(st.CacheHits)/float64(total))
+	}
 }

@@ -1,0 +1,150 @@
+// Command benchjson runs the repository's benchmark suite and writes the
+// results as a JSON snapshot, seeding the performance trajectory: each
+// run produces a BENCH_<date>.json whose ns/op numbers can be diffed
+// against earlier snapshots to catch hot-path regressions.
+//
+// Usage:
+//
+//	benchjson [-bench regexp] [-benchtime 1x] [-count 1] [-out file]
+//
+// By default it runs the EPTAS hot-path benchmarks (the EX suite of
+// bench_test.go) once each and writes BENCH_<YYYY-MM-DD>.json in the
+// current directory. It shells out to "go test -bench", so it needs the
+// go toolchain — the same requirement as building the repo.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// defaultBench selects the EPTAS hot paths: the EX experiment families
+// (BenchmarkExF1, ExT*, ExS*, ExL*, ExB*, ExA* — an uppercase letter
+// after "Ex" keeps BenchmarkExactSolver and other substrate
+// micro-benchmarks out of the default snapshot).
+const defaultBench = "BenchmarkEx[A-Z]"
+
+// Snapshot is the file format of one benchmark run.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// Result is one benchmark line. The allocation fields are always present
+// (-benchmem is always passed), so a genuine 0 B/op survives in the JSON
+// and trajectory diffs can rely on the columns existing.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int     `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"b_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches "BenchmarkName-8  10  123456 ns/op  78 B/op  9 allocs/op"
+// (the -8 GOMAXPROCS suffix and the allocation columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = one iteration per benchmark)")
+	count := flag.Int("count", 1, "go test -count value")
+	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
+	flag.Parse()
+
+	if err := run(*bench, *benchtime, *count, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime string, count int, out string) error {
+	date := time.Now().Format("2006-01-02")
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	cmd := exec.Command("go", "test",
+		"-run", "^$",
+		"-bench", bench,
+		"-benchtime", benchtime,
+		"-count", strconv.Itoa(count),
+		"-benchmem",
+		".")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+
+	snap := Snapshot{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Bench:     bench,
+		BenchTime: benchtime,
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Iters: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			r.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		snap.Results = append(snap.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	if len(snap.Results) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", bench)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(snap)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("wrote %d results to %s\n", len(snap.Results), out)
+	return nil
+}

@@ -1,0 +1,73 @@
+package bagsched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestSolveEPTASContextCancel checks the public cancellation contract: a
+// canceled context aborts the solve from the API entry point all the way
+// into the branch-and-bound loop and surfaces ctx.Err().
+func TestSolveEPTASContextCancel(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 6, Jobs: 24, Bags: 8, Seed: 1,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveEPTASContext(ctx, in, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveEPTASContext returned %v, want context.Canceled", err)
+	}
+
+	// Without cancellation the same call must succeed and match the
+	// context-free entry point.
+	res, err := SolveEPTASContext(context.Background(), in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := SolveEPTAS(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != plain.Makespan {
+		t.Errorf("context and plain solves disagree: %v vs %v", res.Makespan, plain.Makespan)
+	}
+}
+
+// TestSolveBatchContextCancel checks that a canceled context fails every
+// unfinished batch outcome with ctx.Err() instead of hanging or panicking.
+func TestSolveBatchContextCancel(t *testing.T) {
+	var ins []*Instance
+	for seed := int64(1); seed <= 6; seed++ {
+		ins = append(ins, workload.MustGenerate(workload.Spec{
+			Family: workload.Uniform, Machines: 4, Jobs: 16, Bags: 6, Seed: seed,
+		}))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outs := SolveBatchContext(ctx, ins, 0.5)
+	if len(outs) != len(ins) {
+		t.Fatalf("got %d outcomes for %d instances", len(outs), len(ins))
+	}
+	for i, o := range outs {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("outcome %d: err = %v, want context.Canceled", i, o.Err)
+		}
+	}
+}
+
+// TestSolveDasWieseContextCancel covers the remaining public context
+// entry point.
+func TestSolveDasWieseContextCancel(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 4, Jobs: 12, Bags: 4, Seed: 23,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	if _, err := SolveDasWieseContext(ctx, in, 0.5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SolveDasWieseContext returned %v, want context.DeadlineExceeded", err)
+	}
+}

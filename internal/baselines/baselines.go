@@ -14,6 +14,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -84,7 +85,13 @@ func RoundRobin(in *sched.Instance) (*sched.Schedule, error) {
 // the baseline's timing is the sequential algorithm's, comparable with
 // the pinned EPTAS timing experiments and benchmarks.
 func DasWieseConfig(in *sched.Instance, eps float64) (*core.Result, error) {
-	return core.Solve(in, core.Options{Eps: eps, AllPriority: true, Speculate: 1})
+	return DasWieseConfigContext(context.Background(), in, eps)
+}
+
+// DasWieseConfigContext is DasWieseConfig under a context; a canceled or
+// expired context aborts the solve and returns ctx.Err().
+func DasWieseConfigContext(ctx context.Context, in *sched.Instance, eps float64) (*core.Result, error) {
+	return core.SolveContext(ctx, in, core.Options{Eps: eps, AllPriority: true, Speculate: 1})
 }
 
 // ExactOptions tunes the exact solver.

@@ -10,6 +10,7 @@
 package batch
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -60,6 +61,14 @@ func (p *Pool) Workers() int { return p.workers }
 // for the same caveat; on this repo's experiment instances the node
 // budget always binds first).
 func (p *Pool) Solve(tasks []Task) []Outcome {
+	return p.SolveContext(context.Background(), tasks)
+}
+
+// SolveContext is Solve under a context. The context is shared by every
+// task: when it is canceled or expires, unfinished solves abort promptly
+// (their Outcome.Err is ctx.Err()) while already-finished outcomes are
+// kept, so a deadline caps the whole batch's wall-clock time.
+func (p *Pool) SolveContext(ctx context.Context, tasks []Task) []Outcome {
 	out := make([]Outcome, len(tasks))
 	if len(tasks) == 0 {
 		return out
@@ -79,7 +88,7 @@ func (p *Pool) Solve(tasks []Task) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = solveOne(tasks[i], saturated)
+				out[i] = solveOne(ctx, tasks[i], saturated)
 			}
 		}()
 	}
@@ -99,12 +108,12 @@ func (p *Pool) Solve(tasks []Task) []Outcome {
 // keeps the solver's default, so in-solve speculation uses the idle
 // cores. Speculation is result-transparent, so this choice changes
 // throughput only, never results.
-func solveOne(t Task, saturated bool) Outcome {
+func solveOne(ctx context.Context, t Task, saturated bool) Outcome {
 	opt := t.Options
 	if opt.Speculate == 0 && saturated {
 		opt.Speculate = 1
 	}
-	res, err := core.Solve(t.Instance, opt)
+	res, err := core.SolveContext(ctx, t.Instance, opt)
 	if err != nil {
 		return Outcome{Err: err}
 	}

@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -61,8 +62,8 @@ func TestSolveMatchesSequential(t *testing.T) {
 		if got.Result.Makespan != want.Makespan {
 			t.Errorf("task %d: makespan %v (pool) != %v (sequential)", i, got.Result.Makespan, want.Makespan)
 		}
-		if got.Result.Stats != want.Stats {
-			t.Errorf("task %d: stats diverge:\npool %+v\nseq  %+v", i, got.Result.Stats, want.Stats)
+		if !reflect.DeepEqual(got.Result.Stats.Decision(), want.Stats.Decision()) {
+			t.Errorf("task %d: stats diverge:\npool %+v\nseq  %+v", i, got.Result.Stats.Decision(), want.Stats.Decision())
 		}
 		for j := range want.Schedule.Machine {
 			if got.Result.Schedule.Machine[j] != want.Schedule.Machine[j] {

@@ -20,6 +20,7 @@
 package cfgmilp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -89,8 +90,11 @@ type Plan struct {
 }
 
 // Build constructs the MILP for the transformed instance in with bag
-// priority flags prio over the pattern space sp.
-func Build(in *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Space, mode Mode) (*Built, error) {
+// priority flags prio over the pattern space sp. The context is polled
+// between constraint blocks (the per-pattern loops of ModePaper can be
+// large); a canceled or expired ctx aborts the build and returns
+// ctx.Err().
+func Build(ctx context.Context, in *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Space, mode Mode) (*Built, error) {
 	b := &Built{Mode: mode, Space: sp}
 	prob := lp.NewProblem()
 
@@ -140,6 +144,10 @@ func Build(in *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Spa
 		allX[p] = lp.Term{Var: b.XVar[p], Coef: 1}
 	}
 	prob.AddConstraint(allX, lp.EQ, float64(in.Machines))
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// (2) priority coverage: per (priority bag, ML size) enough slots.
 	for _, ks := range bagSizeKeys(mlPrio) {
@@ -205,6 +213,9 @@ func Build(in *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Spa
 		}
 
 	case ModePaper:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b.YVar = make(map[YKey]int)
 		b.ZVar = make(map[[2]int]int)
 		// y variables: per (pattern, priority bag, small size) where the
@@ -250,6 +261,9 @@ func Build(in *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Spa
 			prob.AddConstraint(terms, lp.GE, float64(smallX[si]))
 		}
 		// (4) per-pattern area.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for p := range sp.Patterns {
 			headroom := info.T - sp.Patterns[p].Height
 			if headroom < 0 {

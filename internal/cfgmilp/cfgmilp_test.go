@@ -1,6 +1,7 @@
 package cfgmilp
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/classify"
@@ -27,7 +28,7 @@ func setup(t *testing.T, in *sched.Instance, eps float64, bprime int) (*sched.In
 		t.Fatal(err)
 	}
 	tr := transform.Apply(scaled, info)
-	sp, err := pattern.Enumerate(tr.Inst, info, tr.Priority, pattern.Options{})
+	sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +37,11 @@ func setup(t *testing.T, in *sched.Instance, eps float64, bprime int) (*sched.In
 
 func solvePlan(t *testing.T, tInst *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Space, mode Mode) *Plan {
 	t.Helper()
-	built, err := Build(tInst, info, prio, sp, mode)
+	built, err := Build(context.Background(), tInst, info, prio, sp, mode)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	sol, err := milp.Solve(built.Model, milp.Options{StopAtFirst: true, MaxNodes: 4000})
+	sol, err := milp.Solve(context.Background(), built.Model, milp.Options{StopAtFirst: true, MaxNodes: 4000})
 	if err != nil {
 		t.Fatalf("milp.Solve: %v", err)
 	}
@@ -186,11 +187,11 @@ func TestInfeasibleWhenNoSlotFits(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := transform.Apply(scaled, info)
-	sp, err := pattern.Enumerate(tr.Inst, info, tr.Priority, pattern.Options{})
+	sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Build(tr.Inst, info, tr.Priority, sp, ModeDecomposed)
+	_, err = Build(context.Background(), tr.Inst, info, tr.Priority, sp, ModeDecomposed)
 	if err == nil {
 		t.Fatal("expected structural infeasibility")
 	}
@@ -212,15 +213,15 @@ func TestMILPInfeasibleAtLowGuess(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := transform.Apply(scaled, info)
-	sp, err := pattern.Enumerate(tr.Inst, info, tr.Priority, pattern.Options{})
+	sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	built, err := Build(tr.Inst, info, tr.Priority, sp, ModeDecomposed)
+	built, err := Build(context.Background(), tr.Inst, info, tr.Priority, sp, ModeDecomposed)
 	if err != nil {
 		return // structural infeasibility is also acceptable
 	}
-	sol, err := milp.Solve(built.Model, milp.Options{StopAtFirst: true})
+	sol, err := milp.Solve(context.Background(), built.Model, milp.Options{StopAtFirst: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,14 +251,14 @@ func TestIntegerVarCounts(t *testing.T) {
 		Family: workload.Bimodal, Machines: 4, Jobs: 12, Bags: 6, Seed: 2,
 	})
 	tInst, info, prio, sp := setup(t, in, 0.5, 2)
-	dec, err := Build(tInst, info, prio, sp, ModeDecomposed)
+	dec, err := Build(context.Background(), tInst, info, prio, sp, ModeDecomposed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dec.IntegerVars != len(sp.Patterns) {
 		t.Errorf("decomposed integer vars = %d, want %d", dec.IntegerVars, len(sp.Patterns))
 	}
-	pap, err := Build(tInst, info, prio, sp, ModePaper)
+	pap, err := Build(context.Background(), tInst, info, prio, sp, ModePaper)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,25 +2,25 @@
 // polynomial-time approximation scheme (EPTAS) for machine scheduling
 // with bag-constraints on identical machines (Theorem 1).
 //
-// Solve runs a dual-approximation binary search over makespan guesses; for
-// each guess the pipeline scales and rounds the instance (Section 2),
-// classifies jobs and bags (Lemma 1, Definition 2), applies the instance
-// transformation (Section 2.2), enumerates patterns (Definition 3), solves
-// the configuration MILP (Section 3), places all jobs (Sections 3.1 and 4)
-// and lifts the solution back to the original instance (Lemmas 3 and 4).
+// Solve runs a dual-approximation binary search over makespan guesses;
+// each guess is decided by the staged per-guess pipeline of
+// internal/pipeline (scale → classify → transform → enumerate → MILP →
+// place → lift), driven through one shared pipeline.Engine so that
+// guesses falling into the same geometric-rounding equivalence class are
+// decided once and memoized. Cancellation flows through context.Context
+// from SolveContext down to the branch-and-bound loop.
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"runtime"
 	"time"
 
 	"repro/internal/cfgmilp"
-	"repro/internal/classify"
 	"repro/internal/greedy"
 	"repro/internal/milp"
-	"repro/internal/pattern"
+	"repro/internal/pipeline"
 	"repro/internal/placer"
 	"repro/internal/round"
 	"repro/internal/sched"
@@ -56,17 +56,23 @@ type Options struct {
 	// and its two possible successor midpoints concurrently (up to
 	// three live pipelines per round). 0 picks automatically:
 	// speculative when more than one CPU is available. Speculation is
-	// result-transparent — the consumed guess sequence, Stats and the
-	// accepted schedule are bit-for-bit identical to the sequential
-	// search — provided per-guess outcomes are load-independent, i.e.
-	// the MILP's deterministic node budget rather than its wall-clock
-	// backstop (Options.MILP.TimeLimit) is what binds; a solve close
-	// enough to the time limit can flip a guess under CPU contention,
-	// sequentially or not.
+	// result-transparent — the consumed guess sequence, the accepted
+	// schedule and all decision statistics are bit-for-bit identical to
+	// the sequential search — provided per-guess outcomes are
+	// load-independent, i.e. the MILP's deterministic node budget rather
+	// than its wall-clock backstop (Options.MILP.TimeLimit) is what
+	// binds; a solve close enough to the time limit can flip a guess
+	// under CPU contention, sequentially or not. The cache-hit/miss
+	// split in Stats (but not any result) can also vary under
+	// speculation.
 	Speculate int
+	// DisableMemo turns off the cross-guess memoization of the pipeline
+	// engine. Results are identical with and without the memo (the
+	// differential tests enforce this); disabling it only repeats work.
+	DisableMemo bool
 }
 
-// Stats aggregates work over the whole binary search.
+// Stats describes the EPTAS search effort.
 type Stats struct {
 	// Guesses is the number of makespan guesses tried.
 	Guesses int
@@ -78,7 +84,10 @@ type Stats struct {
 	// IntegerVars is the MILP integer dimension of the last accepted
 	// guess.
 	IntegerVars int
-	// MILPNodes is the total branch-and-bound nodes over all guesses.
+	// MILPNodes is the total branch-and-bound nodes over all accepted
+	// guesses (cache-served guesses count the nodes of the pipeline run
+	// that produced their outcome, so the total matches an unmemoized
+	// search).
 	MILPNodes int
 	// K, Q, BPrime are the classification parameters of the last
 	// accepted guess.
@@ -93,6 +102,32 @@ type Stats struct {
 	// Fallback is true when no guess was accepted and the returned
 	// schedule is the bag-LPT upper bound.
 	Fallback bool
+
+	// PipelineRuns counts full pipeline executions, including rejected
+	// guesses and abandoned speculative evaluations.
+	PipelineRuns int
+	// CacheHits and CacheMisses report the cross-guess memo traffic of
+	// the pipeline engine: a hit is a guess decided without re-running
+	// the pipeline because an earlier guess scaled-rounded to the same
+	// instance. Under speculative evaluation the split can vary between
+	// runs; results never do.
+	CacheHits   int
+	CacheMisses int
+	// StageTime is total wall-clock time per pipeline stage (keyed by
+	// pipeline.StageNames()) over every execution of this solve,
+	// including rejected and abandoned speculative pipelines.
+	StageTime map[string]time.Duration
+}
+
+// Decision returns a copy of s with the engine-level work counters
+// (PipelineRuns, CacheHits, CacheMisses, StageTime) cleared. What remains
+// is determined solely by the consumed guess sequence, so it is
+// bit-for-bit reproducible across sequential, speculative, batched,
+// memoized and unmemoized runs — the determinism tests compare exactly
+// this projection.
+func (s Stats) Decision() Stats {
+	s.PipelineRuns, s.CacheHits, s.CacheMisses, s.StageTime = 0, 0, 0, nil
+	return s
 }
 
 // Result is the outcome of Solve.
@@ -107,8 +142,27 @@ type Result struct {
 	Stats Stats
 }
 
+// PipelineResult exposes every intermediate artifact of one makespan
+// guess; see pipeline.Result.
+type PipelineResult = pipeline.Result
+
 // Solve runs the EPTAS. The input instance is not modified.
 func Solve(in *sched.Instance, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), in, opt)
+}
+
+// SolveContext runs the EPTAS under a context. Cancellation reaches every
+// layer — between binary-search guesses, between pipeline stages, inside
+// pattern enumeration and inside the MILP branch-and-bound loop — so a
+// canceled or expired context aborts the solve promptly and returns
+// ctx.Err().
+func SolveContext(ctx context.Context, in *sched.Instance, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		// An already-dead context aborts before any work — including the
+		// early-return paths (empty instance, provably optimal bag-LPT)
+		// that never reach the search loop's own ctx checks.
+		return nil, err
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,37 +193,40 @@ func Solve(in *sched.Instance, opt Options) (*Result, error) {
 		return res, nil
 	}
 
+	engine := pipeline.New(pipelineConfig(opt))
+	// eval is pure (the engine memo is internally synchronized and
+	// result-transparent); all Stats mutation happens in commit, which
+	// the search invokes in deterministic sequential order for consumed
+	// guesses only (discarded speculative pipelines never report).
+	eval := func(ctx context.Context, guess float64) (*pipeline.Result, bool) {
+		pr, err := engine.Run(ctx, in, guess)
+		return pr, err == nil
+	}
+	commit := func(_ float64, pr *pipeline.Result, ok bool) *sched.Schedule {
+		if !ok {
+			res.Stats.FailedGuesses++
+			return nil
+		}
+		res.Stats.absorb(pr)
+		return pr.Final
+	}
 	var search round.SearchResult
+	step := opt.Eps * lb / 4
 	if speculative(opt) {
-		// Evaluate pipelines for several candidate guesses concurrently.
-		// eval is pure; all Stats mutation happens in commit, which the
-		// search invokes in deterministic sequential order for consumed
-		// guesses only (discarded speculative pipelines never report).
-		eval := func(guess float64, cancel <-chan struct{}) (*PipelineResult, bool) {
-			pr, err := runPipeline(in, guess, opt, cancel)
-			return pr, err == nil
-		}
-		commit := func(_ float64, pr *PipelineResult, ok bool) *sched.Schedule {
-			if !ok {
-				res.Stats.FailedGuesses++
-				return nil
-			}
-			res.Stats.absorb(pr)
-			return pr.Final
-		}
-		search = round.SearchSpec(lb, ub, opt.Eps*lb/4, opt.MaxGuesses, eval, commit)
+		search = round.SearchSpec(ctx, lb, ub, step, opt.MaxGuesses, eval, commit)
 	} else {
-		decision := func(guess float64) (*sched.Schedule, bool) {
-			s := decideOnce(in, guess, opt, &res.Stats)
-			if s == nil {
-				res.Stats.FailedGuesses++
-				return nil, false
-			}
-			return s, true
-		}
-		search = round.Search(lb, ub, opt.Eps*lb/4, opt.MaxGuesses, decision)
+		search = round.SearchSeq(ctx, lb, ub, step, opt.MaxGuesses, eval, commit)
 	}
 	res.Stats.Guesses = search.Guesses
+	m := engine.Metrics()
+	res.Stats.PipelineRuns = m.Runs
+	res.Stats.CacheHits = m.CacheHits
+	res.Stats.CacheMisses = m.CacheMisses
+	res.Stats.StageTime = m.StageTime
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	if search.Schedule == nil || ub < search.Makespan {
 		res.Schedule = ubSched
@@ -182,245 +239,34 @@ func Solve(in *sched.Instance, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// PipelineResult exposes every intermediate artifact of one makespan
-// guess; the experiment suite and tests use it to measure per-lemma
-// quantities (pattern counts, placement heights, repair work).
-type PipelineResult struct {
-	// Guess is the makespan guess the pipeline ran with.
-	Guess float64
-	// Scaled is the instance scaled by 1/Guess and rounded.
-	Scaled *sched.Instance
-	// Info is the classification of Scaled.
-	Info *classify.Info
-	// Transformed is the Section 2.2 transformation, nil in AllPriority
-	// mode.
-	Transformed *transform.Transformed
-	// Space is the enumerated pattern space.
-	Space *pattern.Space
-	// IntegerVars is the MILP's integral dimension.
-	IntegerVars int
-	// MILPNodes is the branch-and-bound node count.
-	MILPNodes int
-	// Placed is the schedule of the transformed (scaled) instance.
-	Placed *sched.Schedule
-	// PlaceStats reports placement repairs.
-	PlaceStats placer.Stats
-	// LiftStats reports lift work (zero value in AllPriority mode).
-	LiftStats transform.LiftStats
-	// Final is the feasible schedule of the original instance.
-	Final *sched.Schedule
-}
-
 // RunPipeline executes the full per-guess pipeline of the EPTAS for one
 // makespan guess and returns all intermediate artifacts. An error means
 // the guess was rejected (MILP infeasible, pattern explosion, placement
 // failure) — for a guess at least the optimal makespan this indicates the
-// rare solver-limit case, not infeasibility of the instance.
-//
-// When the pattern space under the theoretical priority constant b'
-// exceeds the enumeration limit, the pipeline retries with progressively
-// smaller priority caps (the paper's own degradation mechanism: fewer
-// priority bags means more anonymous X slots, a smaller pattern space,
-// and more work for the Lemma 7/11 repairs) before giving up.
+// rare solver-limit case, not infeasibility of the instance. See
+// pipeline.Engine.Run for the priority-cap degradation ladder.
 func RunPipeline(in *sched.Instance, guess float64, opt Options) (*PipelineResult, error) {
-	return runPipeline(in, guess, opt, nil)
+	return RunPipelineContext(context.Background(), in, guess, opt)
 }
 
-// errCanceled marks a speculative pipeline abandoned by the search.
-var errCanceled = errors.New("pipeline canceled")
-
-// runPipeline is RunPipeline with an optional cancellation channel:
-// closing cancel aborts the pipeline (between ladder attempts, between
-// pipeline stages and, via milp.Options.Cancel, inside the
-// branch-and-bound loop) so abandoned speculative evaluations stop
-// burning CPU.
-func runPipeline(in *sched.Instance, guess float64, opt Options, cancel <-chan struct{}) (*PipelineResult, error) {
-	caps := []int{opt.BPrimeOverride}
-	if opt.BPrimeOverride == 0 && !opt.AllPriority {
-		caps = []int{0, 4, 2, 1}
-	}
-	var lastErr error
-	for i, bp := range caps {
-		if canceled(cancel) {
-			return nil, errCanceled
-		}
-		// Non-final ladder attempts get a short node budget: if the
-		// theoretical priority constant makes the MILP expensive, a
-		// smaller cap is almost always the faster route. The budget is a
-		// node count, not wall-clock, so which rung succeeds does not
-		// depend on machine load — per-guess outcomes (and hence the
-		// whole search) stay deterministic under concurrency.
-		nodeBudget := 0
-		if i < len(caps)-1 && len(caps) > 1 {
-			nodeBudget = ladderNodeBudget
-		}
-		pr, err := runPipelineWithCap(in, guess, opt, bp, nodeBudget, cancel)
-		if err == nil {
-			return pr, nil
-		}
-		lastErr = err
-		if !retryWithSmallerCap(err) {
-			return nil, err
-		}
-	}
-	return nil, lastErr
+// RunPipelineContext is RunPipeline under a context; a canceled or
+// expired context aborts between stages and inside the enumeration and
+// branch-and-bound loops.
+func RunPipelineContext(ctx context.Context, in *sched.Instance, guess float64, opt Options) (*PipelineResult, error) {
+	return pipeline.New(pipelineConfig(opt)).Run(ctx, in, guess)
 }
 
-// retryWithSmallerCap reports whether a pipeline failure may be cured by
-// a smaller priority cap: pattern-space explosions and MILP resource
-// limits both shrink with fewer priority bags. Genuine infeasibility is
-// not retried — reducing the cap relaxes the program further, and the
-// binary search treats the guess as too low either way.
-func retryWithSmallerCap(err error) bool {
-	if _, tooMany := err.(pattern.ErrTooManyPatterns); tooMany {
-		return true
-	}
-	return errors.Is(err, errMILPLimit)
-}
-
-// errMILPLimit marks a guess rejected because the MILP solver exhausted
-// its node or time budget rather than proving infeasibility.
-var errMILPLimit = errors.New("MILP resource limit")
-
-// canceled reports whether the cancellation channel is closed; a nil
-// channel never cancels.
-func canceled(cancel <-chan struct{}) bool {
-	select {
-	case <-cancel:
-		return true
-	default:
-		return false
-	}
-}
-
-// ladderNodeBudget bounds branch-and-bound nodes on non-final ladder
-// attempts. Feasibility models are usually solved at the root or after a
-// few dives, so this is generous for a rung that is going to succeed,
-// while keeping a rung that would blow up cheap to abandon. Unlike a
-// wall-clock budget it is load-independent, at the cost of a larger
-// worst case: a rung whose individual nodes are slow now runs until the
-// node budget or the MILP TimeLimit backstop, whichever comes first.
-const ladderNodeBudget = 150
-
-func runPipelineWithCap(in *sched.Instance, guess float64, opt Options, bprime int, nodeBudget int, cancel <-chan struct{}) (*PipelineResult, error) {
-	pr := &PipelineResult{Guess: guess}
-	pr.Scaled, _ = round.ScaleRound(in, guess, opt.Eps)
-	info, err := classify.Classify(pr.Scaled, opt.Eps, classify.Options{
+// pipelineConfig extracts the per-guess pipeline knobs from opt.
+func pipelineConfig(opt Options) pipeline.Config {
+	return pipeline.Config{
+		Eps:            opt.Eps,
+		Mode:           opt.Mode,
+		PatternLimit:   opt.PatternLimit,
+		MILP:           opt.MILP,
 		AllPriority:    opt.AllPriority,
-		BPrimeOverride: bprime,
-	})
-	if err != nil {
-		return nil, err
+		BPrimeOverride: opt.BPrimeOverride,
+		DisableMemo:    opt.DisableMemo,
 	}
-	pr.Info = info
-
-	var (
-		tInst *sched.Instance
-		prio  []bool
-	)
-	if opt.AllPriority {
-		// Das–Wiese mode: every bag is priority, nothing to transform.
-		tInst = pr.Scaled
-		prio = info.Priority
-	} else {
-		pr.Transformed = transform.Apply(pr.Scaled, info)
-		tInst = pr.Transformed.Inst
-		prio = pr.Transformed.Priority
-	}
-
-	if canceled(cancel) {
-		return nil, errCanceled
-	}
-	patOpt := pattern.Options{Limit: opt.PatternLimit}
-	if cancel != nil {
-		patOpt.Cancel = func() bool { return canceled(cancel) }
-	}
-	sp, err := pattern.Enumerate(tInst, info, prio, patOpt)
-	if err != nil {
-		return nil, err
-	}
-	pr.Space = sp
-	if canceled(cancel) {
-		return nil, errCanceled
-	}
-	built, err := cfgmilp.Build(tInst, info, prio, sp, opt.Mode)
-	if err != nil {
-		return nil, err
-	}
-	pr.IntegerVars = built.IntegerVars
-	milpOpt := opt.MILP
-	milpOpt.StopAtFirst = true
-	if milpOpt.MaxNodes <= 0 {
-		// Feasibility models are usually solved at the root (by the
-		// rounding heuristic) or after a few dives; a tight default
-		// keeps rejected guesses cheap.
-		milpOpt.MaxNodes = 500
-	}
-	if milpOpt.TimeLimit <= 0 {
-		// A guess that cannot be decided quickly is treated as rejected;
-		// the binary search then moves on. This bounds the worst case on
-		// pathologically large pattern spaces. The node budgets above and
-		// below are what normally bind — this wall-clock backstop is the
-		// only load-dependent limit in the pipeline.
-		milpOpt.TimeLimit = 2 * time.Second
-	}
-	if nodeBudget > 0 && nodeBudget < milpOpt.MaxNodes {
-		milpOpt.MaxNodes = nodeBudget
-	}
-	if cancel != nil {
-		// Chain with any caller-supplied cancel predicate rather than
-		// replacing it.
-		user := milpOpt.Cancel
-		milpOpt.Cancel = func() bool {
-			return canceled(cancel) || (user != nil && user())
-		}
-	}
-	sol, err := milp.Solve(built.Model, milpOpt)
-	if err != nil {
-		return nil, err
-	}
-	pr.MILPNodes = sol.Nodes
-	if sol.Status == milp.StatusLimit {
-		return nil, fmt.Errorf("eptas: MILP at guess %g: %w", guess, errMILPLimit)
-	}
-	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
-		return nil, fmt.Errorf("eptas: MILP %s at guess %g", sol.Status, guess)
-	}
-	if canceled(cancel) {
-		return nil, errCanceled
-	}
-	plan := built.Decode(sol)
-	placed, pstats, err := placer.Place(placer.Input{
-		Inst:  tInst,
-		Info:  info,
-		Prio:  prio,
-		Space: sp,
-		Plan:  plan,
-	})
-	if err != nil {
-		return nil, err
-	}
-	pr.Placed = placed
-	pr.PlaceStats = pstats
-
-	var machine []int
-	if pr.Transformed != nil {
-		lifted, ls, err := pr.Transformed.Lift(placed)
-		if err != nil {
-			return nil, err
-		}
-		machine = lifted.Machine
-		pr.LiftStats = ls
-	} else {
-		machine = placed.Machine
-	}
-
-	final := &sched.Schedule{Inst: in, Machine: append([]int(nil), machine...)}
-	if err := final.Validate(); err != nil {
-		return nil, fmt.Errorf("eptas: lifted schedule invalid at guess %g: %w", guess, err)
-	}
-	pr.Final = final
-	return pr, nil
 }
 
 // speculative reports whether opt asks for speculative parallel guess
@@ -432,9 +278,9 @@ func speculative(opt Options) bool {
 	return opt.Speculate > 1
 }
 
-// absorb accumulates the per-guess statistics of one accepted pipeline,
-// exactly as the sequential search does: node counts add up, the
-// remaining fields describe the last accepted guess.
+// absorb accumulates the per-guess statistics of one accepted pipeline:
+// node counts add up, the remaining fields describe the last accepted
+// guess.
 func (s *Stats) absorb(pr *PipelineResult) {
 	s.MILPNodes += pr.MILPNodes
 	s.Patterns = len(pr.Space.Patterns)
@@ -447,17 +293,6 @@ func (s *Stats) absorb(pr *PipelineResult) {
 	s.PriorityBags = countTrue(prio)
 	s.Place = pr.PlaceStats
 	s.Lift = pr.LiftStats
-}
-
-// decideOnce runs the per-guess pipeline; a nil result means the guess
-// was rejected.
-func decideOnce(in *sched.Instance, guess float64, opt Options, stats *Stats) *sched.Schedule {
-	pr, err := RunPipeline(in, guess, opt)
-	if err != nil {
-		return nil
-	}
-	stats.absorb(pr)
-	return pr.Final
 }
 
 func countTrue(bs []bool) int {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/workload"
@@ -28,9 +29,12 @@ func TestSpeculativeSolveMatchesSequential(t *testing.T) {
 				t.Errorf("%s eps=%g: makespan %v (speculative) != %v (sequential)",
 					fam, eps, spec.Makespan, seq.Makespan)
 			}
-			if spec.Stats != seq.Stats {
+			// Engine-level work counters (pipeline runs, cache traffic,
+			// stage timings) legitimately differ between the two modes;
+			// every decision-level statistic must not.
+			if !reflect.DeepEqual(spec.Stats.Decision(), seq.Stats.Decision()) {
 				t.Errorf("%s eps=%g: stats diverge:\nspec %+v\nseq  %+v",
-					fam, eps, spec.Stats, seq.Stats)
+					fam, eps, spec.Stats.Decision(), seq.Stats.Decision())
 			}
 			if len(spec.Schedule.Machine) != len(seq.Schedule.Machine) {
 				t.Fatalf("%s eps=%g: schedule lengths differ", fam, eps)

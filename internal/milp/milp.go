@@ -10,6 +10,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -64,10 +65,6 @@ type Options struct {
 	MaxNodes int
 	// TimeLimit aborts the search when exceeded. Zero means no limit.
 	TimeLimit time.Duration
-	// Cancel, when non-nil, is polled once per node; returning true
-	// aborts the search like an expired TimeLimit. Used to stop
-	// speculative solves whose result is no longer needed.
-	Cancel func() bool
 	// IntTol is the integrality tolerance. Zero means 1e-6.
 	IntTol float64
 	// LPMaxIters bounds simplex pivots per node. Zero means the lp default.
@@ -126,8 +123,13 @@ func (q *nodeQueue) Pop() interface{} {
 	return it
 }
 
-// Solve runs branch and bound and returns the best solution found.
-func Solve(m *Model, opt Options) (Solution, error) {
+// Solve runs branch and bound and returns the best solution found. The
+// context is polled once per node: a canceled or expired ctx aborts the
+// search and returns ctx.Err(), discarding any incumbent — callers that
+// cancel a solve no longer want its answer. This is how the EPTAS stops
+// speculative solves whose result is no longer needed and how public
+// context deadlines reach the innermost loop.
+func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 	if opt.MaxNodes <= 0 {
 		opt.MaxNodes = 20000
 	}
@@ -163,8 +165,8 @@ func Solve(m *Model, opt Options) (Solution, error) {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
-		if opt.Cancel != nil && opt.Cancel() {
-			break
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
 		}
 		nd := heap.Pop(q).(*node)
 		if haveInc && nd.lpObj >= incumbentObj-1e-9 {

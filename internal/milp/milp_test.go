@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,7 +17,7 @@ func TestPureLPPassThrough(t *testing.T) {
 	p := lp.NewProblem()
 	x := p.AddVar(-1)
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 2.5)
-	sol, err := Solve(&Model{Prob: p}, Options{})
+	sol, err := Solve(context.Background(), &Model{Prob: p}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestIntegerRoundingDown(t *testing.T) {
 	p := lp.NewProblem()
 	x := p.AddVar(-1)
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 2.5)
-	sol, err := Solve(&Model{Prob: p, Integer: []int{x}}, Options{})
+	sol, err := Solve(context.Background(), &Model{Prob: p, Integer: []int{x}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestKnapsack(t *testing.T) {
 	for _, v := range []int{a, b, c} {
 		p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, 1)
 	}
-	sol, err := Solve(&Model{Prob: p, Integer: []int{a, b, c}}, Options{})
+	sol, err := Solve(context.Background(), &Model{Prob: p, Integer: []int{a, b, c}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestInfeasibleInteger(t *testing.T) {
 	x := p.AddVar(0)
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.GE, 0.4)
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 0.6)
-	sol, err := Solve(&Model{Prob: p, Integer: []int{x}}, Options{})
+	sol, err := Solve(context.Background(), &Model{Prob: p, Integer: []int{x}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestLPInfeasible(t *testing.T) {
 	x := p.AddVar(0)
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.GE, 2)
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 1)
-	sol, err := Solve(&Model{Prob: p, Integer: []int{x}}, Options{})
+	sol, err := Solve(context.Background(), &Model{Prob: p, Integer: []int{x}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestStopAtFirstFeasibility(t *testing.T) {
 	x := p.AddVar(0)
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.GE, 1.2)
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 3.8)
-	sol, err := Solve(&Model{Prob: p, Integer: []int{x}}, Options{StopAtFirst: true})
+	sol, err := Solve(context.Background(), &Model{Prob: p, Integer: []int{x}}, Options{StopAtFirst: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestNodeLimit(t *testing.T) {
 	x := p.AddVar(-1)
 	y := p.AddVar(-1)
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 2}, {Var: y, Coef: 2}}, lp.LE, 3)
-	sol, err := Solve(&Model{Prob: p, Integer: []int{x, y}}, Options{MaxNodes: 1})
+	sol, err := Solve(context.Background(), &Model{Prob: p, Integer: []int{x, y}}, Options{MaxNodes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +136,11 @@ func TestDisableRoundingStillSolves(t *testing.T) {
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 2}, {Var: y, Coef: 1}}, lp.LE, 7.5)
 	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 3}}, lp.LE, 9.5)
 	m := &Model{Prob: p, Integer: []int{x, y}}
-	with, err := Solve(m, Options{})
+	with, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Solve(m, Options{DisableRounding: true})
+	without, err := Solve(context.Background(), m, Options{DisableRounding: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestAssignmentProblem(t *testing.T) {
 		p.AddConstraint(row, lp.EQ, 1)
 		p.AddConstraint(col, lp.EQ, 1)
 	}
-	sol, err := Solve(&Model{Prob: p, Integer: ints}, Options{})
+	sol, err := Solve(context.Background(), &Model{Prob: p, Integer: ints}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestRandomIntegerKnapsackVsBruteForce(t *testing.T) {
 		for i := range ints {
 			ints[i] = i
 		}
-		sol, err := Solve(&Model{Prob: p, Integer: ints}, Options{})
+		sol, err := Solve(context.Background(), &Model{Prob: p, Integer: ints}, Options{})
 		if err != nil || sol.Status != StatusOptimal {
 			return false
 		}

@@ -6,7 +6,7 @@
 package pattern
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
@@ -103,19 +103,15 @@ type Options struct {
 	// Limit bounds the number of enumerated patterns; zero means
 	// DefaultLimit.
 	Limit int
-	// Cancel, when non-nil, is polled once per emitted pattern;
-	// returning true aborts the enumeration with ErrCanceled. Used to
-	// stop speculative pipelines whose result is no longer needed.
-	Cancel func() bool
 }
-
-// ErrCanceled is returned when Options.Cancel aborted the enumeration.
-var ErrCanceled = errors.New("pattern: enumeration canceled")
 
 // Enumerate builds the pattern space for the transformed instance in,
 // whose bag priority flags are given by prio (length in.NumBags) and
-// whose job classes follow info's thresholds.
-func Enumerate(in *sched.Instance, info *classify.Info, prio []bool, opt Options) (*Space, error) {
+// whose job classes follow info's thresholds. The context is polled once
+// per emitted pattern; a canceled or expired ctx aborts the enumeration
+// and returns ctx.Err(), so abandoned speculative pipelines stop burning
+// CPU on large spaces.
+func Enumerate(ctx context.Context, in *sched.Instance, info *classify.Info, prio []bool, opt Options) (*Space, error) {
 	limit := opt.Limit
 	if limit <= 0 {
 		limit = DefaultLimit
@@ -189,8 +185,8 @@ func Enumerate(in *sched.Instance, info *classify.Info, prio []bool, opt Options
 		emitEr error
 	)
 	emit := func(height float64, jobs int) bool {
-		if opt.Cancel != nil && opt.Cancel() {
-			emitEr = ErrCanceled
+		if err := ctx.Err(); err != nil {
+			emitEr = err
 			return false
 		}
 		if len(sp.Patterns) >= limit {

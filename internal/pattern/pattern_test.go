@@ -1,6 +1,7 @@
 package pattern
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestEnumerateEmptyInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := Enumerate(in, info, nil, Options{})
+	sp, err := Enumerate(context.Background(), in, info, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestEnumerateValidity(t *testing.T) {
 		{1.0, 0}, {0.6, 0}, {1.0, 1}, {0.3, 1}, {0.1, 2},
 	}, classify.Options{AllPriority: true})
 	prio := info.Priority
-	sp, err := Enumerate(in, info, prio, Options{})
+	sp, err := Enumerate(context.Background(), in, info, prio, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestEnumerateCompletenessTiny(t *testing.T) {
 	// One priority bag with one large size s=1.0 (rounded), T=2.25, q=9:
 	// patterns: empty, {bag slot}. Expect exactly 2.
 	in, info := build(t, 0.5, 2, []jb{{1.0, 0}}, classify.Options{AllPriority: true})
-	sp, err := Enumerate(in, info, info.Priority, Options{})
+	sp, err := Enumerate(context.Background(), in, info, info.Priority, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestEnumerateXMultiplicities(t *testing.T) {
 	// X entry with availability 2, T=2.25 -> multiplicities 0,1,2.
 	in, info := build(t, 0.5, 4, []jb{{1.0, 0}, {1.0, 1}}, classify.Options{})
 	prio := []bool{false, false}
-	sp, err := Enumerate(in, info, prio, Options{})
+	sp, err := Enumerate(context.Background(), in, info, prio, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestEnumerateXCappedByAvailability(t *testing.T) {
 	// (T=2.25), but only 1 job exists, so multiplicities are 0,1.
 	in, info := build(t, 0.5, 4, []jb{{0.51, 0}}, classify.Options{})
 	prio := []bool{false}
-	sp, err := Enumerate(in, info, prio, Options{})
+	sp, err := Enumerate(context.Background(), in, info, prio, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestEnumerateHeightPruning(t *testing.T) {
 	// Two priority bags with large jobs of (rounded) size 1.5: two
 	// together exceed T=2.25, so the combination must be pruned.
 	in, info := build(t, 0.5, 2, []jb{{1.4, 0}, {1.4, 1}}, classify.Options{AllPriority: true})
-	sp, err := Enumerate(in, info, info.Priority, Options{})
+	sp, err := Enumerate(context.Background(), in, info, info.Priority, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestEnumerateLimit(t *testing.T) {
 		jobs = append(jobs, jb{1.0, b}, jb{0.6, b})
 	}
 	in, info := build(t, 0.5, 24, jobs, classify.Options{AllPriority: true})
-	_, err := Enumerate(in, info, info.Priority, Options{Limit: 10})
+	_, err := Enumerate(context.Background(), in, info, info.Priority, Options{Limit: 10})
 	if err == nil {
 		t.Fatal("expected ErrTooManyPatterns")
 	}
@@ -179,14 +180,14 @@ func TestEnumerateRejectsUntransformedMediums(t *testing.T) {
 		t.Skip("size did not land in the medium band under this rounding")
 	}
 	prio := []bool{false, true}
-	if _, err := Enumerate(in, info, prio, Options{}); err == nil {
+	if _, err := Enumerate(context.Background(), in, info, prio, Options{}); err == nil {
 		t.Error("expected medium-in-non-priority-bag error")
 	}
 }
 
 func TestChiFunctions(t *testing.T) {
 	in, info := build(t, 0.5, 4, []jb{{1.0, 0}, {0.6, 1}}, classify.Options{AllPriority: true})
-	sp, err := Enumerate(in, info, info.Priority, Options{})
+	sp, err := Enumerate(context.Background(), in, info, info.Priority, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestChiFunctions(t *testing.T) {
 
 func TestXMultLookup(t *testing.T) {
 	in, info := build(t, 0.5, 4, []jb{{1.0, 0}, {1.0, 1}}, classify.Options{})
-	sp, err := Enumerate(in, info, []bool{false, false}, Options{})
+	sp, err := Enumerate(context.Background(), in, info, []bool{false, false}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestDefaultLimitApplied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Enumerate(in, info, nil, Options{Limit: 0}); err != nil {
+	if _, err := Enumerate(context.Background(), in, info, nil, Options{Limit: 0}); err != nil {
 		t.Fatalf("default limit should allow the empty space: %v", err)
 	}
 }

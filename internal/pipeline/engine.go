@@ -1,0 +1,355 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/pattern"
+	"repro/internal/placer"
+	"repro/internal/sched"
+	"repro/internal/transform"
+)
+
+// Result exposes every intermediate artifact of one makespan guess; the
+// experiment suite and tests use it to measure per-lemma quantities
+// (pattern counts, placement heights, repair work).
+type Result struct {
+	// Guess is the makespan guess the pipeline ran with.
+	Guess float64
+	// Signature is the memo key of the scaled-rounded instance (see
+	// Engine): guesses with equal signatures have identical outcomes.
+	Signature string
+	// CacheHit reports that this result was served from the cross-guess
+	// memo rather than a fresh pipeline execution.
+	CacheHit bool
+	// Attempts is the number of priority-cap ladder rungs tried (1 when
+	// the first rung succeeded; meaningful only on accepted guesses).
+	Attempts int
+	// Scaled is the instance scaled by 1/Guess and rounded.
+	Scaled *sched.Instance
+	// Info is the classification of Scaled.
+	Info *classify.Info
+	// Transformed is the Section 2.2 transformation, nil in AllPriority
+	// mode.
+	Transformed *transform.Transformed
+	// Space is the enumerated pattern space.
+	Space *pattern.Space
+	// IntegerVars is the MILP's integral dimension.
+	IntegerVars int
+	// MILPNodes is the branch-and-bound node count.
+	MILPNodes int
+	// Placed is the schedule of the transformed (scaled) instance.
+	Placed *sched.Schedule
+	// PlaceStats reports placement repairs.
+	PlaceStats placer.Stats
+	// LiftStats reports lift work (zero value in AllPriority mode).
+	LiftStats transform.LiftStats
+	// Final is the feasible schedule of the original instance.
+	Final *sched.Schedule
+}
+
+// Metrics aggregates engine-level work counters over all pipeline
+// executions of one solve, including rejected guesses and abandoned
+// speculative evaluations.
+type Metrics struct {
+	// Runs counts started pipeline executions (the Classify..Lift
+	// ladder), including executions that were later canceled.
+	Runs int
+	// CacheHits counts guesses decided without a pipeline execution of
+	// their own — either from a committed memo entry or by waiting for
+	// an in-flight execution of the same signature; CacheMisses counts
+	// guesses that claimed their signature and ran the pipeline. Under
+	// speculative evaluation the split can vary between runs (a
+	// speculative guess may or may not overlap its twin) — the results
+	// never do.
+	CacheHits   int
+	CacheMisses int
+	// StageTime is the total wall-clock time per stage, keyed by
+	// StageNames().
+	StageTime map[string]time.Duration
+}
+
+// Engine runs the staged per-guess pipeline and memoizes outcomes across
+// guesses of one solve.
+//
+// The memo key is a canonical signature of the scaled-rounded instance:
+// the machine count plus the geometric exponent of every job (job order
+// and bags are fixed within a solve, so equal exponent slices mean
+// bit-identical scaled instances — and per-bag exponent multisets). All
+// stages from Classify on are deterministic functions of that instance
+// and the solve-constant Config, so a signature's accept/reject outcome,
+// pattern space, MILP assignment and final machine assignment are all
+// reusable verbatim; only the guess scalar differs. Concurrent
+// evaluations of equal-signature guesses are deduplicated in flight: the
+// first claims the signature and runs, later ones wait for its outcome
+// instead of running a duplicate pipeline. Cancellation errors are never
+// memoized. The one caveat mirrors the speculation caveat in
+// core: a guess decided by the MILP's wall-clock TimeLimit backstop
+// rather than its deterministic node budget could cache a load-dependent
+// outcome.
+//
+// An Engine is safe for concurrent use; speculative guess evaluation
+// shares one engine across its pipelines.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	memo    map[string]*slot
+	metrics Metrics
+}
+
+// memoEntry is a committed outcome: res on accept, err on reject.
+type memoEntry struct {
+	res *Result
+	err error
+}
+
+// slot is one signature's cache cell. The claimant that created the slot
+// runs the pipeline; everyone else waits on done. All fields other than
+// done are written by the claimant under the engine mutex before done is
+// closed, and read by waiters under the mutex after done is closed.
+// committed=false after done closes means the claimant was canceled and
+// the slot abandoned (and removed from the map): the outcome is still
+// undecided and a waiter should claim a fresh slot.
+type slot struct {
+	done      chan struct{}
+	committed bool
+	entry     memoEntry
+}
+
+// New returns an engine for one solve's worth of guesses under cfg.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:  cfg,
+		memo: make(map[string]*slot),
+		metrics: Metrics{
+			StageTime: make(map[string]time.Duration),
+		},
+	}
+}
+
+// Metrics returns a snapshot of the engine's aggregate counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.metrics
+	m.StageTime = make(map[string]time.Duration, len(e.metrics.StageTime))
+	for k, v := range e.metrics.StageTime {
+		m.StageTime[k] = v
+	}
+	return m
+}
+
+// Run executes the pipeline for one makespan guess. An error means the
+// guess was rejected (MILP infeasible, pattern explosion or placement
+// failure) — for a guess at least the optimal makespan this indicates the
+// rare solver-limit case, not infeasibility of the instance. A canceled
+// or expired ctx aborts the run with ctx.Err().
+//
+// When the pattern space under the theoretical priority constant b'
+// exceeds the enumeration limit, the run retries with progressively
+// smaller priority caps (the paper's own degradation mechanism: fewer
+// priority bags means more anonymous X slots, a smaller pattern space,
+// and more work for the Lemma 7/11 repairs) before giving up.
+func (e *Engine) Run(ctx context.Context, in *sched.Instance, guess float64) (*Result, error) {
+	st := &State{In: in, Guess: guess, Cfg: e.cfg}
+	if err := e.runStage(ctx, stageScale, st); err != nil {
+		return nil, err
+	}
+	sig := signature(st)
+
+	if e.cfg.DisableMemo {
+		e.mu.Lock()
+		e.metrics.Runs++
+		e.mu.Unlock()
+		res, err := e.runLadder(ctx, st)
+		if res != nil {
+			res.Signature = sig
+		}
+		return res, err
+	}
+
+	for {
+		e.mu.Lock()
+		s, ok := e.memo[sig]
+		if !ok {
+			// Claim the signature and run the pipeline.
+			s = &slot{done: make(chan struct{})}
+			e.memo[sig] = s
+			e.metrics.CacheMisses++
+			e.metrics.Runs++
+			e.mu.Unlock()
+			res, err := e.runLadder(ctx, st)
+			if res != nil {
+				res.Signature = sig
+			}
+			e.mu.Lock()
+			if isCancellation(err) {
+				// A ctx abort describes the caller's impatience, not the
+				// guess; abandon the slot so another evaluation can decide
+				// this signature.
+				delete(e.memo, sig)
+			} else {
+				s.committed = true
+				s.entry = memoEntry{res: res, err: err}
+			}
+			e.mu.Unlock()
+			close(s.done)
+			return res, err
+		}
+		e.mu.Unlock()
+
+		// The signature has a committed outcome or an execution in
+		// flight. Waiting for an in-flight twin instead of running a
+		// duplicate pipeline is what makes the memo pay off under
+		// speculation, where adjacent guesses of the same rounding class
+		// are evaluated concurrently.
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		e.mu.Lock()
+		if !s.committed {
+			// The claimant was canceled; try to claim a fresh slot.
+			e.mu.Unlock()
+			continue
+		}
+		e.metrics.CacheHits++
+		entry := s.entry
+		e.mu.Unlock()
+		if entry.err != nil {
+			// The memoized error may embed the guess that produced it;
+			// label the reuse so a logged rejection of guess A is never
+			// mistaken for a fresh evaluation of guess B.
+			return nil, fmt.Errorf("eptas: guess %g: memoized rejection: %w", guess, entry.err)
+		}
+		return entry.res.cloneFor(guess), nil
+	}
+}
+
+// runLadder runs the Classify..Lift stages, degrading the priority cap on
+// pattern explosions and MILP resource limits.
+func (e *Engine) runLadder(ctx context.Context, st *State) (*Result, error) {
+	caps := []int{e.cfg.BPrimeOverride}
+	if e.cfg.BPrimeOverride == 0 && !e.cfg.AllPriority {
+		caps = []int{0, 4, 2, 1}
+	}
+	var lastErr error
+	for i, bp := range caps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st.resetRung()
+		st.BPrime = bp
+		// Non-final ladder attempts get a short node budget: if the
+		// theoretical priority constant makes the MILP expensive, a
+		// smaller cap is almost always the faster route. The budget is a
+		// node count, not wall-clock, so which rung succeeds does not
+		// depend on machine load — per-guess outcomes (and hence the
+		// whole search) stay deterministic under concurrency.
+		st.NodeBudget = 0
+		if i < len(caps)-1 && len(caps) > 1 {
+			st.NodeBudget = ladderNodeBudget
+		}
+		err := e.runRung(ctx, st)
+		if err == nil {
+			return st.result(i + 1), nil
+		}
+		lastErr = err
+		if !RetryWithSmallerCap(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// runRung executes one ladder attempt: every stage after Scale, in order,
+// aborting between stages when ctx is done.
+func (e *Engine) runRung(ctx context.Context, st *State) error {
+	for _, s := range rungStages {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.runStage(ctx, s, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStage times one stage execution into the engine metrics.
+func (e *Engine) runStage(ctx context.Context, s Stage, st *State) error {
+	start := time.Now()
+	err := s.Run(ctx, st)
+	elapsed := time.Since(start)
+	e.mu.Lock()
+	e.metrics.StageTime[s.Name()] += elapsed
+	e.mu.Unlock()
+	return err
+}
+
+// result snapshots the state of a successful run.
+func (st *State) result(attempts int) *Result {
+	return &Result{
+		Guess:       st.Guess,
+		Attempts:    attempts,
+		Scaled:      st.Scaled,
+		Info:        st.Info,
+		Transformed: st.Transformed,
+		Space:       st.Space,
+		IntegerVars: st.IntegerVars,
+		MILPNodes:   st.MILPNodes,
+		Placed:      st.Placed,
+		PlaceStats:  st.PlaceStats,
+		LiftStats:   st.LiftStats,
+		Final:       st.Final,
+	}
+}
+
+// cloneFor adapts a memoized result to a new guess with the same
+// signature. Read-only artifacts (Info, Space, Placed, the transformation)
+// are shared; the final schedule's machine slice is copied so callers of
+// different guesses never alias mutable state. MILPNodes is kept as-is on
+// purpose: the uncached path would re-run the identical deterministic
+// MILP and count the same nodes, so aggregated statistics match the
+// unmemoized search exactly.
+func (r *Result) cloneFor(guess float64) *Result {
+	c := *r
+	c.Guess = guess
+	c.CacheHit = true
+	if r.Final != nil {
+		c.Final = &sched.Schedule{
+			Inst:    r.Final.Inst,
+			Machine: append([]int(nil), r.Final.Machine...),
+		}
+	}
+	return &c
+}
+
+// isCancellation reports whether err came from a canceled or expired
+// context anywhere down the stage stack; such outcomes describe the
+// caller's impatience, not the guess, and must never be memoized.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// signature builds the canonical memo key of a scaled-rounded instance:
+// machine count plus the geometric exponent of every job in input order.
+// Equal signatures imply bit-identical scaled instances (sizes are exact
+// functions (1+eps)^e of the exponents), hence identical pipeline
+// outcomes under a fixed Config.
+func signature(st *State) string {
+	buf := make([]byte, 0, 8+6*len(st.Exps))
+	buf = strconv.AppendInt(buf, int64(st.Scaled.Machines), 10)
+	for _, e := range st.Exps {
+		buf = append(buf, '.')
+		buf = strconv.AppendInt(buf, int64(e), 10)
+	}
+	return string(buf)
+}

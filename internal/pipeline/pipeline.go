@@ -1,0 +1,305 @@
+// Package pipeline implements the per-guess pipeline of the EPTAS as a
+// staged engine: for one makespan guess the instance is scaled and rounded
+// (Section 2 of the paper), classified (Lemma 1, Definition 2),
+// transformed (Section 2.2), its pattern space enumerated (Definition 3),
+// the configuration MILP solved (Section 3), all jobs placed (Sections 3.1
+// and 4) and the solution lifted back to the original instance (Lemmas 3
+// and 4).
+//
+// Each step is a Stage with its own wall-clock accounting, run in a fixed
+// order by an Engine. The Engine additionally memoizes outcomes across
+// guesses: geometric rounding to powers of (1+eps) collapses adjacent
+// makespan guesses into rounding equivalence classes — two guesses whose
+// scaled-rounded instances have the same per-job exponents are the *same*
+// instance from the Classify stage onward, so the second guess can reuse
+// the committed accept/reject outcome (including the pattern space, the
+// MILP assignment and the final machine assignment) without re-running
+// anything. This is result-transparent: the decision and the produced
+// schedule are deterministic functions of the signature.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cfgmilp"
+	"repro/internal/classify"
+	"repro/internal/milp"
+	"repro/internal/pattern"
+	"repro/internal/placer"
+	"repro/internal/round"
+	"repro/internal/sched"
+	"repro/internal/transform"
+)
+
+// Config carries the per-solve knobs the pipeline needs. It is constant
+// over all guesses of one solve, which is what makes the cross-guess memo
+// sound: the signature only has to capture what varies per guess.
+type Config struct {
+	// Eps is the accuracy parameter in (0, 1).
+	Eps float64
+	// Mode selects the MILP flavour.
+	Mode cfgmilp.Mode
+	// PatternLimit bounds pattern enumeration (zero means
+	// pattern.DefaultLimit).
+	PatternLimit int
+	// MILP tunes the branch-and-bound solver; StopAtFirst is forced on.
+	MILP milp.Options
+	// AllPriority disables priority-bag selection and the instance
+	// transformation (Das–Wiese mode).
+	AllPriority bool
+	// BPrimeOverride caps the Definition 2 priority constant b'; zero
+	// enables the degradation ladder.
+	BPrimeOverride int
+	// DisableMemo turns off cross-guess memoization (used by the
+	// differential tests and ablation experiments; results are identical
+	// either way, only repeated work changes).
+	DisableMemo bool
+}
+
+// State is the mutable blackboard one pipeline execution threads through
+// its stages. Earlier stages fill the fields later stages read.
+type State struct {
+	// In is the original instance (never modified).
+	In *sched.Instance
+	// Guess is the makespan guess.
+	Guess float64
+	// Cfg is the engine's configuration.
+	Cfg Config
+	// BPrime is the priority cap of the current ladder rung (0 =
+	// theoretical constant).
+	BPrime int
+	// NodeBudget bounds MILP nodes on non-final ladder rungs (0 = use
+	// Cfg.MILP.MaxNodes).
+	NodeBudget int
+
+	// Scaled is In scaled by 1/Guess with sizes rounded up to powers of
+	// (1+eps); Exps holds the geometric exponent per job.
+	Scaled *sched.Instance
+	Exps   []int
+	// Info is the classification of Scaled.
+	Info *classify.Info
+	// Transformed is the Section 2.2 transformation (nil in AllPriority
+	// mode); TInst and Prio are the instance and priority flags the
+	// downstream stages work on either way.
+	Transformed *transform.Transformed
+	TInst       *sched.Instance
+	Prio        []bool
+	// Space is the enumerated pattern space.
+	Space *pattern.Space
+	// IntegerVars and MILPNodes describe the MILP solve; Plan is the
+	// decoded solution.
+	IntegerVars int
+	MILPNodes   int
+	Plan        *cfgmilp.Plan
+	// Placed is the schedule of the transformed (scaled) instance.
+	Placed     *sched.Schedule
+	PlaceStats placer.Stats
+	// LiftStats reports lift work; Final is the feasible schedule of In.
+	LiftStats transform.LiftStats
+	Final     *sched.Schedule
+}
+
+// resetRung clears every artifact the ladder recomputes per priority cap,
+// keeping the guess-level Scale output.
+func (st *State) resetRung() {
+	st.Info = nil
+	st.Transformed = nil
+	st.TInst = nil
+	st.Prio = nil
+	st.Space = nil
+	st.IntegerVars = 0
+	st.MILPNodes = 0
+	st.Plan = nil
+	st.Placed = nil
+	st.PlaceStats = placer.Stats{}
+	st.LiftStats = transform.LiftStats{}
+	st.Final = nil
+}
+
+// Stage is one step of the per-guess pipeline. Run reads its inputs from
+// st and writes its outputs back; an error rejects the current attempt
+// (ladder rung). Stages must be stateless and safe for concurrent use —
+// speculative guess evaluation runs several pipelines at once.
+type Stage interface {
+	Name() string
+	Run(ctx context.Context, st *State) error
+}
+
+// The canonical stage sequence. Scale runs once per guess (its output
+// determines the memo signature); the remaining stages run once per
+// ladder rung.
+var (
+	stageScale    Stage = scaleStage{}
+	rungStages          = []Stage{classifyStage{}, transformStage{}, enumerateStage{}, solveMILPStage{}, placeStage{}, liftStage{}}
+	allStageNames       = []string{"Scale", "Classify", "Transform", "Enumerate", "SolveMILP", "Place", "Lift"}
+)
+
+// StageNames lists the pipeline stages in execution order; Stats maps and
+// reports are keyed by these names.
+func StageNames() []string {
+	return append([]string(nil), allStageNames...)
+}
+
+type scaleStage struct{}
+
+func (scaleStage) Name() string { return "Scale" }
+func (scaleStage) Run(_ context.Context, st *State) error {
+	st.Scaled, st.Exps = round.ScaleRound(st.In, st.Guess, st.Cfg.Eps)
+	return nil
+}
+
+type classifyStage struct{}
+
+func (classifyStage) Name() string { return "Classify" }
+func (classifyStage) Run(_ context.Context, st *State) error {
+	info, err := classify.Classify(st.Scaled, st.Cfg.Eps, classify.Options{
+		AllPriority:    st.Cfg.AllPriority,
+		BPrimeOverride: st.BPrime,
+	})
+	if err != nil {
+		return err
+	}
+	st.Info = info
+	return nil
+}
+
+type transformStage struct{}
+
+func (transformStage) Name() string { return "Transform" }
+func (transformStage) Run(_ context.Context, st *State) error {
+	if st.Cfg.AllPriority {
+		// Das–Wiese mode: every bag is priority, nothing to transform.
+		st.TInst = st.Scaled
+		st.Prio = st.Info.Priority
+		return nil
+	}
+	st.Transformed = transform.Apply(st.Scaled, st.Info)
+	st.TInst = st.Transformed.Inst
+	st.Prio = st.Transformed.Priority
+	return nil
+}
+
+type enumerateStage struct{}
+
+func (enumerateStage) Name() string { return "Enumerate" }
+func (enumerateStage) Run(ctx context.Context, st *State) error {
+	sp, err := pattern.Enumerate(ctx, st.TInst, st.Info, st.Prio, pattern.Options{Limit: st.Cfg.PatternLimit})
+	if err != nil {
+		return err
+	}
+	st.Space = sp
+	return nil
+}
+
+type solveMILPStage struct{}
+
+func (solveMILPStage) Name() string { return "SolveMILP" }
+func (solveMILPStage) Run(ctx context.Context, st *State) error {
+	built, err := cfgmilp.Build(ctx, st.TInst, st.Info, st.Prio, st.Space, st.Cfg.Mode)
+	if err != nil {
+		return err
+	}
+	st.IntegerVars = built.IntegerVars
+	opt := st.Cfg.MILP
+	opt.StopAtFirst = true
+	if opt.MaxNodes <= 0 {
+		// Feasibility models are usually solved at the root (by the
+		// rounding heuristic) or after a few dives; a tight default
+		// keeps rejected guesses cheap.
+		opt.MaxNodes = 500
+	}
+	if opt.TimeLimit <= 0 {
+		// A guess that cannot be decided quickly is treated as rejected;
+		// the binary search then moves on. This bounds the worst case on
+		// pathologically large pattern spaces. The node budgets above and
+		// below are what normally bind — this wall-clock backstop is the
+		// only load-dependent limit in the pipeline.
+		opt.TimeLimit = 2 * time.Second
+	}
+	if st.NodeBudget > 0 && st.NodeBudget < opt.MaxNodes {
+		opt.MaxNodes = st.NodeBudget
+	}
+	sol, err := milp.Solve(ctx, built.Model, opt)
+	if err != nil {
+		return err
+	}
+	st.MILPNodes = sol.Nodes
+	if sol.Status == milp.StatusLimit {
+		return fmt.Errorf("eptas: MILP at guess %g: %w", st.Guess, ErrMILPLimit)
+	}
+	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
+		return fmt.Errorf("eptas: MILP %s at guess %g", sol.Status, st.Guess)
+	}
+	st.Plan = built.Decode(sol)
+	return nil
+}
+
+type placeStage struct{}
+
+func (placeStage) Name() string { return "Place" }
+func (placeStage) Run(_ context.Context, st *State) error {
+	placed, pstats, err := placer.Place(placer.Input{
+		Inst:  st.TInst,
+		Info:  st.Info,
+		Prio:  st.Prio,
+		Space: st.Space,
+		Plan:  st.Plan,
+	})
+	if err != nil {
+		return err
+	}
+	st.Placed = placed
+	st.PlaceStats = pstats
+	return nil
+}
+
+type liftStage struct{}
+
+func (liftStage) Name() string { return "Lift" }
+func (liftStage) Run(_ context.Context, st *State) error {
+	var machine []int
+	if st.Transformed != nil {
+		lifted, ls, err := st.Transformed.Lift(st.Placed)
+		if err != nil {
+			return err
+		}
+		machine = lifted.Machine
+		st.LiftStats = ls
+	} else {
+		machine = st.Placed.Machine
+	}
+	final := &sched.Schedule{Inst: st.In, Machine: append([]int(nil), machine...)}
+	if err := final.Validate(); err != nil {
+		return fmt.Errorf("eptas: lifted schedule invalid at guess %g: %w", st.Guess, err)
+	}
+	st.Final = final
+	return nil
+}
+
+// ErrMILPLimit marks a guess rejected because the MILP solver exhausted
+// its node or time budget rather than proving infeasibility.
+var ErrMILPLimit = errors.New("MILP resource limit")
+
+// RetryWithSmallerCap reports whether a pipeline failure may be cured by
+// a smaller priority cap: pattern-space explosions and MILP resource
+// limits both shrink with fewer priority bags. Genuine infeasibility is
+// not retried — reducing the cap relaxes the program further, and the
+// binary search treats the guess as too low either way.
+func RetryWithSmallerCap(err error) bool {
+	if _, tooMany := err.(pattern.ErrTooManyPatterns); tooMany {
+		return true
+	}
+	return errors.Is(err, ErrMILPLimit)
+}
+
+// ladderNodeBudget bounds branch-and-bound nodes on non-final ladder
+// attempts. Feasibility models are usually solved at the root or after a
+// few dives, so this is generous for a rung that is going to succeed,
+// while keeping a rung that would blow up cheap to abandon. Unlike a
+// wall-clock budget it is load-independent, at the cost of a larger
+// worst case: a rung whose individual nodes are slow now runs until the
+// node budget or the MILP TimeLimit backstop, whichever comes first.
+const ladderNodeBudget = 150

@@ -1,6 +1,7 @@
 package placer
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,15 +30,15 @@ func pipeline(t *testing.T, in *sched.Instance, eps float64, bprime int, mode cf
 		t.Fatal(err)
 	}
 	tr := transform.Apply(scaled, info)
-	sp, err := pattern.Enumerate(tr.Inst, info, tr.Priority, pattern.Options{})
+	sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	built, err := cfgmilp.Build(tr.Inst, info, tr.Priority, sp, mode)
+	built, err := cfgmilp.Build(context.Background(), tr.Inst, info, tr.Priority, sp, mode)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := milp.Solve(built.Model, milp.Options{StopAtFirst: true, MaxNodes: 4000})
+	sol, err := milp.Solve(context.Background(), built.Model, milp.Options{StopAtFirst: true, MaxNodes: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}

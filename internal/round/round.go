@@ -5,6 +5,7 @@
 package round
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/sched"
@@ -77,38 +78,19 @@ func newSearchResult() SearchResult {
 // makespan guess in [lb, ub], stopping when the interval is narrower than
 // step or after maxGuesses decisions. The best schedule over all accepted
 // guesses (by true makespan) is returned.
+//
+// Search is a convenience wrapper over SearchSeq — and therefore over the
+// exact driver SearchSpec uses — for callers with a plain Decision and no
+// cancellation needs.
 func Search(lb, ub, step float64, maxGuesses int, dec Decision) SearchResult {
-	res := newSearchResult()
-	if maxGuesses <= 0 {
-		maxGuesses = 40
+	eval := func(_ context.Context, guess float64) (*sched.Schedule, bool) {
+		return dec(guess)
 	}
-	if step <= 0 {
-		step = 1e-9
-	}
-	lo, hi := lb, ub
-	// Always test the upper bound first: it must be accepted and gives a
-	// fallback schedule.
-	if s, ok := dec(hi); ok && s != nil {
-		res.Guesses++
-		ms := s.Makespan()
-		if ms < res.Makespan {
-			res.Schedule, res.Makespan, res.FinalGuess = s, ms, hi
+	commit := func(_ float64, s *sched.Schedule, ok bool) *sched.Schedule {
+		if !ok {
+			return nil
 		}
-	} else {
-		res.Guesses++
+		return s
 	}
-	for hi-lo > step && res.Guesses < maxGuesses {
-		mid := (lo + hi) / 2
-		s, ok := dec(mid)
-		res.Guesses++
-		if ok && s != nil {
-			hi = mid
-			if ms := s.Makespan(); ms < res.Makespan {
-				res.Schedule, res.Makespan, res.FinalGuess = s, ms, mid
-			}
-		} else {
-			lo = mid
-		}
-	}
-	return res
+	return SearchSeq(context.Background(), lb, ub, step, maxGuesses, eval, commit)
 }

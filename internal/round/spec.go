@@ -1,37 +1,52 @@
 package round
 
-import "repro/internal/sched"
+import (
+	"context"
 
-// inflight is one speculative guess evaluation running in its own
-// goroutine. val and ok are written exactly once, before done is closed.
-// Closing cancel tells the evaluation its result will never be consumed,
-// so it may abort early.
+	"repro/internal/sched"
+)
+
+// inflight is one guess evaluation. Speculative evaluations run in their
+// own goroutine under a child context; sequential evaluations run inline
+// on the search goroutine (done is closed before launch returns). val and
+// ok are written exactly once, before done is closed. Calling cancel
+// tells a speculative evaluation its result will never be consumed, so it
+// may abort early.
 type inflight[T any] struct {
 	guess  float64
 	done   chan struct{}
-	cancel chan struct{}
+	cancel context.CancelFunc
 	val    T
 	ok     bool
 }
 
-func start[T any](guess float64, eval func(guess float64, cancel <-chan struct{}) (T, bool)) *inflight[T] {
-	f := &inflight[T]{
-		guess:  guess,
-		done:   make(chan struct{}),
-		cancel: make(chan struct{}),
+// launch starts the evaluation of one guess. With speculate=false the
+// evaluation runs synchronously under the search's own context — this is
+// the degenerate sequential case, sharing every other line of the driver
+// with the speculative search so the two cannot drift.
+func launch[T any](ctx context.Context, guess float64,
+	eval func(ctx context.Context, guess float64) (T, bool), speculate bool) *inflight[T] {
+	f := &inflight[T]{guess: guess, done: make(chan struct{})}
+	if !speculate {
+		f.val, f.ok = eval(ctx, guess)
+		close(f.done)
+		return f
 	}
+	child, cancel := context.WithCancel(ctx)
+	f.cancel = cancel
 	go func() {
-		f.val, f.ok = eval(guess, f.cancel)
+		f.val, f.ok = eval(child, guess)
 		close(f.done)
 	}()
 	return f
 }
 
 // abandon cancels an evaluation whose result will not be consumed. Nil
-// receivers are allowed (no speculation was launched for that branch).
+// receivers are allowed (no speculation was launched for that branch);
+// sequential inflights have no cancel and nothing to abandon.
 func (f *inflight[T]) abandon() {
-	if f != nil {
-		close(f.cancel)
+	if f != nil && f.cancel != nil {
+		f.cancel()
 	}
 }
 
@@ -44,33 +59,61 @@ func drain[T any](abandoned []*inflight[T]) {
 	}
 }
 
-// SearchSpec runs the same dual-approximation binary search as Search but
-// evaluates makespan guesses speculatively in parallel. The sequential
-// search's future guesses form a binary tree rooted at the current
-// midpoint: if the midpoint is accepted the next guess is the lower-half
-// midpoint, otherwise the upper-half midpoint. Each round therefore
-// launches the current guess and both possible successors concurrently —
-// up to three live evaluations at a time (two in the opening round,
-// where the first midpoint runs alongside the upper-bound probe), plus
-// any abandoned evaluations still winding down — and abandons the
-// successor on the branch not taken.
+// SearchSeq runs the dual-approximation binary search, evaluating one
+// makespan guess at a time on the calling goroutine. It shares the
+// eval/commit contract and every line of interval logic with SearchSpec
+// (it is literally the same driver with speculation disabled), so the
+// consumed guess sequence of the two is identical by construction.
+//
+// The context is passed to every eval; when it is canceled or expires the
+// search stops before the next guess and returns the best result so far
+// (callers detect the abort via ctx.Err()).
+func SearchSeq[T any](ctx context.Context, lb, ub, step float64, maxGuesses int,
+	eval func(ctx context.Context, guess float64) (T, bool),
+	commit func(guess float64, v T, ok bool) *sched.Schedule,
+) SearchResult {
+	return search(ctx, lb, ub, step, maxGuesses, eval, commit, false)
+}
+
+// SearchSpec runs the same dual-approximation binary search as SearchSeq
+// but evaluates makespan guesses speculatively in parallel. The
+// sequential search's future guesses form a binary tree rooted at the
+// current midpoint: if the midpoint is accepted the next guess is the
+// lower-half midpoint, otherwise the upper-half midpoint. Each round
+// therefore launches the current guess and both possible successors
+// concurrently — up to three live evaluations at a time (two in the
+// opening round, where the first midpoint runs alongside the upper-bound
+// probe), plus any abandoned evaluations still winding down — and
+// abandons the successor on the branch not taken.
 //
 // eval evaluates one guess and must be safe for concurrent use and pure
 // (independent of evaluation order); ok=false means the guess was
-// rejected. When the search abandons a speculative evaluation it closes
-// cancel, after which eval may give up early; its result is discarded
-// either way. commit is invoked exactly once per *consumed* guess, in
-// the precise order the sequential search would have evaluated them, and
-// returns the schedule for accepted guesses (nil rejects the guess).
-// Abandoned evaluations are never committed, so the consumed guess
-// sequence, the commit order and the returned result are all bit-for-bit
-// identical to Search over the equivalent sequential decision, regardless
-// of completion order of the concurrent evaluations. Before returning,
-// SearchSpec waits for every abandoned evaluation to wind down, so no
-// eval goroutine outlives the call.
-func SearchSpec[T any](lb, ub, step float64, maxGuesses int,
-	eval func(guess float64, cancel <-chan struct{}) (T, bool),
+// rejected. Each speculative eval receives a child context of ctx that is
+// canceled when the search abandons the evaluation, after which eval may
+// give up early; its result is discarded either way. commit is invoked
+// exactly once per *consumed* guess, in the precise order the sequential
+// search would have evaluated them, and returns the schedule for accepted
+// guesses (nil rejects the guess). Abandoned evaluations are never
+// committed, so the consumed guess sequence, the commit order and the
+// returned result are all bit-for-bit identical to SearchSeq over the
+// equivalent decision, regardless of completion order of the concurrent
+// evaluations. Before returning, SearchSpec waits for every abandoned
+// evaluation to wind down, so no eval goroutine outlives the call.
+func SearchSpec[T any](ctx context.Context, lb, ub, step float64, maxGuesses int,
+	eval func(ctx context.Context, guess float64) (T, bool),
 	commit func(guess float64, v T, ok bool) *sched.Schedule,
+) SearchResult {
+	return search(ctx, lb, ub, step, maxGuesses, eval, commit, true)
+}
+
+// search is the single driver behind Search, SearchSeq and SearchSpec.
+// speculate=false degenerates it to the strictly sequential search: every
+// launch evaluates inline (so cur is always done) and no successors are
+// speculated.
+func search[T any](ctx context.Context, lb, ub, step float64, maxGuesses int,
+	eval func(ctx context.Context, guess float64) (T, bool),
+	commit func(guess float64, v T, ok bool) *sched.Schedule,
+	speculate bool,
 ) SearchResult {
 	res := newSearchResult()
 	if maxGuesses <= 0 {
@@ -94,6 +137,10 @@ func SearchSpec[T any](lb, ub, step float64, maxGuesses int,
 
 	consume := func(f *inflight[T]) bool {
 		<-f.done
+		if f.cancel != nil {
+			// Release the child context of a completed evaluation.
+			f.cancel()
+		}
 		s := commit(f.guess, f.val, f.ok)
 		res.Guesses++
 		if f.ok && s != nil {
@@ -109,30 +156,31 @@ func SearchSpec[T any](lb, ub, step float64, maxGuesses int,
 	// speculate on the first midpoint while it runs: consuming the probe
 	// never narrows the interval, so the midpoint is consumed next
 	// whenever the loop runs at all.
-	probe := start(hi, eval)
+	probe := launch(ctx, hi, eval, speculate)
 	var next *inflight[T]
-	if hi-lo > step && maxGuesses > 1 {
-		next = start((lo+hi)/2, eval)
+	if speculate && hi-lo > step && maxGuesses > 1 {
+		next = launch(ctx, (lo+hi)/2, eval, true)
 	}
 	consume(probe)
 
-	for hi-lo > step && res.Guesses < maxGuesses {
+	for hi-lo > step && res.Guesses < maxGuesses && ctx.Err() == nil {
 		mid := (lo + hi) / 2
 		cur := next
 		next = nil
 		if cur == nil || cur.guess != mid {
 			discard(cur)
-			cur = start(mid, eval)
+			cur = launch(ctx, mid, eval, speculate)
 		}
 		// Launch both possible successors while cur evaluates — unless
 		// cur has already finished, in which case its branch is known
 		// the moment we consume it and the next iteration starts the
 		// right midpoint directly; speculating would only create an
-		// instantly-abandoned pipeline. The guards mirror the loop
-		// conditions at the next iteration ((lo+mid)/2 and (mid+hi)/2
-		// are the exact midpoints the halved intervals produce), so a
-		// successor is only skipped when the loop could not consume it
-		// anyway.
+		// instantly-abandoned pipeline. (In sequential mode cur is always
+		// already done, so no successor is ever speculated.) The guards
+		// mirror the loop conditions at the next iteration ((lo+mid)/2
+		// and (mid+hi)/2 are the exact midpoints the halved intervals
+		// produce), so a successor is only skipped when the loop could
+		// not consume it anyway.
 		var onAccept, onReject *inflight[T]
 		curDone := false
 		select {
@@ -142,10 +190,10 @@ func SearchSpec[T any](lb, ub, step float64, maxGuesses int,
 		}
 		if !curDone && res.Guesses+1 < maxGuesses {
 			if mid-lo > step {
-				onAccept = start((lo+mid)/2, eval)
+				onAccept = launch(ctx, (lo+mid)/2, eval, true)
 			}
 			if hi-mid > step {
-				onReject = start((mid+hi)/2, eval)
+				onReject = launch(ctx, (mid+hi)/2, eval, true)
 			}
 		}
 		if consume(cur) {

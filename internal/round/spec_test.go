@@ -1,6 +1,7 @@
 package round
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -32,7 +33,7 @@ func searchPair(t *testing.T, lb, ub, step float64, maxGuesses int, accept func(
 	seq = Search(lb, ub, step, maxGuesses, dec)
 
 	var mu sync.Mutex
-	eval := func(g float64, _ <-chan struct{}) (float64, bool) { return g, accept(g) }
+	eval := func(_ context.Context, g float64) (float64, bool) { return g, accept(g) }
 	commit := func(g float64, v float64, ok bool) *sched.Schedule {
 		mu.Lock()
 		specOrder = append(specOrder, g)
@@ -42,7 +43,7 @@ func searchPair(t *testing.T, lb, ub, step float64, maxGuesses int, accept func(
 		}
 		return guessSchedule(v)
 	}
-	spec = SearchSpec(lb, ub, step, maxGuesses, eval, commit)
+	spec = SearchSpec(context.Background(), lb, ub, step, maxGuesses, eval, commit)
 	return seq, spec, seqOrder, specOrder
 }
 
@@ -114,7 +115,7 @@ func TestSearchSpecRejectAll(t *testing.T) {
 // TestSearchSpecCommitSeesValue checks that commit receives the value the
 // concurrent eval produced for that exact guess.
 func TestSearchSpecCommitSeesValue(t *testing.T) {
-	eval := func(g float64, _ <-chan struct{}) (float64, bool) { return 3 * g, true }
+	eval := func(_ context.Context, g float64) (float64, bool) { return 3 * g, true }
 	commit := func(g float64, v float64, ok bool) *sched.Schedule {
 		if v != 3*g {
 			t.Errorf("commit for guess %v got value %v, want %v", g, v, 3*g)
@@ -124,9 +125,38 @@ func TestSearchSpecCommitSeesValue(t *testing.T) {
 		}
 		return guessSchedule(g)
 	}
-	res := SearchSpec(1, 2, 1e-3, 20, eval, commit)
+	res := SearchSpec(context.Background(), 1, 2, 1e-3, 20, eval, commit)
 	if res.Schedule == nil {
 		t.Fatal("no schedule from accept-all search")
+	}
+}
+
+// TestSearchSeqContextStopsEarly checks that canceling the context stops
+// the sequential driver before the next guess: the search returns what it
+// has instead of running out its guess budget.
+func TestSearchSeqContextStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	evals := 0
+	eval := func(_ context.Context, g float64) (float64, bool) {
+		evals++
+		if evals == 2 {
+			cancel()
+		}
+		return g, true
+	}
+	commit := func(_ float64, v float64, ok bool) *sched.Schedule {
+		if !ok {
+			return nil
+		}
+		return guessSchedule(v)
+	}
+	res := SearchSeq(ctx, 1, 2, 1e-6, 40, eval, commit)
+	if res.Guesses != 2 {
+		t.Errorf("canceled search consumed %d guesses, want 2 (probe + first midpoint)", res.Guesses)
+	}
+	if res.Schedule == nil {
+		t.Error("canceled search dropped the best-so-far schedule")
 	}
 }
 
@@ -135,11 +165,11 @@ func TestSearchSpecCommitSeesValue(t *testing.T) {
 // search returns, even when they are slow to notice the cancellation.
 func TestSearchSpecDrainsAbandoned(t *testing.T) {
 	var active atomic.Int32
-	eval := func(g float64, cancel <-chan struct{}) (float64, bool) {
+	eval := func(ctx context.Context, g float64) (float64, bool) {
 		active.Add(1)
 		defer active.Add(-1)
 		select {
-		case <-cancel:
+		case <-ctx.Done():
 		case <-time.After(2 * time.Millisecond):
 		}
 		return g, g >= 1.5
@@ -150,7 +180,7 @@ func TestSearchSpecDrainsAbandoned(t *testing.T) {
 		}
 		return guessSchedule(v)
 	}
-	res := SearchSpec(1, 2, 1e-3, 20, eval, commit)
+	res := SearchSpec(context.Background(), 1, 2, 1e-3, 20, eval, commit)
 	if res.Schedule == nil {
 		t.Fatal("no schedule")
 	}
@@ -166,9 +196,9 @@ func TestSearchSpecAbandonsLosers(t *testing.T) {
 	var mu sync.Mutex
 	committed := map[float64]bool{}
 	cancels := map[float64]<-chan struct{}{}
-	eval := func(g float64, cancel <-chan struct{}) (float64, bool) {
+	eval := func(ctx context.Context, g float64) (float64, bool) {
 		mu.Lock()
-		cancels[g] = cancel
+		cancels[g] = ctx.Done()
 		mu.Unlock()
 		return g, g >= 1.3
 	}
@@ -181,7 +211,7 @@ func TestSearchSpecAbandonsLosers(t *testing.T) {
 		}
 		return guessSchedule(v)
 	}
-	res := SearchSpec(1, 2, 1e-2, 40, eval, commit)
+	res := SearchSpec(context.Background(), 1, 2, 1e-2, 40, eval, commit)
 	if res.Schedule == nil {
 		t.Fatal("no schedule")
 	}
