@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json ci
+.PHONY: all build vet test race bench bench-smoke bench-json bench-compare fuzz ci
 
 all: ci
 
@@ -16,19 +16,33 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark in the repository, including the internal
+# package benchmarks (pattern, placer, pipeline, milp, numeric).
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
 # bench-smoke runs every benchmark exactly once so CI notices when a
 # benchmark rots (fails to compile or crashes) without paying for real
 # measurements.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 # bench-json snapshots the EPTAS hot-path benchmarks to BENCH_<date>.json,
 # extending the performance trajectory. See cmd/benchjson.
 bench-json:
 	$(GO) run ./cmd/benchjson
 
-# ci is what .github/workflows/ci.yml runs.
+# bench-compare runs the tracked hot-path benchmarks fresh and diffs them
+# against the latest committed BENCH_*.json snapshot, failing on a >25%
+# ns/op regression. CI runs it as a non-blocking report step (benchmark
+# noise on shared runners must not fail the build).
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -benchtime 3x
+
+# fuzz runs the native fuzz target for a short burst.
+fuzz:
+	$(GO) test -fuzz FuzzSolveEPTAS -fuzztime 30s .
+
+# ci is what .github/workflows/ci.yml runs (plus a non-blocking
+# bench-compare step).
 ci: vet build race bench-smoke

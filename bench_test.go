@@ -165,7 +165,7 @@ func benchPatternEnum(b *testing.B, eps float64) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{Limit: 2_000_000})
+		sp, err := pattern.Enumerate(context.Background(), tr.Inst, tr.View, tr.Priority, pattern.Options{Limit: 2_000_000})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,11 +6,16 @@
 // Usage:
 //
 //	benchjson [-bench regexp] [-benchtime 1x] [-count 1] [-out file]
+//	benchjson -compare [-benchtime 3x] [-count 1] [-threshold 1.25]
 //
 // By default it runs the EPTAS hot-path benchmarks (the EX suite of
 // bench_test.go) once each and writes BENCH_<YYYY-MM-DD>.json in the
-// current directory. It shells out to "go test -bench", so it needs the
-// go toolchain — the same requirement as building the repo.
+// current directory. With -compare it instead runs the tracked hot-path
+// benchmarks fresh, diffs their ns/op against the latest committed
+// BENCH_*.json snapshot, writes no file, and exits non-zero when any
+// tracked benchmark regressed by more than the threshold (default 25%).
+// It shells out to "go test -bench", so it needs the go toolchain — the
+// same requirement as building the repo.
 package main
 
 import (
@@ -20,9 +25,12 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -31,6 +39,19 @@ import (
 // after "Ex" keeps BenchmarkExactSolver and other substrate
 // micro-benchmarks out of the default snapshot).
 const defaultBench = "BenchmarkEx[A-Z]"
+
+// tracked lists the hot-path benchmarks bench-compare gates on: the
+// pattern-enumeration stage, the end-to-end EPTAS solves that dominate
+// production cost, and the speculative search. Benchmarks outside this
+// list still land in snapshots but never fail the comparison.
+var tracked = []string{
+	"BenchmarkExF1AdversarialEPTAS",
+	"BenchmarkExL6PatternEnum_Eps050",
+	"BenchmarkExL6PatternEnum_Eps040",
+	"BenchmarkExL7PipelineWithRepairs",
+	"BenchmarkExT2ScaleN080",
+	"BenchmarkExS2SpeculationOn",
+}
 
 // Snapshot is the file format of one benchmark run.
 type Snapshot struct {
@@ -64,20 +85,26 @@ func main() {
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = one iteration per benchmark)")
 	count := flag.Int("count", 1, "go test -count value")
 	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
+	compare := flag.Bool("compare", false, "compare a fresh run of the tracked benchmarks against the latest committed BENCH_*.json instead of writing a snapshot")
+	threshold := flag.Float64("threshold", 1.25, "ns/op ratio above which -compare reports a regression")
 	flag.Parse()
 
-	if err := run(*bench, *benchtime, *count, *out); err != nil {
+	var err error
+	if *compare {
+		err = runCompare(*benchtime, *count, *threshold)
+	} else {
+		err = run(*bench, *benchtime, *count, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime string, count int, out string) error {
-	date := time.Now().Format("2006-01-02")
-	if out == "" {
-		out = fmt.Sprintf("BENCH_%s.json", date)
-	}
-
+// runBench shells out to go test -bench and parses the result lines.
+// With count > 1 the minimum ns/op per benchmark is kept (the most
+// noise-resistant statistic for regression gating).
+func runBench(bench, benchtime string, count int) ([]Result, error) {
 	cmd := exec.Command("go", "test",
 		"-run", "^$",
 		"-bench", bench,
@@ -88,21 +115,13 @@ func run(bench, benchtime string, count int, out string) error {
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		return err
+		return nil, err
 	}
-
-	snap := Snapshot{
-		Date:      date,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Bench:     bench,
-		BenchTime: benchtime,
-	}
+	best := make(map[string]Result)
+	var order []string
 	sc := bufio.NewScanner(stdout)
 	for sc.Scan() {
 		line := sc.Text()
@@ -120,16 +139,48 @@ func run(bench, benchtime string, count int, out string) error {
 		if m[5] != "" {
 			r.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
 		}
-		snap.Results = append(snap.Results, r)
+		prev, seen := best[r.Name]
+		if !seen {
+			order = append(order, r.Name)
+			best[r.Name] = r
+		} else if r.NsPerOp < prev.NsPerOp {
+			best[r.Name] = r
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	if err := cmd.Wait(); err != nil {
-		return fmt.Errorf("go test -bench: %w", err)
+		return nil, fmt.Errorf("go test -bench: %w", err)
 	}
-	if len(snap.Results) == 0 {
+	results := make([]Result, 0, len(order))
+	for _, name := range order {
+		results = append(results, best[name])
+	}
+	return results, nil
+}
+
+func run(bench, benchtime string, count int, out string) error {
+	date := time.Now().Format("2006-01-02")
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", date)
+	}
+	results, err := runBench(bench, benchtime, count)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
 		return fmt.Errorf("no benchmark results matched %q", bench)
+	}
+	snap := Snapshot{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Bench:     bench,
+		BenchTime: benchtime,
+		Results:   results,
 	}
 
 	f, err := os.Create(out)
@@ -146,5 +197,78 @@ func run(bench, benchtime string, count int, out string) error {
 		return werr
 	}
 	fmt.Printf("wrote %d results to %s\n", len(snap.Results), out)
+	return nil
+}
+
+// latestSnapshot locates the newest committed BENCH_*.json by name (the
+// date-stamped names sort chronologically).
+func latestSnapshot() (string, *Snapshot, error) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", nil, err
+	}
+	if len(files) == 0 {
+		return "", nil, fmt.Errorf("no BENCH_*.json snapshot found; run benchjson (or make bench-json) first")
+	}
+	sort.Strings(files)
+	path := files[len(files)-1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return "", nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return path, &snap, nil
+}
+
+// runCompare diffs a fresh run of the tracked benchmarks against the
+// latest committed snapshot and fails on a >threshold ns/op regression.
+func runCompare(benchtime string, count int, threshold float64) error {
+	path, base, err := latestSnapshot()
+	if err != nil {
+		return err
+	}
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	pattern := "^(" + strings.Join(tracked, "|") + ")$"
+	fresh, err := runBench(pattern, benchtime, count)
+	if err != nil {
+		return err
+	}
+	current := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		current[r.Name] = r
+	}
+
+	fmt.Printf("\nbench-compare against %s (threshold %.0f%%):\n", path, (threshold-1)*100)
+	var regressions []string
+	for _, name := range tracked {
+		old, okOld := baseline[name]
+		now, okNow := current[name]
+		switch {
+		case !okNow:
+			// A tracked benchmark that no longer runs is itself a
+			// regression — this is how the gate notices rotted benchmarks.
+			regressions = append(regressions, fmt.Sprintf("%s: missing from fresh run", name))
+		case !okOld:
+			fmt.Printf("  %-36s %12.0f ns/op (new, no baseline)\n", name, now.NsPerOp)
+		default:
+			ratio := now.NsPerOp / old.NsPerOp
+			verdict := "ok"
+			if ratio > threshold {
+				verdict = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx)", name, old.NsPerOp, now.NsPerOp, ratio))
+			}
+			fmt.Printf("  %-36s %12.0f -> %10.0f ns/op  %5.2fx  %s\n", name, old.NsPerOp, now.NsPerOp, ratio, verdict)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d tracked benchmark(s) regressed:\n  %s", len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("no tracked regressions")
 	return nil
 }

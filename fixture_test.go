@@ -9,18 +9,89 @@ import (
 	"repro/internal/sched"
 )
 
-// TestFixtureRoundTrip exercises the on-disk interchange format end to
-// end: read a committed instance, solve it, serialize the schedule, and
-// check the decoded statistics agree — the workflow of cmd/benchgen +
-// cmd/bagsched.
-//
-// The fixture is deterministic (workload generators are seeded);
-// regenerate it with:
+// TestFixtureCorpus exercises the on-disk interchange format end to end
+// over every committed instance under testdata/: read, solve, serialize
+// the schedule, and confirm the identical solve after a round trip — the
+// workflow of cmd/benchgen + cmd/bagsched. New fixtures are picked up
+// automatically; regenerate or extend the corpus with, e.g.:
 //
 //	go run ./cmd/benchgen -family bimodal -machines 6 -jobs 24 -bags 8 \
 //	    -out testdata/bimodal_m6_n24.json
-func TestFixtureRoundTrip(t *testing.T) {
-	f, err := os.Open(filepath.Join("testdata", "bimodal_m6_n24.json"))
+//	go run ./cmd/benchgen -family adversarial -machines 8 -jobs 24 -bags 8 \
+//	    -seed 1 -out testdata/adversarial_m8_n24.json
+//	go run ./cmd/benchgen -family manylarge -machines 6 -jobs 24 -bags 8 \
+//	    -seed 3 -out testdata/manylarge_m6_n16.json
+func TestFixtureCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("fixture corpus shrank: only %d files under testdata/", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			in := readFixture(t, path)
+			if in.Machines < 1 || len(in.Jobs) == 0 {
+				t.Fatalf("degenerate fixture: m=%d n=%d", in.Machines, len(in.Jobs))
+			}
+			if err := in.Feasible(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := SolveEPTAS(in, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Schedule.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if lb := LowerBound(in); res.Makespan < lb-1e-9 {
+				t.Fatalf("makespan %.9f below lower bound %.9f", res.Makespan, lb)
+			}
+			var buf bytes.Buffer
+			if err := sched.WriteSchedule(&buf, res.Schedule); err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range []string{"assignment", "makespan", "loads"} {
+				if !bytes.Contains(buf.Bytes(), []byte(want)) {
+					t.Errorf("schedule JSON missing %q", want)
+				}
+			}
+			// Re-read the instance and confirm the identical solve (the
+			// library is deterministic end to end, including through
+			// serialization).
+			res2, err := SolveEPTAS(readFixture(t, path), 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res2.Makespan != res.Makespan {
+				t.Errorf("non-deterministic through serialization: %.9f vs %.9f", res2.Makespan, res.Makespan)
+			}
+		})
+	}
+}
+
+// TestFixtureShapes pins the committed corpus: one fixture per family the
+// PR-level tests rely on, with the shapes they were generated at.
+func TestFixtureShapes(t *testing.T) {
+	shapes := map[string]struct{ m, n, b int }{
+		"bimodal_m6_n24.json":     {6, 24, 8},
+		"adversarial_m8_n24.json": {8, 24, 6},
+		"manylarge_m6_n16.json":   {6, 16, 8},
+	}
+	for name, want := range shapes {
+		in := readFixture(t, filepath.Join("testdata", name))
+		if in.Machines != want.m || len(in.Jobs) != want.n || in.NumBags != want.b {
+			t.Errorf("%s shape changed: m=%d n=%d b=%d, want m=%d n=%d b=%d",
+				name, in.Machines, len(in.Jobs), in.NumBags, want.m, want.n, want.b)
+		}
+	}
+}
+
+func readFixture(t *testing.T, path string) *Instance {
+	t.Helper()
+	f, err := os.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,41 +100,5 @@ func TestFixtureRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if in.Machines != 6 || len(in.Jobs) != 24 || in.NumBags != 8 {
-		t.Fatalf("fixture shape changed: m=%d n=%d b=%d", in.Machines, len(in.Jobs), in.NumBags)
-	}
-	res, err := SolveEPTAS(in, 0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := res.Schedule.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := sched.WriteSchedule(&buf, res.Schedule); err != nil {
-		t.Fatal(err)
-	}
-	for _, want := range []string{"assignment", "makespan", "loads"} {
-		if !bytes.Contains(buf.Bytes(), []byte(want)) {
-			t.Errorf("schedule JSON missing %q", want)
-		}
-	}
-	// Re-read the instance and confirm the identical solve (the library
-	// is deterministic end to end, including through serialization).
-	f2, err := os.Open(filepath.Join("testdata", "bimodal_m6_n24.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f2.Close()
-	in2, err := sched.ReadInstance(f2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res2, err := SolveEPTAS(in2, 0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res2.Makespan != res.Makespan {
-		t.Errorf("non-deterministic through serialization: %.9f vs %.9f", res2.Makespan, res.Makespan)
-	}
+	return in
 }

@@ -89,12 +89,29 @@ type Plan struct {
 	HasY bool
 }
 
-// Build constructs the MILP for the transformed instance in with bag
-// priority flags prio over the pattern space sp. The context is polled
-// between constraint blocks (the per-pattern loops of ModePaper can be
-// large); a canceled or expired ctx aborts the build and returns
-// ctx.Err().
-func Build(ctx context.Context, in *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Space, mode Mode) (*Built, error) {
+// BuildOptions selects the model flavour and the numeric path.
+type BuildOptions struct {
+	// Mode selects the model flavour.
+	Mode Mode
+	// Float64Ref accumulates the small-job area and applies the
+	// constraint (7) integrality threshold with the retained float64
+	// reference arithmetic (the pre-fixed-point seed path). The produced
+	// model is bit-identical either way; the flag exists for differential
+	// testing.
+	Float64Ref bool
+}
+
+// Build constructs the MILP for the transformed instance in (with
+// numeric view, see classify.View) with bag priority flags prio over the
+// pattern space sp. Coverage coefficients and right-hand sides are exact
+// integers derived from the view; the small-job area right-hand side is
+// an exact fixed-point sum lifted to float64 once. Only the LP interior
+// stays float64. The context is polled between constraint blocks (the
+// per-pattern loops of ModePaper can be large); a canceled or expired
+// ctx aborts the build and returns ctx.Err().
+func Build(ctx context.Context, in *sched.Instance, view *classify.View, prio []bool, sp *pattern.Space, opt BuildOptions) (*Built, error) {
+	info := view.Info
+	mode := opt.Mode
 	b := &Built{Mode: mode, Space: sp}
 	prob := lp.NewProblem()
 
@@ -107,19 +124,18 @@ func Build(ctx context.Context, in *sched.Instance, info *classify.Info, prio []
 		integers = append(integers, v)
 	}
 
-	// Instance statistics.
+	// Instance statistics, resolved through the exact view (no per-job
+	// float64 searches).
 	mlPrio := make(map[bagSize]int) // priority (bag, ML size) counts
 	xTotals := make(map[int]int)    // large size -> non-priority count
 	smallPrio := make(map[bagSize]int)
 	smallX := make(map[int]int) // small size -> non-priority count
 	smallCountByBag := make(map[int]int)
-	smallArea := 0.0
+	var smallAreaFx numeric.Fx
+	smallAreaRef := 0.0
 	for j, job := range in.Jobs {
-		si := sizeIndexOf(info.Sizes, job.Size)
-		if si < 0 {
-			return nil, fmt.Errorf("cfgmilp: job %d size %g missing from size table", j, job.Size)
-		}
-		cls := info.ClassOf(job.Size)
+		si := view.JobIdx[j]
+		cls := info.SizeClass[si]
 		switch {
 		case cls != classify.Small && prio[job.Bag]:
 			mlPrio[bagSize{job.Bag, si}]++
@@ -128,7 +144,10 @@ func Build(ctx context.Context, in *sched.Instance, info *classify.Info, prio []
 		case cls == classify.Medium:
 			return nil, fmt.Errorf("cfgmilp: medium job %d in non-priority bag %d; transform first", j, job.Bag)
 		case cls == classify.Small:
-			smallArea += job.Size
+			smallAreaFx += view.JobFx[j]
+			if opt.Float64Ref {
+				smallAreaRef += job.Size
+			}
 			smallCountByBag[job.Bag]++
 			if prio[job.Bag] {
 				smallPrio[bagSize{job.Bag, si}]++
@@ -136,6 +155,13 @@ func Build(ctx context.Context, in *sched.Instance, info *classify.Info, prio []
 				smallX[si]++
 			}
 		}
+	}
+	// Exact lift: for grid sizes the fixed sum and the float sum agree
+	// bit for bit (numeric package contract); the reference path keeps
+	// the seed's float accumulation for the differential tests.
+	smallArea := smallAreaFx.Float()
+	if opt.Float64Ref {
+		smallArea = smallAreaRef
 	}
 
 	// (1) sum_p x_p = m (the empty pattern absorbs idle machines).
@@ -222,13 +248,20 @@ func Build(ctx context.Context, in *sched.Instance, info *classify.Info, prio []
 		// pattern avoids the bag (constraint (5) zeroes the rest, so we
 		// never materialize them). Integral when size > sigma ((7)-(8)).
 		for _, ks := range bagSizeKeys(smallPrio) {
+			// Constraint (7) integrality: exact integer compare against
+			// the folded Sigma+Tol capacity (reference: the seed's float
+			// compare — identical by the numeric.Cap equivalence).
+			integral := info.SizesFx[ks.si] > info.SigmaCapFx
+			if opt.Float64Ref {
+				integral = info.Sizes[ks.si] > info.Sigma+numeric.Tol
+			}
 			for p := range sp.Patterns {
 				if sp.Patterns[p].ChiBag(ks.bag) {
 					continue
 				}
 				v := prob.AddVar(0)
 				b.YVar[YKey{Pattern: p, Bag: ks.bag, SizeIdx: ks.si}] = v
-				if info.Sizes[ks.si] > info.Sigma+numeric.Tol {
+				if integral {
 					integers = append(integers, v)
 				}
 			}
@@ -367,26 +400,4 @@ func intKeys(m map[int]int) []int {
 	}
 	sort.Ints(keys)
 	return keys
-}
-
-// sizeIndexOf locates size in the decreasing size table within tolerance.
-func sizeIndexOf(sizes []float64, size float64) int {
-	lo, hi := 0, len(sizes)-1
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		switch {
-		case numeric.Eq(sizes[mid], size):
-			return mid
-		case sizes[mid] > size:
-			lo = mid + 1
-		default:
-			hi = mid - 1
-		}
-	}
-	for i, s := range sizes {
-		if numeric.Eq(s, size) {
-			return i
-		}
-	}
-	return -1
 }

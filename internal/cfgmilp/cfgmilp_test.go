@@ -16,7 +16,7 @@ import (
 
 // setup builds the full pre-MILP pipeline on an instance scaled by its
 // bag-LPT makespan.
-func setup(t *testing.T, in *sched.Instance, eps float64, bprime int) (*sched.Instance, *classify.Info, []bool, *pattern.Space) {
+func setup(t *testing.T, in *sched.Instance, eps float64, bprime int) (*sched.Instance, *classify.View, []bool, *pattern.Space) {
 	t.Helper()
 	ub, err := greedy.BagLPT(in)
 	if err != nil {
@@ -28,16 +28,16 @@ func setup(t *testing.T, in *sched.Instance, eps float64, bprime int) (*sched.In
 		t.Fatal(err)
 	}
 	tr := transform.Apply(scaled, info)
-	sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{})
+	sp, err := pattern.Enumerate(context.Background(), tr.Inst, tr.View, tr.Priority, pattern.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return tr.Inst, info, tr.Priority, sp
+	return tr.Inst, tr.View, tr.Priority, sp
 }
 
-func solvePlan(t *testing.T, tInst *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Space, mode Mode) *Plan {
+func solvePlan(t *testing.T, tInst *sched.Instance, view *classify.View, prio []bool, sp *pattern.Space, mode Mode) *Plan {
 	t.Helper()
-	built, err := Build(context.Background(), tInst, info, prio, sp, mode)
+	built, err := Build(context.Background(), tInst, view, prio, sp, BuildOptions{Mode: mode})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -58,9 +58,9 @@ func TestDecomposedFeasibleAtUpperBound(t *testing.T) {
 		in := workload.MustGenerate(workload.Spec{
 			Family: workload.Bimodal, Machines: 6, Jobs: 24, Bags: 12, Seed: seed,
 		})
-		tInst, info, prio, sp := setup(t, in, 0.5, 2)
-		plan := solvePlan(t, tInst, info, prio, sp, ModeDecomposed)
-		checkPlanStructure(t, tInst, info, prio, sp, plan)
+		tInst, view, prio, sp := setup(t, in, 0.5, 2)
+		plan := solvePlan(t, tInst, view, prio, sp, ModeDecomposed)
+		checkPlanStructure(t, tInst, view, prio, sp, plan)
 	}
 }
 
@@ -69,18 +69,18 @@ func TestPaperModeFeasibleAtUpperBound(t *testing.T) {
 		in := workload.MustGenerate(workload.Spec{
 			Family: workload.Bimodal, Machines: 4, Jobs: 14, Bags: 6, Seed: seed,
 		})
-		tInst, info, prio, sp := setup(t, in, 0.5, 2)
-		plan := solvePlan(t, tInst, info, prio, sp, ModePaper)
+		tInst, view, prio, sp := setup(t, in, 0.5, 2)
+		plan := solvePlan(t, tInst, view, prio, sp, ModePaper)
 		if !plan.HasY {
 			t.Fatal("paper mode plan lacks Y")
 		}
-		checkPlanStructure(t, tInst, info, prio, sp, plan)
-		checkYStructure(t, tInst, info, prio, sp, plan)
+		checkPlanStructure(t, tInst, view, prio, sp, plan)
+		checkYStructure(t, tInst, view, prio, sp, plan)
 	}
 }
 
 // checkPlanStructure verifies constraints (1) and (2) on the decoded plan.
-func checkPlanStructure(t *testing.T, tInst *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Space, plan *Plan) {
+func checkPlanStructure(t *testing.T, tInst *sched.Instance, view *classify.View, prio []bool, sp *pattern.Space, plan *Plan) {
 	t.Helper()
 	total := 0
 	for _, c := range plan.XCount {
@@ -96,12 +96,12 @@ func checkPlanStructure(t *testing.T, tInst *sched.Instance, info *classify.Info
 	type key struct{ bag, si int }
 	need := make(map[key]int)
 	needX := make(map[int]int)
-	for _, job := range tInst.Jobs {
-		cls := info.ClassOf(job.Size)
+	for j, job := range tInst.Jobs {
+		cls := view.Class(j)
 		if cls == classify.Small {
 			continue
 		}
-		si := sizeIndexOf(info.Sizes, job.Size)
+		si := view.JobIdx[j]
 		if prio[job.Bag] {
 			need[key{job.Bag, si}]++
 		} else {
@@ -129,14 +129,15 @@ func checkPlanStructure(t *testing.T, tInst *sched.Instance, info *classify.Info
 }
 
 // checkYStructure verifies constraints (3)-(5) on the decoded y values.
-func checkYStructure(t *testing.T, tInst *sched.Instance, info *classify.Info, prio []bool, sp *pattern.Space, plan *Plan) {
+func checkYStructure(t *testing.T, tInst *sched.Instance, view *classify.View, prio []bool, sp *pattern.Space, plan *Plan) {
 	t.Helper()
+	info := view.Info
 	// (3): coverage of priority small jobs.
 	type key struct{ bag, si int }
 	counts := make(map[key]int)
-	for _, job := range tInst.Jobs {
-		if info.ClassOf(job.Size) == classify.Small && prio[job.Bag] {
-			counts[key{job.Bag, sizeIndexOf(info.Sizes, job.Size)}]++
+	for j, job := range tInst.Jobs {
+		if view.Class(j) == classify.Small && prio[job.Bag] {
+			counts[key{job.Bag, view.JobIdx[j]}]++
 		}
 	}
 	for k, n := range counts {
@@ -187,11 +188,11 @@ func TestInfeasibleWhenNoSlotFits(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := transform.Apply(scaled, info)
-	sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{})
+	sp, err := pattern.Enumerate(context.Background(), tr.Inst, tr.View, tr.Priority, pattern.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Build(context.Background(), tr.Inst, info, tr.Priority, sp, ModeDecomposed)
+	_, err = Build(context.Background(), tr.Inst, tr.View, tr.Priority, sp, BuildOptions{Mode: ModeDecomposed})
 	if err == nil {
 		t.Fatal("expected structural infeasibility")
 	}
@@ -213,11 +214,11 @@ func TestMILPInfeasibleAtLowGuess(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := transform.Apply(scaled, info)
-	sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{})
+	sp, err := pattern.Enumerate(context.Background(), tr.Inst, tr.View, tr.Priority, pattern.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	built, err := Build(context.Background(), tr.Inst, info, tr.Priority, sp, ModeDecomposed)
+	built, err := Build(context.Background(), tr.Inst, tr.View, tr.Priority, sp, BuildOptions{Mode: ModeDecomposed})
 	if err != nil {
 		return // structural infeasibility is also acceptable
 	}
@@ -250,15 +251,15 @@ func TestIntegerVarCounts(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{
 		Family: workload.Bimodal, Machines: 4, Jobs: 12, Bags: 6, Seed: 2,
 	})
-	tInst, info, prio, sp := setup(t, in, 0.5, 2)
-	dec, err := Build(context.Background(), tInst, info, prio, sp, ModeDecomposed)
+	tInst, view, prio, sp := setup(t, in, 0.5, 2)
+	dec, err := Build(context.Background(), tInst, view, prio, sp, BuildOptions{Mode: ModeDecomposed})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dec.IntegerVars != len(sp.Patterns) {
 		t.Errorf("decomposed integer vars = %d, want %d", dec.IntegerVars, len(sp.Patterns))
 	}
-	pap, err := Build(context.Background(), tInst, info, prio, sp, ModePaper)
+	pap, err := Build(context.Background(), tInst, view, prio, sp, BuildOptions{Mode: ModePaper})
 	if err != nil {
 		t.Fatal(err)
 	}

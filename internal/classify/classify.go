@@ -65,8 +65,21 @@ type Info struct {
 	// priority bags larger than Sigma get integral MILP variables.
 	Sigma float64
 
+	// TCapFx is the exact fixed-point pattern-capacity bound,
+	// numeric.Cap(T + Tol): for grid heights h, hFx <= TCapFx holds
+	// exactly when h <= T+Tol held on the float path. The tolerance band
+	// is folded in here once; every downstream capacity check is an exact
+	// integer comparison.
+	TCapFx numeric.Fx
+	// SigmaCapFx is the exact form of the constraint (7) threshold,
+	// numeric.Cap(Sigma + Tol).
+	SigmaCapFx numeric.Fx
+
 	// Sizes lists the distinct job sizes in decreasing order.
 	Sizes []float64
+	// SizesFx mirrors Sizes on the numeric.Fx grid (exact, since every
+	// post-Scale size is a grid value).
+	SizesFx []numeric.Fx
 	// SizeClass[i] is the class of Sizes[i].
 	SizeClass []Class
 	// JobSize[j] is the index into Sizes of job j's size.
@@ -147,9 +160,15 @@ func Classify(in *sched.Instance, eps float64, opt Options) (*Info, error) {
 	epsK, epsK1 := thresholds(eps, bestK)
 	info.Q = int(math.Floor(info.T/epsK1 + numeric.Tol))
 	info.Sigma = math.Pow(eps, float64(2*bestK+11))
+	info.TCapFx = numeric.Cap(info.T + numeric.Tol)
+	info.SigmaCapFx = numeric.Cap(info.Sigma + numeric.Tol)
 
 	// Distinct sizes, decreasing.
 	info.Sizes = distinctSizesDesc(in)
+	info.SizesFx = make([]numeric.Fx, len(info.Sizes))
+	for i, s := range info.Sizes {
+		info.SizesFx[i] = numeric.FromFloat(s)
+	}
 	info.SizeClass = make([]Class, len(info.Sizes))
 	for i, s := range info.Sizes {
 		info.SizeClass[i] = classOf(s, epsK, epsK1)

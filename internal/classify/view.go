@@ -1,0 +1,56 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+	"repro/internal/sched"
+)
+
+// View is the exact numeric view of one instance under a classification:
+// each job resolved to its exponent index in the shared size table and to
+// its exact fixed-point size. It is what the post-rounding stages
+// (pattern, cfgmilp, placer) operate on instead of re-deriving indices by
+// tolerant float64 searches per job.
+//
+// JobIdx feeds table lookups (size class, slot identity, per-index
+// coefficients); JobFx feeds load and area accounting. The two can differ
+// at the last grid steps: the size table merges sizes equal within
+// numeric.Tol, and JobIdx points at the merged representative while JobFx
+// keeps the job's own grid value — exactly mirroring the float path,
+// where slot identities used the table and loads used Job.Size.
+type View struct {
+	// Info is the classification the view is relative to.
+	Info *Info
+	// JobIdx[j] indexes Info.Sizes / Info.SizesFx for job j of the viewed
+	// instance.
+	JobIdx []int
+	// JobFx[j] is the exact fixed-point size of job j (the Fx form of
+	// Jobs[j].Size, which is a grid value post-Scale).
+	JobFx []numeric.Fx
+}
+
+// Class returns the size class of job j.
+func (v *View) Class(j int) Class { return v.Info.SizeClass[v.JobIdx[j]] }
+
+// ViewOf resolves every job of in against the classification's size
+// table and returns the numeric view. in must draw its sizes from the
+// instance Classify analysed (the scaled-rounded instance or its
+// Section 2.2 transformation); a job whose size is missing from the
+// table is an error.
+func (info *Info) ViewOf(in *sched.Instance) (*View, error) {
+	v := &View{
+		Info:   info,
+		JobIdx: make([]int, len(in.Jobs)),
+		JobFx:  make([]numeric.Fx, len(in.Jobs)),
+	}
+	for j, job := range in.Jobs {
+		si := findSize(info.Sizes, job.Size)
+		if si < 0 {
+			return nil, fmt.Errorf("classify: job %d size %g missing from size table", j, job.Size)
+		}
+		v.JobIdx[j] = si
+		v.JobFx[j] = numeric.FromFloat(job.Size)
+	}
+	return v, nil
+}

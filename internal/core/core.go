@@ -70,6 +70,12 @@ type Options struct {
 	// engine. Results are identical with and without the memo (the
 	// differential tests enforce this); disabling it only repeats work.
 	DisableMemo bool
+	// Float64Ref runs the post-rounding pipeline on the retained float64
+	// reference arithmetic instead of the exact int64 fixed-point
+	// representation. Results are bit-for-bit identical (the differential
+	// tests assert it across the workload corpus); the flag exists only
+	// for those tests and for benchmark baselines.
+	Float64Ref bool
 }
 
 // Stats describes the EPTAS search effort.
@@ -266,6 +272,7 @@ func pipelineConfig(opt Options) pipeline.Config {
 		AllPriority:    opt.AllPriority,
 		BPrimeOverride: opt.BPrimeOverride,
 		DisableMemo:    opt.DisableMemo,
+		Float64Ref:     opt.Float64Ref,
 	}
 }
 

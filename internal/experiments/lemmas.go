@@ -84,11 +84,11 @@ func runL6(cfg Config) (*Table, error) {
 				return nil, err
 			}
 			tr := transform.Apply(scaled, info)
-			sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{Limit: 2_000_000})
+			sp, err := pattern.Enumerate(context.Background(), tr.Inst, tr.View, tr.Priority, pattern.Options{Limit: 2_000_000})
 			if err != nil {
 				return nil, fmt.Errorf("L6: enumerate eps=%g n=%d: %w", eps, n, err)
 			}
-			built, err := cfgmilp.Build(context.Background(), tr.Inst, info, tr.Priority, sp, cfgmilp.ModeDecomposed)
+			built, err := cfgmilp.Build(context.Background(), tr.Inst, tr.View, tr.Priority, sp, cfgmilp.BuildOptions{Mode: cfgmilp.ModeDecomposed})
 			if err != nil {
 				return nil, fmt.Errorf("L6: build eps=%g n=%d: %w", eps, n, err)
 			}

@@ -1,0 +1,46 @@
+package milp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// feasibilityModel mimics the shape of the EPTAS configuration program: a
+// pure feasibility MILP (zero objective) with coverage (>=) rows over
+// integral pattern-count variables and one machine-count equality.
+func feasibilityModel(patterns, rows int) *Model {
+	p := lp.NewProblem()
+	ints := make([]int, patterns)
+	var all []lp.Term
+	for v := 0; v < patterns; v++ {
+		p.AddVar(0)
+		ints[v] = v
+		all = append(all, lp.Term{Var: v, Coef: 1})
+	}
+	p.AddConstraint(all, lp.EQ, 12)
+	for r := 0; r < rows; r++ {
+		var terms []lp.Term
+		for v := r % 3; v < patterns; v += 3 {
+			terms = append(terms, lp.Term{Var: v, Coef: float64(1 + (r+v)%2)})
+		}
+		p.AddConstraint(terms, lp.GE, float64(2+r%4))
+	}
+	return &Model{Prob: p, Integer: ints}
+}
+
+func BenchmarkSolveFeasibility(b *testing.B) {
+	m := feasibilityModel(36, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(context.Background(), m, Options{StopAtFirst: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != StatusOptimal && sol.Status != StatusFeasible {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package numeric
+
+import "math"
+
+// Fixed-point core of the post-rounding pipeline.
+//
+// After the Scale stage every job size of the EPTAS is a power (1+eps)^e
+// snapped onto the dyadic grid of Fx (see round.ScaleRound): sizes,
+// pattern heights, machine loads and capacity bounds all become exact
+// int64 arithmetic from the Classify stage down to the Lift boundary,
+// where they are converted back to float64 losslessly.
+//
+// # Denominator contract
+//
+// Fx is a two's-complement fixed-point value with FxFracBits (40)
+// fractional bits: the represented number is Fx / 2^40. The denominator
+// is a power of two on purpose — it makes the lift back to float64 exact
+// (a division by 2^40 only shifts the exponent), and it makes float64
+// arithmetic on lifted values exact as long as magnitudes stay small: a
+// sum of grid values of magnitude below 2^12 needs at most 52 mantissa
+// bits, so accumulating the lifted float64 values yields bit-for-bit the
+// same number as accumulating the Fx values and lifting once. This
+// exactness is what makes the fixed-point pipeline result-transparent
+// against the retained float64 reference path (the differential tests
+// assert it end to end). The grid is chosen fine (2^-40 ~ 9e-13, three
+// orders of magnitude below the float path's Tol) so that snapping the
+// scaled-rounded sizes onto it is far below every tolerance-guarded
+// decision boundary.
+//
+// # Overflow contract
+//
+// A single value must satisfy |x| < 2^23 (FromFloat panics beyond 2^22
+// as a safety margin); sums may use the full int64 range, i.e. up to
+// 2^23 values of maximal magnitude. The EPTAS operates on instances
+// scaled by a makespan guess of at least the lower bound, so sizes are
+// O(1), per-machine loads are O(1) and instance areas are O(machines) —
+// far inside the contract for any instance that fits in memory.
+type Fx int64
+
+// FxFracBits is the number of fractional bits of Fx.
+const FxFracBits = 40
+
+// FxOne is the Fx representation of 1.
+const FxOne Fx = 1 << FxFracBits
+
+// fxOneF is 2^FxFracBits as a float64 (exact).
+const fxOneF = float64(1 << FxFracBits)
+
+// fxMax is the largest magnitude FromFloat and CeilFromFloat accept; the
+// documented contract is 2^23, the guard trips at 2^22 to keep headroom
+// for the caller's next few additions.
+const fxMax = float64(1 << 22)
+
+// FromFloat converts x to Fx, rounding to the nearest grid value. For x
+// already on the grid (every post-Scale quantity) the conversion is
+// exact. It panics when |x| exceeds the overflow contract.
+func FromFloat(x float64) Fx {
+	if x >= fxMax || x <= -fxMax {
+		panic("numeric: fixed-point overflow: |value| must be < 2^22")
+	}
+	return Fx(math.Round(x * fxOneF))
+}
+
+// CeilFromFloat converts x to Fx, rounding up to the next grid value. It
+// is the quantization used at the Scale boundary: rounding up preserves
+// the geometric round-up invariant (the quantized size is never below
+// the value it replaces). It panics when |x| exceeds the overflow
+// contract.
+func CeilFromFloat(x float64) Fx {
+	if x >= fxMax || x <= -fxMax {
+		panic("numeric: fixed-point overflow: |value| must be < 2^22")
+	}
+	return Fx(math.Ceil(x * fxOneF))
+}
+
+// Cap converts an inclusive float64 upper bound x into its exact
+// fixed-point form floor(x * 2^FxFracBits). For any grid value s (an
+// exact Fx),
+//
+//	sFx <= Cap(x)  ⇔  s <= x   and   sFx > Cap(x)  ⇔  s > x,
+//
+// so a float64 comparison against x with a tolerance already folded in
+// (e.g. T + Tol) becomes one exact integer comparison. The product
+// x * 2^FxFracBits is computed exactly (multiplying a float64 by a power
+// of two only shifts its exponent), so no rounding ambiguity enters
+// here.
+func Cap(x float64) Fx {
+	return Fx(math.Floor(x * fxOneF))
+}
+
+// Float lifts f back to float64. The conversion is exact within the
+// overflow contract: values there need at most 23+40 = 63 bits of
+// magnitude and carry at most 53 significant bits after the int64 to
+// float64 conversion of an in-contract sum.
+func (f Fx) Float() float64 { return float64(f) / fxOneF }
+
+// MulInt returns f scaled by an integer multiplicity (slot counts).
+func (f Fx) MulInt(c int) Fx { return f * Fx(c) }
+
+// Quantize snaps x up to the Fx grid and returns the grid value as a
+// float64. It is the single entry point through which job sizes leave
+// the float64 world: after Quantize, all sums and comparisons of sizes
+// are exact in either representation.
+func Quantize(x float64) float64 { return CeilFromFloat(x).Float() }

@@ -1,0 +1,143 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFxRoundTripExactOnGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		f := Fx(rng.Int63n(1 << 52))
+		if got := FromFloat(f.Float()); got != f {
+			t.Fatalf("round trip: %d -> %g -> %d", f, f.Float(), got)
+		}
+	}
+}
+
+func TestQuantizeRoundsUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		x := rng.Float64() * 100
+		q := Quantize(x)
+		if q < x {
+			t.Fatalf("Quantize(%g) = %g below input", x, q)
+		}
+		if q-x > 1.0/fxOneF {
+			t.Fatalf("Quantize(%g) = %g off by more than one grid step", x, q)
+		}
+		if Quantize(q) != q {
+			t.Fatalf("Quantize not idempotent at %g", q)
+		}
+	}
+}
+
+// TestFloatSumMatchesFixedSum is the exactness property the whole
+// refactor rests on: for grid values of small magnitude, float64
+// accumulation and Fx accumulation agree bit for bit.
+func TestFloatSumMatchesFixedSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(500)
+		var fsum float64
+		var xsum Fx
+		for i := 0; i < n; i++ {
+			v := Quantize(rng.Float64() * 3)
+			fsum += v
+			xsum += FromFloat(v)
+		}
+		if fsum != xsum.Float() {
+			t.Fatalf("trial %d: float sum %v != fixed sum %v", trial, fsum, xsum.Float())
+		}
+	}
+}
+
+func TestCapComparisons(t *testing.T) {
+	// For grid s: sFx <= Cap(x) iff s <= x, including x on the grid.
+	cases := []struct{ s, x float64 }{
+		{1.5, 1.5}, {1.5, 1.5 + 1e-9}, {1.5, 1.5 - 1e-9},
+		{0.25, 0.75}, {2.25, 2.25}, {1e-9, 2e-9},
+	}
+	for _, c := range cases {
+		s := Quantize(c.s)
+		sFx := FromFloat(s)
+		if got, want := sFx <= Cap(c.x), s <= c.x; got != want {
+			t.Errorf("s=%v x=%v: fixed %v, float %v", s, c.x, got, want)
+		}
+		if got, want := sFx > Cap(c.x), s > c.x; got != want {
+			t.Errorf("strict s=%v x=%v: fixed %v, float %v", s, c.x, got, want)
+		}
+	}
+}
+
+func TestFxOverflowGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromFloat accepted an out-of-contract value")
+		}
+	}()
+	FromFloat(math.Ldexp(1, 31))
+}
+
+func TestKeyOfDeterministicAndSensitive(t *testing.T) {
+	a := []int{0, -3, 5, 5, 12}
+	if KeyOf(4, a) != KeyOf(4, a) {
+		t.Fatal("KeyOf not deterministic")
+	}
+	if KeyOf(4, a) == KeyOf(5, a) {
+		t.Error("machine count not part of the key")
+	}
+	b := []int{0, -3, 5, 5, 13}
+	if KeyOf(4, a) == KeyOf(4, b) {
+		t.Error("exponent change not reflected")
+	}
+	// Order sensitivity (a permuted vector is a different instance).
+	c := []int{-3, 0, 5, 5, 12}
+	if KeyOf(4, a) == KeyOf(4, c) {
+		t.Error("permutation collided")
+	}
+	if KeyOf(1, nil) == KeyOf(1, []int{0}) {
+		t.Error("length not part of the key")
+	}
+}
+
+func TestKeyOfNoCollisionsOnRandomVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seen := make(map[Key][]int)
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(40)
+		v := make([]int, n)
+		for j := range v {
+			v[j] = rng.Intn(80) - 40
+		}
+		k := KeyOf(8, v)
+		if prev, ok := seen[k]; ok && !equalInts(prev, v) {
+			t.Fatalf("collision: %v vs %v", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkKeyOf(b *testing.B) {
+	exps := make([]int, 64)
+	for i := range exps {
+		exps[i] = i % 17
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = KeyOf(16, exps)
+	}
+}

@@ -1,0 +1,53 @@
+package numeric
+
+// Key is a fixed-size, allocation-free identity of a scaled-rounded
+// instance: the machine count, the job count and a 128-bit hash of the
+// per-job geometric exponent vector. It replaces the heap-allocated
+// string signature previously used as the cross-guess memo key — a Key
+// is comparable, fits in four words, hashes cheaply as a map key and
+// costs zero allocations to build.
+//
+// Two guesses whose scaled-rounded instances have equal exponent vectors
+// (and machine counts) are the same instance from the Classify stage on,
+// so equal Keys may share one memoized pipeline outcome. The converse
+// direction relies on the 128-bit hash: distinct exponent vectors of
+// equal length collide with probability ~2^-128 per pair, i.e. never in
+// practice — a solve sees at most a few dozen distinct signatures, and
+// even a fleet of 10^9 solves with 10^3 signatures each stays below a
+// ~10^-15 chance of a single collision anywhere.
+type Key struct {
+	// M is the machine count, N the exponent-vector length.
+	M, N int32
+	// H0 and H1 are two independent 64-bit hashes of the exponent vector.
+	H0, H1 uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	mixSeed     = 0x9e3779b97f4a7c15
+)
+
+// mix64 is the SplitMix64 finalizer, a full-avalanche 64-bit permutation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// KeyOf builds the memo key of a scaled-rounded instance from its
+// machine count and per-job geometric exponents. It performs no
+// allocations.
+func KeyOf(machines int, exps []int) Key {
+	h0 := uint64(fnvOffset64)
+	h1 := uint64(mixSeed)
+	for _, e := range exps {
+		x := uint64(int64(e))
+		h0 = (h0 ^ x) * fnvPrime64
+		h1 = mix64(h1 + x + mixSeed)
+	}
+	return Key{M: int32(machines), N: int32(len(exps)), H0: h0, H1: h1}
+}

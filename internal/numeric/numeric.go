@@ -1,9 +1,16 @@
-// Package numeric provides the floating-point comparison helpers and
-// summation utilities shared by all bagsched packages.
+// Package numeric is the numeric core shared by all bagsched packages:
+// the float64 tolerance policy for the pre-rounding world, and the exact
+// fixed-point representation (Fx, see fixed.go) the post-rounding
+// pipeline runs on.
 //
-// Job sizes, machine loads and LP coefficients are float64 throughout the
-// repository. All comparisons between derived quantities go through this
-// package so the tolerance policy lives in exactly one place.
+// Original job sizes, LP interiors and lower bounds are float64; all
+// tolerance-based comparisons between such derived quantities go through
+// this package so the policy lives in exactly one place. From the Scale
+// stage of the EPTAS pipeline onward, sizes are snapped onto the Fx grid
+// (round.ScaleRound) and heights, loads and capacities are exact int64
+// fixed-point values — comparisons there need no tolerances at all; the
+// float64 tolerance band is folded into integer capacity constants once,
+// via Cap.
 package numeric
 
 import "math"

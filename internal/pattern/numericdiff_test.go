@@ -1,0 +1,69 @@
+package pattern
+
+// Differential test at the representation boundary: the integer
+// enumeration and the retained float64 reference enumeration must emit
+// bit-identical pattern spaces — same patterns in the same order, same
+// float64 heights, same fixed-point heights.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/greedy"
+	"repro/internal/round"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+func TestEnumerateFixedMatchesFloat64Reference(t *testing.T) {
+	epsSweep := []float64{0.5, 0.4}
+	if !testing.Short() {
+		// eps=0.33 drives the largest spaces (hundreds of thousands of
+		// patterns per family); keep it out of the quick loop.
+		epsSweep = append(epsSweep, 0.33)
+	}
+	for _, fam := range workload.Families() {
+		for _, eps := range epsSweep {
+			in := workload.MustGenerate(workload.Spec{
+				Family: fam, Machines: 8, Jobs: 48, Bags: 10, Seed: 9,
+			})
+			ub, err := greedy.BagLPT(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scaled, _ := round.ScaleRound(in, ub.Makespan(), eps)
+			info, err := classify.Classify(scaled, eps, classify.Options{BPrimeOverride: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := transform.Apply(scaled, info)
+			opt := Options{Limit: 2_000_000}
+			fixed, err := Enumerate(context.Background(), tr.Inst, tr.View, tr.Priority, opt)
+			if err != nil {
+				t.Fatalf("%s eps=%g fixed: %v", fam, eps, err)
+			}
+			opt.Float64Ref = true
+			ref, err := Enumerate(context.Background(), tr.Inst, tr.View, tr.Priority, opt)
+			if err != nil {
+				t.Fatalf("%s eps=%g float ref: %v", fam, eps, err)
+			}
+			if len(fixed.Patterns) != len(ref.Patterns) {
+				t.Fatalf("%s eps=%g: %d patterns (fixed) vs %d (float)",
+					fam, eps, len(fixed.Patterns), len(ref.Patterns))
+			}
+			for i := range fixed.Patterns {
+				if !reflect.DeepEqual(fixed.Patterns[i], ref.Patterns[i]) {
+					t.Fatalf("%s eps=%g: pattern %d differs:\nfixed %+v\nfloat %+v",
+						fam, eps, i, fixed.Patterns[i], ref.Patterns[i])
+				}
+			}
+			if !reflect.DeepEqual(fixed.XSizes, ref.XSizes) ||
+				!reflect.DeepEqual(fixed.PrioBags, ref.PrioBags) ||
+				!reflect.DeepEqual(fixed.PrioSizes, ref.PrioSizes) {
+				t.Fatalf("%s eps=%g: space metadata differs", fam, eps)
+			}
+		}
+	}
+}

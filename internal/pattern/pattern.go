@@ -3,6 +3,16 @@
 // sizes, with at most one slot per priority bag, arbitrary multiplicities
 // of anonymous X-slots for non-priority large jobs, total height at most
 // T = 1+2eps+eps^2 and at most q slots overall.
+//
+// Enumeration runs on the exact fixed-point representation of the
+// scaled-rounded instance (see internal/numeric): slot heights are int64
+// grid values, the capacity bound T+Tol is folded into one integer
+// constant (classify.Info.TCapFx), and the innermost DFS loops perform
+// integer adds and compares only. The pre-fixed-point float64 enumeration
+// is retained behind Options.Float64Ref as the reference path; the two
+// are bit-for-bit result-identical (the differential tests assert it)
+// because every enumerated height is an exact grid value in either
+// representation.
 package pattern
 
 import (
@@ -32,7 +42,11 @@ type Pattern struct {
 	// XCount[i] is the multiplicity of the i-th X entry type (see
 	// Space.XSizes) on this pattern.
 	XCount []int
-	// Height is the total size of all slots.
+	// HeightFx is the exact total size of all slots on the numeric.Fx
+	// grid.
+	HeightFx numeric.Fx
+	// Height is HeightFx lifted to float64 (exact; consumed by the LP
+	// layer, whose interior stays float64).
 	Height float64
 	// NumJobs is the total number of slots.
 	NumJobs int
@@ -103,36 +117,108 @@ type Options struct {
 	// Limit bounds the number of enumerated patterns; zero means
 	// DefaultLimit.
 	Limit int
+	// Float64Ref selects the retained float64 reference enumeration (the
+	// pre-fixed-point seed path). Results are bit-for-bit identical to
+	// the default integer enumeration; the flag exists for differential
+	// tests and benchmarks.
+	Float64Ref bool
+}
+
+// enumState carries the shared DFS inputs of both enumeration paths.
+type enumState struct {
+	sp    *Space
+	info  *classify.Info
+	limit int
+	xCaps []int
+	xs    []int
+	cur   Pattern
+	err   error
+	slots slotArena
+	ints  intArena
+}
+
+// slotArena and intArena bulk-allocate the per-pattern Prio and XCount
+// slices in chunks: emitting a pattern costs amortized zero allocations
+// instead of two. Handed-out slices are capped (three-index slicing) and
+// chunks are never grown in place, so earlier patterns are never
+// clobbered; Pattern slices are read-only downstream.
+// arenaChunk doubles the chunk size from 64 entries up to 8192, so tiny
+// spaces stay cheap while huge ones amortize to near-zero allocations.
+func arenaChunk(prev, need int) int {
+	n := prev * 2
+	if n < 64 {
+		n = 64
+	}
+	if n > 8192 {
+		n = 8192
+	}
+	if need > n {
+		n = need
+	}
+	return n
+}
+
+type slotArena struct {
+	buf   []PrioSlot
+	chunk int
+}
+
+func (a *slotArena) clone(s []PrioSlot) []PrioSlot {
+	if len(s) == 0 {
+		return nil
+	}
+	if cap(a.buf)-len(a.buf) < len(s) {
+		a.chunk = arenaChunk(a.chunk, len(s))
+		a.buf = make([]PrioSlot, 0, a.chunk)
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, s...)
+	return a.buf[start:len(a.buf):len(a.buf)]
+}
+
+type intArena struct {
+	buf   []int
+	chunk int
+}
+
+func (a *intArena) clone(s []int) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	if cap(a.buf)-len(a.buf) < len(s) {
+		a.chunk = arenaChunk(a.chunk, len(s))
+		a.buf = make([]int, 0, a.chunk)
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, s...)
+	return a.buf[start:len(a.buf):len(a.buf)]
 }
 
 // Enumerate builds the pattern space for the transformed instance in,
-// whose bag priority flags are given by prio (length in.NumBags) and
-// whose job classes follow info's thresholds. The context is polled once
-// per emitted pattern; a canceled or expired ctx aborts the enumeration
-// and returns ctx.Err(), so abandoned speculative pipelines stop burning
-// CPU on large spaces.
-func Enumerate(ctx context.Context, in *sched.Instance, info *classify.Info, prio []bool, opt Options) (*Space, error) {
+// whose numeric view (per-job size indices and classes) is view and
+// whose bag priority flags are given by prio (length in.NumBags). The
+// context is polled once per emitted pattern; a canceled or expired ctx
+// aborts the enumeration and returns ctx.Err(), so abandoned speculative
+// pipelines stop burning CPU on large spaces.
+func Enumerate(ctx context.Context, in *sched.Instance, view *classify.View, prio []bool, opt Options) (*Space, error) {
+	info := view.Info
 	limit := opt.Limit
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
 	sp := &Space{T: info.T, Q: info.Q, Sizes: info.Sizes}
 
-	// Per-bag medium/large size counts on the transformed instance.
+	// Per-bag medium/large size counts on the transformed instance,
+	// resolved through the exact view (no per-job float searches).
 	counts := make([]map[int]int, in.NumBags)
 	for b := range counts {
 		counts[b] = make(map[int]int)
 	}
-	for _, job := range in.Jobs {
-		cls := info.ClassOf(job.Size)
-		if cls == classify.Small {
+	for j, job := range in.Jobs {
+		if view.Class(j) == classify.Small {
 			continue
 		}
-		si := sizeIndex(info.Sizes, job.Size)
-		if si < 0 {
-			return nil, fmt.Errorf("pattern: job size %g not in size table", job.Size)
-		}
-		counts[job.Bag][si]++
+		counts[job.Bag][view.JobIdx[j]]++
 	}
 
 	// X entries: large sizes present in non-priority bags. (Medium jobs
@@ -178,86 +264,162 @@ func Enumerate(ctx context.Context, in *sched.Instance, info *classify.Info, pri
 		}
 	}
 
-	// DFS over priority bag choices then X multiplicities.
-	var (
-		cur    Pattern
-		xs     = make([]int, len(sp.XSizes))
-		emitEr error
-	)
-	emit := func(height float64, jobs int) bool {
-		if err := ctx.Err(); err != nil {
-			emitEr = err
-			return false
-		}
-		if len(sp.Patterns) >= limit {
-			emitEr = ErrTooManyPatterns{Limit: limit}
-			return false
-		}
-		p := Pattern{
-			Prio:    append([]PrioSlot(nil), cur.Prio...),
-			XCount:  append([]int(nil), xs...),
-			Height:  height,
-			NumJobs: jobs,
-		}
-		sp.Patterns = append(sp.Patterns, p)
-		return true
+	st := &enumState{
+		sp:    sp,
+		info:  info,
+		limit: limit,
+		xCaps: xCaps,
+		xs:    make([]int, len(sp.XSizes)),
 	}
-
-	var enumX func(i int, height float64, jobs int) bool
-	enumX = func(i int, height float64, jobs int) bool {
-		if i == len(sp.XSizes) {
-			return emit(height, jobs)
-		}
-		size := info.Sizes[sp.XSizes[i]]
-		maxC := jobsLeft(sp.Q, jobs)
-		if c := int(math.Floor((sp.T - height + numeric.Tol) / size)); c < maxC {
-			maxC = c
-		}
-		if xCaps[i] < maxC {
-			maxC = xCaps[i]
-		}
-		for c := 0; c <= maxC; c++ {
-			xs[i] = c
-			if !enumX(i+1, height+float64(c)*size, jobs+c) {
-				return false
-			}
-		}
-		xs[i] = 0
-		return true
+	if opt.Float64Ref {
+		st.enumPrioFloat(ctx, 0, 0, 0)
+	} else {
+		st.enumPrioFixed(ctx, 0, 0, 0)
 	}
-
-	var enumPrio func(i int, height float64, jobs int) bool
-	enumPrio = func(i int, height float64, jobs int) bool {
-		if i == len(sp.PrioBags) {
-			return enumX(0, height, jobs)
-		}
-		// Option: no slot of this bag.
-		if !enumPrio(i+1, height, jobs) {
-			return false
-		}
-		if jobs >= sp.Q {
-			return true
-		}
-		for _, si := range sp.PrioSizes[i] {
-			h := height + info.Sizes[si]
-			if h > sp.T+numeric.Tol {
-				continue
-			}
-			cur.Prio = append(cur.Prio, PrioSlot{Bag: sp.PrioBags[i], SizeIdx: si})
-			ok := enumPrio(i+1, h, jobs+1)
-			cur.Prio = cur.Prio[:len(cur.Prio)-1]
-			if !ok {
-				return false
-			}
-		}
-		return true
-	}
-
-	enumPrio(0, 0, 0)
-	if emitEr != nil {
-		return nil, emitEr
+	if st.err != nil {
+		return nil, st.err
 	}
 	return sp, nil
+}
+
+// emit appends the current pattern. heightFx is exact; the float64
+// Height is its lossless lift.
+func (st *enumState) emit(ctx context.Context, heightFx numeric.Fx, jobs int) bool {
+	if err := ctx.Err(); err != nil {
+		st.err = err
+		return false
+	}
+	if len(st.sp.Patterns) >= st.limit {
+		st.err = ErrTooManyPatterns{Limit: st.limit}
+		return false
+	}
+	p := Pattern{
+		Prio:     st.slots.clone(st.cur.Prio),
+		XCount:   st.ints.clone(st.xs),
+		HeightFx: heightFx,
+		Height:   heightFx.Float(),
+		NumJobs:  jobs,
+	}
+	st.sp.Patterns = append(st.sp.Patterns, p)
+	return true
+}
+
+// --- exact integer enumeration (default path) ---
+//
+// The innermost loops do int64 adds, one integer compare against the
+// precomputed capacity TCapFx, and one integer division for the X slot
+// multiplicity cap. No tolerances: the T+Tol band is already inside
+// TCapFx (see numeric.Cap), so the accepted pattern set is exactly the
+// float reference's.
+
+func (st *enumState) enumXFixed(ctx context.Context, i int, height numeric.Fx, jobs int) bool {
+	if i == len(st.sp.XSizes) {
+		return st.emit(ctx, height, jobs)
+	}
+	size := st.info.SizesFx[st.sp.XSizes[i]]
+	maxC := jobsLeft(st.sp.Q, jobs)
+	rem := st.info.TCapFx - height
+	if rem < 0 {
+		// Unreachable from Enumerate (callers never exceed the capacity),
+		// but mirror the float reference exactly: a negative remainder
+		// yields a negative multiplicity bound there, which emits nothing.
+		st.xs[i] = 0
+		return true
+	}
+	if c := int(rem / size); c < maxC {
+		maxC = c
+	}
+	if st.xCaps[i] < maxC {
+		maxC = st.xCaps[i]
+	}
+	for c := 0; c <= maxC; c++ {
+		st.xs[i] = c
+		if !st.enumXFixed(ctx, i+1, height+size.MulInt(c), jobs+c) {
+			return false
+		}
+	}
+	st.xs[i] = 0
+	return true
+}
+
+func (st *enumState) enumPrioFixed(ctx context.Context, i int, height numeric.Fx, jobs int) bool {
+	if i == len(st.sp.PrioBags) {
+		return st.enumXFixed(ctx, 0, height, jobs)
+	}
+	// Option: no slot of this bag.
+	if !st.enumPrioFixed(ctx, i+1, height, jobs) {
+		return false
+	}
+	if jobs >= st.sp.Q {
+		return true
+	}
+	for _, si := range st.sp.PrioSizes[i] {
+		h := height + st.info.SizesFx[si]
+		if h > st.info.TCapFx {
+			continue
+		}
+		st.cur.Prio = append(st.cur.Prio, PrioSlot{Bag: st.sp.PrioBags[i], SizeIdx: si})
+		ok := st.enumPrioFixed(ctx, i+1, h, jobs+1)
+		st.cur.Prio = st.cur.Prio[:len(st.cur.Prio)-1]
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// --- retained float64 reference enumeration (seed path) ---
+//
+// Kept verbatim (modulo the shared emit) for differential testing and as
+// the benchmark baseline of the fixed-point refactor. Heights are exact
+// grid values here too, so converting the accumulated float64 height to
+// Fx at emit time is lossless and the produced Space is bit-identical.
+
+func (st *enumState) enumXFloat(ctx context.Context, i int, height float64, jobs int) bool {
+	if i == len(st.sp.XSizes) {
+		return st.emit(ctx, numeric.FromFloat(height), jobs)
+	}
+	size := st.info.Sizes[st.sp.XSizes[i]]
+	maxC := jobsLeft(st.sp.Q, jobs)
+	if c := int(floorDiv(st.sp.T-height+numeric.Tol, size)); c < maxC {
+		maxC = c
+	}
+	if st.xCaps[i] < maxC {
+		maxC = st.xCaps[i]
+	}
+	for c := 0; c <= maxC; c++ {
+		st.xs[i] = c
+		if !st.enumXFloat(ctx, i+1, height+float64(c)*size, jobs+c) {
+			return false
+		}
+	}
+	st.xs[i] = 0
+	return true
+}
+
+func (st *enumState) enumPrioFloat(ctx context.Context, i int, height float64, jobs int) bool {
+	if i == len(st.sp.PrioBags) {
+		return st.enumXFloat(ctx, 0, height, jobs)
+	}
+	if !st.enumPrioFloat(ctx, i+1, height, jobs) {
+		return false
+	}
+	if jobs >= st.sp.Q {
+		return true
+	}
+	for _, si := range st.sp.PrioSizes[i] {
+		h := height + st.info.Sizes[si]
+		if h > st.sp.T+numeric.Tol {
+			continue
+		}
+		st.cur.Prio = append(st.cur.Prio, PrioSlot{Bag: st.sp.PrioBags[i], SizeIdx: si})
+		ok := st.enumPrioFloat(ctx, i+1, h, jobs+1)
+		st.cur.Prio = st.cur.Prio[:len(st.cur.Prio)-1]
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // XMult returns the multiplicity of X slots of size index si on pattern p.
@@ -277,24 +439,5 @@ func jobsLeft(q, jobs int) int {
 	return 0
 }
 
-// sizeIndex locates size in the decreasing size table within tolerance.
-func sizeIndex(sizes []float64, size float64) int {
-	lo, hi := 0, len(sizes)-1
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		switch {
-		case numeric.Eq(sizes[mid], size):
-			return mid
-		case sizes[mid] > size:
-			lo = mid + 1
-		default:
-			hi = mid - 1
-		}
-	}
-	for i, s := range sizes {
-		if numeric.Eq(s, size) {
-			return i
-		}
-	}
-	return -1
-}
+// floorDiv is the float reference's slot-multiplicity bound.
+func floorDiv(a, b float64) float64 { return math.Floor(a / b) }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/classify"
+	"repro/internal/numeric"
 	"repro/internal/round"
 	"repro/internal/sched"
 )
@@ -14,18 +15,22 @@ import (
 func build(t *testing.T, eps float64, machines int, jobs []struct {
 	size float64
 	bag  int
-}, opt classify.Options) (*sched.Instance, *classify.Info) {
+}, opt classify.Options) (*sched.Instance, *classify.View) {
 	t.Helper()
 	in := sched.NewInstance(machines)
 	for _, j := range jobs {
 		v, _ := round.UpGeometric(j.size, eps)
-		in.AddJob(v, j.bag)
+		in.AddJob(numeric.Quantize(v), j.bag)
 	}
 	info, err := classify.Classify(in, eps, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return in, info
+	view, err := info.ViewOf(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, view
 }
 
 type jb = struct {
@@ -39,7 +44,7 @@ func TestEnumerateEmptyInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := Enumerate(context.Background(), in, info, nil, Options{})
+	sp, err := Enumerate(context.Background(), in, infoView(t, info, in), nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +57,11 @@ func TestEnumerateEmptyInstance(t *testing.T) {
 }
 
 func TestEnumerateValidity(t *testing.T) {
-	in, info := build(t, 0.5, 4, []jb{
+	in, view := build(t, 0.5, 4, []jb{
 		{1.0, 0}, {0.6, 0}, {1.0, 1}, {0.3, 1}, {0.1, 2},
 	}, classify.Options{AllPriority: true})
-	prio := info.Priority
-	sp, err := Enumerate(context.Background(), in, info, prio, Options{})
+	prio := view.Info.Priority
+	sp, err := Enumerate(context.Background(), in, view, prio, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +86,11 @@ func TestEnumerateValidity(t *testing.T) {
 		h := 0.0
 		n := 0
 		for _, s := range p.Prio {
-			h += info.Sizes[s.SizeIdx]
+			h += view.Info.Sizes[s.SizeIdx]
 			n++
 		}
 		for i, c := range p.XCount {
-			h += float64(c) * info.Sizes[sp.XSizes[i]]
+			h += float64(c) * view.Info.Sizes[sp.XSizes[i]]
 			n += c
 		}
 		if math.Abs(h-p.Height) > 1e-9 || n != p.NumJobs {
@@ -97,8 +102,8 @@ func TestEnumerateValidity(t *testing.T) {
 func TestEnumerateCompletenessTiny(t *testing.T) {
 	// One priority bag with one large size s=1.0 (rounded), T=2.25, q=9:
 	// patterns: empty, {bag slot}. Expect exactly 2.
-	in, info := build(t, 0.5, 2, []jb{{1.0, 0}}, classify.Options{AllPriority: true})
-	sp, err := Enumerate(context.Background(), in, info, info.Priority, Options{})
+	in, view := build(t, 0.5, 2, []jb{{1.0, 0}}, classify.Options{AllPriority: true})
+	sp, err := Enumerate(context.Background(), in, view, view.Info.Priority, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,9 +115,9 @@ func TestEnumerateCompletenessTiny(t *testing.T) {
 func TestEnumerateXMultiplicities(t *testing.T) {
 	// Two non-priority bags each with one large job of (rounded) size 1:
 	// X entry with availability 2, T=2.25 -> multiplicities 0,1,2.
-	in, info := build(t, 0.5, 4, []jb{{1.0, 0}, {1.0, 1}}, classify.Options{})
+	in, view := build(t, 0.5, 4, []jb{{1.0, 0}, {1.0, 1}}, classify.Options{})
 	prio := []bool{false, false}
-	sp, err := Enumerate(context.Background(), in, info, prio, Options{})
+	sp, err := Enumerate(context.Background(), in, view, prio, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,9 +132,9 @@ func TestEnumerateXMultiplicities(t *testing.T) {
 func TestEnumerateXCappedByAvailability(t *testing.T) {
 	// One non-priority large job of size ~0.5: height-wise 4 slots fit
 	// (T=2.25), but only 1 job exists, so multiplicities are 0,1.
-	in, info := build(t, 0.5, 4, []jb{{0.51, 0}}, classify.Options{})
+	in, view := build(t, 0.5, 4, []jb{{0.51, 0}}, classify.Options{})
 	prio := []bool{false}
-	sp, err := Enumerate(context.Background(), in, info, prio, Options{})
+	sp, err := Enumerate(context.Background(), in, view, prio, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,8 +146,8 @@ func TestEnumerateXCappedByAvailability(t *testing.T) {
 func TestEnumerateHeightPruning(t *testing.T) {
 	// Two priority bags with large jobs of (rounded) size 1.5: two
 	// together exceed T=2.25, so the combination must be pruned.
-	in, info := build(t, 0.5, 2, []jb{{1.4, 0}, {1.4, 1}}, classify.Options{AllPriority: true})
-	sp, err := Enumerate(context.Background(), in, info, info.Priority, Options{})
+	in, view := build(t, 0.5, 2, []jb{{1.4, 0}, {1.4, 1}}, classify.Options{AllPriority: true})
+	sp, err := Enumerate(context.Background(), in, view, view.Info.Priority, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,8 +167,8 @@ func TestEnumerateLimit(t *testing.T) {
 	for b := 0; b < 12; b++ {
 		jobs = append(jobs, jb{1.0, b}, jb{0.6, b})
 	}
-	in, info := build(t, 0.5, 24, jobs, classify.Options{AllPriority: true})
-	_, err := Enumerate(context.Background(), in, info, info.Priority, Options{Limit: 10})
+	in, view := build(t, 0.5, 24, jobs, classify.Options{AllPriority: true})
+	_, err := Enumerate(context.Background(), in, view, view.Info.Priority, Options{Limit: 10})
 	if err == nil {
 		t.Fatal("expected ErrTooManyPatterns")
 	}
@@ -175,19 +180,19 @@ func TestEnumerateLimit(t *testing.T) {
 func TestEnumerateRejectsUntransformedMediums(t *testing.T) {
 	// A medium job in a non-priority bag means the caller forgot the
 	// transformation.
-	in, info := build(t, 0.5, 4, []jb{{0.3, 0}, {1.0, 1}}, classify.Options{})
-	if info.ClassOf(in.Jobs[0].Size) != classify.Medium {
+	in, view := build(t, 0.5, 4, []jb{{0.3, 0}, {1.0, 1}}, classify.Options{})
+	if view.Info.ClassOf(in.Jobs[0].Size) != classify.Medium {
 		t.Skip("size did not land in the medium band under this rounding")
 	}
 	prio := []bool{false, true}
-	if _, err := Enumerate(context.Background(), in, info, prio, Options{}); err == nil {
+	if _, err := Enumerate(context.Background(), in, view, prio, Options{}); err == nil {
 		t.Error("expected medium-in-non-priority-bag error")
 	}
 }
 
 func TestChiFunctions(t *testing.T) {
-	in, info := build(t, 0.5, 4, []jb{{1.0, 0}, {0.6, 1}}, classify.Options{AllPriority: true})
-	sp, err := Enumerate(context.Background(), in, info, info.Priority, Options{})
+	in, view := build(t, 0.5, 4, []jb{{1.0, 0}, {0.6, 1}}, classify.Options{AllPriority: true})
+	sp, err := Enumerate(context.Background(), in, view, view.Info.Priority, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,8 +215,8 @@ func TestChiFunctions(t *testing.T) {
 }
 
 func TestXMultLookup(t *testing.T) {
-	in, info := build(t, 0.5, 4, []jb{{1.0, 0}, {1.0, 1}}, classify.Options{})
-	sp, err := Enumerate(context.Background(), in, info, []bool{false, false}, Options{})
+	in, view := build(t, 0.5, 4, []jb{{1.0, 0}, {1.0, 1}}, classify.Options{})
+	sp, err := Enumerate(context.Background(), in, view, []bool{false, false}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +242,17 @@ func TestDefaultLimitApplied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Enumerate(context.Background(), in, info, nil, Options{Limit: 0}); err != nil {
+	if _, err := Enumerate(context.Background(), in, infoView(t, info, in), nil, Options{Limit: 0}); err != nil {
 		t.Fatalf("default limit should allow the empty space: %v", err)
 	}
+}
+
+// infoView builds the numeric view of in under info for tests.
+func infoView(t *testing.T, info *classify.Info, in *sched.Instance) *classify.View {
+	t.Helper()
+	v, err := info.ViewOf(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
 }

@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/greedy"
+	"repro/internal/workload"
+)
+
+// BenchmarkEngineMemoHit measures the cross-guess memo path: the first
+// Run claims the signature and executes the pipeline, every subsequent
+// equal-signature Run must be served from the memo. This is the path the
+// fixed-size binary key (numeric.Key) optimizes — before the refactor
+// each hit allocated an O(jobs) signature string; now key construction
+// is allocation-free.
+func BenchmarkEngineMemoHit(b *testing.B) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 8, Jobs: 40, Bags: 10, Seed: 77,
+	})
+	ub, err := greedy.BagLPT(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	guess := ub.Makespan()
+	e := New(Config{Eps: 0.5})
+	ctx := context.Background()
+	if _, err := e.Run(ctx, in, guess); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, err := e.Run(ctx, in, guess)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pr.CacheHit {
+			b.Fatal("expected a memo hit")
+		}
+	}
+}
+
+// BenchmarkEngineMemoMiss measures one full pipeline execution with the
+// memo disabled (the uncached per-guess cost).
+func BenchmarkEngineMemoMiss(b *testing.B) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 8, Jobs: 40, Bags: 10, Seed: 77,
+	})
+	ub, err := greedy.BagLPT(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	guess := ub.Makespan()
+	e := New(Config{Eps: 0.5, DisableMemo: true})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(ctx, in, guess); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

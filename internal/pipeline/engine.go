@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/numeric"
 	"repro/internal/pattern"
 	"repro/internal/placer"
 	"repro/internal/sched"
@@ -22,8 +22,10 @@ type Result struct {
 	// Guess is the makespan guess the pipeline ran with.
 	Guess float64
 	// Signature is the memo key of the scaled-rounded instance (see
-	// Engine): guesses with equal signatures have identical outcomes.
-	Signature string
+	// Engine): guesses with equal signatures have identical outcomes. It
+	// is a fixed-size binary key (machine count, job count and a 128-bit
+	// hash of the exponent vector) built without allocations.
+	Signature numeric.Key
 	// CacheHit reports that this result was served from the cross-guess
 	// memo rather than a fresh pipeline execution.
 	CacheHit bool
@@ -99,7 +101,7 @@ type Engine struct {
 	cfg Config
 
 	mu      sync.Mutex
-	memo    map[string]*slot
+	memo    map[numeric.Key]*slot
 	metrics Metrics
 }
 
@@ -126,7 +128,7 @@ type slot struct {
 func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:  cfg,
-		memo: make(map[string]*slot),
+		memo: make(map[numeric.Key]*slot),
 		metrics: Metrics{
 			StageTime: make(map[string]time.Duration),
 		},
@@ -340,16 +342,13 @@ func isCancellation(err error) bool {
 }
 
 // signature builds the canonical memo key of a scaled-rounded instance:
-// machine count plus the geometric exponent of every job in input order.
-// Equal signatures imply bit-identical scaled instances (sizes are exact
-// functions (1+eps)^e of the exponents), hence identical pipeline
-// outcomes under a fixed Config.
-func signature(st *State) string {
-	buf := make([]byte, 0, 8+6*len(st.Exps))
-	buf = strconv.AppendInt(buf, int64(st.Scaled.Machines), 10)
-	for _, e := range st.Exps {
-		buf = append(buf, '.')
-		buf = strconv.AppendInt(buf, int64(e), 10)
-	}
-	return string(buf)
+// machine count, job count and a 128-bit hash of the geometric exponents
+// of every job in input order. Equal exponent vectors imply bit-identical
+// scaled instances (sizes are exact grid-quantized functions of the
+// exponents), hence identical pipeline outcomes under a fixed Config; see
+// numeric.Key for why hash collisions are not a practical concern. Unlike
+// the previous string signature, building the key allocates nothing and
+// map operations compare four words instead of O(jobs) bytes.
+func signature(st *State) numeric.Key {
+	return numeric.KeyOf(st.Scaled.Machines, st.Exps)
 }

@@ -57,6 +57,11 @@ type Config struct {
 	// differential tests and ablation experiments; results are identical
 	// either way, only repeated work changes).
 	DisableMemo bool
+	// Float64Ref runs the stages downstream of Scale on the retained
+	// float64 reference arithmetic (the pre-fixed-point seed path)
+	// instead of the exact int64 fixed-point representation. Results are
+	// bit-for-bit identical; the differential tests assert it.
+	Float64Ref bool
 }
 
 // State is the mutable blackboard one pipeline execution threads through
@@ -82,10 +87,12 @@ type State struct {
 	// Info is the classification of Scaled.
 	Info *classify.Info
 	// Transformed is the Section 2.2 transformation (nil in AllPriority
-	// mode); TInst and Prio are the instance and priority flags the
-	// downstream stages work on either way.
+	// mode); TInst, View and Prio are the instance, its exact numeric
+	// view and the priority flags the downstream stages work on either
+	// way.
 	Transformed *transform.Transformed
 	TInst       *sched.Instance
+	View        *classify.View
 	Prio        []bool
 	// Space is the enumerated pattern space.
 	Space *pattern.Space
@@ -108,6 +115,7 @@ func (st *State) resetRung() {
 	st.Info = nil
 	st.Transformed = nil
 	st.TInst = nil
+	st.View = nil
 	st.Prio = nil
 	st.Space = nil
 	st.IntegerVars = 0
@@ -174,10 +182,16 @@ func (transformStage) Run(_ context.Context, st *State) error {
 		// Das–Wiese mode: every bag is priority, nothing to transform.
 		st.TInst = st.Scaled
 		st.Prio = st.Info.Priority
+		view, err := st.Info.ViewOf(st.Scaled)
+		if err != nil {
+			return err
+		}
+		st.View = view
 		return nil
 	}
 	st.Transformed = transform.Apply(st.Scaled, st.Info)
 	st.TInst = st.Transformed.Inst
+	st.View = st.Transformed.View
 	st.Prio = st.Transformed.Priority
 	return nil
 }
@@ -186,7 +200,10 @@ type enumerateStage struct{}
 
 func (enumerateStage) Name() string { return "Enumerate" }
 func (enumerateStage) Run(ctx context.Context, st *State) error {
-	sp, err := pattern.Enumerate(ctx, st.TInst, st.Info, st.Prio, pattern.Options{Limit: st.Cfg.PatternLimit})
+	sp, err := pattern.Enumerate(ctx, st.TInst, st.View, st.Prio, pattern.Options{
+		Limit:      st.Cfg.PatternLimit,
+		Float64Ref: st.Cfg.Float64Ref,
+	})
 	if err != nil {
 		return err
 	}
@@ -198,7 +215,10 @@ type solveMILPStage struct{}
 
 func (solveMILPStage) Name() string { return "SolveMILP" }
 func (solveMILPStage) Run(ctx context.Context, st *State) error {
-	built, err := cfgmilp.Build(ctx, st.TInst, st.Info, st.Prio, st.Space, st.Cfg.Mode)
+	built, err := cfgmilp.Build(ctx, st.TInst, st.View, st.Prio, st.Space, cfgmilp.BuildOptions{
+		Mode:       st.Cfg.Mode,
+		Float64Ref: st.Cfg.Float64Ref,
+	})
 	if err != nil {
 		return err
 	}
@@ -242,11 +262,12 @@ type placeStage struct{}
 func (placeStage) Name() string { return "Place" }
 func (placeStage) Run(_ context.Context, st *State) error {
 	placed, pstats, err := placer.Place(placer.Input{
-		Inst:  st.TInst,
-		Info:  st.Info,
-		Prio:  st.Prio,
-		Space: st.Space,
-		Plan:  st.Plan,
+		Inst:       st.TInst,
+		View:       st.View,
+		Prio:       st.Prio,
+		Space:      st.Space,
+		Plan:       st.Plan,
+		Float64Ref: st.Cfg.Float64Ref,
 	})
 	if err != nil {
 		return err

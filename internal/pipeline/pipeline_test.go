@@ -112,7 +112,7 @@ func TestEngineMemoEquivalenceClass(t *testing.T) {
 		t.Fatal(err)
 	}
 	if near.Signature != first.Signature {
-		t.Fatalf("signatures differ: %q vs %q", near.Signature, first.Signature)
+		t.Fatalf("signatures differ: %+v vs %+v", near.Signature, first.Signature)
 	}
 	if !near.CacheHit {
 		t.Error("equivalent guess missed the memo")

@@ -24,12 +24,16 @@ func mkState(t *testing.T, in *sched.Instance) *state {
 	for i := range bags {
 		bags[i] = make(map[int]int)
 	}
+	view, err := info.ViewOf(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &state{
 		in:     in,
-		info:   info,
+		view:   view,
 		prio:   prio,
 		sched:  sched.NewSchedule(in),
-		loads:  make([]float64, in.Machines),
+		loads:  newLoadVec(in.Machines, false),
 		bagsOn: bags,
 		origin: map[int]int{},
 	}

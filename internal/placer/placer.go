@@ -18,6 +18,13 @@
 //     Lemma 11 origin function; a generic, provably terminating repair
 //     handles anything left (it only triggers on solver artifacts and is
 //     counted in Stats).
+//
+// Load accounting runs on the exact fixed-point representation
+// (internal/numeric): per-machine loads are int64 adds and compares,
+// resolved per job through the precomputed classify.View, and lifted back
+// to float64 — losslessly — only at the greedy (bag-LPT) boundary. The
+// pre-refactor float64 accounting is retained behind Input.Float64Ref for
+// the differential tests.
 package placer
 
 import (
@@ -53,24 +60,79 @@ type Stats struct {
 type Input struct {
 	// Inst is the transformed instance I'.
 	Inst *sched.Instance
-	// Info is the classification of the original scaled instance.
-	Info *classify.Info
+	// View is the exact numeric view of Inst (per-job size indices and
+	// fixed-point sizes) under the classification of the original scaled
+	// instance.
+	View *classify.View
 	// Prio flags priority bags of Inst.
 	Prio []bool
 	// Space is the enumerated pattern space.
 	Space *pattern.Space
 	// Plan is the decoded MILP solution.
 	Plan *cfgmilp.Plan
+	// Float64Ref switches machine-load accounting to the retained
+	// float64 reference arithmetic (the pre-fixed-point seed path).
+	// Results are bit-identical either way; the flag exists for
+	// differential testing.
+	Float64Ref bool
+}
+
+// loadVec is the per-machine load accumulator. The default pipeline
+// accounts in exact int64 fixed-point and lifts to float64 only at the
+// greedy (bag-LPT) boundary — the lift is lossless, so the lifted loads
+// are bit-identical to the seed's float64 accumulation, which is kept
+// alive behind Input.Float64Ref for the differential tests.
+type loadVec struct {
+	fx  []numeric.Fx
+	ref []float64 // non-nil only in Float64Ref mode
+}
+
+func newLoadVec(n int, float64Ref bool) loadVec {
+	l := loadVec{fx: make([]numeric.Fx, n)}
+	if float64Ref {
+		l.ref = make([]float64, n)
+	}
+	return l
+}
+
+func (l *loadVec) add(m int, fx numeric.Fx, size float64) {
+	l.fx[m] += fx
+	if l.ref != nil {
+		l.ref[m] += size
+	}
+}
+
+func (l *loadVec) sub(m int, fx numeric.Fx, size float64) {
+	l.fx[m] -= fx
+	if l.ref != nil {
+		l.ref[m] -= size
+	}
+}
+
+// at lifts machine m's load to float64 (exact in fixed-point mode).
+func (l *loadVec) at(m int) float64 {
+	if l.ref != nil {
+		return l.ref[m]
+	}
+	return l.fx[m].Float()
+}
+
+// less orders machines by load (exact integer compare by default).
+func (l *loadVec) less(a, b int) bool {
+	if l.ref != nil {
+		return l.ref[a] < l.ref[b]
+	}
+	return l.fx[a] < l.fx[b]
 }
 
 // state is the mutable placement state.
 type state struct {
 	in          *sched.Instance
-	info        *classify.Info
+	view        *classify.View
 	prio        []bool
 	space       *pattern.Space
 	sched       *sched.Schedule
-	loads       []float64
+	loads       loadVec
 	bagsOn      []map[int]int // machine -> bag -> count
 	origin      map[int]int   // priority ML job -> MILP machine (Lemma 11)
 	machPattern []int         // machine -> pattern index
@@ -81,11 +143,11 @@ type state struct {
 func Place(inp Input) (*sched.Schedule, Stats, error) {
 	st := &state{
 		in:     inp.Inst,
-		info:   inp.Info,
+		view:   inp.View,
 		prio:   inp.Prio,
 		space:  inp.Space,
 		sched:  sched.NewSchedule(inp.Inst),
-		loads:  make([]float64, inp.Inst.Machines),
+		loads:  newLoadVec(inp.Inst.Machines, inp.Float64Ref),
 		bagsOn: make([]map[int]int, inp.Inst.Machines),
 		origin: make(map[int]int),
 	}
@@ -121,7 +183,7 @@ func Place(inp Input) (*sched.Schedule, Stats, error) {
 // assign puts job j on machine m, maintaining all state.
 func (st *state) assign(j, m int) {
 	st.sched.Machine[j] = m
-	st.loads[m] += st.in.Jobs[j].Size
+	st.loads.add(m, st.view.JobFx[j], st.in.Jobs[j].Size)
 	st.bagsOn[m][st.in.Jobs[j].Bag]++
 }
 
@@ -129,14 +191,14 @@ func (st *state) assign(j, m int) {
 func (st *state) move(j, m int) {
 	old := st.sched.Machine[j]
 	if old >= 0 {
-		st.loads[old] -= st.in.Jobs[j].Size
+		st.loads.sub(old, st.view.JobFx[j], st.in.Jobs[j].Size)
 		st.bagsOn[old][st.in.Jobs[j].Bag]--
 		if st.bagsOn[old][st.in.Jobs[j].Bag] == 0 {
 			delete(st.bagsOn[old], st.in.Jobs[j].Bag)
 		}
 	}
 	st.sched.Machine[j] = m
-	st.loads[m] += st.in.Jobs[j].Size
+	st.loads.add(m, st.view.JobFx[j], st.in.Jobs[j].Size)
 	st.bagsOn[m][st.in.Jobs[j].Bag]++
 }
 
@@ -176,11 +238,10 @@ func (st *state) mlJobsBy() (map[[2]int][]int, map[int][][2]int) {
 	prioJobs := make(map[[2]int][]int)
 	xJobs := make(map[int][][2]int) // size idx -> list of (job, bag)
 	for j, job := range st.in.Jobs {
-		cls := st.info.ClassOf(job.Size)
-		if cls == classify.Small {
+		if st.view.Class(j) == classify.Small {
 			continue
 		}
-		si := sizeIndexOf(st.info.Sizes, job.Size)
+		si := st.view.JobIdx[j]
 		if st.prio[job.Bag] {
 			prioJobs[[2]int{job.Bag, si}] = append(prioJobs[[2]int{job.Bag, si}], j)
 		} else {
@@ -290,11 +351,11 @@ func (st *state) pickFullestBag(remaining map[int][]int) int {
 func (st *state) repairLargeConflicts() {
 	// Jobs grouped by size index for swap candidates.
 	bySize := make(map[int][]int)
-	for j, job := range st.in.Jobs {
-		if st.info.ClassOf(job.Size) == classify.Small || st.sched.Machine[j] < 0 {
+	for j := range st.in.Jobs {
+		if st.view.Class(j) == classify.Small || st.sched.Machine[j] < 0 {
 			continue
 		}
-		bySize[sizeIndexOf(st.info.Sizes, job.Size)] = append(bySize[sizeIndexOf(st.info.Sizes, job.Size)], j)
+		bySize[st.view.JobIdx[j]] = append(bySize[st.view.JobIdx[j]], j)
 	}
 	for pass := 0; pass < 4; pass++ {
 		conflicts := st.mlConflictJobs()
@@ -308,7 +369,7 @@ func (st *state) repairLargeConflicts() {
 			if st.bagsOn[c][bagJ] < 2 {
 				continue // already fixed by an earlier swap
 			}
-			si := sizeIndexOf(st.info.Sizes, st.in.Jobs[j].Size)
+			si := st.view.JobIdx[j]
 			if st.trySwap(j, c, bagJ, bySize[si]) {
 				st.stats.SwapRepairs++
 				progress = true
@@ -326,7 +387,7 @@ func (st *state) repairLargeConflicts() {
 func (st *state) mlConflictJobs() []int {
 	var out []int
 	for j, job := range st.in.Jobs {
-		if st.sched.Machine[j] < 0 || st.info.ClassOf(job.Size) == classify.Small {
+		if st.sched.Machine[j] < 0 || st.view.Class(j) == classify.Small {
 			continue
 		}
 		m := st.sched.Machine[j]
@@ -396,10 +457,10 @@ func (st *state) placePrioritySmall(plan *cfgmilp.Plan) error {
 	jobsBy := make(map[[2]int][]int)
 	var keys [][2]int
 	for j, job := range st.in.Jobs {
-		if st.info.ClassOf(job.Size) != classify.Small || !st.prio[job.Bag] {
+		if st.view.Class(j) != classify.Small || !st.prio[job.Bag] {
 			continue
 		}
-		si := sizeIndexOf(st.info.Sizes, job.Size)
+		si := st.view.JobIdx[j]
 		key := [2]int{job.Bag, si}
 		if _, ok := jobsBy[key]; !ok {
 			keys = append(keys, key)
@@ -455,7 +516,7 @@ func (st *state) placePrioritySmall(plan *cfgmilp.Plan) error {
 		}
 		loads := make([]float64, len(machines))
 		for i, m := range machines {
-			loads[i] = st.loads[m]
+			loads[i] = st.loads.at(m)
 		}
 		asg, err := greedy.AssignBagLPT(loads, bags)
 		if err != nil {
@@ -503,7 +564,7 @@ func (st *state) distributeSmallGreedy(plan *cfgmilp.Plan, jobsBy map[[2]int][]i
 		groups = append(groups, &groupState{
 			pattern: p,
 			count:   n,
-			areaCap: float64(n) * (st.info.T - h),
+			areaCap: float64(n) * (st.view.Info.T - h),
 			bagUsed: make(map[int]int),
 		})
 	}
@@ -629,14 +690,14 @@ func (st *state) anyAvoidingPattern(plan *cfgmilp.Plan, bag int) int {
 // placeNonPrioritySmall groups machines by eps-rounded height and runs
 // group-bag-LPT then bag-LPT (Section 4.1).
 func (st *state) placeNonPrioritySmall() error {
-	eps := st.info.Eps
+	eps := st.view.Info.Eps
 	// Bags of non-priority small jobs (includes fillers).
 	byBag := make(map[int][]greedy.Item)
 	for j, job := range st.in.Jobs {
 		if st.sched.Machine[j] >= 0 || st.prio[job.Bag] {
 			continue
 		}
-		if st.info.ClassOf(job.Size) != classify.Small {
+		if st.view.Class(j) != classify.Small {
 			continue
 		}
 		byBag[job.Bag] = append(byBag[job.Bag], greedy.Item{Key: j, Size: job.Size})
@@ -648,7 +709,8 @@ func (st *state) placeNonPrioritySmall() error {
 	groupIdx := make(map[int]int)
 	var groups []*greedy.Group
 	for mach := 0; mach < st.in.Machines; mach++ {
-		key := int(math.Ceil(st.loads[mach]/eps - numeric.Tol))
+		load := st.loads.at(mach)
+		key := int(math.Ceil(load/eps - numeric.Tol))
 		gi, ok := groupIdx[key]
 		if !ok {
 			gi = len(groups)
@@ -656,7 +718,7 @@ func (st *state) placeNonPrioritySmall() error {
 			groups = append(groups, &greedy.Group{})
 		}
 		groups[gi].Machines = append(groups[gi].Machines, mach)
-		groups[gi].Area += st.loads[mach]
+		groups[gi].Area += load
 	}
 	// Bags ordered by decreasing total area (deterministic).
 	bagOrder := sortedKeysItems(byBag)
@@ -700,7 +762,7 @@ func (st *state) placeNonPrioritySmall() error {
 		}
 		loads := make([]float64, len(g.Machines))
 		for i, m := range g.Machines {
-			loads[i] = st.loads[m]
+			loads[i] = st.loads.at(m)
 		}
 		gAsg, err := greedy.AssignBagLPT(loads, gBags)
 		if err != nil {
@@ -727,7 +789,7 @@ func (st *state) repairOriginChasing() {
 			if st.in.Jobs[small].Size > st.in.Jobs[big].Size {
 				small, big = big, small
 			}
-			if st.info.ClassOf(st.in.Jobs[small].Size) != classify.Small {
+			if st.view.Class(small) != classify.Small {
 				continue
 			}
 			if _, ok := st.origin[big]; !ok {
@@ -800,7 +862,7 @@ func (st *state) repairGeneric() error {
 			if st.bagsOn[mach][c.Bag] > 0 {
 				continue
 			}
-			if target < 0 || st.loads[mach] < st.loads[target] {
+			if target < 0 || st.loads.less(mach, target) {
 				target = mach
 			}
 		}
@@ -814,27 +876,6 @@ func (st *state) repairGeneric() error {
 }
 
 // --- deterministic helpers ---
-
-func sizeIndexOf(sizes []float64, size float64) int {
-	lo, hi := 0, len(sizes)-1
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		switch {
-		case numeric.Eq(sizes[mid], size):
-			return mid
-		case sizes[mid] > size:
-			lo = mid + 1
-		default:
-			hi = mid - 1
-		}
-	}
-	for i, s := range sizes {
-		if numeric.Eq(s, size) {
-			return i
-		}
-	}
-	return -1
-}
 
 func sortedKeys(m map[int][]int) []int {
 	keys := make([]int, 0, len(m))

@@ -30,11 +30,11 @@ func pipeline(t *testing.T, in *sched.Instance, eps float64, bprime int, mode cf
 		t.Fatal(err)
 	}
 	tr := transform.Apply(scaled, info)
-	sp, err := pattern.Enumerate(context.Background(), tr.Inst, info, tr.Priority, pattern.Options{})
+	sp, err := pattern.Enumerate(context.Background(), tr.Inst, tr.View, tr.Priority, pattern.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	built, err := cfgmilp.Build(context.Background(), tr.Inst, info, tr.Priority, sp, mode)
+	built, err := cfgmilp.Build(context.Background(), tr.Inst, tr.View, tr.Priority, sp, cfgmilp.BuildOptions{Mode: mode})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func pipeline(t *testing.T, in *sched.Instance, eps float64, bprime int, mode cf
 	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
 		t.Fatalf("MILP status %v", sol.Status)
 	}
-	return Input{Inst: tr.Inst, Info: info, Prio: tr.Priority, Space: sp, Plan: built.Decode(sol)}
+	return Input{Inst: tr.Inst, View: tr.View, Prio: tr.Priority, Space: sp, Plan: built.Decode(sol)}
 }
 
 func TestPlaceProducesFeasibleSchedules(t *testing.T) {
@@ -112,7 +112,7 @@ func TestPlaceHeightBounded(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		limit := inp.Info.T + 4*inp.Info.Eps
+		limit := inp.View.Info.T + 4*inp.View.Info.Eps
 		if mk := s.Makespan(); mk > limit+1e-9 {
 			t.Errorf("seed %d: transformed makespan %.4f > %.4f", seed, mk, limit)
 		}
@@ -131,26 +131,30 @@ func TestLemma7SwapPreservesLoads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	view, err := info.ViewOf(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := &state{
 		in:     in,
-		info:   info,
+		view:   view,
 		prio:   []bool{false, false},
 		sched:  sched.NewSchedule(in),
-		loads:  make([]float64, 2),
+		loads:  newLoadVec(2, false),
 		bagsOn: []map[int]int{{}, {}},
 		origin: map[int]int{},
 	}
 	st.assign(0, 0)
 	st.assign(1, 0) // conflict: bag 0 twice on machine 0
 	st.assign(2, 1)
-	before := append([]float64(nil), st.loads...)
+	before := []float64{st.loads.at(0), st.loads.at(1)}
 	st.repairLargeConflicts()
 	if len(st.sched.Conflicts()) != 0 {
 		t.Fatalf("conflict not repaired")
 	}
 	for m := range before {
-		if math.Abs(st.loads[m]-before[m]) > 1e-9 {
-			t.Errorf("machine %d load changed: %g -> %g", m, before[m], st.loads[m])
+		if math.Abs(st.loads.at(m)-before[m]) > 1e-9 {
+			t.Errorf("machine %d load changed: %g -> %g", m, before[m], st.loads.at(m))
 		}
 	}
 	if st.stats.SwapRepairs != 1 {
@@ -167,12 +171,16 @@ func TestGenericRepairTerminatesAndFixes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	view, err := info.ViewOf(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := &state{
 		in:     in,
-		info:   info,
+		view:   view,
 		prio:   []bool{false},
 		sched:  sched.NewSchedule(in),
-		loads:  make([]float64, 3),
+		loads:  newLoadVec(3, false),
 		bagsOn: []map[int]int{{}, {}, {}},
 		origin: map[int]int{},
 	}
@@ -201,12 +209,16 @@ func TestGenericRepairDetectsSaturation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	view, err := info.ViewOf(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := &state{
 		in:     in,
-		info:   info,
+		view:   view,
 		prio:   []bool{false},
 		sched:  sched.NewSchedule(in),
-		loads:  make([]float64, 2),
+		loads:  newLoadVec(2, false),
 		bagsOn: []map[int]int{{}, {}},
 		origin: map[int]int{},
 	}

@@ -29,12 +29,16 @@ func TestGenericRepairProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		view, err := info.ViewOf(in)
+		if err != nil {
+			return false
+		}
 		st := &state{
 			in:     in,
-			info:   info,
+			view:   view,
 			prio:   make([]bool, in.NumBags),
 			sched:  sched.NewSchedule(in),
-			loads:  make([]float64, m),
+			loads:  newLoadVec(m, false),
 			bagsOn: make([]map[int]int, m),
 			origin: map[int]int{},
 		}
@@ -66,12 +70,16 @@ func TestSwapRepairNoOpOnCleanState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	view, err := info.ViewOf(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := &state{
 		in:     in,
-		info:   info,
+		view:   view,
 		prio:   make([]bool, in.NumBags),
 		sched:  sched.NewSchedule(in),
-		loads:  make([]float64, in.Machines),
+		loads:  newLoadVec(in.Machines, false),
 		bagsOn: make([]map[int]int, in.Machines),
 		origin: map[int]int{},
 	}
@@ -116,12 +124,16 @@ func TestOriginChasingIsBounded(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		view, err := info.ViewOf(in)
+		if err != nil {
+			t.Fatal(err)
+		}
 		st := &state{
 			in:     in,
-			info:   info,
+			view:   view,
 			prio:   []bool{true},
 			sched:  sched.NewSchedule(in),
-			loads:  make([]float64, m),
+			loads:  newLoadVec(m, false),
 			bagsOn: make([]map[int]int, m),
 			origin: map[int]int{},
 		}

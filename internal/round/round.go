@@ -8,6 +8,7 @@ import (
 	"context"
 	"math"
 
+	"repro/internal/numeric"
 	"repro/internal/sched"
 )
 
@@ -37,16 +38,24 @@ func UpGeometric(size, eps float64) (float64, int) {
 	return v, e
 }
 
-// ScaleRound returns a copy of in with every job size divided by target
-// and rounded up to a power of (1+eps). Job IDs, bags, order and machine
-// count are preserved, so a schedule of the result is a schedule of in.
-// The second result holds the geometric exponent of each job.
+// ScaleRound returns a copy of in with every job size divided by target,
+// rounded up to a power of (1+eps), and snapped up onto the fixed-point
+// grid of numeric.Fx. Job IDs, bags, order and machine count are
+// preserved, so a schedule of the result is a schedule of in. The second
+// result holds the geometric exponent of each job.
+//
+// The grid snap is where float64 ends in the EPTAS pipeline: every size
+// of the returned instance is an exact fixed-point grid value, so all downstream
+// sums and comparisons of sizes — whether performed on int64 fixed-point
+// values or on the lifted float64s — are exact and agree bit for bit
+// (see the numeric package's denominator contract). Snapping up keeps
+// the round-up invariant: the stored size is never below Size/target.
 func ScaleRound(in *sched.Instance, target, eps float64) (*sched.Instance, []int) {
 	out := in.Clone()
 	exps := make([]int, len(out.Jobs))
 	for i := range out.Jobs {
 		v, e := UpGeometric(out.Jobs[i].Size/target, eps)
-		out.Jobs[i].Size = v
+		out.Jobs[i].Size = numeric.Quantize(v)
 		exps[i] = e
 	}
 	return out, exps

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/flow"
+	"repro/internal/numeric"
 	"repro/internal/sched"
 )
 
@@ -56,6 +57,11 @@ type Transformed struct {
 	// Priority reports priority status per bag of Inst: original bags
 	// keep their flag, new B'_l bags are non-priority.
 	Priority []bool
+	// View is the exact numeric view of Inst (size-table indices and
+	// fixed-point sizes per job), built during Apply without any float64
+	// searches: copied jobs inherit the original job's index, fillers the
+	// index of the bag's pmax job.
+	View *classify.View
 }
 
 // Apply performs the Section 2.2 transformation. Priority bags are copied
@@ -81,24 +87,30 @@ func Apply(in *sched.Instance, info *classify.Info) *Transformed {
 		t.OrigBagOf[b] = b
 	}
 
-	// Largest small size per bag (pmax for fillers).
+	// Largest small size per bag (pmax for fillers), with its size-table
+	// index for the numeric view.
 	pmax := make([]float64, in.NumBags)
+	pmaxIdx := make([]int, in.NumBags)
 	hasSmall := make([]bool, in.NumBags)
 	for j, job := range in.Jobs {
 		if info.JobClass[j] == classify.Small {
 			hasSmall[job.Bag] = true
 			if job.Size > pmax[job.Bag] {
 				pmax[job.Bag] = job.Size
+				pmaxIdx[job.Bag] = info.JobSize[j]
 			}
 		}
 	}
 
-	addJob := func(origIdx int, size float64, bag int, fillerFor int) {
+	t.View = &classify.View{Info: info}
+	addJob := func(origIdx int, size float64, bag int, fillerFor, sizeIdx int) {
 		idx := len(t.Inst.Jobs)
 		t.Inst.Jobs = append(t.Inst.Jobs, sched.Job{ID: sched.JobID(idx), Size: size, Bag: bag})
 		if bag >= t.Inst.NumBags {
 			t.Inst.NumBags = bag + 1
 		}
+		t.View.JobIdx = append(t.View.JobIdx, sizeIdx)
+		t.View.JobFx = append(t.View.JobFx, numeric.FromFloat(size))
 		if fillerFor >= 0 {
 			t.OrigJob = append(t.OrigJob, -1)
 			t.FillerBag = append(t.FillerBag, bag)
@@ -124,21 +136,21 @@ func Apply(in *sched.Instance, info *classify.Info) *Transformed {
 	for j, job := range in.Jobs {
 		b := job.Bag
 		if info.Priority[b] {
-			addJob(j, job.Size, b, -1)
+			addJob(j, job.Size, b, -1, info.JobSize[j])
 			continue
 		}
 		switch info.JobClass[j] {
 		case classify.Small:
-			addJob(j, job.Size, b, -1)
+			addJob(j, job.Size, b, -1, info.JobSize[j])
 		case classify.Large:
-			addJob(j, job.Size, newBag(b), -1)
+			addJob(j, job.Size, newBag(b), -1, info.JobSize[j])
 			if hasSmall[b] {
-				addJob(-1, pmax[b], b, j)
+				addJob(-1, pmax[b], b, j, pmaxIdx[b])
 			}
 		case classify.Medium:
 			t.DroppedMedium[b] = append(t.DroppedMedium[b], j)
 			if hasSmall[b] {
-				addJob(-1, pmax[b], b, j)
+				addJob(-1, pmax[b], b, j, pmaxIdx[b])
 			}
 		}
 	}

@@ -260,9 +260,16 @@ func manyLarge(spec Spec, rng *rand.Rand) *sched.Instance {
 	in := sched.NewInstance(spec.Machines)
 	in.NumBags = spec.Bags
 	palette := []float64{0.8, 0.64, 0.52}
+	perBag := 2
+	if spec.Machines < perBag {
+		// Found by FuzzSolveEPTAS: two jobs per bag is infeasible on a
+		// single machine.
+		perBag = spec.Machines
+	}
 	for b := 0; b < spec.Bags; b++ {
-		in.AddJob(palette[rng.Intn(len(palette))], b)
-		in.AddJob(palette[rng.Intn(len(palette))], b)
+		for k := 0; k < perBag; k++ {
+			in.AddJob(palette[rng.Intn(len(palette))], b)
+		}
 	}
 	return in
 }
@@ -270,6 +277,15 @@ func manyLarge(spec Spec, rng *rand.Rand) *sched.Instance {
 func skewed(spec Spec, rng *rand.Rand) *sched.Instance {
 	in := sched.NewInstance(spec.Machines)
 	in.NumBags = spec.Bags
+	if spec.Bags < 2 {
+		// Degenerate shape (found by FuzzSolveEPTAS): with a single bag
+		// there is nothing to skew — the bag holds every job. Generate
+		// has already ensured Jobs <= Machines in this case.
+		for i := 0; i < spec.Jobs; i++ {
+			in.AddJob(0.1+0.6*rng.Float64(), 0)
+		}
+		return in
+	}
 	// First two bags get half the jobs (capped by machines), the rest is
 	// spread.
 	counts := make([]int, spec.Bags)
