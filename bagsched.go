@@ -51,6 +51,16 @@
 //	    fmt.Println(i, o.Result.Makespan)
 //	}
 //
+// # Oracle backends
+//
+// The integer-programming oracle at the heart of each makespan guess is
+// pluggable (WithBackend): LP-simplex branch-and-bound (BackendBnB, the
+// default), an exact configuration dynamic program in fixed-point
+// integer arithmetic (BackendCfgDP, strongest on small pattern spaces),
+// or a deterministic portfolio race of both (BackendPortfolio) that
+// returns the first definitive outcome adjudicated in logical work units
+// — reproducible regardless of machine load.
+//
 // # Cancellation
 //
 // Every solver entry point has a Context variant (SolveEPTASContext,
@@ -69,6 +79,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cfgmilp"
 	"repro/internal/core"
+	"repro/internal/oracle"
 	"repro/internal/sched"
 )
 
@@ -113,12 +124,57 @@ const (
 	ModePaper = cfgmilp.ModePaper
 )
 
+// OracleBackend selects the integer-programming oracle engine that
+// decides each makespan guess's configuration program. See the package
+// documentation of internal/oracle for the backend contract.
+type OracleBackend = oracle.Kind
+
+const (
+	// BackendBnB (default) decides guesses with LP-simplex
+	// branch-and-bound over the materialized configuration MILP. It
+	// handles both MILP modes and arbitrary pattern spaces.
+	BackendBnB = oracle.KindBnB
+	// BackendCfgDP decides guesses with an exact dynamic program over
+	// machine-configuration multiplicities in int64 fixed-point
+	// arithmetic — no LP and no floating-point tolerance anywhere in the
+	// decision. Strongest when pattern counts are small; decomposed mode
+	// only.
+	BackendCfgDP = oracle.KindCfgDP
+	// BackendPortfolio races cfgdp and bnb concurrently per guess and
+	// returns the first definitive outcome, adjudicated in deterministic
+	// logical time so results stay bit-for-bit reproducible.
+	BackendPortfolio = oracle.KindPortfolio
+)
+
+// ParseBackend parses a CLI backend name ("bnb", "cfgdp", "portfolio").
+func ParseBackend(s string) (OracleBackend, error) { return oracle.ParseKind(s) }
+
 // Option customizes SolveEPTAS.
 type Option func(*core.Options)
 
 // WithMode selects the MILP flavour.
 func WithMode(m MILPMode) Option {
 	return func(o *core.Options) { o.Mode = m }
+}
+
+// WithBackend selects the oracle backend (default BackendBnB). The
+// backend changes how each guess's configuration program is decided —
+// and, for accepted guesses, which of the feasible pattern-multiplicity
+// plans the placer realizes — so schedules may legitimately differ
+// between backends; every backend is individually deterministic, exact,
+// and covered by the same 1+O(eps) guarantee.
+func WithBackend(b OracleBackend) Option {
+	return func(o *core.Options) { o.Oracle.Backend = b }
+}
+
+// WithPortfolio selects the portfolio backend over an explicit set of
+// raced backends (in tie-break order). With no arguments the default
+// race (cfgdp, then bnb) is used.
+func WithPortfolio(backends ...OracleBackend) Option {
+	return func(o *core.Options) {
+		o.Oracle.Backend = oracle.KindPortfolio
+		o.Oracle.Portfolio = backends
+	}
 }
 
 // WithPatternLimit bounds pattern enumeration (default 20000). Makespan

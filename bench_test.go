@@ -8,17 +8,21 @@ package bagsched
 //	go test -bench=. -benchmem
 import (
 	"context"
+	"os"
 	"testing"
 
 	"repro/internal/baselines"
+	"repro/internal/cfgmilp"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/greedy"
 	"repro/internal/lp"
 	"repro/internal/milp"
+	"repro/internal/oracle"
 	"repro/internal/pattern"
 	"repro/internal/round"
+	"repro/internal/sched"
 	"repro/internal/transform"
 	"repro/internal/workload"
 )
@@ -444,3 +448,63 @@ func TestBenchmarkInstancesFeasible(t *testing.T) {
 		}
 	}
 }
+
+// --- Oracle backends: one IP-oracle solve per engine ---
+//
+// All three decide the identical feasible configuration program: the
+// committed few-patterns fixture (testdata/fewpatterns_m12_n32.json —
+// 12 machines, 32 jobs of two distinct sizes in 4 bags, a small pattern
+// space) at its accepted bag-LPT guess, under the pipeline's default
+// limits. This is the oracle seam in isolation, the stage the backends
+// actually compete on. Tracked by cmd/benchjson: cfgdp should win here,
+// and the portfolio must stay close to the best single backend (its
+// loser aborts on the race clock at simplex-pivot granularity).
+
+// benchOracleModel builds the few-patterns configuration program once,
+// as the pipeline would at the bag-LPT guess.
+func benchOracleModel(b *testing.B) *cfgmilp.Built {
+	b.Helper()
+	f, err := os.Open("testdata/fewpatterns_m12_n32.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := sched.ReadInstance(f)
+	f.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ub, err := greedy.BagLPT(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := core.RunPipeline(in, ub.Makespan(), core.Options{Eps: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	built, err := cfgmilp.Build(context.Background(), pr.Transformed.Inst, pr.Transformed.View,
+		pr.Transformed.Priority, pr.Space, cfgmilp.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return built
+}
+
+func benchOracleBackend(b *testing.B, kind oracle.Kind) {
+	built := benchOracleModel(b)
+	backend := oracle.For(oracle.Selection{Backend: kind})
+	lim := oracle.Limits{MILP: milp.Options{MaxNodes: 500, StopAtFirst: true}}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, _, err := backend.Solve(ctx, built, lim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = plan
+	}
+}
+
+func BenchmarkOracleBnB(b *testing.B)       { benchOracleBackend(b, oracle.KindBnB) }
+func BenchmarkOracleCfgDP(b *testing.B)     { benchOracleBackend(b, oracle.KindCfgDP) }
+func BenchmarkOraclePortfolio(b *testing.B) { benchOracleBackend(b, oracle.KindPortfolio) }

@@ -4,19 +4,25 @@
 // Usage:
 //
 //	bagsched [-algo eptas|baglpt|lpt|greedy|roundrobin|exact|daswiese]
-//	         [-eps 0.5] [-in instance.json] [-out schedule.json]
+//	         [-eps 0.5] [-backend bnb|cfgdp|portfolio]
+//	         [-in instance.json] [-out schedule.json]
 //	         [-timeout 30s] [-v]
-//	bagsched -batch dir [-eps 0.5] [-workers N] [-timeout 5m]
+//	bagsched -batch dir [-eps 0.5] [-backend ...] [-workers N] [-timeout 5m]
 //
 // In batch mode every instance JSON in dir (files matching *.json,
 // excluding earlier *.schedule.json outputs) is solved with the EPTAS on
 // a worker pool, and each schedule is written alongside its instance as
 // <name>.schedule.json.
 //
+// -backend selects the EPTAS's integer-programming oracle: LP-simplex
+// branch-and-bound (bnb, the default), the exact configuration DP
+// (cfgdp), or a deterministic race of both (portfolio).
+//
 // -timeout bounds the solver's wall-clock time via context cancellation
 // (eptas and daswiese; in batch mode the deadline covers the whole
-// batch). With -algo eptas, -v additionally prints the per-stage timing
-// and cache report of the pipeline engine.
+// batch). With -algo eptas, -v additionally prints the per-stage timing,
+// cache report and oracle report (chosen/winning backend, per-backend
+// work counters) of the pipeline engine.
 //
 // The instance format is:
 //
@@ -42,6 +48,7 @@ import (
 func main() {
 	algo := flag.String("algo", "eptas", "algorithm: eptas, baglpt, lpt, greedy, roundrobin, exact, daswiese")
 	eps := flag.Float64("eps", 0.5, "accuracy parameter for eptas/daswiese")
+	backendName := flag.String("backend", "bnb", "eptas oracle backend: bnb, cfgdp or portfolio")
 	inPath := flag.String("in", "-", "instance JSON file, or - for stdin")
 	outPath := flag.String("out", "", "write the schedule JSON here (default: stdout summary only)")
 	batchDir := flag.String("batch", "", "solve every instance JSON in this directory on a worker pool")
@@ -57,25 +64,30 @@ func main() {
 		defer cancel()
 	}
 
-	var err error
-	if *batchDir != "" {
-		switch {
-		case *inPath != "-":
-			err = fmt.Errorf("-batch and -in are mutually exclusive")
-		case *outPath != "":
-			err = fmt.Errorf("-batch writes one schedule per instance; -out does not apply")
-		case *verbose:
-			err = fmt.Errorf("-v is not supported in batch mode")
-		default:
-			err = runBatch(ctx, *batchDir, *algo, *eps, *workers)
-		}
-	} else if *workers != 0 {
-		err = fmt.Errorf("-workers applies to batch mode only (use -batch)")
-	} else {
-		if *timeout > 0 && *algo != "eptas" && *algo != "daswiese" {
-			err = fmt.Errorf("-timeout supports -algo eptas or daswiese only (got %q; use -algo exact's own limit instead)", *algo)
+	backend, err := bagsched.ParseBackend(*backendName)
+	if err == nil && backend != bagsched.BackendBnB && *algo != "eptas" {
+		err = fmt.Errorf("-backend applies to -algo eptas only (got %q)", *algo)
+	}
+	if err == nil {
+		if *batchDir != "" {
+			switch {
+			case *inPath != "-":
+				err = fmt.Errorf("-batch and -in are mutually exclusive")
+			case *outPath != "":
+				err = fmt.Errorf("-batch writes one schedule per instance; -out does not apply")
+			case *verbose:
+				err = fmt.Errorf("-v is not supported in batch mode")
+			default:
+				err = runBatch(ctx, *batchDir, *algo, *eps, backend, *workers)
+			}
+		} else if *workers != 0 {
+			err = fmt.Errorf("-workers applies to batch mode only (use -batch)")
 		} else {
-			err = run(ctx, *algo, *eps, *inPath, *outPath, *verbose)
+			if *timeout > 0 && *algo != "eptas" && *algo != "daswiese" {
+				err = fmt.Errorf("-timeout supports -algo eptas or daswiese only (got %q; use -algo exact's own limit instead)", *algo)
+			} else {
+				err = run(ctx, *algo, *eps, backend, *inPath, *outPath, *verbose)
+			}
 		}
 	}
 	if err != nil {
@@ -86,7 +98,7 @@ func main() {
 
 // runBatch solves every instance JSON in dir concurrently and writes each
 // schedule alongside its instance.
-func runBatch(ctx context.Context, dir, algo string, eps float64, workers int) error {
+func runBatch(ctx context.Context, dir, algo string, eps float64, backend bagsched.OracleBackend, workers int) error {
 	if algo != "eptas" {
 		return fmt.Errorf("batch mode supports -algo eptas only (got %q)", algo)
 	}
@@ -112,7 +124,7 @@ func runBatch(ctx context.Context, dir, algo string, eps float64, workers int) e
 
 	pool := bagsched.NewPool(workers)
 	start := time.Now()
-	outs := pool.SolveEPTASContext(ctx, ins, eps)
+	outs := pool.SolveEPTASContext(ctx, ins, eps, bagsched.WithBackend(backend))
 	elapsed := time.Since(start)
 
 	failed := 0
@@ -172,7 +184,7 @@ func batchInputs(dir string) ([]string, error) {
 	return paths, nil
 }
 
-func run(ctx context.Context, algo string, eps float64, inPath, outPath string, verbose bool) error {
+func run(ctx context.Context, algo string, eps float64, backend bagsched.OracleBackend, inPath, outPath string, verbose bool) error {
 	var in *sched.Instance
 	var err error
 	if inPath == "-" {
@@ -193,7 +205,7 @@ func run(ctx context.Context, algo string, eps float64, inPath, outPath string, 
 	var s *sched.Schedule
 	switch algo {
 	case "eptas":
-		res, err := bagsched.SolveEPTASContext(ctx, in, eps)
+		res, err := bagsched.SolveEPTASContext(ctx, in, eps, bagsched.WithBackend(backend))
 		if err != nil {
 			return err
 		}
@@ -259,18 +271,27 @@ func run(ctx context.Context, algo string, eps float64, inPath, outPath string, 
 	return nil
 }
 
-// printEngineReport prints the per-stage timing and cross-guess cache
-// report of one EPTAS solve.
+// printEngineReport prints the per-stage timing, cross-guess cache and
+// oracle report of one EPTAS solve.
 func printEngineReport(st bagsched.Stats) {
 	fmt.Printf("pipeline: %d runs over %d guesses\n", st.PipelineRuns, st.Guesses)
 	for _, name := range pipeline.StageNames() {
 		if d, ok := st.StageTime[name]; ok {
-			fmt.Printf("  stage %-9s %12s\n", name, d.Round(time.Microsecond))
+			fmt.Printf("  stage %-11s %12s\n", name, d.Round(time.Microsecond))
 		}
 	}
 	total := st.CacheHits + st.CacheMisses
 	if total > 0 {
 		fmt.Printf("guess cache: %d hits / %d lookups (%.0f%%)\n",
 			st.CacheHits, total, 100*float64(st.CacheHits)/float64(total))
+	}
+	if st.OracleBackend != "" {
+		fmt.Printf("oracle: decided by %s (bnb nodes %d, dp states %d)\n",
+			st.OracleBackend, st.MILPNodes, st.DPStates)
+		if st.OracleRaces > 0 {
+			fmt.Printf("  races: %d won by %s; outraced losers burned %d nodes, %d states, %s\n",
+				st.OracleRaces, st.OracleBackend, st.OracleLoserNodes, st.OracleLoserStates,
+				st.OracleLoserTime.Round(time.Microsecond))
+		}
 	}
 }

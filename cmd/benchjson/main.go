@@ -37,13 +37,15 @@ import (
 // defaultBench selects the EPTAS hot paths: the EX experiment families
 // (BenchmarkExF1, ExT*, ExS*, ExL*, ExB*, ExA* — an uppercase letter
 // after "Ex" keeps BenchmarkExactSolver and other substrate
-// micro-benchmarks out of the default snapshot).
-const defaultBench = "BenchmarkEx[A-Z]"
+// micro-benchmarks out of the default snapshot) plus the oracle-backend
+// benchmarks (BenchmarkOracleBnB/CfgDP/Portfolio).
+const defaultBench = "Benchmark(Ex[A-Z]|Oracle)"
 
 // tracked lists the hot-path benchmarks bench-compare gates on: the
 // pattern-enumeration stage, the end-to-end EPTAS solves that dominate
-// production cost, and the speculative search. Benchmarks outside this
-// list still land in snapshots but never fail the comparison.
+// production cost, the speculative search, and the three oracle
+// backends on the DP-favoring few-patterns fixture. Benchmarks outside
+// this list still land in snapshots but never fail the comparison.
 var tracked = []string{
 	"BenchmarkExF1AdversarialEPTAS",
 	"BenchmarkExL6PatternEnum_Eps050",
@@ -51,6 +53,9 @@ var tracked = []string{
 	"BenchmarkExL7PipelineWithRepairs",
 	"BenchmarkExT2ScaleN080",
 	"BenchmarkExS2SpeculationOn",
+	"BenchmarkOracleBnB",
+	"BenchmarkOracleCfgDP",
+	"BenchmarkOraclePortfolio",
 }
 
 // Snapshot is the file format of one benchmark run.

@@ -79,6 +79,10 @@ func TestFixtureShapes(t *testing.T) {
 		"bimodal_m6_n24.json":     {6, 24, 8},
 		"adversarial_m8_n24.json": {8, 24, 6},
 		"manylarge_m6_n16.json":   {6, 16, 8},
+		// Hand-crafted DP-favoring fixture: two distinct sizes in four
+		// bags keep the pattern space tiny, the configuration-DP oracle's
+		// sweet spot (see the backend benchmarks).
+		"fewpatterns_m12_n32.json": {12, 32, 4},
 	}
 	for name, want := range shapes {
 		in := readFixture(t, filepath.Join("testdata", name))

@@ -62,11 +62,51 @@ type YKey struct {
 	SizeIdx int
 }
 
-// Built is a constructed MILP together with its variable maps.
+// BagSizeCount is one (bag, size index) demand row.
+type BagSizeCount struct{ Bag, SizeIdx, Count int }
+
+// SizeCount is one per-size demand row.
+type SizeCount struct{ SizeIdx, Count int }
+
+// BagCount is one per-bag demand row.
+type BagCount struct{ Bag, Count int }
+
+// Demand is the backend-neutral statement of the configuration program:
+// the exact integer demand statistics of the transformed instance that
+// every constraint of the MILP is derived from. It is what non-LP oracle
+// backends (the configuration DP) solve against directly, without going
+// through the materialized LP rows. All slices are sorted by their key
+// fields, so iteration is deterministic.
+type Demand struct {
+	// Machines is the machine count (the sum of pattern multiplicities).
+	Machines int
+	// MLPrio lists the priority (bag, medium/large size) slot demands
+	// (constraint (2)).
+	MLPrio []BagSizeCount
+	// XTotals lists the anonymous large-slot demands per size ((2x)).
+	XTotals []SizeCount
+	// SmallPrioBags lists, per priority bag with small jobs, how many
+	// machines must avoid the bag (the aggregated (3)+(5) rows).
+	SmallPrioBags []BagCount
+	// SmallAreaFx is the exact fixed-point total size of all small jobs
+	// (the aggregate area right-hand side); SmallArea is its float64 lift
+	// (or the seed's float accumulation under BuildOptions.Float64Ref).
+	SmallAreaFx numeric.Fx
+	SmallArea   float64
+}
+
+// Built is a constructed oracle model: the backend-neutral demand block
+// plus the materialized MILP with its variable maps.
 type Built struct {
 	Mode  Mode
 	Space *pattern.Space
-	Model *milp.Model
+	// View is the exact numeric view of the transformed instance the
+	// model was built from; Prio flags its priority bags.
+	View *classify.View
+	Prio []bool
+	// Demand is the backend-neutral demand block (see Demand).
+	Demand Demand
+	Model  *milp.Model
 	// XVar[p] is the LP variable index of pattern p's multiplicity.
 	XVar []int
 	// YVar maps priority small keys to variable indices (ModePaper).
@@ -112,7 +152,7 @@ type BuildOptions struct {
 func Build(ctx context.Context, in *sched.Instance, view *classify.View, prio []bool, sp *pattern.Space, opt BuildOptions) (*Built, error) {
 	info := view.Info
 	mode := opt.Mode
-	b := &Built{Mode: mode, Space: sp}
+	b := &Built{Mode: mode, Space: sp, View: view, Prio: prio}
 	prob := lp.NewProblem()
 
 	// x variables, one per pattern, all integral.
@@ -164,6 +204,25 @@ func Build(ctx context.Context, in *sched.Instance, view *classify.View, prio []
 		smallArea = smallAreaRef
 	}
 
+	// Record the backend-neutral demand block before materializing any LP
+	// rows: non-LP backends solve against exactly these statistics.
+	b.Demand = Demand{
+		Machines:    in.Machines,
+		SmallAreaFx: smallAreaFx,
+		SmallArea:   smallArea,
+	}
+	for _, ks := range bagSizeKeys(mlPrio) {
+		b.Demand.MLPrio = append(b.Demand.MLPrio, BagSizeCount{Bag: ks.bag, SizeIdx: ks.si, Count: mlPrio[ks]})
+	}
+	for _, si := range intKeys(xTotals) {
+		b.Demand.XTotals = append(b.Demand.XTotals, SizeCount{SizeIdx: si, Count: xTotals[si]})
+	}
+	for _, bag := range intKeys(smallCountByBag) {
+		if prio[bag] {
+			b.Demand.SmallPrioBags = append(b.Demand.SmallPrioBags, BagCount{Bag: bag, Count: smallCountByBag[bag]})
+		}
+	}
+
 	// (1) sum_p x_p = m (the empty pattern absorbs idle machines).
 	allX := make([]lp.Term, len(sp.Patterns))
 	for p := range sp.Patterns {
@@ -206,7 +265,9 @@ func Build(ctx context.Context, in *sched.Instance, view *classify.View, prio []
 	switch mode {
 	case ModeDecomposed:
 		// (A) aggregate area: free space across all machines covers the
-		// small jobs.
+		// small jobs. The right-hand side is read back from the demand
+		// block so the materialized row and the backend-neutral statement
+		// are one value by construction.
 		var areaTerms []lp.Term
 		for p := range sp.Patterns {
 			headroom := info.T - sp.Patterns[p].Height
@@ -215,8 +276,8 @@ func Build(ctx context.Context, in *sched.Instance, view *classify.View, prio []
 			}
 			areaTerms = append(areaTerms, lp.Term{Var: b.XVar[p], Coef: headroom})
 		}
-		if smallArea > 0 {
-			prob.AddConstraint(areaTerms, lp.GE, smallArea)
+		if b.Demand.SmallArea > 0 {
+			prob.AddConstraint(areaTerms, lp.GE, b.Demand.SmallArea)
 		}
 		// (C) per priority bag with small jobs: enough machines whose
 		// pattern avoids the bag ((3)+(5) aggregated over patterns).

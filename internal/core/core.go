@@ -20,6 +20,7 @@ import (
 	"repro/internal/cfgmilp"
 	"repro/internal/greedy"
 	"repro/internal/milp"
+	"repro/internal/oracle"
 	"repro/internal/pipeline"
 	"repro/internal/placer"
 	"repro/internal/round"
@@ -41,6 +42,11 @@ type Options struct {
 	// MILP tunes the branch-and-bound solver; StopAtFirst is forced on
 	// (the configuration program is a feasibility problem).
 	MILP milp.Options
+	// Oracle selects the integer-programming oracle backend that decides
+	// each guess's configuration program: branch-and-bound (the default),
+	// the exact configuration DP, or a deterministic portfolio race of
+	// both. See internal/oracle.
+	Oracle oracle.Selection
 	// MaxGuesses bounds the binary-search decisions (default 40).
 	MaxGuesses int
 	// AllPriority disables priority-bag selection and the instance
@@ -93,8 +99,25 @@ type Stats struct {
 	// MILPNodes is the total branch-and-bound nodes over all accepted
 	// guesses (cache-served guesses count the nodes of the pipeline run
 	// that produced their outcome, so the total matches an unmemoized
-	// search).
+	// search). Only winning-backend work counts: guesses decided by the
+	// configuration DP contribute to DPStates instead.
 	MILPNodes int
+	// DPStates is the total configuration-DP states expanded by winning
+	// cfgdp solves over all accepted guesses.
+	DPStates int64
+	// OracleBackend is the backend that decided the last accepted guess
+	// (the race winner under the portfolio).
+	OracleBackend string
+	// OracleRaces counts accepted guesses decided by a portfolio race.
+	OracleRaces int
+	// OracleLoserNodes, OracleLoserStates and OracleLoserTime account the
+	// work burned by outraced portfolio backends before cancellation over
+	// all accepted guesses. How far a loser gets before it observes the
+	// winner's logical deadline is load-dependent, so these three fields
+	// are excluded from the Decision projection.
+	OracleLoserNodes  int
+	OracleLoserStates int64
+	OracleLoserTime   time.Duration
 	// K, Q, BPrime are the classification parameters of the last
 	// accepted guess.
 	K, Q, BPrime int
@@ -126,13 +149,15 @@ type Stats struct {
 }
 
 // Decision returns a copy of s with the engine-level work counters
-// (PipelineRuns, CacheHits, CacheMisses, StageTime) cleared. What remains
-// is determined solely by the consumed guess sequence, so it is
-// bit-for-bit reproducible across sequential, speculative, batched,
-// memoized and unmemoized runs — the determinism tests compare exactly
-// this projection.
+// (PipelineRuns, CacheHits, CacheMisses, StageTime) and the load-dependent
+// portfolio loser accounting (OracleLoserNodes, OracleLoserStates,
+// OracleLoserTime) cleared. What remains is determined solely by the
+// consumed guess sequence, so it is bit-for-bit reproducible across
+// sequential, speculative, batched, memoized and unmemoized runs — the
+// determinism tests compare exactly this projection.
 func (s Stats) Decision() Stats {
 	s.PipelineRuns, s.CacheHits, s.CacheMisses, s.StageTime = 0, 0, 0, nil
+	s.OracleLoserNodes, s.OracleLoserStates, s.OracleLoserTime = 0, 0, 0
 	return s
 }
 
@@ -269,6 +294,7 @@ func pipelineConfig(opt Options) pipeline.Config {
 		Mode:           opt.Mode,
 		PatternLimit:   opt.PatternLimit,
 		MILP:           opt.MILP,
+		Oracle:         opt.Oracle,
 		AllPriority:    opt.AllPriority,
 		BPrimeOverride: opt.BPrimeOverride,
 		DisableMemo:    opt.DisableMemo,
@@ -290,6 +316,14 @@ func speculative(opt Options) bool {
 // guess.
 func (s *Stats) absorb(pr *PipelineResult) {
 	s.MILPNodes += pr.MILPNodes
+	s.DPStates += pr.OracleStats.States
+	s.OracleBackend = pr.OracleStats.Backend
+	if pr.OracleStats.Raced > 1 {
+		s.OracleRaces++
+	}
+	s.OracleLoserNodes += pr.OracleStats.LoserNodes
+	s.OracleLoserStates += pr.OracleStats.LoserStates
+	s.OracleLoserTime += pr.OracleStats.LoserTime
 	s.Patterns = len(pr.Space.Patterns)
 	s.IntegerVars = pr.IntegerVars
 	s.K, s.Q, s.BPrime = pr.Info.K, pr.Info.Q, pr.Info.BPrime

@@ -182,6 +182,12 @@ type Options struct {
 	// MaxIters bounds total pivots across both phases. Zero means the
 	// default of 200000.
 	MaxIters int
+	// Progress, when non-nil, is invoked once per simplex pivot with the
+	// pivot count so far (across both phases). A non-nil return aborts
+	// the solve and is surfaced as Solve's error. The branch-and-bound
+	// layer forwards it so the oracle portfolio's race clock ticks inside
+	// a node's LP solve, not just between nodes.
+	Progress func(iters int) error
 }
 
 const (
@@ -332,9 +338,12 @@ func (p *Problem) Solve(opt Options) (Result, error) {
 				c1[j] = 1
 			}
 		}
-		status, iters := t.optimize(c1, itersLeft)
+		status, iters, err := t.optimize(c1, itersLeft, opt.Progress, totalIters)
 		totalIters += iters
 		itersLeft -= iters
+		if err != nil {
+			return Result{Iters: totalIters}, err
+		}
 		if status == StatusIterLimit {
 			return Result{Status: StatusIterLimit, Iters: totalIters}, nil
 		}
@@ -356,8 +365,11 @@ func (p *Problem) Solve(opt Options) (Result, error) {
 	c2 := make([]float64, ncols)
 	copy(c2, p.obj)
 	t.banned = isArt
-	status, iters := t.optimize(c2, itersLeft)
+	status, iters, err := t.optimize(c2, itersLeft, opt.Progress, totalIters)
 	totalIters += iters
+	if err != nil {
+		return Result{Iters: totalIters}, err
+	}
 	if status == StatusIterLimit {
 		return Result{Status: StatusIterLimit, Iters: totalIters}, nil
 	}
@@ -390,7 +402,9 @@ type tableau struct {
 
 // optimize runs primal simplex minimizing c over the current tableau.
 // It returns the terminal status and the number of pivots performed.
-func (t *tableau) optimize(c []float64, maxIters int) (Status, int) {
+// progress (may be nil) is invoked once per pivot with base plus the
+// pivots performed so far; a non-nil return aborts the phase.
+func (t *tableau) optimize(c []float64, maxIters int, progress func(int) error, base int) (Status, int, error) {
 	// Reduced costs are recomputed per iteration from the basis; for the
 	// dense tableau we maintain the objective row explicitly.
 	z := make([]float64, t.n)
@@ -413,7 +427,7 @@ func (t *tableau) optimize(c []float64, maxIters int) (Status, int) {
 	useBland := false
 	for {
 		if iters >= maxIters {
-			return StatusIterLimit, iters
+			return StatusIterLimit, iters, nil
 		}
 		// Entering column.
 		enter := -1
@@ -434,7 +448,7 @@ func (t *tableau) optimize(c []float64, maxIters int) (Status, int) {
 			}
 		}
 		if enter < 0 {
-			return StatusOptimal, iters
+			return StatusOptimal, iters, nil
 		}
 		// Ratio test.
 		leave := -1
@@ -451,7 +465,7 @@ func (t *tableau) optimize(c []float64, maxIters int) (Status, int) {
 			}
 		}
 		if leave < 0 {
-			return StatusUnbounded, iters
+			return StatusUnbounded, iters, nil
 		}
 		if bestRatio < pivotEps {
 			degenerate++
@@ -463,6 +477,11 @@ func (t *tableau) optimize(c []float64, maxIters int) (Status, int) {
 		}
 		t.pivot(leave, enter, z, &zb)
 		iters++
+		if progress != nil {
+			if err := progress(base + iters); err != nil {
+				return 0, iters, err
+			}
+		}
 	}
 }
 

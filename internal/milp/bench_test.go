@@ -44,3 +44,53 @@ func BenchmarkSolveFeasibility(b *testing.B) {
 		}
 	}
 }
+
+// oddCycleModel is a feasibility MILP whose LP relaxation sits at a
+// fractional vertex (x = 1/2 around every odd cycle), so the solver must
+// genuinely branch: cover constraints x_i + x_j >= 1 around `cycles`
+// disjoint triangles, plus a budget row keeping the all-ones point out
+// of reach of trivial rounding.
+func oddCycleModel(cycles int) *Model {
+	p := lp.NewProblem()
+	var ints []int
+	var budget []lp.Term
+	for c := 0; c < cycles; c++ {
+		v := [3]int{}
+		for k := 0; k < 3; k++ {
+			v[k] = p.AddVar(0)
+			ints = append(ints, v[k])
+			budget = append(budget, lp.Term{Var: v[k], Coef: 1})
+		}
+		for k := 0; k < 3; k++ {
+			p.AddConstraint([]lp.Term{{Var: v[k], Coef: 1}, {Var: v[(k+1)%3], Coef: 1}}, lp.GE, 1)
+		}
+	}
+	// Exactly two vertices per triangle: keeps the LP optimum fractional
+	// and the integer set tight.
+	p.AddConstraint(budget, lp.EQ, float64(2*cycles))
+	return &Model{Prob: p, Integer: ints}
+}
+
+// BenchmarkSolveBranching forces a real tree search (the odd-cycle model
+// rejects the rounding heuristic at the root), so it exercises the node
+// queue — push/pop/recycle — rather than just one LP. It is the
+// benchmark that shows the typed-heap + free-list win over the old
+// container/heap queue, which boxed every node through interface{} and
+// allocated fresh node structs and bounds slices on every branch.
+func BenchmarkSolveBranching(b *testing.B) {
+	m := oddCycleModel(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(context.Background(), m, Options{StopAtFirst: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != StatusOptimal && sol.Status != StatusFeasible {
+			b.Fatalf("status %v", sol.Status)
+		}
+		if sol.Nodes < 8 {
+			b.Fatalf("search finished in %d nodes; the benchmark no longer branches", sol.Nodes)
+		}
+	}
+}

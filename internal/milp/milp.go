@@ -9,7 +9,6 @@
 package milp
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -75,6 +74,14 @@ type Options struct {
 	// DisableRounding turns off the largest-remainder rounding heuristic
 	// (used by the EX-A2 ablation to quantify its effect).
 	DisableRounding bool
+	// Progress, when non-nil, is invoked once per expanded node and once
+	// per simplex pivot inside each node's LP solve, with the cumulative
+	// node and pivot counts so far. A non-nil return aborts the search
+	// and is surfaced as Solve's error, discarding any incumbent. The
+	// oracle portfolio uses this as its deterministic work clock: node
+	// and pivot counts do not depend on machine load, so racing decisions
+	// driven by Progress stay reproducible.
+	Progress func(nodes, pivots int) error
 }
 
 // Solution is the outcome of Solve.
@@ -87,6 +94,10 @@ type Solution struct {
 	Obj float64
 	// Nodes is the number of branch-and-bound nodes expanded.
 	Nodes int
+	// Pivots is the total number of simplex pivots across all node LP
+	// solves — the fine-grained, load-independent work measure of the
+	// search (nodes vary hugely in cost; pivots do not).
+	Pivots int
 	// Bound is the best proven lower bound on the objective.
 	Bound float64
 }
@@ -102,25 +113,90 @@ type node struct {
 	bounds []boundChange
 	lpObj  float64 // parent LP bound (priority)
 	depth  int
+	free   *node // free-list link, meaningful only while recycled
 }
 
-type nodeQueue []*node
+// nodeQueue is a typed binary min-heap of *node ordered by (lpObj, depth)
+// — best LP bound first, deeper nodes first on ties (diving behaviour).
+// Compared to container/heap it avoids boxing every node through
+// interface{} on Push/Pop, and its free-list recycles node structs and
+// their bounds backing arrays: once the search is warm, branching
+// allocates nothing but the occasional bounds growth.
+type nodeQueue struct {
+	items []*node
+	free  *node
+}
 
-func (q nodeQueue) Len() int { return len(q) }
-func (q nodeQueue) Less(i, j int) bool {
-	if q[i].lpObj != q[j].lpObj {
-		return q[i].lpObj < q[j].lpObj
+func (q *nodeQueue) len() int { return len(q.items) }
+
+func (q *nodeQueue) less(a, b *node) bool {
+	if a.lpObj != b.lpObj {
+		return a.lpObj < b.lpObj
 	}
-	return q[i].depth > q[j].depth // prefer deeper: diving behaviour
+	return a.depth > b.depth
 }
-func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
-func (q *nodeQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+func (q *nodeQueue) push(n *node) {
+	q.items = append(q.items, n)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i], q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *nodeQueue) pop() *node {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = nil
+	q.items = q.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && q.less(q.items[l], q.items[smallest]) {
+			smallest = l
+		}
+		if r < last && q.less(q.items[r], q.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// newNode hands out a node carrying the parent's bounds plus one extra
+// bound change, reusing a free-listed node (and its bounds capacity) when
+// available.
+func (q *nodeQueue) newNode(parent []boundChange, extra boundChange, lpObj float64, depth int) *node {
+	n := q.free
+	if n != nil {
+		q.free = n.free
+		n.free = nil
+		n.bounds = n.bounds[:0]
+	} else {
+		n = &node{}
+	}
+	n.bounds = append(n.bounds, parent...)
+	n.bounds = append(n.bounds, extra)
+	n.lpObj = lpObj
+	n.depth = depth
+	return n
+}
+
+// recycle returns a popped-and-processed node to the free list.
+func (q *nodeQueue) recycle(n *node) {
+	n.free = q.free
+	q.free = n
 }
 
 // Solve runs branch and bound and returns the best solution found. The
@@ -151,14 +227,15 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 		incumbentObj = math.Inf(1)
 		haveInc      bool
 		nodes        int
+		pivots       int
 		bestBound    = math.Inf(1)
 	)
 
 	q := &nodeQueue{}
-	heap.Push(q, &node{lpObj: math.Inf(-1)})
+	q.push(&node{lpObj: math.Inf(-1)})
 
 	rootBound := math.Inf(-1)
-	for q.Len() > 0 {
+	for q.len() > 0 {
 		if nodes >= opt.MaxNodes {
 			break
 		}
@@ -168,11 +245,17 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 		if err := ctx.Err(); err != nil {
 			return Solution{}, err
 		}
-		nd := heap.Pop(q).(*node)
+		nd := q.pop()
 		if haveInc && nd.lpObj >= incumbentObj-1e-9 {
+			q.recycle(nd)
 			continue // pruned by bound
 		}
 		nodes++
+		if opt.Progress != nil {
+			if err := opt.Progress(nodes, pivots); err != nil {
+				return Solution{}, err
+			}
+		}
 
 		prob := m.Prob.Clone()
 		for _, bc := range nd.bounds {
@@ -182,12 +265,19 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 				prob.AddConstraint([]lp.Term{{Var: bc.v, Coef: 1}}, lp.GE, bc.val)
 			}
 		}
-		res, err := prob.Solve(lp.Options{MaxIters: opt.LPMaxIters})
+		lpOpt := lp.Options{MaxIters: opt.LPMaxIters}
+		if opt.Progress != nil {
+			base := pivots
+			lpOpt.Progress = func(iters int) error { return opt.Progress(nodes, base+iters) }
+		}
+		res, err := prob.Solve(lpOpt)
+		pivots += res.Iters
 		if err != nil {
 			return Solution{}, err
 		}
 		switch res.Status {
 		case lp.StatusInfeasible:
+			q.recycle(nd)
 			continue
 		case lp.StatusUnbounded:
 			// An unbounded relaxation with integer variables present is
@@ -195,12 +285,14 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 			return Solution{}, fmt.Errorf("milp: LP relaxation unbounded")
 		case lp.StatusIterLimit:
 			// Treat as unexplorable; conservatively keep searching.
+			q.recycle(nd)
 			continue
 		}
 		if nd.depth == 0 {
 			rootBound = res.Obj
 		}
 		if haveInc && res.Obj >= incumbentObj-1e-9 {
+			q.recycle(nd)
 			continue
 		}
 
@@ -214,7 +306,7 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 				incumbentObj = obj
 				haveInc = true
 				if opt.StopAtFirst {
-					return Solution{Status: StatusFeasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Bound: rootBound}, nil
+					return Solution{Status: StatusFeasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Pivots: pivots, Bound: rootBound}, nil
 				}
 			}
 		}
@@ -237,36 +329,36 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 				incumbentObj = res.Obj
 				haveInc = true
 				if opt.StopAtFirst {
-					return Solution{Status: StatusFeasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Bound: rootBound}, nil
+					return Solution{Status: StatusFeasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Pivots: pivots, Bound: rootBound}, nil
 				}
 			}
+			q.recycle(nd)
 			continue
 		}
 
 		xv := res.X[branchVar]
-		down := append(append([]boundChange(nil), nd.bounds...), boundChange{v: branchVar, upper: true, val: math.Floor(xv)})
-		up := append(append([]boundChange(nil), nd.bounds...), boundChange{v: branchVar, upper: false, val: math.Ceil(xv)})
-		heap.Push(q, &node{bounds: down, lpObj: res.Obj, depth: nd.depth + 1})
-		heap.Push(q, &node{bounds: up, lpObj: res.Obj, depth: nd.depth + 1})
+		q.push(q.newNode(nd.bounds, boundChange{v: branchVar, upper: true, val: math.Floor(xv)}, res.Obj, nd.depth+1))
+		q.push(q.newNode(nd.bounds, boundChange{v: branchVar, upper: false, val: math.Ceil(xv)}, res.Obj, nd.depth+1))
+		q.recycle(nd)
 	}
 
-	if q.Len() == 0 {
+	if q.len() == 0 {
 		bestBound = incumbentObj // search space exhausted: bound met
 	} else {
-		bestBound = (*q)[0].lpObj
+		bestBound = q.items[0].lpObj
 	}
 
 	if haveInc {
 		status := StatusFeasible
-		if q.Len() == 0 || bestBound >= incumbentObj-1e-9 {
+		if q.len() == 0 || bestBound >= incumbentObj-1e-9 {
 			status = StatusOptimal
 		}
-		return Solution{Status: status, X: incumbent, Obj: incumbentObj, Nodes: nodes, Bound: bestBound}, nil
+		return Solution{Status: status, X: incumbent, Obj: incumbentObj, Nodes: nodes, Pivots: pivots, Bound: bestBound}, nil
 	}
-	if q.Len() == 0 {
-		return Solution{Status: StatusInfeasible, Nodes: nodes}, nil
+	if q.len() == 0 {
+		return Solution{Status: StatusInfeasible, Nodes: nodes, Pivots: pivots}, nil
 	}
-	return Solution{Status: StatusLimit, Nodes: nodes, Bound: bestBound}, nil
+	return Solution{Status: StatusLimit, Nodes: nodes, Pivots: pivots, Bound: bestBound}, nil
 }
 
 // roundHeuristic rounds the integer components of x while preserving

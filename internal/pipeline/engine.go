@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/numeric"
+	"repro/internal/oracle"
 	"repro/internal/pattern"
 	"repro/internal/placer"
 	"repro/internal/sched"
@@ -43,8 +44,13 @@ type Result struct {
 	Space *pattern.Space
 	// IntegerVars is the MILP's integral dimension.
 	IntegerVars int
-	// MILPNodes is the branch-and-bound node count.
+	// MILPNodes is the branch-and-bound node count of the oracle's
+	// winning backend (0 when the configuration DP decided the guess).
 	MILPNodes int
+	// OracleStats accounts the oracle solve of the accepted rung: the
+	// backend (race winner under the portfolio), its deterministic work,
+	// and the work burned by outraced backends.
+	OracleStats oracle.Stats
 	// Placed is the schedule of the transformed (scaled) instance.
 	Placed *sched.Schedule
 	// PlaceStats reports placement repairs.
@@ -307,6 +313,7 @@ func (st *State) result(attempts int) *Result {
 		Space:       st.Space,
 		IntegerVars: st.IntegerVars,
 		MILPNodes:   st.MILPNodes,
+		OracleStats: st.OracleStats,
 		Placed:      st.Placed,
 		PlaceStats:  st.PlaceStats,
 		LiftStats:   st.LiftStats,
@@ -317,10 +324,10 @@ func (st *State) result(attempts int) *Result {
 // cloneFor adapts a memoized result to a new guess with the same
 // signature. Read-only artifacts (Info, Space, Placed, the transformation)
 // are shared; the final schedule's machine slice is copied so callers of
-// different guesses never alias mutable state. MILPNodes is kept as-is on
-// purpose: the uncached path would re-run the identical deterministic
-// MILP and count the same nodes, so aggregated statistics match the
-// unmemoized search exactly.
+// different guesses never alias mutable state. MILPNodes and OracleStats
+// are kept as-is on purpose: the uncached path would re-run the identical
+// deterministic oracle solve and count the same work, so aggregated
+// statistics match the unmemoized search exactly.
 func (r *Result) cloneFor(guess float64) *Result {
 	c := *r
 	c.Guess = guess

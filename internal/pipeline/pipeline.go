@@ -2,9 +2,9 @@
 // staged engine: for one makespan guess the instance is scaled and rounded
 // (Section 2 of the paper), classified (Lemma 1, Definition 2),
 // transformed (Section 2.2), its pattern space enumerated (Definition 3),
-// the configuration MILP solved (Section 3), all jobs placed (Sections 3.1
-// and 4) and the solution lifted back to the original instance (Lemmas 3
-// and 4).
+// the configuration program decided by an oracle backend (Section 3, via
+// internal/oracle), all jobs placed (Sections 3.1 and 4) and the solution
+// lifted back to the original instance (Lemmas 3 and 4).
 //
 // Each step is a Stage with its own wall-clock accounting, run in a fixed
 // order by an Engine. The Engine additionally memoizes outcomes across
@@ -27,6 +27,7 @@ import (
 	"repro/internal/cfgmilp"
 	"repro/internal/classify"
 	"repro/internal/milp"
+	"repro/internal/oracle"
 	"repro/internal/pattern"
 	"repro/internal/placer"
 	"repro/internal/round"
@@ -47,6 +48,10 @@ type Config struct {
 	PatternLimit int
 	// MILP tunes the branch-and-bound solver; StopAtFirst is forced on.
 	MILP milp.Options
+	// Oracle selects the backend composition the SolveOracle stage
+	// dispatches to; the zero value is the bnb backend (bit-identical to
+	// the pre-oracle-layer pipeline).
+	Oracle oracle.Selection
 	// AllPriority disables priority-bag selection and the instance
 	// transformation (Das–Wiese mode).
 	AllPriority bool
@@ -96,10 +101,12 @@ type State struct {
 	Prio        []bool
 	// Space is the enumerated pattern space.
 	Space *pattern.Space
-	// IntegerVars and MILPNodes describe the MILP solve; Plan is the
-	// decoded solution.
+	// IntegerVars is the MILP's integral dimension; OracleStats accounts
+	// the oracle solve (MILPNodes mirrors its winner node count for the
+	// aggregate statistics); Plan is the decoded solution.
 	IntegerVars int
 	MILPNodes   int
+	OracleStats oracle.Stats
 	Plan        *cfgmilp.Plan
 	// Placed is the schedule of the transformed (scaled) instance.
 	Placed     *sched.Schedule
@@ -120,6 +127,7 @@ func (st *State) resetRung() {
 	st.Space = nil
 	st.IntegerVars = 0
 	st.MILPNodes = 0
+	st.OracleStats = oracle.Stats{}
 	st.Plan = nil
 	st.Placed = nil
 	st.PlaceStats = placer.Stats{}
@@ -141,8 +149,8 @@ type Stage interface {
 // ladder rung.
 var (
 	stageScale    Stage = scaleStage{}
-	rungStages          = []Stage{classifyStage{}, transformStage{}, enumerateStage{}, solveMILPStage{}, placeStage{}, liftStage{}}
-	allStageNames       = []string{"Scale", "Classify", "Transform", "Enumerate", "SolveMILP", "Place", "Lift"}
+	rungStages          = []Stage{classifyStage{}, transformStage{}, enumerateStage{}, solveOracleStage{}, placeStage{}, liftStage{}}
+	allStageNames       = []string{"Scale", "Classify", "Transform", "Enumerate", "SolveOracle", "Place", "Lift"}
 )
 
 // StageNames lists the pipeline stages in execution order; Stats maps and
@@ -211,10 +219,10 @@ func (enumerateStage) Run(ctx context.Context, st *State) error {
 	return nil
 }
 
-type solveMILPStage struct{}
+type solveOracleStage struct{}
 
-func (solveMILPStage) Name() string { return "SolveMILP" }
-func (solveMILPStage) Run(ctx context.Context, st *State) error {
+func (solveOracleStage) Name() string { return "SolveOracle" }
+func (solveOracleStage) Run(ctx context.Context, st *State) error {
 	built, err := cfgmilp.Build(ctx, st.TInst, st.View, st.Prio, st.Space, cfgmilp.BuildOptions{
 		Mode:       st.Cfg.Mode,
 		Float64Ref: st.Cfg.Float64Ref,
@@ -223,37 +231,35 @@ func (solveMILPStage) Run(ctx context.Context, st *State) error {
 		return err
 	}
 	st.IntegerVars = built.IntegerVars
-	opt := st.Cfg.MILP
-	opt.StopAtFirst = true
-	if opt.MaxNodes <= 0 {
+	lim := oracle.Limits{MILP: st.Cfg.MILP}
+	if lim.MILP.MaxNodes <= 0 {
 		// Feasibility models are usually solved at the root (by the
 		// rounding heuristic) or after a few dives; a tight default
-		// keeps rejected guesses cheap.
-		opt.MaxNodes = 500
+		// keeps rejected guesses cheap. The DP state budget mirrors it
+		// at the logical-time exchange rate (see oracle.Limits).
+		lim.MILP.MaxNodes = 500
 	}
-	if opt.TimeLimit <= 0 {
+	if lim.MILP.TimeLimit <= 0 {
 		// A guess that cannot be decided quickly is treated as rejected;
 		// the binary search then moves on. This bounds the worst case on
 		// pathologically large pattern spaces. The node budgets above and
 		// below are what normally bind — this wall-clock backstop is the
 		// only load-dependent limit in the pipeline.
-		opt.TimeLimit = 2 * time.Second
+		lim.MILP.TimeLimit = 2 * time.Second
 	}
-	if st.NodeBudget > 0 && st.NodeBudget < opt.MaxNodes {
-		opt.MaxNodes = st.NodeBudget
+	if st.NodeBudget > 0 && st.NodeBudget < lim.MILP.MaxNodes {
+		lim.MILP.MaxNodes = st.NodeBudget
 	}
-	sol, err := milp.Solve(ctx, built.Model, opt)
+	plan, ostats, err := oracle.For(st.Cfg.Oracle).Solve(ctx, built, lim)
+	st.OracleStats = ostats
+	st.MILPNodes = ostats.Nodes
 	if err != nil {
-		return err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return fmt.Errorf("eptas: oracle at guess %g: %w", st.Guess, err)
 	}
-	st.MILPNodes = sol.Nodes
-	if sol.Status == milp.StatusLimit {
-		return fmt.Errorf("eptas: MILP at guess %g: %w", st.Guess, ErrMILPLimit)
-	}
-	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
-		return fmt.Errorf("eptas: MILP %s at guess %g", sol.Status, st.Guess)
-	}
-	st.Plan = built.Decode(sol)
+	st.Plan = plan
 	return nil
 }
 
@@ -300,12 +306,8 @@ func (liftStage) Run(_ context.Context, st *State) error {
 	return nil
 }
 
-// ErrMILPLimit marks a guess rejected because the MILP solver exhausted
-// its node or time budget rather than proving infeasibility.
-var ErrMILPLimit = errors.New("MILP resource limit")
-
 // RetryWithSmallerCap reports whether a pipeline failure may be cured by
-// a smaller priority cap: pattern-space explosions and MILP resource
+// a smaller priority cap: pattern-space explosions and oracle work-budget
 // limits both shrink with fewer priority bags. Genuine infeasibility is
 // not retried — reducing the cap relaxes the program further, and the
 // binary search treats the guess as too low either way.
@@ -313,7 +315,7 @@ func RetryWithSmallerCap(err error) bool {
 	if _, tooMany := err.(pattern.ErrTooManyPatterns); tooMany {
 		return true
 	}
-	return errors.Is(err, ErrMILPLimit)
+	return errors.Is(err, oracle.ErrLimit)
 }
 
 // ladderNodeBudget bounds branch-and-bound nodes on non-final ladder

@@ -25,7 +25,7 @@ func testInstanceAndGuess(t *testing.T) (*sched.Instance, float64) {
 }
 
 func TestStageNamesOrder(t *testing.T) {
-	want := []string{"Scale", "Classify", "Transform", "Enumerate", "SolveMILP", "Place", "Lift"}
+	want := []string{"Scale", "Classify", "Transform", "Enumerate", "SolveOracle", "Place", "Lift"}
 	got := StageNames()
 	if len(got) != len(want) {
 		t.Fatalf("StageNames() = %v, want %v", got, want)
