@@ -1,6 +1,7 @@
 GO ?= go
+COVER_FLOOR ?= 70
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-compare fuzz ci
+.PHONY: all build vet test race bench bench-smoke bench-json bench-compare fuzz ci cover serve loadtest
 
 all: ci
 
@@ -43,6 +44,28 @@ bench-compare:
 fuzz:
 	$(GO) test -fuzz FuzzSolveEPTAS -fuzztime 30s .
 
+# cover is the CI coverage leg: the race-mode test run with an atomic
+# coverage profile, failing when total statement coverage drops below
+# COVER_FLOOR percent. The profile lands in coverage.out (uploaded as a
+# CI artifact).
+cover:
+	$(GO) test -race -covermode=atomic -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < floor) { \
+			printf "coverage %.1f%% is below the %d%% floor\n", $$3, floor; exit 1 } }'
+
+# serve runs the long-running solve service on :8080; pair with
+# `make loadtest` in another terminal. See the README's Serving section.
+serve:
+	$(GO) run ./cmd/bagsched serve -addr :8080
+
+# loadtest replays the testdata corpus against a running `make serve`
+# and reports the cold-vs-warm p50 from GET /v1/stats, failing unless
+# the warm pass is at least 2x faster.
+loadtest:
+	$(GO) run ./examples/service -addr http://127.0.0.1:8080 -dir testdata
+
 # ci is what .github/workflows/ci.yml runs (plus a non-blocking
-# bench-compare step).
+# bench-compare step); the coverage matrix leg swaps race for cover.
 ci: vet build race bench-smoke

@@ -79,6 +79,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cfgmilp"
 	"repro/internal/core"
+	"repro/internal/memo"
 	"repro/internal/oracle"
 	"repro/internal/sched"
 )
@@ -214,6 +215,36 @@ func WithPriorityCap(bprime int) Option {
 // the node budget always binds first).
 func WithSpeculation(n int) Option {
 	return func(o *core.Options) { o.Speculate = n }
+}
+
+// Cache is a concurrency-safe, bounded, cost-aware memo for pipeline
+// outcomes, shared across solves: guesses whose scaled-rounded instances
+// (and solver options) coincide are decided once and reused, within a
+// solve and across requests. See NewCache, WithSharedCache and the
+// documentation of internal/memo for the exact semantics (in-flight
+// deduplication, committed negative entries, LRU eviction by estimated
+// bytes). A Cache's Stats method reports hit/miss/eviction counters.
+type Cache = memo.Cache
+
+// CacheStats is a snapshot of a Cache's counters.
+type CacheStats = memo.Stats
+
+// NewCache returns a shared solve cache bounded to approximately
+// maxBytes of retained results (estimated, not exact). maxBytes <= 0
+// means unbounded. Pass it to any number of concurrent solves with
+// WithSharedCache; the long-running solver service keeps one Cache for
+// its whole lifetime.
+func NewCache(maxBytes int64) *Cache { return memo.New(maxBytes) }
+
+// WithSharedCache makes the solve store per-guess pipeline outcomes in
+// (and serve hits from) c instead of a private per-solve memo, so
+// repeated or overlapping workloads skip the guess-enumeration cost
+// entirely. Solves under different options or instances never share
+// entries falsely (the memo key covers both), and results are
+// bit-identical to uncached solves — the cache changes latency, never
+// answers. A nil c restores the private per-solve memo.
+func WithSharedCache(c *Cache) Option {
+	return func(o *core.Options) { o.Cache = c }
 }
 
 // WithMemo toggles the cross-guess memoization of the per-guess pipeline

@@ -8,11 +8,19 @@
 //	         [-in instance.json] [-out schedule.json]
 //	         [-timeout 30s] [-v]
 //	bagsched -batch dir [-eps 0.5] [-backend ...] [-workers N] [-timeout 5m]
+//	bagsched serve [-addr :8080] [-workers N] [-cache-bytes N]
+//	         [-backend bnb] [-eps 0.5] [-queue-depth N] [-max-timeout 2m]
 //
 // In batch mode every instance JSON in dir (files matching *.json,
 // excluding earlier *.schedule.json outputs) is solved with the EPTAS on
 // a worker pool, and each schedule is written alongside its instance as
 // <name>.schedule.json.
+//
+// The serve subcommand runs the long-running solve service: an HTTP/JSON
+// API (POST /v1/solve, POST /v1/batch, GET /v1/stats, GET /healthz, GET
+// /metrics) sharing one bounded cross-request guess-memo cache and one
+// admission-controlled worker pool across all requests. See
+// internal/server and the README's Serving section.
 //
 // -backend selects the EPTAS's integer-programming oracle: LP-simplex
 // branch-and-bound (bnb, the default), the exact configuration DP
@@ -46,6 +54,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "bagsched serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	algo := flag.String("algo", "eptas", "algorithm: eptas, baglpt, lpt, greedy, roundrobin, exact, daswiese")
 	eps := flag.Float64("eps", 0.5, "accuracy parameter for eptas/daswiese")
 	backendName := flag.String("backend", "bnb", "eptas oracle backend: bnb, cfgdp or portfolio")

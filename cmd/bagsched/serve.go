@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	bagsched "repro"
+	"repro/internal/server"
+)
+
+// runServe is the `bagsched serve` subcommand: the long-running solve
+// service with one shared cross-request cache and one admission-
+// controlled worker queue. See internal/server for the endpoints.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: bagsched serve [flags]\n\n"+
+			"Serve POST /v1/solve, POST /v1/batch, GET /v1/stats, GET /healthz and\n"+
+			"GET /metrics over HTTP, sharing one bounded guess-memo cache and one\n"+
+			"admission-controlled worker pool across all requests.\n\n")
+		fs.PrintDefaults()
+	}
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", -1, "max solves waiting beyond -workers (-1 = 4x workers; beyond that requests get 503)")
+	cacheBytes := fs.Int64("cache-bytes", server.DefaultCacheBytes, "shared result-cache budget in estimated bytes (0 = unbounded)")
+	backendName := fs.String("backend", "bnb", "default oracle backend: bnb, cfgdp or portfolio (requests may override)")
+	eps := fs.Float64("eps", server.DefaultEps, "default accuracy parameter in (0,1) (requests may override)")
+	maxTimeout := fs.Duration("max-timeout", server.DefaultMaxTimeout, "upper clamp on per-request solve timeouts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments (got %q)", fs.Args())
+	}
+	backend, err := bagsched.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	if *eps <= 0 || *eps >= 1 {
+		return fmt.Errorf("-eps must be in (0,1), got %g", *eps)
+	}
+
+	cache := bagsched.NewCache(*cacheBytes)
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		Cache:      cache,
+		Eps:        *eps,
+		Backend:    backend,
+		MaxTimeout: *maxTimeout,
+	})
+	srv.PublishExpvar()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let running
+	// solves finish (bounded by their own deadlines).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("bagsched serve: listening on %s (workers %d, queue depth %d, cache %d bytes, backend %s, eps %g)\n",
+		*addr, srv.Workers(), srv.QueueDepth(), *cacheBytes, backend, *eps)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	st := cache.Stats()
+	fmt.Printf("bagsched serve: drained; cache served %d hits / %d lookups\n", st.Hits, st.Hits+st.Misses)
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cfgmilp"
 	"repro/internal/greedy"
+	"repro/internal/memo"
 	"repro/internal/milp"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
@@ -72,9 +73,17 @@ type Options struct {
 	// split in Stats (but not any result) can also vary under
 	// speculation.
 	Speculate int
+	// Cache, when non-nil, is a shared cross-request memo the pipeline
+	// engine stores guess outcomes in (and serves hits from) instead of
+	// a private per-solve one — the serving layer passes one bounded
+	// cache here for every request. Results are bit-identical with and
+	// without a shared cache (the differential tests enforce this);
+	// sharing only avoids repeated work. See internal/memo.
+	Cache *memo.Cache
 	// DisableMemo turns off the cross-guess memoization of the pipeline
-	// engine. Results are identical with and without the memo (the
-	// differential tests enforce this); disabling it only repeats work.
+	// engine, including a shared Cache. Results are identical with and
+	// without the memo (the differential tests enforce this); disabling
+	// it only repeats work.
 	DisableMemo bool
 	// Float64Ref runs the post-rounding pipeline on the retained float64
 	// reference arithmetic instead of the exact int64 fixed-point
@@ -297,6 +306,7 @@ func pipelineConfig(opt Options) pipeline.Config {
 		Oracle:         opt.Oracle,
 		AllPriority:    opt.AllPriority,
 		BPrimeOverride: opt.BPrimeOverride,
+		Cache:          opt.Cache,
 		DisableMemo:    opt.DisableMemo,
 		Float64Ref:     opt.Float64Ref,
 	}

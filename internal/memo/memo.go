@@ -1,0 +1,334 @@
+// Package memo is a concurrency-safe, bounded, cost-aware result cache
+// with in-flight deduplication — the serving-layer generalization of the
+// per-solve guess memo that used to live inside the pipeline engine.
+//
+// A Cache maps fixed-size Keys to committed outcomes. An outcome is
+// either positive (a value) or negative (a non-cancellation error);
+// both are cached, because for the EPTAS guess pipeline a rejection is
+// as deterministic — and as expensive to recompute — as an acceptance.
+// The one kind of result that is never cached is a context
+// cancellation: it describes the caller's impatience, not the key.
+//
+// # Singleflight
+//
+// Do deduplicates concurrent computations of one key: the first caller
+// claims the key and runs the compute function, every later caller
+// waits for that in-flight execution instead of starting a duplicate.
+// If the claimant is canceled, the claim is abandoned and one of the
+// waiters claims afresh, so a transient cancellation never poisons a
+// key. These are exactly the wait semantics of the old engine slot,
+// made explicit and tested here:
+//
+//   - commit: a completed compute (value or rejection error) is
+//     published to all waiters and cached;
+//   - abandon: a canceled compute wakes all waiters, each of which
+//     retries the claim under its own context;
+//   - waiters that observe a commit count as cache hits — they got an
+//     outcome without paying for a pipeline run.
+//
+// # Bounding
+//
+// The cache is bounded by total cost (a caller-estimated byte count,
+// see Do) rather than entry count, because pipeline results vary by
+// orders of magnitude in footprint. When a commit pushes the total
+// over MaxCost, least-recently-used committed entries are evicted
+// until the cache fits; the entry being committed is never evicted by
+// its own insertion, so the most recent result is always served.
+// In-flight claims hold no cost and are never evicted (they are
+// bounded by caller concurrency, not by the budget). A MaxCost <= 0
+// disables bounding — that is the per-solve private configuration,
+// where lifetime bounds the footprint instead.
+//
+// # Result transparency
+//
+// The cache stores outcomes by value and never mutates them; callers
+// must treat cached values as immutable (the pipeline layer clones the
+// one mutable slice before handing a cached schedule out). Under that
+// contract a cache hit is bit-identical to the compute it replaced —
+// the differential tests at the repository root prove it corpus-wide.
+package memo
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Key identifies one cached outcome. Sig is the scaled-rounded instance
+// signature (the per-guess identity within one solve context) and Aux
+// is a hash of everything else that determines the outcome — the solver
+// configuration and the instance's bag structure — so that one shared
+// Cache can serve requests with different options without false
+// sharing. Two keys are the same cache line iff both parts are equal.
+type Key struct {
+	// Sig identifies the scaled-rounded instance; see numeric.KeyOf.
+	Sig Sig
+	// Aux folds in the solve context: solver options and the bag vector.
+	Aux uint64
+}
+
+// Sig is the fixed-size instance-signature half of a Key. It mirrors
+// numeric.Key structurally so that the memo package does not import the
+// numeric package (keys flow in from the pipeline layer, which owns the
+// conversion).
+type Sig struct {
+	M, N   int32
+	H0, H1 uint64
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Do calls served without running the compute function —
+	// from a committed entry or by waiting out an in-flight twin.
+	Hits int64
+	// Misses counts Do calls that claimed their key and ran the compute
+	// function (including claims later abandoned on cancellation).
+	Misses int64
+	// Waits counts the subset of Hits that waited for an in-flight
+	// compute rather than finding a committed entry.
+	Waits int64
+	// Evictions counts committed entries evicted to fit MaxCost.
+	Evictions int64
+	// Entries is the current number of committed entries; Negative is
+	// the subset caching a rejection error.
+	Entries  int
+	Negative int
+	// Cost is the current total cost of committed entries; MaxCost is
+	// the budget (0 = unbounded).
+	Cost    int64
+	MaxCost int64
+}
+
+// entry is one key's cache cell. The claimant that created it runs the
+// compute; everyone else waits on done. All fields other than done are
+// written by the claimant under the cache mutex before done is closed,
+// and read under the mutex after done is closed. committed=false after
+// done closes means the claimant was canceled and the cell abandoned
+// (and removed from the map): the outcome is undecided and a waiter
+// should claim afresh. A waiter holds the *entry across the wait, so a
+// committed cell stays readable even if eviction removes it from the
+// map in between.
+type entry struct {
+	key       Key
+	done      chan struct{}
+	committed bool
+	value     any
+	err       error
+	cost      int64
+
+	// LRU links; linked is true while the entry is on the eviction list
+	// (committed and still in the map).
+	prev, next *entry
+	linked     bool
+}
+
+// Cache is a bounded memo; see the package documentation. The zero
+// value is not usable — use New.
+type Cache struct {
+	mu      sync.Mutex
+	maxCost int64
+	cost    int64
+	entries map[Key]*entry
+	// LRU list of committed entries: head is most recently used, tail
+	// is the eviction candidate.
+	head, tail *entry
+	stats      Stats
+}
+
+// New returns a cache bounded to maxCost total estimated bytes.
+// maxCost <= 0 disables bounding (a private per-solve memo).
+func New(maxCost int64) *Cache {
+	if maxCost < 0 {
+		maxCost = 0
+	}
+	return &Cache{
+		maxCost: maxCost,
+		entries: make(map[Key]*entry),
+	}
+}
+
+// MaxCost reports the configured budget (0 = unbounded).
+func (c *Cache) MaxCost() int64 { return c.maxCost }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Cost = c.cost
+	s.MaxCost = c.maxCost
+	return s
+}
+
+// Do returns the outcome for k, computing it at most once across all
+// concurrent callers. fn computes the outcome and reports its retention
+// cost in estimated bytes; fn's error is cached as a committed negative
+// entry unless it is a context cancellation, in which case the claim is
+// abandoned and the next caller recomputes. hit reports that the
+// outcome was served without running fn in this call (committed entry
+// or in-flight wait). A caller whose own ctx dies while waiting returns
+// ctx.Err() without disturbing the in-flight compute.
+//
+// fn runs outside the cache lock; it must not call back into the same
+// Cache with the same key.
+func (c *Cache) Do(ctx context.Context, k Key, fn func() (value any, cost int64, err error)) (value any, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[k]
+		if !ok {
+			// Claim the key and compute. If fn panics (the claim branch
+			// always returns, so this defer can only fire then), abandon
+			// the claim exactly like a cancellation before repanicking —
+			// otherwise an HTTP layer that recovers the panic would leave
+			// the key claimed forever and every later caller wedged on
+			// e.done.
+			e = &entry{key: k, done: make(chan struct{})}
+			c.entries[k] = e
+			c.stats.Misses++
+			c.mu.Unlock()
+			finished := false
+			defer func() {
+				if finished {
+					return
+				}
+				c.mu.Lock()
+				delete(c.entries, k)
+				c.mu.Unlock()
+				close(e.done)
+			}()
+			v, cost, err := fn()
+			finished = true
+			c.mu.Lock()
+			if IsCancellation(err) {
+				// Abandon: wake waiters so one of them can claim afresh.
+				delete(c.entries, k)
+				c.mu.Unlock()
+				close(e.done)
+				return v, false, err
+			}
+			e.committed = true
+			e.value, e.err, e.cost = v, err, cost
+			c.link(e)
+			c.cost += e.cost
+			c.stats.Entries++
+			if e.err != nil {
+				c.stats.Negative++
+			}
+			c.evict(e)
+			c.mu.Unlock()
+			close(e.done)
+			return v, false, err
+		}
+		if e.committed {
+			c.stats.Hits++
+			c.touch(e)
+			v, err := e.value, e.err
+			c.mu.Unlock()
+			return v, true, err
+		}
+		c.mu.Unlock()
+
+		// An execution is in flight; wait for its outcome instead of
+		// running a duplicate.
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		c.mu.Lock()
+		if e.committed {
+			c.stats.Hits++
+			c.stats.Waits++
+			// The entry may have been evicted while we woke up; it is
+			// still readable through our pointer either way.
+			c.touch(e)
+			v, err := e.value, e.err
+			c.mu.Unlock()
+			return v, true, err
+		}
+		c.mu.Unlock()
+		// The claimant was canceled; try to claim afresh.
+	}
+}
+
+// link inserts a committed entry at the LRU head.
+func (c *Cache) link(e *entry) {
+	e.linked = true
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// unlink removes e from the LRU list.
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.linked = false
+}
+
+// touch moves a (possibly already evicted) committed entry to the LRU
+// head.
+func (c *Cache) touch(e *entry) {
+	if !e.linked {
+		return
+	}
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.link(e)
+}
+
+// remove drops a committed entry from the map, the list and the cost
+// account.
+func (c *Cache) remove(e *entry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.cost -= e.cost
+	c.stats.Entries--
+	if e.err != nil {
+		c.stats.Negative--
+	}
+}
+
+// evict drops least-recently-used committed entries until the cache
+// fits its budget, never evicting keep (the entry whose commit
+// triggered the pass): the newest result is always served at least
+// once.
+func (c *Cache) evict(keep *entry) {
+	if c.maxCost <= 0 {
+		return
+	}
+	for c.cost > c.maxCost && c.tail != nil {
+		victim := c.tail
+		if victim == keep {
+			return
+		}
+		c.remove(victim)
+		c.stats.Evictions++
+	}
+}
+
+// IsCancellation reports whether err came from a canceled or expired
+// context; such outcomes describe the caller, not the key, and are
+// never cached. It is exported because the serving layer's request
+// coalescing applies the identical abandonment rule one layer up and
+// the two predicates must stay in lockstep.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,327 @@
+package memo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(i int) Key {
+	return Key{Sig: Sig{M: 1, N: int32(i), H0: uint64(i), H1: ^uint64(i)}, Aux: 7}
+}
+
+// value wraps an int so cached values are pointers (like pipeline
+// results) and identity can be asserted.
+type value struct{ n int }
+
+// mustDo runs Do and fails the test on error. A nil fn asserts the call
+// must be served from cache (the compute path reports a test failure).
+func mustDo(t *testing.T, c *Cache, k Key, fn func() (any, int64, error)) (*value, bool) {
+	t.Helper()
+	if fn == nil {
+		fn = func() (any, int64, error) {
+			t.Errorf("Do(%v) ran the compute function, expected a cache hit", k)
+			return &value{-1}, 0, nil
+		}
+	}
+	v, hit, err := c.Do(context.Background(), k, fn)
+	if err != nil {
+		t.Fatalf("Do(%v): unexpected error %v", k, err)
+	}
+	return v.(*value), hit
+}
+
+func TestDoMissThenHit(t *testing.T) {
+	c := New(0)
+	calls := 0
+	fn := func() (any, int64, error) { calls++; return &value{42}, 100, nil }
+
+	v1, hit := mustDo(t, c, key(1), fn)
+	if hit {
+		t.Fatalf("first Do reported a hit")
+	}
+	v2, hit := mustDo(t, c, key(1), fn)
+	if !hit {
+		t.Fatalf("second Do reported a miss")
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if v1 != v2 {
+		t.Fatalf("hit returned a different value pointer")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Cost != 100 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry / cost 100", st)
+	}
+}
+
+// TestNegativeEntryCommitted pins the error-path contract: a rejection
+// (non-cancellation error) is cached as a committed negative entry and
+// served to later callers without recomputing — it is not deleted.
+func TestNegativeEntryCommitted(t *testing.T) {
+	c := New(0)
+	rejected := errors.New("guess rejected")
+	calls := 0
+	fn := func() (any, int64, error) { calls++; return nil, 16, rejected }
+
+	_, hit, err := c.Do(context.Background(), key(1), fn)
+	if !errors.Is(err, rejected) || hit {
+		t.Fatalf("first Do = (%v, hit=%v), want the rejection as a miss", err, hit)
+	}
+	_, hit, err = c.Do(context.Background(), key(1), fn)
+	if !errors.Is(err, rejected) {
+		t.Fatalf("second Do error = %v, want the cached rejection", err)
+	}
+	if !hit {
+		t.Fatalf("second Do recomputed a committed negative entry")
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Negative != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want exactly one (negative) entry", st)
+	}
+}
+
+// TestCancellationNotCached pins the other half of the error-path
+// contract: a cancellation outcome is abandoned, so the next caller
+// recomputes under its own context.
+func TestCancellationNotCached(t *testing.T) {
+	c := New(0)
+	calls := 0
+	_, hit, err := c.Do(context.Background(), key(1), func() (any, int64, error) {
+		calls++
+		return nil, 0, context.Canceled
+	})
+	if !errors.Is(err, context.Canceled) || hit {
+		t.Fatalf("canceled Do = (%v, hit=%v)", err, hit)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("canceled compute left %d entries", st.Entries)
+	}
+	v, hit := mustDo(t, c, key(1), func() (any, int64, error) {
+		calls++
+		return &value{7}, 8, nil
+	})
+	if hit || v.n != 7 || calls != 2 {
+		t.Fatalf("recompute after abandonment: hit=%v v=%v calls=%d", hit, v, calls)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	c := New(100)
+	put := func(i int) { mustDo(t, c, key(i), func() (any, int64, error) { return &value{i}, 40, nil }) }
+	put(1)
+	put(2) // cost 80
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, hit := mustDo(t, c, key(1), nil); !hit {
+		t.Fatalf("touching key 1 missed")
+	}
+	put(3) // cost 120 > 100: evict 2
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Cost != 80 {
+		t.Fatalf("stats after eviction = %+v, want 1 eviction, 2 entries, cost 80", st)
+	}
+	// Re-probe key 2 at zero cost so the probe itself cannot evict.
+	if _, hit := mustDo(t, c, key(2), func() (any, int64, error) { return &value{2}, 0, nil }); hit {
+		t.Fatalf("evicted key 2 still hit")
+	}
+	if _, hit := mustDo(t, c, key(1), nil); !hit {
+		t.Fatalf("key 1 was evicted, want key 2")
+	}
+}
+
+// TestEvictionNeverDropsNewest: an entry larger than the whole budget is
+// still committed and served; eviction clears everything else instead.
+func TestEvictionNeverDropsNewest(t *testing.T) {
+	c := New(100)
+	mustDo(t, c, key(1), func() (any, int64, error) { return &value{1}, 60, nil })
+	mustDo(t, c, key(2), func() (any, int64, error) { return &value{2}, 500, nil })
+	st := c.Stats()
+	if st.Entries != 1 || st.Cost != 500 {
+		t.Fatalf("stats = %+v, want only the oversized newest entry", st)
+	}
+	if _, hit := mustDo(t, c, key(2), nil); !hit {
+		t.Fatalf("oversized newest entry was evicted by its own insertion")
+	}
+}
+
+// TestPanicAbandonsClaim: a compute that panics must not leave the key
+// claimed forever — the claim is abandoned (like a cancellation) before
+// the panic propagates, so the next caller recomputes instead of
+// wedging on the in-flight wait.
+func TestPanicAbandonsClaim(t *testing.T) {
+	c := New(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate out of Do")
+			}
+		}()
+		c.Do(context.Background(), key(1), func() (any, int64, error) { panic("solver bug") })
+	}()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("panicked compute left %d entries", st.Entries)
+	}
+	v, hit := mustDo(t, c, key(1), func() (any, int64, error) { return &value{3}, 1, nil })
+	if hit || v.n != 3 {
+		t.Fatalf("recompute after panic: hit=%v v=%+v", hit, v)
+	}
+}
+
+// TestSingleflight hammers one key from many goroutines: the compute
+// must run exactly once, and every caller must observe the same value.
+func TestSingleflight(t *testing.T) {
+	c := New(0)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const workers = 32
+	var wg sync.WaitGroup
+	results := make([]*value, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-gate
+			v, _, err := c.Do(context.Background(), key(1), func() (any, int64, error) {
+				calls.Add(1)
+				return &value{99}, 1, nil
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			results[w] = v.(*value)
+		}(w)
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under contention, want 1", n)
+	}
+	for w, v := range results {
+		if v != results[0] {
+			t.Fatalf("worker %d observed a different value", w)
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != workers || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want %d lookups with exactly 1 miss", st, workers)
+	}
+}
+
+// TestWaiterReclaimsAbandonedSlot: a waiter blocked on a claimant that
+// gets canceled must claim afresh and compute, not observe the
+// cancellation.
+func TestWaiterReclaimsAbandonedSlot(t *testing.T) {
+	c := New(0)
+	claimed := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), key(1), func() (any, int64, error) {
+			close(claimed)
+			<-release
+			return nil, 0, context.Canceled
+		})
+	}()
+	<-claimed
+	done := make(chan *value)
+	go func() {
+		v, _, err := c.Do(context.Background(), key(1), func() (any, int64, error) {
+			return &value{5}, 1, nil
+		})
+		if err != nil {
+			t.Errorf("waiter: %v", err)
+		}
+		done <- v.(*value)
+	}()
+	close(release)
+	if v := <-done; v == nil || v.n != 5 {
+		t.Fatalf("waiter got %v, want recomputed value 5", v)
+	}
+}
+
+// TestWaiterContextCancel: a waiter whose own context dies returns its
+// ctx error promptly and leaves the in-flight compute untouched.
+func TestWaiterContextCancel(t *testing.T) {
+	c := New(0)
+	claimed := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), key(1), func() (any, int64, error) {
+			close(claimed)
+			<-release
+			return &value{1}, 1, nil
+		})
+	}()
+	<-claimed
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, hit, err := c.Do(ctx, key(1), nil)
+	if !errors.Is(err, context.Canceled) || hit {
+		t.Fatalf("canceled waiter = (%v, hit=%v), want ctx.Canceled miss", err, hit)
+	}
+	close(release)
+	if v, hit := mustDo(t, c, key(1), nil); !hit || v.n != 1 {
+		t.Fatalf("claimant's commit lost after waiter cancellation")
+	}
+}
+
+// TestConcurrentDistinctKeys exercises the LRU under racing inserts and
+// evictions; run with -race.
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New(50 * 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(i % 100)
+				v, _, err := c.Do(context.Background(), k, func() (any, int64, error) {
+					return &value{i % 100}, 16, nil
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if got := v.(*value).n; got != i%100 {
+					t.Errorf("worker %d: key %d returned value %d", w, i%100, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Cost > c.MaxCost() {
+		t.Fatalf("cost %d exceeds budget %d", st.Cost, st.MaxCost)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under a tight budget, stats %+v", st)
+	}
+}
+
+func TestNewClampsNegativeBudget(t *testing.T) {
+	if got := New(-5).MaxCost(); got != 0 {
+		t.Fatalf("MaxCost = %d, want 0 (unbounded)", got)
+	}
+}
+
+func ExampleCache_Do() {
+	c := New(1 << 20)
+	k := Key{Aux: 1}
+	compute := func() (any, int64, error) { return "expensive", 9, nil }
+	v, hit, _ := c.Do(context.Background(), k, compute)
+	fmt.Println(v, hit)
+	v, hit, _ = c.Do(context.Background(), k, compute)
+	fmt.Println(v, hit)
+	// Output:
+	// expensive false
+	// expensive true
+}

@@ -2,12 +2,13 @@ package pipeline
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/memo"
 	"repro/internal/numeric"
 	"repro/internal/oracle"
 	"repro/internal/pattern"
@@ -83,62 +84,69 @@ type Metrics struct {
 }
 
 // Engine runs the staged per-guess pipeline and memoizes outcomes across
-// guesses of one solve.
+// guesses — of one solve by default, or across solves and requests when
+// Config.Cache supplies a shared memo.Cache.
 //
-// The memo key is a canonical signature of the scaled-rounded instance:
-// the machine count plus the geometric exponent of every job (job order
-// and bags are fixed within a solve, so equal exponent slices mean
-// bit-identical scaled instances — and per-bag exponent multisets). All
-// stages from Classify on are deterministic functions of that instance
-// and the solve-constant Config, so a signature's accept/reject outcome,
-// pattern space, MILP assignment and final machine assignment are all
-// reusable verbatim; only the guess scalar differs. Concurrent
-// evaluations of equal-signature guesses are deduplicated in flight: the
-// first claims the signature and runs, later ones wait for its outcome
-// instead of running a duplicate pipeline. Cancellation errors are never
-// memoized. The one caveat mirrors the speculation caveat in
-// core: a guess decided by the MILP's wall-clock TimeLimit backstop
-// rather than its deterministic node budget could cache a load-dependent
-// outcome.
+// The memo key has two parts. The signature half is the canonical
+// identity of the scaled-rounded instance: the machine count, the job
+// count and the geometric exponent of every job in input order — equal
+// exponent vectors mean bit-identical scaled instances. The auxiliary
+// half hashes everything else a pipeline outcome depends on: the
+// solve-constant Config knobs and the instance's bag vector (job order
+// and bags are fixed within one solve, but a shared cache sees many).
+// All stages from Classify on are deterministic functions of that
+// combined key, so a key's accept/reject outcome, pattern space, oracle
+// plan and final machine assignment are all reusable verbatim; only the
+// guess scalar (and, across requests, the original-instance binding of
+// the final schedule) differs — see Result.cloneFor. Concurrent
+// evaluations of equal-key guesses are deduplicated in flight by the
+// cache: the first claims the key and runs, later ones wait for its
+// outcome instead of running a duplicate pipeline. A rejection is
+// committed as a negative entry and served like any other outcome;
+// cancellation errors are never memoized (the claim is abandoned and the
+// next evaluation recomputes) — see internal/memo for the exact
+// semantics. The one caveat mirrors the speculation caveat in core: a
+// guess decided by the MILP's wall-clock TimeLimit backstop rather than
+// its deterministic node budget could cache a load-dependent outcome.
 //
 // An Engine is safe for concurrent use; speculative guess evaluation
-// shares one engine across its pipelines.
+// shares one engine across its pipelines, and the serving layer shares
+// one cache across engines.
 type Engine struct {
-	cfg Config
+	cfg     Config
+	cache   *memo.Cache
+	cfgHash uint64
 
 	mu      sync.Mutex
-	memo    map[numeric.Key]*slot
 	metrics Metrics
-}
-
-// memoEntry is a committed outcome: res on accept, err on reject.
-type memoEntry struct {
-	res *Result
-	err error
-}
-
-// slot is one signature's cache cell. The claimant that created the slot
-// runs the pipeline; everyone else waits on done. All fields other than
-// done are written by the claimant under the engine mutex before done is
-// closed, and read by waiters under the mutex after done is closed.
-// committed=false after done closes means the claimant was canceled and
-// the slot abandoned (and removed from the map): the outcome is still
-// undecided and a waiter should claim a fresh slot.
-type slot struct {
-	done      chan struct{}
-	committed bool
-	entry     memoEntry
+	// lastIn/lastAux memoize the bag-vector hash of the most recent
+	// instance: an engine serves one instance per solve, so the O(jobs)
+	// hash is paid once, not per guess.
+	lastIn  *sched.Instance
+	lastAux uint64
 }
 
 // New returns an engine for one solve's worth of guesses under cfg.
+// When cfg.Cache is non-nil the engine memoizes into that shared cache
+// (and serves hits from it) instead of a private per-solve memo. A
+// non-nil cfg.MILP.Progress hook makes outcomes caller-dependent in a
+// way the memo key cannot capture, so it forces a private memo.
 func New(cfg Config) *Engine {
-	return &Engine{
-		cfg:  cfg,
-		memo: make(map[numeric.Key]*slot),
+	e := &Engine{
+		cfg:     cfg,
+		cfgHash: configHash(cfg),
 		metrics: Metrics{
 			StageTime: make(map[string]time.Duration),
 		},
 	}
+	if !cfg.DisableMemo {
+		if cfg.Cache != nil && cfg.MILP.Progress == nil {
+			e.cache = cfg.Cache
+		} else {
+			e.cache = memo.New(0)
+		}
+	}
+	return e
 }
 
 // Metrics returns a snapshot of the engine's aggregate counters.
@@ -182,63 +190,61 @@ func (e *Engine) Run(ctx context.Context, in *sched.Instance, guess float64) (*R
 		return res, err
 	}
 
-	for {
+	key := memo.Key{Sig: memo.Sig(sig), Aux: e.auxFor(in)}
+	v, hit, err := e.cache.Do(ctx, key, func() (any, int64, error) {
 		e.mu.Lock()
-		s, ok := e.memo[sig]
-		if !ok {
-			// Claim the signature and run the pipeline.
-			s = &slot{done: make(chan struct{})}
-			e.memo[sig] = s
-			e.metrics.CacheMisses++
-			e.metrics.Runs++
-			e.mu.Unlock()
-			res, err := e.runLadder(ctx, st)
-			if res != nil {
-				res.Signature = sig
-			}
-			e.mu.Lock()
-			if isCancellation(err) {
-				// A ctx abort describes the caller's impatience, not the
-				// guess; abandon the slot so another evaluation can decide
-				// this signature.
-				delete(e.memo, sig)
-			} else {
-				s.committed = true
-				s.entry = memoEntry{res: res, err: err}
-			}
-			e.mu.Unlock()
-			close(s.done)
-			return res, err
-		}
+		e.metrics.CacheMisses++
+		e.metrics.Runs++
 		e.mu.Unlock()
-
-		// The signature has a committed outcome or an execution in
-		// flight. Waiting for an in-flight twin instead of running a
-		// duplicate pipeline is what makes the memo pay off under
-		// speculation, where adjacent guesses of the same rounding class
-		// are evaluated concurrently.
-		select {
-		case <-s.done:
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		res, err := e.runLadder(ctx, st)
+		if err != nil {
+			return nil, rejectionCost, err
 		}
-		e.mu.Lock()
-		if !s.committed {
-			// The claimant was canceled; try to claim a fresh slot.
-			e.mu.Unlock()
-			continue
+		res.Signature = sig
+		return res, resultCost(res), nil
+	})
+	if !hit {
+		// This call claimed the key: v/err are this engine's own fresh
+		// run (or this caller's ctx error from waiting), returned as-is.
+		if err != nil {
+			return nil, err
 		}
-		e.metrics.CacheHits++
-		entry := s.entry
-		e.mu.Unlock()
-		if entry.err != nil {
-			// The memoized error may embed the guess that produced it;
-			// label the reuse so a logged rejection of guess A is never
-			// mistaken for a fresh evaluation of guess B.
-			return nil, fmt.Errorf("eptas: guess %g: memoized rejection: %w", guess, entry.err)
-		}
-		return entry.res.cloneFor(guess), nil
+		return v.(*Result), nil
 	}
+	e.mu.Lock()
+	e.metrics.CacheHits++
+	e.mu.Unlock()
+	if err != nil {
+		// The memoized error may embed the guess that produced it;
+		// label the reuse so a logged rejection of guess A is never
+		// mistaken for a fresh evaluation of guess B.
+		return nil, fmt.Errorf("eptas: guess %g: memoized rejection: %w", guess, err)
+	}
+	return v.(*Result).cloneFor(guess, in), nil
+}
+
+// auxFor returns the auxiliary key half for in under this engine's
+// config: the config hash folded with the instance's bag structure. Two
+// instances with equal signatures and equal aux hashes are
+// interchangeable from the Classify stage on — the scaled instances are
+// bit-identical and the bag partition (the only other instance input
+// the post-Scale stages read) matches.
+func (e *Engine) auxFor(in *sched.Instance) uint64 {
+	e.mu.Lock()
+	if in == e.lastIn {
+		a := e.lastAux
+		e.mu.Unlock()
+		return a
+	}
+	e.mu.Unlock()
+	h := hashMix(e.cfgHash, uint64(int64(in.NumBags)))
+	for _, j := range in.Jobs {
+		h = hashMix(h, uint64(int64(j.Bag)))
+	}
+	e.mu.Lock()
+	e.lastIn, e.lastAux = in, h
+	e.mu.Unlock()
+	return h
 }
 
 // runLadder runs the Classify..Lift stages, degrading the priority cap on
@@ -321,31 +327,126 @@ func (st *State) result(attempts int) *Result {
 	}
 }
 
-// cloneFor adapts a memoized result to a new guess with the same
-// signature. Read-only artifacts (Info, Space, Placed, the transformation)
-// are shared; the final schedule's machine slice is copied so callers of
-// different guesses never alias mutable state. MILPNodes and OracleStats
-// are kept as-is on purpose: the uncached path would re-run the identical
-// deterministic oracle solve and count the same work, so aggregated
-// statistics match the unmemoized search exactly.
-func (r *Result) cloneFor(guess float64) *Result {
+// cloneFor adapts a memoized result to a new guess with the same memo
+// key, evaluated on instance in. Read-only artifacts (Info, Space,
+// Placed, the transformation) are shared; the final schedule's machine
+// slice is copied so callers of different guesses never alias mutable
+// state, and its instance is rebound to in — under a shared cache the
+// entry may have been produced by a different request whose instance
+// merely scale-rounds to the same signature, and the machine assignment
+// (a pure function of the memo key) is exactly as valid for in, while
+// makespans must be computed from in's own sizes. MILPNodes and
+// OracleStats are kept as-is on purpose: the uncached path would re-run
+// the identical deterministic oracle solve and count the same work, so
+// aggregated statistics match the unmemoized search exactly.
+func (r *Result) cloneFor(guess float64, in *sched.Instance) *Result {
 	c := *r
 	c.Guess = guess
 	c.CacheHit = true
 	if r.Final != nil {
 		c.Final = &sched.Schedule{
-			Inst:    r.Final.Inst,
+			Inst:    in,
 			Machine: append([]int(nil), r.Final.Machine...),
 		}
 	}
 	return &c
 }
 
-// isCancellation reports whether err came from a canceled or expired
-// context anywhere down the stage stack; such outcomes describe the
-// caller's impatience, not the guess, and must never be memoized.
-func isCancellation(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+// rejectionCost is the retention cost charged for a committed negative
+// entry: a map slot, an entry struct and an error chain.
+const rejectionCost = 256
+
+// resultCost estimates the retention footprint of a committed pipeline
+// result in bytes, for the shared cache's cost accounting. It walks the
+// dominant slices (jobs, patterns, machine assignments) and charges a
+// flat overhead for the fixed-size structs; it is an estimate, not an
+// exact measurement — the cache budget is a sizing knob, not a hard
+// memory limit.
+func resultCost(r *Result) int64 {
+	const word = 8
+	c := int64(1024)
+	c += instCost(r.Scaled)
+	if r.Info != nil {
+		c += 512 + int64(len(r.Info.Sizes))*3*word
+	}
+	if r.Transformed != nil {
+		c += instCost(r.Transformed.Inst)
+		// OrigJob, FillerBag, FillerFor, OrigBagOf plus the per-bag
+		// slices, all O(jobs + bags) ints.
+		c += 6 * int64(len(r.Transformed.Inst.Jobs)+r.Transformed.Inst.NumBags) * word
+	}
+	if r.Space != nil {
+		c += int64(len(r.Space.Sizes))*2*word + int64(len(r.Space.XSizes))*word
+		for i := range r.Space.Patterns {
+			p := &r.Space.Patterns[i]
+			c += 6*word + int64(len(p.Prio))*2*word + int64(len(p.XCount))*word
+		}
+	}
+	if r.Placed != nil {
+		c += 64 + int64(len(r.Placed.Machine))*word
+	}
+	if r.Final != nil {
+		// The final schedule pins the producing request's original
+		// instance (hits rebind to their own, but the cached entry keeps
+		// the producer's alive), so charge for it too.
+		c += 64 + int64(len(r.Final.Machine))*word + instCost(r.Final.Inst)
+	}
+	return c
+}
+
+// instCost estimates the footprint of an instance (jobs are three words
+// each).
+func instCost(in *sched.Instance) int64 {
+	if in == nil {
+		return 0
+	}
+	return 64 + int64(len(in.Jobs))*3*8
+}
+
+// hashMix folds x into h with the SplitMix64 permutation; used to build
+// the auxiliary half of the memo key.
+func hashMix(h, x uint64) uint64 {
+	h += x + 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// configHash digests every Config knob that can change a pipeline
+// outcome, so that one shared cache serves differently-configured
+// requests without false sharing. DisableMemo and Cache itself are
+// excluded (they select where results are stored, not what they are);
+// MILP.Progress cannot be hashed and instead forces a private cache in
+// New.
+func configHash(cfg Config) uint64 {
+	h := hashMix(0, math.Float64bits(cfg.Eps))
+	h = hashMix(h, uint64(cfg.Mode))
+	h = hashMix(h, uint64(int64(cfg.PatternLimit)))
+	h = hashMix(h, uint64(int64(cfg.MILP.MaxNodes)))
+	h = hashMix(h, uint64(cfg.MILP.TimeLimit))
+	h = hashMix(h, math.Float64bits(cfg.MILP.IntTol))
+	h = hashMix(h, uint64(int64(cfg.MILP.LPMaxIters)))
+	h = hashMix(h, boolBit(cfg.MILP.StopAtFirst))
+	h = hashMix(h, boolBit(cfg.MILP.DisableRounding))
+	h = hashMix(h, uint64(cfg.Oracle.Backend))
+	h = hashMix(h, uint64(len(cfg.Oracle.Portfolio)))
+	for _, k := range cfg.Oracle.Portfolio {
+		h = hashMix(h, uint64(k))
+	}
+	h = hashMix(h, boolBit(cfg.AllPriority))
+	h = hashMix(h, uint64(int64(cfg.BPrimeOverride)))
+	h = hashMix(h, boolBit(cfg.Float64Ref))
+	return h
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // signature builds the canonical memo key of a scaled-rounded instance:

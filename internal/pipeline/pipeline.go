@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cfgmilp"
 	"repro/internal/classify"
+	"repro/internal/memo"
 	"repro/internal/milp"
 	"repro/internal/oracle"
 	"repro/internal/pattern"
@@ -58,9 +59,19 @@ type Config struct {
 	// BPrimeOverride caps the Definition 2 priority constant b'; zero
 	// enables the degradation ladder.
 	BPrimeOverride int
-	// DisableMemo turns off cross-guess memoization (used by the
-	// differential tests and ablation experiments; results are identical
-	// either way, only repeated work changes).
+	// Cache, when non-nil, is a shared memo the engine stores pipeline
+	// outcomes in (and serves hits from) instead of a private per-solve
+	// one. The memo key extends the per-guess signature with a hash of
+	// this Config and the instance's bag vector, so one cache can serve
+	// many solves, instances and option sets concurrently — the serving
+	// layer shares a single bounded cache across all requests. Results
+	// are bit-identical with any cache configuration; only repeated work
+	// changes.
+	Cache *memo.Cache
+	// DisableMemo turns off cross-guess memoization entirely, including
+	// a shared Cache (used by the differential tests and ablation
+	// experiments; results are identical either way, only repeated work
+	// changes).
 	DisableMemo bool
 	// Float64Ref runs the stages downstream of Scale on the retained
 	// float64 reference arithmetic (the pre-fixed-point seed path)

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/batch"
+	"repro/internal/memo"
+)
+
+// flight coalesces identical concurrent solve requests: the first
+// request with a given key becomes the leader and runs the solve; every
+// request that arrives while it is in flight waits for the leader's
+// outcome instead of entering the queue. Entries live only while the
+// leader runs — this is deduplication of concurrent work, not response
+// caching (cross-request result reuse happens one layer down, in the
+// shared guess memo, where it is bounded and accounted).
+//
+// Solves are deterministic functions of the request spec, so sharing an
+// outcome is result-transparent; a follower's response differs only in
+// its coalesced/elapsed bookkeeping fields.
+type flight struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte]*flightCall
+}
+
+// flightCall is one in-flight solve. out/admitted are written by the
+// leader before done is closed and read by followers after.
+type flightCall struct {
+	done     chan struct{}
+	out      batch.Outcome
+	admitted bool
+}
+
+func newFlight() *flight {
+	return &flight{m: make(map[[sha256.Size]byte]*flightCall)}
+}
+
+// do runs fn for key, or joins an identical in-flight run. shared
+// reports that this call received the leader's outcome rather than
+// leading (a follower whose own ctx dies mid-wait got nothing and is
+// not counted as shared). A leader outcome that is merely the leader's
+// own cancellation is not shared either — the follower retries with
+// its own context, mirroring the abandonment semantics of the memo
+// cache one layer down.
+func (f *flight) do(ctx context.Context, key [sha256.Size]byte, fn func() (batch.Outcome, bool)) (out batch.Outcome, admitted, shared bool) {
+	for {
+		f.mu.Lock()
+		if c, ok := f.m[key]; ok {
+			f.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return batch.Outcome{Err: ctx.Err()}, true, false
+			}
+			if c.admitted && memo.IsCancellation(c.out.Err) {
+				// The leader was canceled; its outcome says nothing
+				// about the request. Try again under our own context.
+				continue
+			}
+			return c.out, c.admitted, true
+		}
+		c := &flightCall{done: make(chan struct{})}
+		f.m[key] = c
+		f.mu.Unlock()
+
+		// The entry is removed and done closed even if fn panics (the
+		// leader branch always returns, so the defer fires exactly
+		// once): a recovered handler panic must not leave the key
+		// claimed forever with followers wedged on done. Followers then
+		// observe the zero outcome — admitted=false, which they treat
+		// as an admission rejection and surface as a retryable error.
+		defer func() {
+			f.mu.Lock()
+			delete(f.m, key)
+			f.mu.Unlock()
+			close(c.done)
+		}()
+		c.out, c.admitted = fn()
+		return c.out, c.admitted, false
+	}
+}

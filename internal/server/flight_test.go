@@ -1,0 +1,40 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/batch"
+)
+
+// TestFlightLeaderPanic: a leader whose fn panics must release the key
+// (followers see a zero, unadmitted outcome instead of wedging on done)
+// and the next request must lead afresh.
+func TestFlightLeaderPanic(t *testing.T) {
+	f := newFlight()
+	var key [32]byte
+	key[0] = 9
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate out of flight.do")
+			}
+		}()
+		f.do(context.Background(), key, func() (batch.Outcome, bool) { panic("handler bug") })
+	}()
+
+	f.mu.Lock()
+	leaked := len(f.m)
+	f.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("panicked leader left %d in-flight entries", leaked)
+	}
+	ran := false
+	out, admitted, shared := f.do(context.Background(), key, func() (batch.Outcome, bool) {
+		ran = true
+		return batch.Outcome{}, true
+	})
+	if !ran || !admitted || shared || out.Err != nil {
+		t.Fatalf("fresh lead after panic: ran=%v admitted=%v shared=%v err=%v", ran, admitted, shared, out.Err)
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRing records the most recent solve latencies in a fixed-size
+// ring and reports percentiles over the whole buffer or over the last
+// window entries. The load driver replays a workload pass, then asks
+// for percentiles over exactly that pass's window — comparing a cold
+// pass against a warm one without the server having to know where one
+// pass ends and the next begins.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   []int64 // microseconds, ring-ordered
+	next  int     // next write position
+	total int64   // lifetime recorded count
+}
+
+// latencySummary is a percentile digest on the wire (microseconds).
+type latencySummary struct {
+	// Count is the number of samples summarized; Total is the lifetime
+	// number recorded (Total > Count once the ring has wrapped or a
+	// window was requested).
+	Count int   `json:"count"`
+	Total int64 `json:"total"`
+	P50   int64 `json:"p50_us"`
+	P90   int64 `json:"p90_us"`
+	P99   int64 `json:"p99_us"`
+	Max   int64 `json:"max_us"`
+}
+
+func newLatencyRing(capacity int) *latencyRing {
+	return &latencyRing{buf: make([]int64, 0, capacity)}
+}
+
+func (l *latencyRing) record(d time.Duration) {
+	us := d.Microseconds()
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, us)
+	} else {
+		l.buf[l.next] = us
+	}
+	l.next = (l.next + 1) % cap(l.buf)
+	l.total++
+	l.mu.Unlock()
+}
+
+// percentiles digests the last window samples (window <= 0 or larger
+// than the buffer: every buffered sample).
+func (l *latencyRing) percentiles(window int) latencySummary {
+	l.mu.Lock()
+	n := len(l.buf)
+	if window <= 0 || window > n {
+		window = n
+	}
+	samples := make([]int64, 0, window)
+	// Walk backwards from the most recent write.
+	for i := 1; i <= window; i++ {
+		samples = append(samples, l.buf[((l.next-i)%n+n)%n])
+	}
+	total := l.total
+	l.mu.Unlock()
+
+	sum := latencySummary{Count: len(samples), Total: total}
+	if len(samples) == 0 {
+		return sum
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(q float64) int64 {
+		idx := int(q*float64(len(samples))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		return samples[idx]
+	}
+	sum.P50, sum.P90, sum.P99 = at(0.50), at(0.90), at(0.99)
+	sum.Max = samples[len(samples)-1]
+	return sum
+}

@@ -1,0 +1,561 @@
+// Package server is the long-running solve service: an HTTP/JSON front
+// end that shares one bounded cross-request memo cache (internal/memo)
+// and one admission-controlled worker queue (internal/batch) across all
+// requests, so repeated and overlapping workloads stop re-paying the
+// EPTAS guess-enumeration cost.
+//
+// Endpoints:
+//
+//	POST /v1/solve   {"instance": {...}, "eps": 0.5, "backend": "bnb",
+//	                  "timeout_ms": 1000, "no_cache": false}
+//	POST /v1/batch   {"instances": [{...}, ...], "eps": 0.5, ...}
+//	GET  /v1/stats   cache/queue/latency counters; ?window=N adds
+//	                 percentiles over the last N solves
+//	GET  /healthz    liveness
+//	GET  /metrics    Prometheus-style text metrics
+//	GET  /debug/vars expvar (includes the same stats payload after
+//	                 PublishExpvar)
+//
+// Request lifecycle: decode and validate (400 on malformed bodies),
+// derive the per-request deadline (timeout_ms clamped to the server
+// maximum, 504 when it expires), coalesce with identical in-flight
+// requests (one solve, many responses), then run through the shared
+// queue — admission control rejects work beyond workers+depth with 503
+// instead of queueing unboundedly. Every admitted solve uses the shared
+// cache (unless the request opts out with no_cache), so the service
+// converges to serving hot workloads from memory.
+//
+// Determinism under caching: responses are bit-identical with the cache
+// on, off, cold or warm — the cache is a latency optimization, never a
+// semantic one. The differential tests at the repository root and in
+// this package enforce that corpus-wide.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/oracle"
+	"repro/internal/sched"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultEps        = 0.5
+	DefaultCacheBytes = 64 << 20
+	DefaultMaxBody    = 8 << 20
+	DefaultMaxTimeout = 2 * time.Minute
+)
+
+// Config configures a Server; zero values select the defaults above.
+type Config struct {
+	// Workers bounds concurrent solves (<= 0 selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds admitted-but-waiting solves (< 0 selects 4x
+	// workers; 0 disables queueing). Work beyond Workers+QueueDepth is
+	// rejected with 503.
+	QueueDepth int
+	// Cache is the shared cross-request memo; nil builds one bounded to
+	// CacheBytes.
+	Cache *memo.Cache
+	// CacheBytes bounds the cache built when Cache is nil (<= 0 selects
+	// DefaultCacheBytes).
+	CacheBytes int64
+	// Eps is the accuracy used when a request does not set one.
+	Eps float64
+	// Backend is the oracle backend used when a request does not set
+	// one.
+	Backend oracle.Kind
+	// MaxBodyBytes bounds request bodies (<= 0 selects DefaultMaxBody).
+	MaxBodyBytes int64
+	// DefaultTimeout bounds solves whose request sets no timeout_ms
+	// (0 = bounded only by MaxTimeout).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps per-request timeouts (<= 0 selects
+	// DefaultMaxTimeout).
+	MaxTimeout time.Duration
+}
+
+// Server is the solve service. Create with New; serve via Handler.
+type Server struct {
+	cfg    Config
+	cache  *memo.Cache
+	queue  *batch.Queue
+	flight *flight
+	lat    *latencyRing
+	start  time.Time
+
+	requests    atomic.Int64 // HTTP requests accepted into a handler
+	solves      atomic.Int64 // successful solve responses (incl. batch items)
+	solveErrors atomic.Int64 // failed solves (solver errors, not 4xx decode)
+	coalesced   atomic.Int64 // solves served by joining an identical in-flight request
+	timeouts    atomic.Int64 // solves aborted by per-request deadlines
+}
+
+// New returns a service with one shared cache and one shared queue for
+// its whole lifetime.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Eps == 0 {
+		cfg.Eps = DefaultEps
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBody
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = memo.New(cfg.CacheBytes)
+	}
+	return &Server{
+		cfg:    cfg,
+		cache:  cache,
+		queue:  batch.NewQueue(cfg.Workers, cfg.QueueDepth),
+		flight: newFlight(),
+		lat:    newLatencyRing(1 << 14),
+		start:  time.Now(),
+	}
+}
+
+// Cache returns the shared cross-request memo.
+func (s *Server) Cache() *memo.Cache { return s.cache }
+
+// Workers reports the effective worker count; QueueDepth the effective
+// admission queue depth.
+func (s *Server) Workers() int    { return s.queue.Workers() }
+func (s *Server) QueueDepth() int { return s.queue.Depth() }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the stats payload under the expvar key
+// "bagsched" (visible at GET /debug/vars). Only the first server in a
+// process publishes; later calls are no-ops (the expvar registry is
+// global and write-once).
+func (s *Server) PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("bagsched", expvar.Func(func() any { return s.statsPayload(0) }))
+	})
+}
+
+// solveRequest is the POST /v1/solve body.
+type solveRequest struct {
+	// Instance is the instance to schedule (required).
+	Instance *sched.Instance `json:"instance"`
+	// Eps overrides the server's default accuracy (0 keeps the default).
+	Eps float64 `json:"eps"`
+	// Backend overrides the oracle backend ("bnb", "cfgdp",
+	// "portfolio"; empty keeps the default).
+	Backend string `json:"backend"`
+	// TimeoutMS bounds this solve's wall clock; clamped to the server
+	// maximum. 0 selects the server default.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// NoCache bypasses the shared cache for this solve (it still gets a
+	// private per-solve memo, exactly like the CLI). Used by the
+	// differential tests and the load driver's baseline mode.
+	NoCache bool `json:"no_cache"`
+}
+
+// batchRequest is the POST /v1/batch body; the scalar fields apply to
+// every instance.
+type batchRequest struct {
+	Instances []*sched.Instance `json:"instances"`
+	Eps       float64           `json:"eps"`
+	Backend   string            `json:"backend"`
+	TimeoutMS int64             `json:"timeout_ms"`
+	NoCache   bool              `json:"no_cache"`
+}
+
+// solveResult is one solved instance on the wire.
+type solveResult struct {
+	Makespan    float64   `json:"makespan"`
+	LowerBound  float64   `json:"lower_bound"`
+	Assignment  []int     `json:"assignment"`
+	Loads       []float64 `json:"loads"`
+	Guesses     int       `json:"guesses"`
+	CacheHits   int       `json:"cache_hits"`
+	CacheMisses int       `json:"cache_misses"`
+	Fallback    bool      `json:"fallback,omitempty"`
+	Backend     string    `json:"backend,omitempty"`
+	Coalesced   bool      `json:"coalesced,omitempty"`
+	ElapsedUS   int64     `json:"elapsed_us"`
+}
+
+// batchItem is one batch outcome: exactly one of the embedded result
+// and Error is meaningful.
+type batchItem struct {
+	*solveResult
+	Error string `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Outcomes  []batchItem `json:"outcomes"`
+	ElapsedUS int64       `json:"elapsed_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// spec is one decoded, validated solve: the instance, the resolved
+// solver options and the coalescing key.
+type spec struct {
+	in  *sched.Instance
+	opt core.Options
+	key [sha256.Size]byte
+}
+
+// resolve validates the scalar knobs of a request and builds the solve
+// spec. A non-nil error is a client error (400).
+func (s *Server) resolve(in *sched.Instance, eps float64, backendName string, noCache bool) (*spec, error) {
+	if in == nil {
+		return nil, errors.New("missing \"instance\"")
+	}
+	if eps == 0 {
+		eps = s.cfg.Eps
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("\"eps\" must be in (0,1), got %g", eps)
+	}
+	backend := s.cfg.Backend
+	if backendName != "" {
+		var err error
+		backend, err = oracle.ParseKind(backendName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	opt := core.Options{Eps: eps, Oracle: oracle.Selection{Backend: backend}}
+	if !noCache {
+		opt.Cache = s.cache
+	}
+
+	h := sha256.New()
+	b, err := json.Marshal(in)
+	if err != nil {
+		return nil, err
+	}
+	h.Write(b)
+	fmt.Fprintf(h, "|%x|%d|%v", math.Float64bits(eps), backend, noCache)
+	sp := &spec{in: in, opt: opt}
+	h.Sum(sp.key[:0])
+	return sp, nil
+}
+
+// solveContext derives the per-request solve context from the client
+// connection and the requested timeout.
+func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	if timeoutMS < 0 {
+		return nil, nil, fmt.Errorf("\"timeout_ms\" must be >= 0, got %d", timeoutMS)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// solveOne runs one spec through coalescing, admission and the queue.
+func (s *Server) solveOne(ctx context.Context, sp *spec) (out batch.Outcome, admitted, shared bool) {
+	out, admitted, shared = s.flight.do(ctx, sp.key, func() (batch.Outcome, bool) {
+		return s.queue.Do(ctx, batch.Task{Instance: sp.in, Options: sp.opt})
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	return out, admitted, shared
+}
+
+// result shapes one successful outcome for the wire.
+func result(res *core.Result, shared bool, elapsed time.Duration) *solveResult {
+	return &solveResult{
+		Makespan:    res.Makespan,
+		LowerBound:  res.LowerBound,
+		Assignment:  res.Schedule.Machine,
+		Loads:       res.Schedule.Loads(),
+		Guesses:     res.Stats.Guesses,
+		CacheHits:   res.Stats.CacheHits,
+		CacheMisses: res.Stats.CacheMisses,
+		Fallback:    res.Stats.Fallback,
+		Backend:     res.Stats.OracleBackend,
+		Coalesced:   shared,
+		ElapsedUS:   elapsed.Microseconds(),
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req solveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sp, err := s.resolve(req.Instance, req.Eps, req.Backend, req.NoCache)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	ctx, cancel, err := s.solveContext(r, req.TimeoutMS)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	defer cancel()
+
+	start := time.Now()
+	out, admitted, shared := s.solveOne(ctx, sp)
+	elapsed := time.Since(start)
+	if !admitted {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"queue full"})
+		return
+	}
+	if out.Err != nil {
+		s.writeSolveError(w, out.Err)
+		return
+	}
+	s.solves.Add(1)
+	s.lat.record(elapsed)
+	writeJSON(w, http.StatusOK, result(out.Result, shared, elapsed))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req batchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"missing \"instances\""})
+		return
+	}
+	specs := make([]*spec, len(req.Instances))
+	for i, in := range req.Instances {
+		sp, err := s.resolve(in, req.Eps, req.Backend, req.NoCache)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("instance %d: %v", i, err)})
+			return
+		}
+		specs[i] = sp
+	}
+	ctx, cancel, err := s.solveContext(r, req.TimeoutMS)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	defer cancel()
+
+	start := time.Now()
+	items := make([]batchItem, len(specs))
+	// Fan out at most one item per worker slot: a batch wider than the
+	// whole admission window (workers+depth) must not race itself into
+	// 'queue full' on an idle server — excess items wait here, inside
+	// the request, while still competing fairly with concurrent /v1/solve
+	// traffic at the admission gate below.
+	fanout := make(chan struct{}, s.queue.Workers())
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp *spec) {
+			defer wg.Done()
+			select {
+			case fanout <- struct{}{}:
+			case <-ctx.Done():
+				s.countSolveError(ctx.Err())
+				items[i] = batchItem{Error: ctx.Err().Error()}
+				return
+			}
+			defer func() { <-fanout }()
+			itemStart := time.Now()
+			out, admitted, shared := s.solveOne(ctx, sp)
+			itemElapsed := time.Since(itemStart)
+			switch {
+			case !admitted:
+				items[i] = batchItem{Error: "queue full"}
+			case out.Err != nil:
+				s.countSolveError(out.Err)
+				items[i] = batchItem{Error: out.Err.Error()}
+			default:
+				s.solves.Add(1)
+				s.lat.record(itemElapsed)
+				items[i] = batchItem{solveResult: result(out.Result, shared, itemElapsed)}
+			}
+		}(i, sp)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, batchResponse{Outcomes: items, ElapsedUS: time.Since(start).Microseconds()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	window := 0
+	if v := r.URL.Query().Get("window"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"\"window\" must be a positive integer"})
+			return
+		}
+		window = n
+	}
+	writeJSON(w, http.StatusOK, s.statsPayload(window))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	cs := s.cache.Stats()
+	all := s.lat.percentiles(0)
+	type metric struct {
+		name, typ string
+		value     int64
+	}
+	for _, m := range []metric{
+		{"bagsched_requests_total", "counter", s.requests.Load()},
+		{"bagsched_solves_total", "counter", s.solves.Load()},
+		{"bagsched_solve_errors_total", "counter", s.solveErrors.Load()},
+		{"bagsched_solves_coalesced_total", "counter", s.coalesced.Load()},
+		{"bagsched_solves_rejected_total", "counter", s.queue.Rejected()},
+		{"bagsched_solve_timeouts_total", "counter", s.timeouts.Load()},
+		{"bagsched_queue_running", "gauge", s.queue.Running()},
+		{"bagsched_queue_queued", "gauge", s.queue.Queued()},
+		{"bagsched_cache_hits_total", "counter", cs.Hits},
+		{"bagsched_cache_misses_total", "counter", cs.Misses},
+		{"bagsched_cache_evictions_total", "counter", cs.Evictions},
+		{"bagsched_cache_entries", "gauge", int64(cs.Entries)},
+		{"bagsched_cache_cost_bytes", "gauge", cs.Cost},
+		{"bagsched_cache_max_cost_bytes", "gauge", cs.MaxCost},
+		{"bagsched_solve_latency_p50_microseconds", "gauge", all.P50},
+		{"bagsched_solve_latency_p90_microseconds", "gauge", all.P90},
+		{"bagsched_solve_latency_p99_microseconds", "gauge", all.P99},
+	} {
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.typ, m.name, m.value)
+	}
+}
+
+// statsPayload builds the GET /v1/stats (and expvar) document. window >
+// 0 adds percentiles over the last window recorded solves — the load
+// driver uses this to compare cold and warm replay passes.
+func (s *Server) statsPayload(window int) map[string]any {
+	cs := s.cache.Stats()
+	payload := map[string]any{
+		"uptime_s": time.Since(s.start).Seconds(),
+		"server": map[string]any{
+			"requests":     s.requests.Load(),
+			"solves":       s.solves.Load(),
+			"solve_errors": s.solveErrors.Load(),
+			"coalesced":    s.coalesced.Load(),
+			"rejected":     s.queue.Rejected(),
+			"timeouts":     s.timeouts.Load(),
+			"active":       s.queue.Running(),
+			"queued":       s.queue.Queued(),
+			"workers":      s.queue.Workers(),
+			"queue_depth":  s.queue.Depth(),
+		},
+		"cache": map[string]any{
+			"hits":             cs.Hits,
+			"misses":           cs.Misses,
+			"inflight_waits":   cs.Waits,
+			"evictions":        cs.Evictions,
+			"entries":          cs.Entries,
+			"negative_entries": cs.Negative,
+			"cost_bytes":       cs.Cost,
+			"max_cost_bytes":   cs.MaxCost,
+		},
+		"latency": s.lat.percentiles(0),
+	}
+	if window > 0 {
+		payload["window"] = s.lat.percentiles(window)
+	}
+	return payload
+}
+
+// decode reads a JSON body strictly (unknown fields and trailing data
+// are errors) and answers 400 itself when the body is malformed.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return false
+	}
+	if dec.More() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"trailing data after JSON body"})
+		return false
+	}
+	return true
+}
+
+// writeSolveError maps a solve error to its status: 504 for the
+// per-request deadline, 499-ish client cancellation reported as 503
+// (the client is gone either way), anything else 422 — the body was
+// well-formed but the instance cannot be solved as asked (e.g. an
+// infeasible bag).
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	s.countSolveError(err)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"solve deadline exceeded"})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"request canceled"})
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+	}
+}
+
+func (s *Server) countSolveError(err error) {
+	s.solveErrors.Add(1)
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.timeouts.Add(1)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client may be gone; nothing to do
+}

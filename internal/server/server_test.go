@@ -1,0 +1,544 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// newTestServer starts the service under httptest with a small worker
+// pool and a shared cache.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func testInstance(t *testing.T) *sched.Instance {
+	t.Helper()
+	in := sched.NewInstance(4)
+	sizes := []float64{0.9, 0.85, 0.8, 0.7, 0.6, 0.55, 0.5, 0.4, 0.3, 0.25, 0.2, 0.1}
+	for i, size := range sizes {
+		in.AddJob(size, i%6)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// postJSON posts body and returns the status and decoded JSON document.
+func postJSON(t *testing.T, url string, body any) (int, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, doc
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, doc
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	in := testInstance(t)
+	want, err := core.Solve(in, core.Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": in, "eps": 0.5})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %v", status, doc)
+	}
+	if got := doc["makespan"].(float64); got != want.Makespan {
+		t.Fatalf("makespan %.17g, want %.17g", got, want.Makespan)
+	}
+	if got := doc["lower_bound"].(float64); got != want.LowerBound {
+		t.Fatalf("lower_bound %.17g, want %.17g", got, want.LowerBound)
+	}
+	asg := doc["assignment"].([]any)
+	if len(asg) != len(in.Jobs) {
+		t.Fatalf("assignment length %d, want %d", len(asg), len(in.Jobs))
+	}
+	for i, m := range want.Schedule.Machine {
+		if int(asg[i].(float64)) != m {
+			t.Fatalf("assignment[%d] = %v, want %d", i, asg[i], m)
+		}
+	}
+	if _, ok := doc["elapsed_us"]; !ok {
+		t.Fatalf("response missing elapsed_us: %v", doc)
+	}
+}
+
+// TestSolveWarmCacheIdentical replays one request and checks the second
+// response is bit-identical and served from the shared cache.
+func TestSolveWarmCacheIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	req := map[string]any{"instance": testInstance(t), "eps": 0.4}
+	status, cold := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("cold status %d: %v", status, cold)
+	}
+	status, warm := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("warm status %d: %v", status, warm)
+	}
+	if cold["makespan"] != warm["makespan"] || !reflect.DeepEqual(cold["assignment"], warm["assignment"]) {
+		t.Fatalf("warm response differs from cold:\n%v\nvs\n%v", warm, cold)
+	}
+	if hits := s.Cache().Stats().Hits; hits == 0 {
+		t.Fatalf("warm replay produced no shared-cache hits")
+	}
+	if warm["cache_misses"].(float64) != 0 {
+		t.Fatalf("warm solve reported %v cache misses, want 0", warm["cache_misses"])
+	}
+}
+
+func TestSolveBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	in := testInstance(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed JSON", `{"instance": `},
+		{"unknown field", `{"instanec": {}}`},
+		{"missing instance", `{"eps": 0.5}`},
+		{"bad eps", mustJSON(map[string]any{"instance": in, "eps": 1.5})},
+		{"bad backend", mustJSON(map[string]any{"instance": in, "backend": "gurobi"})},
+		{"negative timeout", mustJSON(map[string]any{"instance": in, "timeout_ms": -1})},
+		{"invalid instance", `{"instance": {"machines": 0, "jobs": []}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+
+	// Wrong method is routed by the mux itself.
+	resp, err := http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve status %d, want 405", resp.StatusCode)
+	}
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// TestSolveDeadline: a 1ms budget on an instance that takes tens of
+// milliseconds cold must propagate down the context plumbing and come
+// back as 504. The instance must be well past Go's ~10ms async
+// preemption threshold: on a GOMAXPROCS=1 machine the deadline timer
+// cannot fire while the solver goroutine is CPU-bound, so a too-fast
+// solve would nondeterministically beat its own deadline.
+func TestSolveDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	in := workload.MustGenerate(workload.Spec{Family: workload.Bimodal, Machines: 24, Jobs: 3000, Bags: 20, Seed: 7})
+	status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{
+		"instance": in, "eps": 0.02, "timeout_ms": 1, "no_cache": true,
+	})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%v), want 504", status, doc)
+	}
+	if s.timeouts.Load() == 0 {
+		t.Fatalf("timeout not counted")
+	}
+}
+
+// TestSolveInfeasible: a well-formed instance that cannot be scheduled
+// (a bag with more jobs than machines) is a 422, not a 400 or 500.
+func TestSolveInfeasible(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	in := sched.NewInstance(2)
+	for i := 0; i < 3; i++ {
+		in.AddJob(0.5, 0) // three jobs of one bag on two machines
+	}
+	status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": in})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d (%v), want 422", status, doc)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	in := testInstance(t)
+	in2 := sched.NewInstance(3)
+	for i, size := range []float64{0.9, 0.8, 0.7, 0.5, 0.4, 0.2} {
+		in2.AddJob(size, i%3)
+	}
+	want1, err := core.Solve(in, core.Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := core.Solve(in2, core.Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The duplicate of in exercises coalescing/caching inside one batch.
+	status, doc := postJSON(t, ts.URL+"/v1/batch", map[string]any{
+		"instances": []any{in, in2, in},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, doc)
+	}
+	outs := doc["outcomes"].([]any)
+	if len(outs) != 3 {
+		t.Fatalf("%d outcomes, want 3", len(outs))
+	}
+	wantMk := []float64{want1.Makespan, want2.Makespan, want1.Makespan}
+	for i, o := range outs {
+		om := o.(map[string]any)
+		if errStr, ok := om["error"]; ok {
+			t.Fatalf("outcome %d failed: %v", i, errStr)
+		}
+		if got := om["makespan"].(float64); got != wantMk[i] {
+			t.Fatalf("outcome %d makespan %.17g, want %.17g", i, got, wantMk[i])
+		}
+	}
+
+	status, _ = postJSON(t, ts.URL+"/v1/batch", map[string]any{"instances": []any{}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d, want 400", status)
+	}
+}
+
+// TestBatchWiderThanAdmission: a single batch larger than the whole
+// admission window (workers+depth) on an otherwise idle server must
+// complete every item — the handler's bounded fan-out queues excess
+// items inside the request instead of racing them all into 'queue
+// full' rejections.
+func TestBatchWiderThanAdmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 0})
+	instances := make([]any, 6)
+	for i := range instances {
+		in := sched.NewInstance(3)
+		for j, size := range []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4} {
+			in.AddJob(size+float64(i)/100, j%3)
+		}
+		instances[i] = in
+	}
+	status, doc := postJSON(t, ts.URL+"/v1/batch", map[string]any{"instances": instances})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, doc)
+	}
+	for i, o := range doc["outcomes"].([]any) {
+		om := o.(map[string]any)
+		if errStr, ok := om["error"]; ok {
+			t.Fatalf("outcome %d failed on an idle server: %v", i, errStr)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	status, doc := getJSON(t, ts.URL+"/healthz")
+	if status != http.StatusOK || doc["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", status, doc)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	in := testInstance(t)
+	for i := 0; i < 3; i++ {
+		if status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": in}); status != http.StatusOK {
+			t.Fatalf("solve %d: %d %v", i, status, doc)
+		}
+	}
+	status, doc := getJSON(t, ts.URL+"/v1/stats?window=2")
+	if status != http.StatusOK {
+		t.Fatalf("stats status %d", status)
+	}
+	srv := doc["server"].(map[string]any)
+	if got := srv["solves"].(float64); got != 3 {
+		t.Fatalf("solves = %v, want 3", got)
+	}
+	cache := doc["cache"].(map[string]any)
+	if cache["hits"].(float64) == 0 || cache["misses"].(float64) == 0 {
+		t.Fatalf("cache saw no traffic: %v", cache)
+	}
+	lat := doc["latency"].(map[string]any)
+	if lat["count"].(float64) != 3 {
+		t.Fatalf("latency count = %v, want 3", lat["count"])
+	}
+	win := doc["window"].(map[string]any)
+	if win["count"].(float64) != 2 {
+		t.Fatalf("window count = %v, want 2", win["count"])
+	}
+
+	if status, _ := getJSON(t, ts.URL+"/v1/stats?window=bogus"); status != http.StatusBadRequest {
+		t.Fatalf("bogus window status %d, want 400", status)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": testInstance(t)}); status != http.StatusOK {
+		t.Fatalf("solve: %d %v", status, doc)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"bagsched_requests_total",
+		"bagsched_solves_total 1",
+		"bagsched_cache_misses_total",
+		"bagsched_queue_running 0",
+		"bagsched_solve_latency_p50_microseconds",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestAdmissionControl fills the one worker slot and zero-depth queue
+// with a blocked solve, then checks the next request bounces with 503.
+func TestAdmissionControl(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 0})
+	release := make(chan struct{})
+	defer close(release)
+	blockedIn := testInstance(t)
+	opt := core.Options{Eps: 0.5}
+	opt.MILP.Progress = func(nodes, pivots int) error {
+		<-release
+		return nil
+	}
+	go s.queue.Do(context.Background(), batch.Task{Instance: blockedIn, Options: opt})
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queue.Running() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": testInstance(t)})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%v), want 503", status, doc)
+	}
+	if s.queue.Rejected() == 0 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+// TestSharedCacheHammer is the serving-layer race test: 32 concurrent
+// clients replay the committed fixture corpus against one server (one
+// shared cache), and every response must be bit-identical to the same
+// request solved with the shared cache bypassed. Run under -race this
+// doubles as the data-race check on the cache, flight group and queue.
+func TestSharedCacheHammer(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixtures: %v", err)
+	}
+	type fixture struct {
+		name string
+		in   *sched.Instance
+		want float64
+	}
+	var fixtures []fixture
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var in sched.Instance
+		if err := json.Unmarshal(raw, &in); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		// The no-shared-cache reference, served by the same process.
+		status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": &in, "no_cache": true})
+		if status != http.StatusOK {
+			t.Fatalf("%s baseline: %d %v", path, status, doc)
+		}
+		fixtures = append(fixtures, fixture{filepath.Base(path), &in, doc["makespan"].(float64)})
+	}
+
+	const clients = 32
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i, f := range fixtures {
+				// Stagger the corpus so clients overlap on different
+				// fixtures at different times.
+				f = fixtures[(i+c)%len(fixtures)]
+				status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": f.in})
+				if status == http.StatusServiceUnavailable {
+					continue // admission shedding is legal under the hammer
+				}
+				if status != http.StatusOK {
+					t.Errorf("client %d %s: status %d (%v)", c, f.name, status, doc)
+					return
+				}
+				if got := doc["makespan"].(float64); got != f.want {
+					t.Errorf("client %d %s: makespan %.17g, want %.17g (cached vs uncached must be bit-identical)",
+						c, f.name, got, f.want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestFlightCoalesces drives the flight group directly: one leader
+// blocks inside fn, followers pile in, and fn must have run exactly
+// once when everyone returns the same outcome.
+func TestFlightCoalesces(t *testing.T) {
+	f := newFlight()
+	var key [32]byte
+	key[0] = 1
+	runs := 0
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	res := &core.Result{Makespan: 42}
+
+	outs := make(chan batch.Outcome, 5)
+	shareds := make(chan bool, 5)
+	lead := func() (batch.Outcome, bool) {
+		runs++
+		close(entered)
+		<-release
+		return batch.Outcome{Result: res}, true
+	}
+	go func() {
+		out, _, shared := f.do(context.Background(), key, lead)
+		outs <- out
+		shareds <- shared
+	}()
+	<-entered
+	for i := 0; i < 4; i++ {
+		go func() {
+			out, _, shared := f.do(context.Background(), key, func() (batch.Outcome, bool) {
+				t.Error("follower ran fn")
+				return batch.Outcome{}, true
+			})
+			outs <- out
+			shareds <- shared
+		}()
+	}
+	// Followers must be waiting on the leader, not running fn. Give the
+	// goroutines a moment to join before releasing.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	sharedCount := 0
+	for i := 0; i < 5; i++ {
+		out := <-outs
+		if out.Result != res {
+			t.Fatalf("outcome %d is not the leader's result: %+v", i, out)
+		}
+		if <-shareds {
+			sharedCount++
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("fn ran %d times, want 1", runs)
+	}
+	if sharedCount != 4 {
+		t.Fatalf("%d shared outcomes, want 4", sharedCount)
+	}
+}
+
+func TestLatencyRing(t *testing.T) {
+	l := newLatencyRing(4)
+	if sum := l.percentiles(0); sum.Count != 0 {
+		t.Fatalf("empty ring summary %+v", sum)
+	}
+	for _, ms := range []int64{10, 20, 30, 40, 50, 60} { // wraps: keeps 30..60
+		l.record(time.Duration(ms) * time.Millisecond)
+	}
+	all := l.percentiles(0)
+	if all.Count != 4 || all.Total != 6 {
+		t.Fatalf("summary %+v, want count 4 of total 6", all)
+	}
+	if all.Max != 60000 || all.P50 != 40000 {
+		t.Fatalf("summary %+v, want max 60000us p50 40000us", all)
+	}
+	last2 := l.percentiles(2)
+	if last2.Count != 2 || last2.P50 != 50000 || last2.Max != 60000 {
+		t.Fatalf("window summary %+v, want the last two samples", last2)
+	}
+}
+
+func TestStatsPayloadShape(t *testing.T) {
+	s := New(Config{Workers: 2})
+	payload := s.statsPayload(8)
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"uptime_s", "server", "cache", "latency", "window"} {
+		if !bytes.Contains(raw, []byte(fmt.Sprintf("%q", key))) {
+			t.Errorf("stats payload missing %q: %s", key, raw)
+		}
+	}
+}
