@@ -1,7 +1,7 @@
 GO ?= go
 COVER_FLOOR ?= 70
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-compare fuzz ci cover serve loadtest
+.PHONY: all build vet test race bench bench-smoke bench-json bench-compare fuzz ci cover family-diff serve loadtest
 
 all: ci
 
@@ -16,6 +16,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# family-diff is the problem-family differential suite under the race
+# detector: bags solves stay bit-identical to the pre-seam pipeline
+# across the fixture corpus and every oracle backend, identical matches
+# bags on singleton-bag instances, related matches the brute-force
+# oracle, and the shared memo never serves one family's entries to
+# another. The full race/cover legs already include these tests; this
+# target is the named gate CI (and bisects) can run in isolation.
+family-diff:
+	$(GO) test -race -run '^TestFamily' . ./internal/pipeline ./internal/server
 
 # bench runs every benchmark in the repository, including the internal
 # package benchmarks (pattern, placer, pipeline, milp, numeric).
@@ -68,4 +78,4 @@ loadtest:
 
 # ci is what .github/workflows/ci.yml runs (plus a non-blocking
 # bench-compare step); the coverage matrix leg swaps race for cover.
-ci: vet build race bench-smoke
+ci: vet build race family-diff bench-smoke

@@ -82,6 +82,13 @@ func TestBackendDifferentialCorpus(t *testing.T) {
 		path := path
 		t.Run(filepath.Base(path), func(t *testing.T) {
 			in := readFixture(t, path)
+			if !in.Uniform() {
+				// Speed fixtures run the related family, whose backend
+				// contract differs (cfgdp is unsupported on related
+				// models); they get their own sub-checks.
+				testRelatedBackends(t, in)
+				return
+			}
 			ub, err := SolveBagLPT(in)
 			if err != nil {
 				t.Fatal(err)
@@ -152,6 +159,43 @@ func TestBackendDifferentialCorpus(t *testing.T) {
 				t.Errorf("paper/cfgdp fallback schedule invalid: %v", err)
 			}
 		})
+	}
+}
+
+// testRelatedBackends is the backend contract on related-family models,
+// mirroring the paper-mode contract: bnb decides them; cfgdp is
+// documented as unsupported (solo it degrades cleanly to the SpeedLPT
+// fallback, under the portfolio it drops out of the race and the
+// portfolio reproduces solo bnb bit for bit).
+func testRelatedBackends(t *testing.T, in *Instance) {
+	opts := func(extra ...Option) []Option {
+		return append([]Option{WithFamily(FamilyRelated)}, extra...)
+	}
+	bnb := solveDeterministic(t, in, "related/bnb", opts(WithBackend(BackendBnB))...)
+	if err := bnb.Schedule.Validate(); err != nil {
+		t.Fatalf("related/bnb: infeasible schedule: %v", err)
+	}
+	if bnb.Stats.Fallback {
+		t.Error("related/bnb fell back to SpeedLPT; bnb never accepted a guess")
+	}
+	if bnb.Makespan < bnb.LowerBound-1e-9 {
+		t.Errorf("related/bnb: makespan %.12f below the family lower bound %.12f", bnb.Makespan, bnb.LowerBound)
+	}
+
+	pf := solveDeterministic(t, in, "related/portfolio", opts(WithBackend(BackendPortfolio))...)
+	if pf.Makespan != bnb.Makespan {
+		t.Errorf("related/portfolio makespan %.17g differs from bnb's %.17g", pf.Makespan, bnb.Makespan)
+	}
+	if !reflect.DeepEqual(pf.Schedule.Machine, bnb.Schedule.Machine) {
+		t.Error("related/portfolio schedule differs from solo bnb despite cfgdp dropping out")
+	}
+
+	dp := solveDeterministic(t, in, "related/cfgdp", opts(WithBackend(BackendCfgDP))...)
+	if !dp.Stats.Fallback {
+		t.Error("related/cfgdp accepted a guess; expected the documented unsupported fallback")
+	}
+	if err := dp.Schedule.Validate(); err != nil {
+		t.Errorf("related/cfgdp fallback schedule invalid: %v", err)
 	}
 }
 

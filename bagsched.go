@@ -79,6 +79,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cfgmilp"
 	"repro/internal/core"
+	"repro/internal/family"
 	"repro/internal/memo"
 	"repro/internal/oracle"
 	"repro/internal/sched"
@@ -102,6 +103,11 @@ type Conflict = sched.Conflict
 
 // NewInstance returns an empty instance with the given machine count.
 func NewInstance(machines int) *Instance { return sched.NewInstance(machines) }
+
+// NewRelatedInstance returns an empty uniformly-related-machines
+// instance with one machine per speed. Solve it with
+// WithFamily(FamilyRelated).
+func NewRelatedInstance(speeds []float64) *Instance { return sched.NewRelatedInstance(speeds) }
 
 // LowerBound returns a combinatorial lower bound on the optimal makespan.
 func LowerBound(in *Instance) float64 { return sched.LowerBound(in) }
@@ -150,12 +156,46 @@ const (
 // ParseBackend parses a CLI backend name ("bnb", "cfgdp", "portfolio").
 func ParseBackend(s string) (OracleBackend, error) { return oracle.ParseKind(s) }
 
+// Family is one load-balancing problem family the solver pipeline can
+// run as. See the package documentation of internal/family for the
+// seam's contract and WithFamily to select one.
+type Family = family.Family
+
+var (
+	// FamilyBags (the default) is the paper's bag-constrained
+	// identical-machines problem (P | bags | Cmax); results are
+	// byte-for-byte those of the pre-family API.
+	FamilyBags = family.Bags
+	// FamilyIdentical is plain identical-machines makespan scheduling
+	// (P || Cmax): bag structure is ignored (every job its own bag) and
+	// the bags pipeline runs on the degenerate instance.
+	FamilyIdentical = family.Identical
+	// FamilyRelated is uniformly related machines with few distinct
+	// speeds (Q || Cmax): configurations are enumerated per speed class
+	// against speed-scaled capacities, decided by the same oracle seam.
+	FamilyRelated = family.Related
+)
+
+// ParseFamily parses a CLI/API family name ("bags", "identical",
+// "related"); the empty string selects FamilyBags.
+func ParseFamily(s string) (Family, error) { return family.Parse(s) }
+
 // Option customizes SolveEPTAS.
 type Option func(*core.Options)
 
 // WithMode selects the MILP flavour.
 func WithMode(m MILPMode) Option {
 	return func(o *core.Options) { o.Mode = m }
+}
+
+// WithFamily selects the problem family the solver runs as (default
+// FamilyBags). The family owns instance validation, the lower bound,
+// the fallback heuristic and the per-guess decision path; everything
+// else — binary search, memoization, batching, the serving layer — is
+// shared. Solves under different families never share cache entries
+// (the memo fingerprint covers the family).
+func WithFamily(f Family) Option {
+	return func(o *core.Options) { o.Family = f }
 }
 
 // WithBackend selects the oracle backend (default BackendBnB). The

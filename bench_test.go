@@ -508,3 +508,44 @@ func benchOracleBackend(b *testing.B, kind oracle.Kind) {
 func BenchmarkOracleBnB(b *testing.B)       { benchOracleBackend(b, oracle.KindBnB) }
 func BenchmarkOracleCfgDP(b *testing.B)     { benchOracleBackend(b, oracle.KindCfgDP) }
 func BenchmarkOraclePortfolio(b *testing.B) { benchOracleBackend(b, oracle.KindPortfolio) }
+
+// --- Problem families: one full solve per sibling family ---
+//
+// Tracked by cmd/benchjson. BenchmarkFamilyRelated runs the
+// speed-scaled pipeline end-to-end on the committed relatedfew fixture;
+// BenchmarkFamilyIdentical runs the same engine on a bag-free workload
+// through the identical family (the singleton-bag degenerate). Compare
+// against BenchmarkExT1Quality_Eps050 to see what the family seam
+// itself costs the bags path: nothing — bags solves are bit-identical
+// to pre-seam (TestFamilyBagsBitIdentical).
+
+func BenchmarkFamilyRelated(b *testing.B) {
+	f, err := os.Open("testdata/related_few_m6_n20.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := sched.ReadInstance(f)
+	f.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEPTAS(in, 0.5, WithFamily(FamilyRelated), WithSpeculation(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFamilyIdentical(b *testing.B) {
+	in := workload.MustGenerate(workload.Spec{
+		Family: workload.Bimodal, Machines: 3, Jobs: 11, Bags: 4, Seed: 100,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEPTAS(in, 0.5, WithFamily(FamilyIdentical), WithSpeculation(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -50,24 +50,25 @@ func TestSharedCacheDifferentialCorpus(t *testing.T) {
 				path := path
 				t.Run(filepath.Base(path), func(t *testing.T) {
 					in := readFixture(t, path)
+					base := append(famOpts(in), bc.opts...)
 
-					uncached, err := SolveEPTAS(in, eps, append([]Option{WithMemo(false)}, bc.opts...)...)
+					uncached, err := SolveEPTAS(in, eps, append([]Option{WithMemo(false)}, base...)...)
 					if err != nil {
 						t.Fatalf("uncached: %v", err)
 					}
-					private, err := SolveEPTAS(in, eps, bc.opts...)
+					private, err := SolveEPTAS(in, eps, base...)
 					if err != nil {
 						t.Fatalf("private memo: %v", err)
 					}
 					assertSameOutcome(t, "private memo vs uncached", uncached, private)
 
-					cold, err := SolveEPTAS(in, eps, append([]Option{WithSharedCache(shared)}, bc.opts...)...)
+					cold, err := SolveEPTAS(in, eps, append([]Option{WithSharedCache(shared)}, base...)...)
 					if err != nil {
 						t.Fatalf("shared cache (cold): %v", err)
 					}
 					assertSameOutcome(t, "shared cache (cold) vs uncached", uncached, cold)
 
-					warm, err := SolveEPTAS(in, eps, append([]Option{WithSharedCache(shared)}, bc.opts...)...)
+					warm, err := SolveEPTAS(in, eps, append([]Option{WithSharedCache(shared)}, base...)...)
 					if err != nil {
 						t.Fatalf("shared cache (warm): %v", err)
 					}
@@ -123,12 +124,13 @@ func TestSharedCacheTinyBudget(t *testing.T) {
 	tiny := NewCache(1)
 	for _, path := range files {
 		in := readFixture(t, path)
-		uncached, err := SolveEPTAS(in, 0.5, WithMemo(false))
+		base := famOpts(in)
+		uncached, err := SolveEPTAS(in, 0.5, append([]Option{WithMemo(false)}, base...)...)
 		if err != nil {
 			t.Fatalf("%s uncached: %v", path, err)
 		}
 		for i := 0; i < 2; i++ {
-			res, err := SolveEPTAS(in, 0.5, WithSharedCache(tiny))
+			res, err := SolveEPTAS(in, 0.5, append([]Option{WithSharedCache(tiny)}, base...)...)
 			if err != nil {
 				t.Fatalf("%s solve %d: %v", path, i, err)
 			}

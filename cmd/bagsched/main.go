@@ -5,9 +5,11 @@
 //
 //	bagsched [-algo eptas|baglpt|lpt|greedy|roundrobin|exact|daswiese]
 //	         [-eps 0.5] [-backend bnb|cfgdp|portfolio]
+//	         [-family bags|identical|related]
 //	         [-in instance.json] [-out schedule.json]
 //	         [-timeout 30s] [-v]
-//	bagsched -batch dir [-eps 0.5] [-backend ...] [-workers N] [-timeout 5m]
+//	bagsched -batch dir [-eps 0.5] [-backend ...] [-family ...]
+//	         [-workers N] [-timeout 5m]
 //	bagsched serve [-addr :8080] [-workers N] [-cache-bytes N]
 //	         [-backend bnb] [-eps 0.5] [-queue-depth N] [-max-timeout 2m]
 //
@@ -25,6 +27,14 @@
 // -backend selects the EPTAS's integer-programming oracle: LP-simplex
 // branch-and-bound (bnb, the default), the exact configuration DP
 // (cfgdp), or a deterministic race of both (portfolio).
+//
+// -family selects the problem family the EPTAS solves: bag-constrained
+// scheduling (bags, the default), identical machines without bag
+// constraints (identical), or uniformly related machines with few
+// distinct speeds (related; the instance JSON carries a "speeds"
+// array). The serve subcommand takes no -family flag — the service
+// selects the family per request via the "family" field of the solve
+// body.
 //
 // -timeout bounds the solver's wall-clock time via context cancellation
 // (eptas and daswiese; in batch mode the deadline covers the whole
@@ -64,6 +74,7 @@ func main() {
 	algo := flag.String("algo", "eptas", "algorithm: eptas, baglpt, lpt, greedy, roundrobin, exact, daswiese")
 	eps := flag.Float64("eps", 0.5, "accuracy parameter for eptas/daswiese")
 	backendName := flag.String("backend", "bnb", "eptas oracle backend: bnb, cfgdp or portfolio")
+	familyName := flag.String("family", "bags", "eptas problem family: bags, identical or related")
 	inPath := flag.String("in", "-", "instance JSON file, or - for stdin")
 	outPath := flag.String("out", "", "write the schedule JSON here (default: stdout summary only)")
 	batchDir := flag.String("batch", "", "solve every instance JSON in this directory on a worker pool")
@@ -83,6 +94,13 @@ func main() {
 	if err == nil && backend != bagsched.BackendBnB && *algo != "eptas" {
 		err = fmt.Errorf("-backend applies to -algo eptas only (got %q)", *algo)
 	}
+	var fam bagsched.Family
+	if err == nil {
+		fam, err = bagsched.ParseFamily(*familyName)
+		if err == nil && fam.Name() != bagsched.FamilyBags.Name() && *algo != "eptas" {
+			err = fmt.Errorf("-family applies to -algo eptas only (got %q)", *algo)
+		}
+	}
 	if err == nil {
 		if *batchDir != "" {
 			switch {
@@ -93,7 +111,7 @@ func main() {
 			case *verbose:
 				err = fmt.Errorf("-v is not supported in batch mode")
 			default:
-				err = runBatch(ctx, *batchDir, *algo, *eps, backend, *workers)
+				err = runBatch(ctx, *batchDir, *algo, *eps, backend, fam, *workers)
 			}
 		} else if *workers != 0 {
 			err = fmt.Errorf("-workers applies to batch mode only (use -batch)")
@@ -101,7 +119,7 @@ func main() {
 			if *timeout > 0 && *algo != "eptas" && *algo != "daswiese" {
 				err = fmt.Errorf("-timeout supports -algo eptas or daswiese only (got %q; use -algo exact's own limit instead)", *algo)
 			} else {
-				err = run(ctx, *algo, *eps, backend, *inPath, *outPath, *verbose)
+				err = run(ctx, *algo, *eps, backend, fam, *inPath, *outPath, *verbose)
 			}
 		}
 	}
@@ -113,7 +131,7 @@ func main() {
 
 // runBatch solves every instance JSON in dir concurrently and writes each
 // schedule alongside its instance.
-func runBatch(ctx context.Context, dir, algo string, eps float64, backend bagsched.OracleBackend, workers int) error {
+func runBatch(ctx context.Context, dir, algo string, eps float64, backend bagsched.OracleBackend, fam bagsched.Family, workers int) error {
 	if algo != "eptas" {
 		return fmt.Errorf("batch mode supports -algo eptas only (got %q)", algo)
 	}
@@ -139,7 +157,7 @@ func runBatch(ctx context.Context, dir, algo string, eps float64, backend bagsch
 
 	pool := bagsched.NewPool(workers)
 	start := time.Now()
-	outs := pool.SolveEPTASContext(ctx, ins, eps, bagsched.WithBackend(backend))
+	outs := pool.SolveEPTASContext(ctx, ins, eps, bagsched.WithBackend(backend), bagsched.WithFamily(fam))
 	elapsed := time.Since(start)
 
 	failed := 0
@@ -199,7 +217,7 @@ func batchInputs(dir string) ([]string, error) {
 	return paths, nil
 }
 
-func run(ctx context.Context, algo string, eps float64, backend bagsched.OracleBackend, inPath, outPath string, verbose bool) error {
+func run(ctx context.Context, algo string, eps float64, backend bagsched.OracleBackend, fam bagsched.Family, inPath, outPath string, verbose bool) error {
 	var in *sched.Instance
 	var err error
 	if inPath == "-" {
@@ -218,13 +236,18 @@ func run(ctx context.Context, algo string, eps float64, backend bagsched.OracleB
 
 	start := time.Now()
 	var s *sched.Schedule
+	// lb feeds the makespan ratio line; the EPTAS path overrides it with
+	// the family-aware bound (the bag bound is invalid on speed
+	// instances).
+	lb := sched.LowerBound(in)
 	switch algo {
 	case "eptas":
-		res, err := bagsched.SolveEPTASContext(ctx, in, eps, bagsched.WithBackend(backend))
+		res, err := bagsched.SolveEPTASContext(ctx, in, eps, bagsched.WithBackend(backend), bagsched.WithFamily(fam))
 		if err != nil {
 			return err
 		}
 		s = res.Schedule
+		lb = res.LowerBound
 		fmt.Printf("lower bound: %.6f\n", res.LowerBound)
 		fmt.Printf("guesses: %d  patterns: %d  milp nodes: %d  fallback: %v\n",
 			res.Stats.Guesses, res.Stats.Patterns, res.Stats.MILPNodes, res.Stats.Fallback)
@@ -265,7 +288,7 @@ func run(ctx context.Context, algo string, eps float64, backend bagsched.OracleB
 	}
 	fmt.Printf("algorithm: %s\n", algo)
 	fmt.Printf("machines: %d  jobs: %d  bags: %d\n", in.Machines, len(in.Jobs), in.NumBags)
-	fmt.Printf("makespan: %.6f  (%.2fx lower bound)\n", s.Makespan(), s.Makespan()/sched.LowerBound(in))
+	fmt.Printf("makespan: %.6f  (%.2fx lower bound)\n", s.Makespan(), s.Makespan()/lb)
 	fmt.Printf("elapsed: %s\n", elapsed)
 	if verbose {
 		for m, load := range s.Loads() {

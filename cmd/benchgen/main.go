@@ -30,6 +30,9 @@ func main() {
 		for _, f := range workload.Families() {
 			fmt.Println(f)
 		}
+		for _, f := range workload.RelatedFamilies() {
+			fmt.Println(f)
+		}
 		return
 	}
 	in, err := workload.Generate(workload.Spec{

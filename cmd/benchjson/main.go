@@ -37,15 +37,18 @@ import (
 // defaultBench selects the EPTAS hot paths: the EX experiment families
 // (BenchmarkExF1, ExT*, ExS*, ExL*, ExB*, ExA* — an uppercase letter
 // after "Ex" keeps BenchmarkExactSolver and other substrate
-// micro-benchmarks out of the default snapshot) plus the oracle-backend
-// benchmarks (BenchmarkOracleBnB/CfgDP/Portfolio).
-const defaultBench = "Benchmark(Ex[A-Z]|Oracle)"
+// micro-benchmarks out of the default snapshot), the oracle-backend
+// benchmarks (BenchmarkOracleBnB/CfgDP/Portfolio) and the sibling
+// problem families (BenchmarkFamilyRelated/Identical).
+const defaultBench = "Benchmark(Ex[A-Z]|Oracle|Family)"
 
 // tracked lists the hot-path benchmarks bench-compare gates on: the
 // pattern-enumeration stage, the end-to-end EPTAS solves that dominate
-// production cost, the speculative search, and the three oracle
-// backends on the DP-favoring few-patterns fixture. Benchmarks outside
-// this list still land in snapshots but never fail the comparison.
+// production cost, the speculative search, the three oracle backends on
+// the DP-favoring few-patterns fixture, and one end-to-end solve per
+// sibling problem family (related on the committed speed fixture,
+// identical on the bimodal workload). Benchmarks outside this list
+// still land in snapshots but never fail the comparison.
 var tracked = []string{
 	"BenchmarkExF1AdversarialEPTAS",
 	"BenchmarkExL6PatternEnum_Eps050",
@@ -56,6 +59,8 @@ var tracked = []string{
 	"BenchmarkOracleBnB",
 	"BenchmarkOracleCfgDP",
 	"BenchmarkOraclePortfolio",
+	"BenchmarkFamilyRelated",
+	"BenchmarkFamilyIdentical",
 }
 
 // Snapshot is the file format of one benchmark run.

@@ -20,6 +20,14 @@
 // accuracy and backend; -no-cache replays with the shared cache bypassed
 // (a control run: without the cache, warm passes stay as slow as cold
 // ones).
+//
+// The replay is mixed-family: each instance is routed to its problem
+// family from its own JSON (a non-uniform "speeds" array marks a
+// related-machines instance, everything else replays as bags), the
+// "family" field rides on every solve request, and the run ends with a
+// per-family cold-vs-warm p50 breakdown read from the families section
+// of GET /v1/stats — so one run profiles the shared cache across every
+// family the corpus exercises.
 package main
 
 import (
@@ -59,6 +67,13 @@ type statsReply struct {
 		Entries   int   `json:"entries"`
 		CostBytes int64 `json:"cost_bytes"`
 	} `json:"cache"`
+	Window   window               `json:"window"`
+	Families map[string]famWindow `json:"families"`
+}
+
+// famWindow is one family's slice of the stats payload.
+type famWindow struct {
+	Solves int64  `json:"solves"`
 	Window window `json:"window"`
 }
 
@@ -80,21 +95,33 @@ func main() {
 }
 
 func run(addr, dir string, passes, concurrency int, eps float64, backend string, noCache bool, speedup float64) error {
-	corpus, names, err := loadCorpus(dir)
+	corpus, names, fams, err := loadCorpus(dir)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("replaying %d instances from %s against %s (%d passes, concurrency %d, eps %g, cache %v)\n",
-		len(corpus), dir, addr, passes, concurrency, eps, !noCache)
+	// The per-family breakdown needs each family's per-pass solve count:
+	// that count is the stats window isolating one pass of that family.
+	famCount := map[string]int{}
+	var famOrder []string
+	for _, f := range fams {
+		if famCount[f] == 0 {
+			famOrder = append(famOrder, f)
+		}
+		famCount[f]++
+	}
+	sort.Strings(famOrder)
+	fmt.Printf("replaying %d instances from %s against %s (%d passes, concurrency %d, eps %g, cache %v, families %s)\n",
+		len(corpus), dir, addr, passes, concurrency, eps, !noCache, strings.Join(famOrder, "+"))
 
 	if err := waitHealthy(addr); err != nil {
 		return err
 	}
 
 	var p50s []int64
+	famP50s := map[string][]int64{}
 	var baseline []float64
 	for pass := 1; pass <= passes; pass++ {
-		makespans, err := replay(addr, corpus, concurrency, eps, backend, noCache)
+		makespans, err := replay(addr, corpus, fams, concurrency, eps, backend, noCache)
 		if err != nil {
 			return fmt.Errorf("pass %d: %w", pass, err)
 		}
@@ -111,6 +138,22 @@ func run(addr, dir string, passes, concurrency int, eps float64, backend string,
 			pass, label, us(w.P50), us(w.P90), us(w.P99), us(w.Max),
 			st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, bytesHuman(st.Cache.CostBytes))
 		p50s = append(p50s, w.P50)
+		// One stats read per family, windowed to that family's share of
+		// this pass (the window parameter applies to every latency ring in
+		// the payload, so each family needs its own request).
+		for _, f := range famOrder {
+			fst, err := fetchStats(addr, famCount[f])
+			if err != nil {
+				return err
+			}
+			fw, ok := fst.Families[f]
+			if !ok {
+				return fmt.Errorf("pass %d: /v1/stats has no %q family section", pass, f)
+			}
+			fmt.Printf("  family %-9s p50 %s  p90 %s  (%d solves total)\n",
+				f, us(fw.Window.P50), us(fw.Window.P90), fw.Solves)
+			famP50s[f] = append(famP50s[f], fw.Window.P50)
+		}
 
 		if pass == 1 {
 			// Remember the cold answers; warm passes must reproduce them
@@ -128,6 +171,12 @@ func run(addr, dir string, passes, concurrency int, eps float64, backend string,
 	}
 
 	if passes >= 2 {
+		for _, f := range famOrder {
+			ps := famP50s[f]
+			cold, warm := ps[0], ps[len(ps)-1]
+			fmt.Printf("family %-9s cold p50 %s -> warm p50 %s (%.1fx)\n",
+				f, us(cold), us(warm), float64(cold)/float64(max64(warm, 1)))
+		}
 		cold, warm := p50s[0], p50s[len(p50s)-1]
 		ratio := float64(cold) / float64(max64(warm, 1))
 		verdict := "PASS"
@@ -144,11 +193,12 @@ func run(addr, dir string, passes, concurrency int, eps float64, backend string,
 }
 
 // loadCorpus reads every instance JSON in dir (skipping *.schedule.json
-// outputs), sorted by name for deterministic replay order.
-func loadCorpus(dir string) ([]json.RawMessage, []string, error) {
+// outputs), sorted by name for deterministic replay order, and tags each
+// instance with the problem family it replays as.
+func loadCorpus(dir string) ([]json.RawMessage, []string, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var names []string
 	for _, e := range entries {
@@ -160,17 +210,37 @@ func loadCorpus(dir string) ([]json.RawMessage, []string, error) {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return nil, nil, fmt.Errorf("no instance JSONs in %s", dir)
+		return nil, nil, nil, fmt.Errorf("no instance JSONs in %s", dir)
 	}
 	corpus := make([]json.RawMessage, len(names))
+	fams := make([]string, len(names))
 	for i, name := range names {
 		raw, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		corpus[i] = raw
+		fams[i] = familyOf(raw)
 	}
-	return corpus, names, nil
+	return corpus, names, fams, nil
+}
+
+// familyOf picks the problem family an instance replays as: a
+// non-uniform speeds array marks a related-machines instance (the bags
+// family rejects it by contract), everything else replays as the
+// default bags family.
+func familyOf(raw json.RawMessage) string {
+	var probe struct {
+		Speeds []float64 `json:"speeds"`
+	}
+	if err := json.Unmarshal(raw, &probe); err == nil {
+		for _, s := range probe.Speeds {
+			if s != probe.Speeds[0] {
+				return "related"
+			}
+		}
+	}
+	return "bags"
 }
 
 // waitHealthy polls GET /healthz briefly so `make serve` in one terminal
@@ -193,8 +263,9 @@ func waitHealthy(addr string) error {
 }
 
 // replay posts every corpus instance once, at most concurrency in
-// flight, and returns the makespans in corpus order.
-func replay(addr string, corpus []json.RawMessage, concurrency int, eps float64, backend string, noCache bool) ([]float64, error) {
+// flight, and returns the makespans in corpus order. fams[i] is the
+// family instance i is solved as.
+func replay(addr string, corpus []json.RawMessage, fams []string, concurrency int, eps float64, backend string, noCache bool) ([]float64, error) {
 	makespans := make([]float64, len(corpus))
 	errs := make([]error, len(corpus))
 	sem := make(chan struct{}, concurrency)
@@ -205,7 +276,7 @@ func replay(addr string, corpus []json.RawMessage, concurrency int, eps float64,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			body := map[string]any{"instance": raw, "eps": eps, "no_cache": noCache}
+			body := map[string]any{"instance": raw, "eps": eps, "no_cache": noCache, "family": fams[i]}
 			if backend != "" {
 				body["backend"] = backend
 			}

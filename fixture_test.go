@@ -21,6 +21,13 @@ import (
 //	    -seed 1 -out testdata/adversarial_m8_n24.json
 //	go run ./cmd/benchgen -family manylarge -machines 6 -jobs 24 -bags 8 \
 //	    -seed 3 -out testdata/manylarge_m6_n16.json
+//	go run ./cmd/benchgen -family relatedfew -machines 6 -jobs 20 \
+//	    -seed 2 -out testdata/related_few_m6_n20.json
+//	go run ./cmd/benchgen -family relatedskew -machines 8 -jobs 28 \
+//	    -seed 5 -out testdata/related_skew_m8_n28.json
+//
+// Fixtures carrying machine speeds are solved as the related family;
+// everything else runs the bag-constrained default.
 func TestFixtureCorpus(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
 	if err != nil {
@@ -36,18 +43,23 @@ func TestFixtureCorpus(t *testing.T) {
 			if in.Machines < 1 || len(in.Jobs) == 0 {
 				t.Fatalf("degenerate fixture: m=%d n=%d", in.Machines, len(in.Jobs))
 			}
-			if err := in.Feasible(); err != nil {
-				t.Fatal(err)
+			opts := famOpts(in)
+			if in.Uniform() {
+				if err := in.Feasible(); err != nil {
+					t.Fatal(err)
+				}
 			}
-			res, err := SolveEPTAS(in, 0.5)
+			res, err := SolveEPTAS(in, 0.5, opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if err := res.Schedule.Validate(); err != nil {
 				t.Fatal(err)
 			}
-			if lb := LowerBound(in); res.Makespan < lb-1e-9 {
-				t.Fatalf("makespan %.9f below lower bound %.9f", res.Makespan, lb)
+			// res.LowerBound is the solving family's own bound (the bag
+			// bound is invalid on speed instances).
+			if res.Makespan < res.LowerBound-1e-9 {
+				t.Fatalf("makespan %.9f below lower bound %.9f", res.Makespan, res.LowerBound)
 			}
 			var buf bytes.Buffer
 			if err := sched.WriteSchedule(&buf, res.Schedule); err != nil {
@@ -61,7 +73,7 @@ func TestFixtureCorpus(t *testing.T) {
 			// Re-read the instance and confirm the identical solve (the
 			// library is deterministic end to end, including through
 			// serialization).
-			res2, err := SolveEPTAS(readFixture(t, path), 0.5)
+			res2, err := SolveEPTAS(readFixture(t, path), 0.5, opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -83,6 +95,10 @@ func TestFixtureShapes(t *testing.T) {
 		// bags keep the pattern space tiny, the configuration-DP oracle's
 		// sweet spot (see the backend benchmarks).
 		"fewpatterns_m12_n32.json": {12, 32, 4},
+		// Related-machines fixtures (singleton bags, machine speeds);
+		// solved as FamilyRelated by the corpus test.
+		"related_few_m6_n20.json":  {6, 20, 20},
+		"related_skew_m8_n28.json": {8, 28, 28},
 	}
 	for name, want := range shapes {
 		in := readFixture(t, filepath.Join("testdata", name))
@@ -91,6 +107,16 @@ func TestFixtureShapes(t *testing.T) {
 				name, in.Machines, len(in.Jobs), in.NumBags, want.m, want.n, want.b)
 		}
 	}
+}
+
+// famOpts returns the solve options a fixture calls for: instances
+// carrying distinct machine speeds run as the related family, everything
+// else as the bag-constrained default.
+func famOpts(in *Instance) []Option {
+	if !in.Uniform() {
+		return []Option{WithFamily(FamilyRelated)}
+	}
+	return nil
 }
 
 func readFixture(t *testing.T, path string) *Instance {

@@ -116,6 +116,11 @@ type Built struct {
 	ZVar map[[2]int]int
 	// IntegerVars is the number of integral variables in the model.
 	IntegerVars int
+	// Related, when non-nil, marks a related-family model (see
+	// BuildRelated); Space, View and Prio are nil on such models and
+	// backends that require the bag-constrained demand block must
+	// return oracle's ErrUnsupported.
+	Related *RelatedLayout
 }
 
 // Plan is the decoded MILP solution consumed by the placer.
@@ -127,6 +132,10 @@ type Plan struct {
 	Y map[YKey]float64
 	// HasY reports whether Y is populated.
 	HasY bool
+	// RelCounts[k][p] is the number of class-k machines running
+	// configuration p (related-family models only; Space and XCount are
+	// nil on such plans).
+	RelCounts [][]int
 }
 
 // BuildOptions selects the model flavour and the numeric path.
@@ -407,8 +416,22 @@ func Build(ctx context.Context, in *sched.Instance, view *classify.View, prio []
 	return b, nil
 }
 
+// PatternCount returns the number of configurations in the model's
+// space across both shapes (the enumerated pattern space for bag
+// models, the per-speed-class spaces for related models); the oracle
+// portfolio uses it to size the race.
+func (b *Built) PatternCount() int {
+	if b.Related != nil {
+		return b.Related.Space.TotalPatterns()
+	}
+	return len(b.Space.Patterns)
+}
+
 // Decode converts a MILP solution into a Plan.
 func (b *Built) Decode(sol milp.Solution) *Plan {
+	if b.Related != nil {
+		return b.decodeRelated(sol)
+	}
 	plan := &Plan{Space: b.Space, XCount: make([]int, len(b.XVar))}
 	for p, v := range b.XVar {
 		plan.XCount[p] = numeric.RoundInt(sol.X[v])

@@ -1,0 +1,136 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/sched"
+)
+
+// RelInfo is the classification of a scaled-and-rounded uniformly
+// related instance (Q || Cmax, the related problem family): machines
+// grouped into speed classes with exact fixed-point capacities, jobs
+// split into large and small against a global threshold tied to the
+// slowest speed. It plays the role Info plays for the bag-constrained
+// family — everything the related decision path (pattern.EnumerateRelated,
+// cfgmilp.BuildRelated, placer.PlaceRelated) needs lives here.
+type RelInfo struct {
+	// Eps is the accuracy parameter.
+	Eps float64
+	// Speeds lists the distinct machine speeds in decreasing order; a
+	// speed class is one entry.
+	Speeds []float64
+	// MachClass[m] is the speed class index of machine m.
+	MachClass []int
+	// ClassCount[k] is the number of machines in class k.
+	ClassCount []int
+	// Cap[k] = Speeds[k] * (1+eps) is the per-machine load capacity of
+	// class k for an accepted guess (sizes are scaled by 1/guess, so a
+	// machine of speed s finishes load s within the guess; the (1+eps)
+	// slack absorbs geometric rounding). CapFx folds the tolerance band
+	// into an exact integer bound (numeric.Cap), making every
+	// downstream capacity check an int64 comparison.
+	Cap   []float64
+	CapFx []numeric.Fx
+	// LargeThreshold = eps * min(Speeds): jobs at least this size are
+	// large everywhere (on the slowest machine they occupy an eps
+	// fraction of capacity), so configuration slots account for them
+	// on every class.
+	LargeThreshold float64
+	// Sizes lists the distinct large job sizes in decreasing order;
+	// SizesFx mirrors them on the exact grid.
+	Sizes   []float64
+	SizesFx []numeric.Fx
+	// SizeCount[i] is the number of large jobs of size Sizes[i].
+	SizeCount []int
+	// JobSize[j] indexes Sizes for large job j, -1 for small jobs.
+	JobSize []int
+	// JobFx[j] is the exact fixed-point size of job j.
+	JobFx []numeric.Fx
+	// NLarge is the number of large jobs; SmallAreaFx is the exact
+	// total size of the small jobs, SmallArea its lossless float lift.
+	NLarge      int
+	SmallAreaFx numeric.Fx
+	SmallArea   float64
+}
+
+// Related classifies a scaled-and-rounded related-machines instance
+// (sizes divided by the makespan guess and grid-quantized; speeds
+// untouched). The speed profile is read through Instance.Speed, so a
+// nil Speeds vector degenerates to one unit-speed class.
+func Related(in *sched.Instance, eps float64) (*RelInfo, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("classify: eps must be in (0,1), got %g", eps)
+	}
+	info := &RelInfo{Eps: eps}
+
+	// Distinct speeds, decreasing. Speeds are caller inputs (not grid
+	// values), compared exactly: two machines form one class only when
+	// their declared speeds are identical.
+	speeds := make([]float64, in.Machines)
+	for m := 0; m < in.Machines; m++ {
+		speeds[m] = in.Speed(m)
+	}
+	distinct := append([]float64(nil), speeds...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(distinct)))
+	for _, s := range distinct {
+		if n := len(info.Speeds); n == 0 || info.Speeds[n-1] != s {
+			info.Speeds = append(info.Speeds, s)
+		}
+	}
+	info.MachClass = make([]int, in.Machines)
+	info.ClassCount = make([]int, len(info.Speeds))
+	for m, s := range speeds {
+		k := sort.Search(len(info.Speeds), func(i int) bool { return info.Speeds[i] <= s })
+		info.MachClass[m] = k
+		info.ClassCount[k]++
+	}
+	info.Cap = make([]float64, len(info.Speeds))
+	info.CapFx = make([]numeric.Fx, len(info.Speeds))
+	for k, s := range info.Speeds {
+		info.Cap[k] = s * (1 + eps)
+		info.CapFx[k] = numeric.Cap(info.Cap[k] + numeric.Tol)
+	}
+	sMin := info.Speeds[len(info.Speeds)-1]
+	info.LargeThreshold = eps * sMin
+
+	// Large sizes, decreasing; small jobs accumulate into the area
+	// right-hand side in exact fixed point.
+	largeSizes := make([]float64, 0, len(in.Jobs))
+	for _, j := range in.Jobs {
+		if j.Size >= info.LargeThreshold-numeric.Tol {
+			largeSizes = append(largeSizes, j.Size)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(largeSizes)))
+	for _, s := range largeSizes {
+		if n := len(info.Sizes); n == 0 || !numeric.Eq(info.Sizes[n-1], s) {
+			info.Sizes = append(info.Sizes, s)
+		}
+	}
+	info.SizesFx = make([]numeric.Fx, len(info.Sizes))
+	for i, s := range info.Sizes {
+		info.SizesFx[i] = numeric.FromFloat(s)
+	}
+	info.SizeCount = make([]int, len(info.Sizes))
+	info.JobSize = make([]int, len(in.Jobs))
+	info.JobFx = make([]numeric.Fx, len(in.Jobs))
+	for j, job := range in.Jobs {
+		info.JobFx[j] = numeric.FromFloat(job.Size)
+		if job.Size >= info.LargeThreshold-numeric.Tol {
+			si := findSize(info.Sizes, job.Size)
+			if si < 0 {
+				return nil, fmt.Errorf("classify: large job %d size %g missing from size table", j, job.Size)
+			}
+			info.JobSize[j] = si
+			info.SizeCount[si]++
+			info.NLarge++
+		} else {
+			info.JobSize[j] = -1
+			info.SmallAreaFx += info.JobFx[j]
+		}
+	}
+	info.SmallArea = info.SmallAreaFx.Float()
+	return info, nil
+}

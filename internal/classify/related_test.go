@@ -1,0 +1,101 @@
+package classify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/sched"
+)
+
+// relInstance is a scaled related instance (sizes already divided by the
+// guess): speeds 4,1,1 → classes {4},{1,1}; with eps=0.5 the large
+// threshold is 0.5*1 = 0.5, so 1.2/0.9/0.9 are large and 0.3/0.1 small.
+func relInstance() *sched.Instance {
+	in := sched.NewRelatedInstance([]float64{1, 4, 1})
+	for i, size := range []float64{1.2, 0.9, 0.9, 0.3, 0.1} {
+		in.AddJob(size, i)
+	}
+	return in
+}
+
+func TestRelatedClassify(t *testing.T) {
+	in := relInstance()
+	info, err := Related(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Speed classes: distinct speeds, decreasing, with machine mapping.
+	if len(info.Speeds) != 2 || info.Speeds[0] != 4 || info.Speeds[1] != 1 {
+		t.Fatalf("Speeds = %v, want [4 1]", info.Speeds)
+	}
+	if info.MachClass[0] != 1 || info.MachClass[1] != 0 || info.MachClass[2] != 1 {
+		t.Errorf("MachClass = %v, want [1 0 1]", info.MachClass)
+	}
+	if info.ClassCount[0] != 1 || info.ClassCount[1] != 2 {
+		t.Errorf("ClassCount = %v, want [1 2]", info.ClassCount)
+	}
+
+	// Capacities: s*(1+eps) as floats, Cap-folded on the grid.
+	for k, s := range info.Speeds {
+		if want := s * 1.5; info.Cap[k] != want {
+			t.Errorf("Cap[%d] = %g, want %g", k, info.Cap[k], want)
+		}
+		if info.CapFx[k] < numeric.FromFloat(info.Cap[k]) {
+			t.Errorf("CapFx[%d] below its float capacity", k)
+		}
+	}
+	if info.LargeThreshold != 0.5 {
+		t.Errorf("LargeThreshold = %g, want eps*sMin = 0.5", info.LargeThreshold)
+	}
+
+	// Large size table: decreasing, distinct, with counts and job map.
+	if len(info.Sizes) != 2 || info.Sizes[0] != 1.2 || info.Sizes[1] != 0.9 {
+		t.Fatalf("Sizes = %v, want [1.2 0.9]", info.Sizes)
+	}
+	if info.SizeCount[0] != 1 || info.SizeCount[1] != 2 {
+		t.Errorf("SizeCount = %v, want [1 2]", info.SizeCount)
+	}
+	wantJobSize := []int{0, 1, 1, -1, -1}
+	for j, want := range wantJobSize {
+		if info.JobSize[j] != want {
+			t.Errorf("JobSize[%d] = %d, want %d", j, info.JobSize[j], want)
+		}
+	}
+	if info.NLarge != 3 {
+		t.Errorf("NLarge = %d, want 3", info.NLarge)
+	}
+	if math.Abs(info.SmallArea-0.4) > 1e-9 {
+		t.Errorf("SmallArea = %g, want 0.4", info.SmallArea)
+	}
+	if info.SmallArea != info.SmallAreaFx.Float() {
+		t.Error("SmallArea is not the lossless lift of SmallAreaFx")
+	}
+}
+
+// TestRelatedClassifyUnitSpeeds: nil Speeds degenerates to one
+// unit-speed class.
+func TestRelatedClassifyUnitSpeeds(t *testing.T) {
+	in := sched.NewInstance(3)
+	in.AddJob(0.8, 0)
+	in.AddJob(0.1, 1)
+	info, err := Related(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Speeds) != 1 || info.Speeds[0] != 1 {
+		t.Fatalf("Speeds = %v, want [1]", info.Speeds)
+	}
+	if info.ClassCount[0] != 3 {
+		t.Errorf("ClassCount = %v, want [3]", info.ClassCount)
+	}
+}
+
+func TestRelatedClassifyBadEps(t *testing.T) {
+	for _, eps := range []float64{0, -0.5, 1, 2} {
+		if _, err := Related(relInstance(), eps); err == nil {
+			t.Errorf("eps=%g accepted", eps)
+		}
+	}
+}

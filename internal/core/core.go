@@ -18,7 +18,7 @@ import (
 	"time"
 
 	"repro/internal/cfgmilp"
-	"repro/internal/greedy"
+	"repro/internal/family"
 	"repro/internal/memo"
 	"repro/internal/milp"
 	"repro/internal/oracle"
@@ -34,6 +34,13 @@ type Options struct {
 	// Eps is the accuracy parameter in (0, 1). The schedule is within
 	// 1+O(Eps) of optimal; smaller values are slower.
 	Eps float64
+	// Family selects the problem family the solver runs as. Nil (the
+	// default) is family.Bags — the paper's bag-constrained EPTAS,
+	// byte-for-byte the pre-seam behavior. family.Identical drops the
+	// bag structure (every job its own bag); family.Related solves
+	// uniformly related machines with few distinct speeds. See
+	// internal/family.
+	Family family.Family
 	// Mode selects the MILP flavour; the default is ModeDecomposed.
 	Mode cfgmilp.Mode
 	// PatternLimit bounds pattern enumeration (default
@@ -203,24 +210,34 @@ func SolveContext(ctx context.Context, in *sched.Instance, opt Options) (*Result
 		// that never reach the search loop's own ctx checks.
 		return nil, err
 	}
-	if err := in.Validate(); err != nil {
+	fam := opt.Family
+	if fam == nil {
+		fam = family.Bags
+	}
+	if err := fam.Validate(in); err != nil {
 		return nil, err
 	}
-	if err := in.Feasible(); err != nil {
+	if err := fam.Feasible(in); err != nil {
 		return nil, err
 	}
 	if opt.Eps <= 0 || opt.Eps >= 1 {
 		return nil, fmt.Errorf("eptas: Eps must be in (0,1), got %g", opt.Eps)
 	}
+	// work is the instance the pipeline runs on: the input itself for
+	// Bags (bit-identical pre-seam behaviour), a singleton-bag clone for
+	// families without bag-constraints. Schedules are bound to work;
+	// its jobs, sizes and machine count match the input position for
+	// position, so assignments read back directly.
+	work := fam.Prepare(in)
 	res := &Result{}
 	if len(in.Jobs) == 0 {
-		res.Schedule = sched.NewSchedule(in)
+		res.Schedule = sched.NewSchedule(work)
 		return res, nil
 	}
 
-	lb := sched.LowerBound(in)
+	lb := fam.LowerBound(in)
 	res.LowerBound = lb
-	ubSched, err := greedy.BagLPT(in)
+	ubSched, err := fam.Fallback(work)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +256,7 @@ func SolveContext(ctx context.Context, in *sched.Instance, opt Options) (*Result
 	// the search invokes in deterministic sequential order for consumed
 	// guesses only (discarded speculative pipelines never report).
 	eval := func(ctx context.Context, guess float64) (*pipeline.Result, bool) {
-		pr, err := engine.Run(ctx, in, guess)
+		pr, err := engine.Run(ctx, work, guess)
 		return pr, err == nil
 	}
 	commit := func(_ float64, pr *pipeline.Result, ok bool) *sched.Schedule {
@@ -293,13 +310,18 @@ func RunPipeline(in *sched.Instance, guess float64, opt Options) (*PipelineResul
 // expired context aborts between stages and inside the enumeration and
 // branch-and-bound loops.
 func RunPipelineContext(ctx context.Context, in *sched.Instance, guess float64, opt Options) (*PipelineResult, error) {
-	return pipeline.New(pipelineConfig(opt)).Run(ctx, in, guess)
+	fam := opt.Family
+	if fam == nil {
+		fam = family.Bags
+	}
+	return pipeline.New(pipelineConfig(opt)).Run(ctx, fam.Prepare(in), guess)
 }
 
 // pipelineConfig extracts the per-guess pipeline knobs from opt.
 func pipelineConfig(opt Options) pipeline.Config {
 	return pipeline.Config{
 		Eps:            opt.Eps,
+		Family:         opt.Family,
 		Mode:           opt.Mode,
 		PatternLimit:   opt.PatternLimit,
 		MILP:           opt.MILP,
@@ -334,14 +356,23 @@ func (s *Stats) absorb(pr *PipelineResult) {
 	s.OracleLoserNodes += pr.OracleStats.LoserNodes
 	s.OracleLoserStates += pr.OracleStats.LoserStates
 	s.OracleLoserTime += pr.OracleStats.LoserTime
-	s.Patterns = len(pr.Space.Patterns)
-	s.IntegerVars = pr.IntegerVars
-	s.K, s.Q, s.BPrime = pr.Info.K, pr.Info.Q, pr.Info.BPrime
-	prio := pr.Info.Priority
-	if pr.Transformed != nil {
-		prio = pr.Transformed.Priority
+	if pr.Space != nil {
+		s.Patterns = len(pr.Space.Patterns)
+	} else if pr.RelSpace != nil {
+		s.Patterns = pr.RelSpace.TotalPatterns()
 	}
-	s.PriorityBags = countTrue(prio)
+	s.IntegerVars = pr.IntegerVars
+	if pr.Info != nil {
+		s.K, s.Q, s.BPrime = pr.Info.K, pr.Info.Q, pr.Info.BPrime
+		prio := pr.Info.Priority
+		if pr.Transformed != nil {
+			prio = pr.Transformed.Priority
+		}
+		s.PriorityBags = countTrue(prio)
+	} else if pr.RelInfo != nil {
+		s.K = len(pr.RelInfo.Sizes)
+		s.Q, s.BPrime, s.PriorityBags = 0, 0, 0
+	}
 	s.Place = pr.PlaceStats
 	s.Lift = pr.LiftStats
 }

@@ -1,0 +1,311 @@
+// Package family defines the problem-family seam of the solver: the
+// interface behind which everything specific to one load-balancing
+// variant lives — instance validation, the combinatorial lower bound,
+// the polynomial fallback heuristic, the instance preparation step that
+// normalizes a family's constraints into the bag-constrained core
+// representation, and the memo fingerprint that keeps the cross-request
+// cache from sharing entries between families.
+//
+// The per-guess pipeline of internal/pipeline is family-generic: it
+// scales and rounds, classifies, enumerates machine configurations,
+// decides a configuration integer program through internal/oracle and
+// places jobs. Which concrete stage implementations run is selected by
+// the family's Shape; the stage logic itself lives next to the
+// machinery it extends (classify.Related, pattern.EnumerateRelated,
+// cfgmilp.BuildRelated, placer.PlaceRelated).
+//
+// Three families ship:
+//
+//   - Bags: machine scheduling with bag-constraints on identical
+//     machines (P | bags | Cmax), the Grage–Jansen–Klein EPTAS this
+//     repository reproduces. The seam dispatches to exactly the
+//     pre-refactor code paths, so results are bit-identical to the
+//     un-seamed pipeline (the family differential tests assert it
+//     corpus-wide).
+//
+//   - Identical: plain identical-machines makespan (P || Cmax), the
+//     degenerate every-job-its-own-bag case. Prepare rewrites the
+//     instance with singleton bags and the bags pipeline runs verbatim;
+//     it doubles as a refactor oracle against Bags.
+//
+//   - Related: uniformly related machines with few distinct speeds
+//     (Q || Cmax), after Epstein–Levin (arXiv:1202.4072). Machine
+//     configurations are enumerated per speed class against
+//     speed-scaled capacities, decided by the same oracle seam, and
+//     small jobs are placed by a capacity-respecting greedy.
+//
+// # Exactness contract
+//
+// A family inherits the exactness requirement of the fixed-point
+// numeric core (internal/numeric): every capacity a family hands to
+// enumeration or to the oracle must be a numeric.Cap-folded integer
+// bound, so that all downstream feasibility checks are exact int64
+// comparisons. New variants implement Family plus whatever
+// shape-specific stage entry points they need; the pipeline engine,
+// memoization, the binary search, batching and the serving layer are
+// reused unchanged.
+package family
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/greedy"
+	"repro/internal/sched"
+)
+
+// Shape selects the per-guess stage sequence the pipeline engine runs
+// for a family. Families whose Prepare normalizes into the
+// bag-constrained representation share ShapeBags; families that need
+// their own decision path declare a distinct shape.
+type Shape int
+
+const (
+	// ShapeBags is the bag-constrained pipeline:
+	// classify → transform → enumerate → oracle → place → lift.
+	ShapeBags Shape = iota
+	// ShapeRelated is the uniformly-related-machines pipeline: per
+	// speed-class configuration enumeration against speed-scaled
+	// capacities, one oracle feasibility program, greedy small-job
+	// placement. It runs a single priority-cap ladder rung (priority
+	// bags do not exist in this family).
+	ShapeRelated
+)
+
+// Family is one load-balancing problem variant solvable by the staged
+// EPTAS pipeline. Implementations must be stateless and safe for
+// concurrent use; the batch pool and the serving layer share them
+// across solves.
+type Family interface {
+	// Name is the stable CLI/API identifier ("bags", "identical",
+	// "related").
+	Name() string
+	// Validate checks family-specific structural well-formedness of an
+	// input instance (on top of nothing: it subsumes
+	// sched.Instance.Validate).
+	Validate(in *sched.Instance) error
+	// Feasible reports whether any feasible schedule exists under the
+	// family's constraints.
+	Feasible(in *sched.Instance) error
+	// LowerBound returns a combinatorial lower bound on the family's
+	// optimal makespan.
+	LowerBound(in *sched.Instance) float64
+	// Prepare returns the instance the pipeline actually runs on. Bags
+	// returns its input unchanged; families without bag-constraints
+	// return a clone with singleton bags so the core schedule
+	// validation (which enforces bag-constraints) holds vacuously.
+	// Schedules of the prepared instance are position-compatible with
+	// the input (same jobs, same order, same machines).
+	Prepare(in *sched.Instance) *sched.Instance
+	// Fallback returns the family's polynomial upper-bound schedule of
+	// a prepared instance; the binary search falls back to it when no
+	// guess is accepted.
+	Fallback(in *sched.Instance) (*sched.Schedule, error)
+	// Fingerprint folds the family identity and every family-relevant
+	// part of the instance that the post-Scale pipeline stages read
+	// (the bag partition for Bags, the speed vector for Related) into
+	// the memo aux hash h. Two solves whose scaled instances share a
+	// numeric signature but whose fingerprints differ never share memo
+	// entries.
+	Fingerprint(h uint64, in *sched.Instance) uint64
+	// Shape selects the stage sequence the pipeline runs.
+	Shape() Shape
+}
+
+// Family tags folded into memo fingerprints. Distinct per family and
+// never reused, so a cache shared across families cannot alias entries.
+const (
+	tagBags      = 0x6261677331 // "bags1"
+	tagIdentical = 0x6964656e74 // "ident"
+	tagRelated   = 0x72656c6174 // "relat"
+)
+
+// Bags is the bag-constrained identical-machines family of the paper.
+var Bags Family = bagsFamily{}
+
+// Identical is the plain identical-machines makespan family.
+var Identical Family = identicalFamily{}
+
+// Related is the uniformly-related-machines family.
+var Related Family = relatedFamily{}
+
+// List returns all built-in families in a stable order.
+func List() []Family { return []Family{Bags, Identical, Related} }
+
+// Parse resolves a family name; the empty string selects Bags (the
+// default, preserving the pre-seam API behaviour).
+func Parse(name string) (Family, error) {
+	switch name {
+	case "", "bags":
+		return Bags, nil
+	case "identical":
+		return Identical, nil
+	case "related":
+		return Related, nil
+	default:
+		return nil, fmt.Errorf("family: unknown problem family %q (want bags, identical or related)", name)
+	}
+}
+
+// Mix folds x into h with the SplitMix64 permutation; families use it
+// to build their memo fingerprints (same permutation as the pipeline
+// engine's config hash).
+func Mix(h, x uint64) uint64 {
+	h += x + 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// --- bags ---
+
+type bagsFamily struct{}
+
+func (bagsFamily) Name() string { return "bags" }
+
+func (bagsFamily) Validate(in *sched.Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if in.Speeds != nil && !in.Uniform() {
+		return fmt.Errorf("family: bags solves identical machines; instance has machine speeds (use the related family)")
+	}
+	return nil
+}
+
+func (bagsFamily) Feasible(in *sched.Instance) error { return in.Feasible() }
+
+func (bagsFamily) LowerBound(in *sched.Instance) float64 { return sched.LowerBound(in) }
+
+func (bagsFamily) Prepare(in *sched.Instance) *sched.Instance { return in }
+
+func (bagsFamily) Fallback(in *sched.Instance) (*sched.Schedule, error) { return greedy.BagLPT(in) }
+
+func (bagsFamily) Fingerprint(h uint64, in *sched.Instance) uint64 {
+	h = Mix(h, tagBags)
+	h = Mix(h, uint64(int64(in.NumBags)))
+	for _, j := range in.Jobs {
+		h = Mix(h, uint64(int64(j.Bag)))
+	}
+	return h
+}
+
+func (bagsFamily) Shape() Shape { return ShapeBags }
+
+// --- identical ---
+
+type identicalFamily struct{}
+
+func (identicalFamily) Name() string { return "identical" }
+
+func (identicalFamily) Validate(in *sched.Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if in.Speeds != nil && !in.Uniform() {
+		return fmt.Errorf("family: identical requires equal machine speeds; instance has distinct speeds (use the related family)")
+	}
+	return nil
+}
+
+// Feasible always succeeds: without bag-constraints any assignment is
+// a schedule.
+func (identicalFamily) Feasible(*sched.Instance) error { return nil }
+
+// LowerBound reuses the identical-machines bounds of the bags family
+// (largest job, average area, the pairing bound) — all three are valid
+// without bag-constraints.
+func (identicalFamily) LowerBound(in *sched.Instance) float64 { return sched.LowerBound(in) }
+
+// Prepare clones the instance with every job in its own bag: the
+// bag-constraint (at most one job of a bag per machine) then holds
+// vacuously and the bags pipeline solves plain makespan scheduling.
+func (identicalFamily) Prepare(in *sched.Instance) *sched.Instance { return singletonBags(in) }
+
+func (identicalFamily) Fallback(in *sched.Instance) (*sched.Schedule, error) {
+	// Bag-LPT on singleton bags degenerates to classic LPT.
+	return greedy.BagLPT(in)
+}
+
+// Fingerprint is the family tag alone: with singleton bags the bag
+// partition is a function of the job count, which the numeric
+// signature already covers.
+func (identicalFamily) Fingerprint(h uint64, _ *sched.Instance) uint64 {
+	return Mix(h, tagIdentical)
+}
+
+func (identicalFamily) Shape() Shape { return ShapeBags }
+
+// --- related ---
+
+type relatedFamily struct{}
+
+func (relatedFamily) Name() string { return "related" }
+
+func (relatedFamily) Validate(in *sched.Instance) error {
+	// Nil Speeds is accepted and treated as all-ones (the degenerate
+	// identical case); sched.Instance.Validate covers positivity and
+	// length when Speeds is present.
+	return in.Validate()
+}
+
+// Feasible always succeeds: related machines carry no combinatorial
+// constraint.
+func (relatedFamily) Feasible(*sched.Instance) error { return nil }
+
+// LowerBound is the classical Q||Cmax bound: the largest job on the
+// fastest machine, and the total area against the total speed.
+func (relatedFamily) LowerBound(in *sched.Instance) float64 {
+	if len(in.Jobs) == 0 {
+		return 0
+	}
+	sMax, sSum := 0.0, 0.0
+	for m := 0; m < in.Machines; m++ {
+		s := in.Speed(m)
+		if s > sMax {
+			sMax = s
+		}
+		sSum += s
+	}
+	lb := in.MaxJobSize() / sMax
+	if avg := in.TotalArea() / sSum; avg > lb {
+		lb = avg
+	}
+	return lb
+}
+
+// Prepare clones the instance with singleton bags (speeds are copied by
+// Clone), normalizing into the core representation whose schedule
+// validation enforces only vacuous constraints.
+func (relatedFamily) Prepare(in *sched.Instance) *sched.Instance { return singletonBags(in) }
+
+func (relatedFamily) Fallback(in *sched.Instance) (*sched.Schedule, error) {
+	return greedy.SpeedLPT(in)
+}
+
+// Fingerprint folds the family tag and the exact bits of every machine
+// speed: the numeric signature covers machine count and job exponents
+// only, and two instances that scale-round identically but run on
+// different speed profiles have different outcomes.
+func (relatedFamily) Fingerprint(h uint64, in *sched.Instance) uint64 {
+	h = Mix(h, tagRelated)
+	for m := 0; m < in.Machines; m++ {
+		h = Mix(h, math.Float64bits(in.Speed(m)))
+	}
+	return h
+}
+
+func (relatedFamily) Shape() Shape { return ShapeRelated }
+
+// singletonBags returns a clone of in with job i in bag i.
+func singletonBags(in *sched.Instance) *sched.Instance {
+	out := in.Clone()
+	out.NumBags = len(out.Jobs)
+	for i := range out.Jobs {
+		out.Jobs[i].Bag = i
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package family
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// bagsInstance is a small uniform instance with genuine (non-singleton)
+// bags.
+func bagsInstance() *sched.Instance {
+	in := sched.NewInstance(3)
+	in.AddJob(0.9, 0)
+	in.AddJob(0.8, 0)
+	in.AddJob(0.7, 1)
+	in.AddJob(0.4, 1)
+	in.AddJob(0.3, 2)
+	return in
+}
+
+// speedInstance is a small related-machines instance with singleton
+// bags.
+func speedInstance() *sched.Instance {
+	in := sched.NewRelatedInstance([]float64{4, 1, 1})
+	for i, size := range []float64{2.5, 1.2, 0.9, 0.4, 0.2} {
+		in.AddJob(size, i)
+	}
+	return in
+}
+
+func TestParse(t *testing.T) {
+	for name, want := range map[string]Family{
+		"": Bags, "bags": Bags, "identical": Identical, "related": Related,
+	} {
+		f, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if f != want {
+			t.Errorf("Parse(%q) = %s, want %s", name, f.Name(), want.Name())
+		}
+	}
+	if _, err := Parse("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("Parse(nope) err = %v, want error naming the input", err)
+	}
+}
+
+func TestListStable(t *testing.T) {
+	got := List()
+	want := []string{"bags", "identical", "related"}
+	if len(got) != len(want) {
+		t.Fatalf("List() has %d families, want %d", len(got), len(want))
+	}
+	for i, f := range got {
+		if f.Name() != want[i] {
+			t.Errorf("List()[%d] = %s, want %s", i, f.Name(), want[i])
+		}
+	}
+}
+
+func TestMix(t *testing.T) {
+	if Mix(1, 2) != Mix(1, 2) {
+		t.Error("Mix is not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for _, h := range []uint64{Mix(0, 0), Mix(0, 1), Mix(0, tagBags), Mix(0, tagIdentical), Mix(0, tagRelated)} {
+		if seen[h] {
+			t.Fatalf("Mix collision at %#x", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestShapes(t *testing.T) {
+	if Bags.Shape() != ShapeBags || Identical.Shape() != ShapeBags {
+		t.Error("bags/identical must run the bags-shaped pipeline")
+	}
+	if Related.Shape() != ShapeRelated {
+		t.Error("related must declare its own shape")
+	}
+}
+
+func TestValidateSpeedRejection(t *testing.T) {
+	sp := speedInstance()
+	for _, f := range []Family{Bags, Identical} {
+		if err := f.Validate(sp); err == nil || !strings.Contains(err.Error(), "related") {
+			t.Errorf("%s.Validate(speed instance) = %v, want an error pointing at the related family", f.Name(), err)
+		}
+		if err := f.Validate(bagsInstance()); err != nil {
+			t.Errorf("%s.Validate(uniform instance): %v", f.Name(), err)
+		}
+	}
+	if err := Related.Validate(sp); err != nil {
+		t.Errorf("Related.Validate(speed instance): %v", err)
+	}
+	// Uniform non-nil speeds are the degenerate identical case — every
+	// family accepts them.
+	uni := sched.NewRelatedInstance([]float64{2, 2})
+	uni.AddJob(1, 0)
+	for _, f := range List() {
+		if err := f.Validate(uni); err != nil {
+			t.Errorf("%s.Validate(uniform speeds): %v", f.Name(), err)
+		}
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	// More jobs of one bag than machines: infeasible for bags, fine for
+	// the bag-free families.
+	in := sched.NewInstance(2)
+	for i := 0; i < 3; i++ {
+		in.AddJob(0.5, 0)
+	}
+	if err := Bags.Feasible(in); err == nil {
+		t.Error("Bags.Feasible accepted 3 same-bag jobs on 2 machines")
+	}
+	if err := Identical.Feasible(in); err != nil {
+		t.Errorf("Identical.Feasible: %v", err)
+	}
+	if err := Related.Feasible(in); err != nil {
+		t.Errorf("Related.Feasible: %v", err)
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	in := bagsInstance()
+	if got, want := Bags.LowerBound(in), sched.LowerBound(in); got != want {
+		t.Errorf("Bags.LowerBound = %g, want sched.LowerBound = %g", got, want)
+	}
+	if got, want := Identical.LowerBound(in), sched.LowerBound(in); got != want {
+		t.Errorf("Identical.LowerBound = %g, want %g", got, want)
+	}
+
+	// Related: max(maxJob/sMax, area/sumSpeeds), hand-computed.
+	sp := speedInstance() // speeds 4,1,1; sizes 2.5 1.2 0.9 0.4 0.2
+	area := 2.5 + 1.2 + 0.9 + 0.4 + 0.2
+	want := math.Max(2.5/4, area/6)
+	if got := Related.LowerBound(sp); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Related.LowerBound = %g, want %g", got, want)
+	}
+	// Nil speeds degenerate to unit speeds.
+	uni := sched.NewInstance(2)
+	uni.AddJob(3, 0)
+	uni.AddJob(1, 1)
+	if got := Related.LowerBound(uni); got != 3 {
+		t.Errorf("Related.LowerBound(unit speeds) = %g, want 3 (max job)", got)
+	}
+	if got := Related.LowerBound(sched.NewInstance(2)); got != 0 {
+		t.Errorf("Related.LowerBound(empty) = %g, want 0", got)
+	}
+}
+
+func TestPrepare(t *testing.T) {
+	in := bagsInstance()
+	if Bags.Prepare(in) != in {
+		t.Error("Bags.Prepare must return its input unchanged (bit-identity contract)")
+	}
+	for _, f := range []Family{Identical, Related} {
+		got := f.Prepare(in)
+		if got == in {
+			t.Fatalf("%s.Prepare must clone", f.Name())
+		}
+		if got.NumBags != len(in.Jobs) {
+			t.Errorf("%s.Prepare: NumBags = %d, want %d singleton bags", f.Name(), got.NumBags, len(in.Jobs))
+		}
+		for i := range got.Jobs {
+			if got.Jobs[i].Bag != i || got.Jobs[i].Size != in.Jobs[i].Size {
+				t.Fatalf("%s.Prepare: job %d not position-compatible", f.Name(), i)
+			}
+		}
+		// The input's bag partition must be untouched.
+		if in.Jobs[1].Bag != 0 {
+			t.Fatalf("%s.Prepare mutated its input", f.Name())
+		}
+	}
+	// Speeds survive the clone.
+	sp := speedInstance()
+	if got := Related.Prepare(sp); got.Speed(0) != 4 {
+		t.Error("Related.Prepare dropped the speed vector")
+	}
+}
+
+func TestFallback(t *testing.T) {
+	for _, f := range List() {
+		in := f.Prepare(speedInstanceFor(f))
+		s, err := f.Fallback(in)
+		if err != nil {
+			t.Fatalf("%s.Fallback: %v", f.Name(), err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s.Fallback schedule invalid: %v", f.Name(), err)
+		}
+	}
+}
+
+// speedInstanceFor picks an instance the family accepts.
+func speedInstanceFor(f Family) *sched.Instance {
+	if f.Shape() == ShapeRelated {
+		return speedInstance()
+	}
+	return bagsInstance()
+}
+
+func TestFingerprintSeparation(t *testing.T) {
+	in := bagsInstance()
+	const h0 = 42
+	hs := map[uint64]string{}
+	for _, f := range List() {
+		h := f.Fingerprint(h0, in)
+		if prev, dup := hs[h]; dup {
+			t.Fatalf("%s and %s share a fingerprint", f.Name(), prev)
+		}
+		hs[h] = f.Name()
+	}
+
+	// Bags: sensitive to the bag partition.
+	rebagged := in.Clone()
+	rebagged.Jobs[0].Bag = 2
+	if Bags.Fingerprint(h0, in) == Bags.Fingerprint(h0, rebagged) {
+		t.Error("Bags.Fingerprint ignores the bag partition")
+	}
+	// Related: sensitive to the speed vector.
+	a := sched.NewRelatedInstance([]float64{4, 1})
+	b := sched.NewRelatedInstance([]float64{2, 1})
+	if Related.Fingerprint(h0, a) == Related.Fingerprint(h0, b) {
+		t.Error("Related.Fingerprint ignores the speed vector")
+	}
+	// Identical: a pure tag (the signature covers the rest).
+	if Identical.Fingerprint(h0, in) != Identical.Fingerprint(h0, rebagged) {
+		t.Error("Identical.Fingerprint should not depend on the bag partition")
+	}
+}

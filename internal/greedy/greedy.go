@@ -233,3 +233,26 @@ func BagLPT(in *sched.Instance) (*sched.Schedule, error) {
 	}
 	return s, nil
 }
+
+// SpeedLPT schedules an instance on uniformly related machines: jobs in
+// decreasing size order, each to the machine minimizing its completion
+// time (load+size)/speed, ties by machine index. Bag constraints are
+// ignored (the related family uses singleton bags), so the schedule is
+// always conflict-free for such instances.
+func SpeedLPT(in *sched.Instance) (*sched.Schedule, error) {
+	s := sched.NewSchedule(in)
+	loads := make([]float64, in.Machines)
+	for _, ji := range in.SortedJobIdxDesc() {
+		size := in.Jobs[ji].Size
+		best, bestT := -1, 0.0
+		for m := 0; m < in.Machines; m++ {
+			t := (loads[m] + size) / in.Speed(m)
+			if best < 0 || t < bestT {
+				best, bestT = m, t
+			}
+		}
+		s.Machine[ji] = best
+		loads[best] += size
+	}
+	return s, nil
+}

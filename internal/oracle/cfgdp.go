@@ -71,6 +71,13 @@ const dpTickInterval = 64
 // Solve decides the decomposed configuration program in b exactly.
 func (bk CfgDP) Solve(ctx context.Context, b *cfgmilp.Built, lim Limits) (*cfgmilp.Plan, Stats, error) {
 	st := Stats{Backend: "cfgdp", Raced: 1}
+	if b.Related != nil {
+		// Related-family models have per-speed-class variable blocks the
+		// DP's residual-demand state does not represent; like paper-mode
+		// models they fall to bnb (solo callers degrade, the portfolio
+		// drops the DP from the race).
+		return nil, st, fmt.Errorf("%w (cfgdp solves bag-constrained models only, got a related-family model)", ErrUnsupported)
+	}
 	if b.Mode != cfgmilp.ModeDecomposed {
 		return nil, st, fmt.Errorf("%w (cfgdp solves decomposed-mode models only, got %s)", ErrUnsupported, b.Mode)
 	}

@@ -124,7 +124,7 @@ func (p Portfolio) Solve(ctx context.Context, b *cfgmilp.Built, lim Limits) (*cf
 		return p.Backends[0].Solve(ctx, b, lim)
 	}
 	var outs []raceOutcome
-	if len(b.Space.Patterns) > parallelRaceThreshold {
+	if b.PatternCount() > parallelRaceThreshold {
 		outs = p.raceParallel(ctx, b, lim)
 	} else {
 		outs = p.raceSequential(ctx, b, lim)

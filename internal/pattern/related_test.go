@@ -1,0 +1,98 @@
+package pattern
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/sched"
+)
+
+// relatedSpace classifies and enumerates a small scaled speed instance:
+// speeds 2,1 (eps 0.5 → caps 3 and 1.5, large threshold 0.5), large
+// sizes 1.0 (x2) and 0.6 (x2).
+func relatedSpace(t *testing.T, limit int) (*classify.RelInfo, *RelSpace, error) {
+	t.Helper()
+	in := sched.NewRelatedInstance([]float64{2, 1})
+	for i, size := range []float64{1.0, 1.0, 0.6, 0.6, 0.2} {
+		in.AddJob(size, i)
+	}
+	info, err := classify.Related(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := EnumerateRelated(context.Background(), info, Options{Limit: limit})
+	return info, sp, err
+}
+
+func TestEnumerateRelated(t *testing.T) {
+	info, sp, err := relatedSpace(t, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Classes) != len(info.Speeds) {
+		t.Fatalf("%d classes, want one per speed (%d)", len(sp.Classes), len(info.Speeds))
+	}
+	if sp.TotalPatterns() != len(sp.Classes[0])+len(sp.Classes[1]) {
+		t.Error("TotalPatterns does not sum the classes")
+	}
+	for k, ps := range sp.Classes {
+		if len(ps) == 0 || ps[0].NumJobs != 0 || ps[0].HeightFx != 0 {
+			t.Fatalf("class %d: first pattern must be empty, got %+v", k, ps[0])
+		}
+		for pi, p := range ps {
+			if p.HeightFx > info.CapFx[k] {
+				t.Errorf("class %d pattern %d exceeds the class capacity", k, pi)
+			}
+			jobs, height := 0, 0.0
+			for i, c := range p.Count {
+				if c > info.SizeCount[i] {
+					t.Errorf("class %d pattern %d: %d slots of size %d, only %d jobs exist",
+						k, pi, c, i, info.SizeCount[i])
+				}
+				jobs += c
+				height += float64(c) * info.Sizes[i]
+			}
+			if jobs != p.NumJobs {
+				t.Errorf("class %d pattern %d: NumJobs %d, counts sum to %d", k, pi, p.NumJobs, jobs)
+			}
+		}
+	}
+	// The faster class (cap 3) must admit strictly more configurations
+	// than the slower one (cap 1.5).
+	if len(sp.Classes[0]) <= len(sp.Classes[1]) {
+		t.Errorf("class sizes %d vs %d: faster class should admit more patterns",
+			len(sp.Classes[0]), len(sp.Classes[1]))
+	}
+	// Determinism: a second enumeration is identical.
+	_, sp2, err := relatedSpace(t, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.TotalPatterns() != sp.TotalPatterns() {
+		t.Error("enumeration is not deterministic")
+	}
+}
+
+func TestEnumerateRelatedLimit(t *testing.T) {
+	_, _, err := relatedSpace(t, 2)
+	var tooMany ErrTooManyPatterns
+	if !errors.As(err, &tooMany) {
+		t.Fatalf("err = %v, want ErrTooManyPatterns", err)
+	}
+}
+
+func TestEnumerateRelatedCanceled(t *testing.T) {
+	in := sched.NewRelatedInstance([]float64{2, 1})
+	in.AddJob(1.0, 0)
+	info, err := classify.Related(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EnumerateRelated(ctx, info, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/family"
 	"repro/internal/memo"
 	"repro/internal/numeric"
 	"repro/internal/oracle"
@@ -36,8 +37,13 @@ type Result struct {
 	Attempts int
 	// Scaled is the instance scaled by 1/Guess and rounded.
 	Scaled *sched.Instance
-	// Info is the classification of Scaled.
+	// Info is the classification of Scaled (nil for related-family
+	// runs, whose classification is RelInfo).
 	Info *classify.Info
+	// RelInfo and RelSpace are the related-family classification and
+	// configuration space (nil for bags-shaped runs).
+	RelInfo  *classify.RelInfo
+	RelSpace *pattern.RelSpace
 	// Transformed is the Section 2.2 transformation, nil in AllPriority
 	// mode.
 	Transformed *transform.Transformed
@@ -114,6 +120,7 @@ type Metrics struct {
 // one cache across engines.
 type Engine struct {
 	cfg     Config
+	fam     family.Family
 	cache   *memo.Cache
 	cfgHash uint64
 
@@ -132,8 +139,13 @@ type Engine struct {
 // non-nil cfg.MILP.Progress hook makes outcomes caller-dependent in a
 // way the memo key cannot capture, so it forces a private memo.
 func New(cfg Config) *Engine {
+	fam := cfg.Family
+	if fam == nil {
+		fam = family.Bags
+	}
 	e := &Engine{
 		cfg:     cfg,
+		fam:     fam,
 		cfgHash: configHash(cfg),
 		metrics: Metrics{
 			StageTime: make(map[string]time.Duration),
@@ -224,11 +236,13 @@ func (e *Engine) Run(ctx context.Context, in *sched.Instance, guess float64) (*R
 }
 
 // auxFor returns the auxiliary key half for in under this engine's
-// config: the config hash folded with the instance's bag structure. Two
-// instances with equal signatures and equal aux hashes are
-// interchangeable from the Classify stage on — the scaled instances are
-// bit-identical and the bag partition (the only other instance input
-// the post-Scale stages read) matches.
+// config: the config hash folded with the problem family's fingerprint
+// of the instance — the family tag plus whatever instance structure
+// that family's post-Scale stages read (the bag partition for bags,
+// the speed vector for related). Two instances with equal signatures
+// and equal aux hashes are interchangeable from the Classify stage on;
+// distinct families never share entries because their fingerprints
+// start from distinct tags.
 func (e *Engine) auxFor(in *sched.Instance) uint64 {
 	e.mu.Lock()
 	if in == e.lastIn {
@@ -237,10 +251,7 @@ func (e *Engine) auxFor(in *sched.Instance) uint64 {
 		return a
 	}
 	e.mu.Unlock()
-	h := hashMix(e.cfgHash, uint64(int64(in.NumBags)))
-	for _, j := range in.Jobs {
-		h = hashMix(h, uint64(int64(j.Bag)))
-	}
+	h := e.fam.Fingerprint(e.cfgHash, in)
 	e.mu.Lock()
 	e.lastIn, e.lastAux = in, h
 	e.mu.Unlock()
@@ -253,6 +264,12 @@ func (e *Engine) runLadder(ctx context.Context, st *State) (*Result, error) {
 	caps := []int{e.cfg.BPrimeOverride}
 	if e.cfg.BPrimeOverride == 0 && !e.cfg.AllPriority {
 		caps = []int{0, 4, 2, 1}
+	}
+	if e.fam.Shape() == family.ShapeRelated {
+		// The related pipeline has no priority bags to degrade; its
+		// pattern space is bounded by the speed-class structure alone,
+		// so the ladder is a single full-budget rung.
+		caps = []int{0}
 	}
 	var lastErr error
 	for i, bp := range caps {
@@ -286,7 +303,7 @@ func (e *Engine) runLadder(ctx context.Context, st *State) (*Result, error) {
 // runRung executes one ladder attempt: every stage after Scale, in order,
 // aborting between stages when ctx is done.
 func (e *Engine) runRung(ctx context.Context, st *State) error {
-	for _, s := range rungStages {
+	for _, s := range rungStagesFor(e.fam.Shape()) {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -315,6 +332,8 @@ func (st *State) result(attempts int) *Result {
 		Attempts:    attempts,
 		Scaled:      st.Scaled,
 		Info:        st.Info,
+		RelInfo:     st.RelInfo,
+		RelSpace:    st.RelSpace,
 		Transformed: st.Transformed,
 		Space:       st.Space,
 		IntegerVars: st.IntegerVars,
@@ -380,6 +399,16 @@ func resultCost(r *Result) int64 {
 		for i := range r.Space.Patterns {
 			p := &r.Space.Patterns[i]
 			c += 6*word + int64(len(p.Prio))*2*word + int64(len(p.XCount))*word
+		}
+	}
+	if r.RelInfo != nil {
+		c += 512 + int64(len(r.RelInfo.Speeds)+len(r.RelInfo.Sizes))*4*word + int64(len(r.RelInfo.JobSize))*3*word
+	}
+	if r.RelSpace != nil {
+		for _, ps := range r.RelSpace.Classes {
+			for i := range ps {
+				c += 4*word + int64(len(ps[i].Count))*word
+			}
 		}
 	}
 	if r.Placed != nil {

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cfgmilp"
 	"repro/internal/classify"
+	"repro/internal/family"
 	"repro/internal/memo"
 	"repro/internal/milp"
 	"repro/internal/oracle"
@@ -42,6 +43,12 @@ import (
 type Config struct {
 	// Eps is the accuracy parameter in (0, 1).
 	Eps float64
+	// Family is the problem family the pipeline solves; nil selects
+	// family.Bags (the pre-seam behaviour, bit for bit). It picks the
+	// stage sequence (family.Shape) and contributes the family half of
+	// the memo aux hash, so a shared cache never aliases entries
+	// between families.
+	Family family.Family
 	// Mode selects the MILP flavour.
 	Mode cfgmilp.Mode
 	// PatternLimit bounds pattern enumeration (zero means
@@ -102,6 +109,10 @@ type State struct {
 	Exps   []int
 	// Info is the classification of Scaled.
 	Info *classify.Info
+	// RelInfo and RelSpace are the related-family counterparts of Info
+	// and Space (family.ShapeRelated only).
+	RelInfo  *classify.RelInfo
+	RelSpace *pattern.RelSpace
 	// Transformed is the Section 2.2 transformation (nil in AllPriority
 	// mode); TInst, View and Prio are the instance, its exact numeric
 	// view and the priority flags the downstream stages work on either
@@ -131,6 +142,8 @@ type State struct {
 // keeping the guess-level Scale output.
 func (st *State) resetRung() {
 	st.Info = nil
+	st.RelInfo = nil
+	st.RelSpace = nil
 	st.Transformed = nil
 	st.TInst = nil
 	st.View = nil
@@ -157,12 +170,23 @@ type Stage interface {
 
 // The canonical stage sequence. Scale runs once per guess (its output
 // determines the memo signature); the remaining stages run once per
-// ladder rung.
+// ladder rung. Every family shape uses the same stage names in the
+// same order — Stats maps and reports stay comparable across families —
+// but the related shape binds its own implementations.
 var (
-	stageScale    Stage = scaleStage{}
-	rungStages          = []Stage{classifyStage{}, transformStage{}, enumerateStage{}, solveOracleStage{}, placeStage{}, liftStage{}}
-	allStageNames       = []string{"Scale", "Classify", "Transform", "Enumerate", "SolveOracle", "Place", "Lift"}
+	stageScale       Stage = scaleStage{}
+	rungStages             = []Stage{classifyStage{}, transformStage{}, enumerateStage{}, solveOracleStage{}, placeStage{}, liftStage{}}
+	relatedRungStage       = []Stage{relClassifyStage{}, relTransformStage{}, relEnumerateStage{}, relSolveOracleStage{}, relPlaceStage{}, relLiftStage{}}
+	allStageNames          = []string{"Scale", "Classify", "Transform", "Enumerate", "SolveOracle", "Place", "Lift"}
 )
+
+// rungStagesFor selects the per-rung stage sequence of a family shape.
+func rungStagesFor(shape family.Shape) []Stage {
+	if shape == family.ShapeRelated {
+		return relatedRungStage
+	}
+	return rungStages
+}
 
 // StageNames lists the pipeline stages in execution order; Stats maps and
 // reports are keyed by these names.
@@ -242,6 +266,13 @@ func (solveOracleStage) Run(ctx context.Context, st *State) error {
 		return err
 	}
 	st.IntegerVars = built.IntegerVars
+	return st.solveBuilt(ctx, built)
+}
+
+// oracleLimits resolves the per-guess oracle budgets from the config
+// and the current ladder rung's node budget. Shared by every family
+// shape so a family cannot silently run under different limits.
+func (st *State) oracleLimits() oracle.Limits {
 	lim := oracle.Limits{MILP: st.Cfg.MILP}
 	if lim.MILP.MaxNodes <= 0 {
 		// Feasibility models are usually solved at the root (by the
@@ -261,7 +292,13 @@ func (solveOracleStage) Run(ctx context.Context, st *State) error {
 	if st.NodeBudget > 0 && st.NodeBudget < lim.MILP.MaxNodes {
 		lim.MILP.MaxNodes = st.NodeBudget
 	}
-	plan, ostats, err := oracle.For(st.Cfg.Oracle).Solve(ctx, built, lim)
+	return lim
+}
+
+// solveBuilt dispatches a constructed model to the configured oracle
+// backend and records the outcome on the state.
+func (st *State) solveBuilt(ctx context.Context, built *cfgmilp.Built) error {
+	plan, ostats, err := oracle.For(st.Cfg.Oracle).Solve(ctx, built, st.oracleLimits())
 	st.OracleStats = ostats
 	st.MILPNodes = ostats.Nodes
 	if err != nil {
@@ -312,6 +349,92 @@ func (liftStage) Run(_ context.Context, st *State) error {
 	final := &sched.Schedule{Inst: st.In, Machine: append([]int(nil), machine...)}
 	if err := final.Validate(); err != nil {
 		return fmt.Errorf("eptas: lifted schedule invalid at guess %g: %w", st.Guess, err)
+	}
+	st.Final = final
+	return nil
+}
+
+// --- related-family stages (family.ShapeRelated) ---
+//
+// Same stage names, related implementations: speed-class
+// classification, per-class anonymous configuration enumeration, the
+// BuildRelated feasibility program through the same oracle seam, and
+// the capacity-greedy placement. There is no instance transformation
+// and no priority-cap ladder (related machines have no bags), so
+// Transform is a pass-through and the engine runs a single rung.
+
+type relClassifyStage struct{}
+
+func (relClassifyStage) Name() string { return "Classify" }
+func (relClassifyStage) Run(_ context.Context, st *State) error {
+	info, err := classify.Related(st.Scaled, st.Cfg.Eps)
+	if err != nil {
+		return err
+	}
+	st.RelInfo = info
+	return nil
+}
+
+type relTransformStage struct{}
+
+func (relTransformStage) Name() string { return "Transform" }
+func (relTransformStage) Run(_ context.Context, st *State) error {
+	st.TInst = st.Scaled
+	return nil
+}
+
+type relEnumerateStage struct{}
+
+func (relEnumerateStage) Name() string { return "Enumerate" }
+func (relEnumerateStage) Run(ctx context.Context, st *State) error {
+	sp, err := pattern.EnumerateRelated(ctx, st.RelInfo, pattern.Options{Limit: st.Cfg.PatternLimit})
+	if err != nil {
+		return err
+	}
+	st.RelSpace = sp
+	return nil
+}
+
+type relSolveOracleStage struct{}
+
+func (relSolveOracleStage) Name() string { return "SolveOracle" }
+func (relSolveOracleStage) Run(ctx context.Context, st *State) error {
+	built, err := cfgmilp.BuildRelated(ctx, st.TInst, st.RelInfo, st.RelSpace)
+	if err != nil {
+		return err
+	}
+	st.IntegerVars = built.IntegerVars
+	return st.solveBuilt(ctx, built)
+}
+
+type relPlaceStage struct{}
+
+func (relPlaceStage) Name() string { return "Place" }
+func (relPlaceStage) Run(_ context.Context, st *State) error {
+	placed, pstats, err := placer.PlaceRelated(placer.RelatedInput{
+		Inst:  st.TInst,
+		Info:  st.RelInfo,
+		Space: st.RelSpace,
+		Plan:  st.Plan,
+	})
+	if err != nil {
+		return err
+	}
+	st.Placed = placed
+	st.PlaceStats = pstats
+	return nil
+}
+
+type relLiftStage struct{}
+
+func (relLiftStage) Name() string { return "Lift" }
+func (relLiftStage) Run(_ context.Context, st *State) error {
+	// No transformation to undo: the placed assignment of the scaled
+	// instance is position-compatible with the pipeline input (same
+	// jobs, same machines), only the sizes differ.
+	final := &sched.Schedule{Inst: st.In, Machine: append([]int(nil), st.Placed.Machine...)}
+	if err := final.Validate(); err != nil {
+		return fmt.Errorf("eptas: related schedule invalid at guess %g: %w", st.Guess, err)
 	}
 	st.Final = final
 	return nil

@@ -1,0 +1,142 @@
+package placer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfgmilp"
+	"repro/internal/classify"
+	"repro/internal/numeric"
+	"repro/internal/pattern"
+	"repro/internal/sched"
+)
+
+// RelatedInput bundles everything the related-family placement needs.
+type RelatedInput struct {
+	// Inst is the prepared scaled instance (singleton bags, speeds).
+	Inst *sched.Instance
+	// Info is its related classification.
+	Info *classify.RelInfo
+	// Space is the per-speed-class configuration space.
+	Space *pattern.RelSpace
+	// Plan is the decoded oracle solution (RelCounts).
+	Plan *cfgmilp.Plan
+}
+
+// PlaceRelated realizes a related-family plan as a concrete schedule of
+// the scaled instance:
+//
+//  1. each speed class's machines receive their configurations in
+//     index order (leftover machines run the empty configuration);
+//  2. large jobs fill the reserved slots of their size, machine by
+//     machine in index order — the coverage rows guarantee enough
+//     slots, surplus slots stay empty (counted in Stats.EmptySlots);
+//  3. small jobs, largest first, each go to the machine with the most
+//     remaining exact capacity (CapFx minus current load). The area
+//     row guarantees the invariant "total positive remaining capacity
+//     covers the unplaced small area", so a machine with positive
+//     headroom always exists; a single job may overshoot its machine's
+//     capacity by less than the small threshold eps*s_min, which is
+//     the placement's contribution to the 1+O(eps) bound.
+//
+// All load accounting is exact int64 fixed point; the instance has
+// singleton bags, so the produced schedule is conflict-free by
+// construction.
+func PlaceRelated(inp RelatedInput) (*sched.Schedule, Stats, error) {
+	in, info, sp := inp.Inst, inp.Info, inp.Space
+	var stats Stats
+
+	// 1. Expand configurations onto machines, per speed class.
+	byClass := make([][]int, len(info.Speeds))
+	for m := 0; m < in.Machines; m++ {
+		k := info.MachClass[m]
+		byClass[k] = append(byClass[k], m)
+	}
+	machPattern := make([]int, in.Machines)
+	for k, counts := range inp.Plan.RelCounts {
+		next := 0
+		for p, c := range counts {
+			if c < 0 {
+				return nil, stats, fmt.Errorf("placer: negative configuration count %d (class %d)", c, k)
+			}
+			for i := 0; i < c; i++ {
+				if next >= len(byClass[k]) {
+					return nil, stats, fmt.Errorf("placer: plan uses %d+ machines of class %d, class has %d", next+1, k, len(byClass[k]))
+				}
+				machPattern[byClass[k][next]] = p
+				next++
+			}
+			if c > 0 && sp.Classes[k][p].NumJobs > 0 {
+				stats.MachinesUsed += c
+			}
+		}
+		for ; next < len(byClass[k]); next++ {
+			machPattern[byClass[k][next]] = 0
+		}
+	}
+
+	s := sched.NewSchedule(in)
+	loads := make([]numeric.Fx, in.Machines)
+
+	// 2. Large jobs into reserved slots, per size in table order.
+	jobsOfSize := make([][]int, len(info.Sizes))
+	for j := range in.Jobs {
+		if si := info.JobSize[j]; si >= 0 {
+			jobsOfSize[si] = append(jobsOfSize[si], j)
+		}
+	}
+	for si, jobs := range jobsOfSize {
+		next := 0
+		for m := 0; m < in.Machines; m++ {
+			pat := &sp.Classes[info.MachClass[m]][machPattern[m]]
+			for slot := 0; slot < pat.Count[si]; slot++ {
+				if next >= len(jobs) {
+					stats.EmptySlots++
+					continue
+				}
+				j := jobs[next]
+				next++
+				s.Machine[j] = m
+				loads[m] += info.JobFx[j]
+			}
+		}
+		if next < len(jobs) {
+			return nil, stats, fmt.Errorf("placer: %d large jobs of size idx %d without slots", len(jobs)-next, si)
+		}
+	}
+
+	// 3. Small jobs, largest first, onto the machine with the most
+	// remaining capacity (ties to the lowest index).
+	var small []int
+	for j := range in.Jobs {
+		if info.JobSize[j] < 0 {
+			small = append(small, j)
+		}
+	}
+	sort.SliceStable(small, func(a, b int) bool {
+		fa, fb := info.JobFx[small[a]], info.JobFx[small[b]]
+		if fa != fb {
+			return fa > fb
+		}
+		return small[a] < small[b]
+	})
+	for _, j := range small {
+		best, bestRem := -1, numeric.Fx(0)
+		for m := 0; m < in.Machines; m++ {
+			rem := info.CapFx[info.MachClass[m]] - loads[m]
+			if rem > bestRem {
+				best, bestRem = m, rem
+			}
+		}
+		if best < 0 {
+			return nil, stats, fmt.Errorf("placer: no remaining capacity for small job %d (area row violated)", j)
+		}
+		s.Machine[j] = best
+		loads[best] += info.JobFx[j]
+	}
+
+	if err := s.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("placer: related schedule invalid: %w", err)
+	}
+	return s, stats, nil
+}

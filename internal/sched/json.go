@@ -10,6 +10,7 @@ import (
 type instanceJSON struct {
 	Machines int       `json:"machines"`
 	NumBags  int       `json:"num_bags"`
+	Speeds   []float64 `json:"speeds,omitempty"`
 	Jobs     []jobJSON `json:"jobs"`
 }
 
@@ -21,7 +22,7 @@ type jobJSON struct {
 
 // MarshalJSON encodes the instance in a stable, self-describing format.
 func (in *Instance) MarshalJSON() ([]byte, error) {
-	w := instanceJSON{Machines: in.Machines, NumBags: in.NumBags, Jobs: make([]jobJSON, len(in.Jobs))}
+	w := instanceJSON{Machines: in.Machines, NumBags: in.NumBags, Speeds: in.Speeds, Jobs: make([]jobJSON, len(in.Jobs))}
 	for i, j := range in.Jobs {
 		w.Jobs[i] = jobJSON{ID: int(j.ID), Size: j.Size, Bag: j.Bag}
 	}
@@ -36,6 +37,7 @@ func (in *Instance) UnmarshalJSON(data []byte) error {
 	}
 	in.Machines = w.Machines
 	in.NumBags = w.NumBags
+	in.Speeds = w.Speeds
 	in.Jobs = make([]Job, len(w.Jobs))
 	for i, j := range w.Jobs {
 		in.Jobs[i] = Job{ID: JobID(j.ID), Size: j.Size, Bag: j.Bag}

@@ -36,13 +36,43 @@ type Instance struct {
 	Jobs []Job
 	// NumBags is the number of bags; every job's Bag is < NumBags.
 	NumBags int
-	// Machines is the number of identical machines, at least 1.
+	// Machines is the number of machines, at least 1.
 	Machines int
+	// Speeds, when non-nil, gives each machine a positive speed: machine
+	// m finishes load L in time L/Speeds[m] (the uniformly related
+	// machines model, Q||Cmax). Nil means identical machines (all speeds
+	// 1), the bag-constrained model of the paper. Which problem families
+	// accept speed instances is decided by internal/family.
+	Speeds []float64
 }
 
 // NewInstance returns an empty instance with the given machine count.
 func NewInstance(machines int) *Instance {
 	return &Instance{Machines: machines}
+}
+
+// NewRelatedInstance returns an empty uniformly-related-machines
+// instance with one machine per entry of speeds.
+func NewRelatedInstance(speeds []float64) *Instance {
+	return &Instance{Machines: len(speeds), Speeds: append([]float64(nil), speeds...)}
+}
+
+// Speed returns machine m's speed (1 for identical machines).
+func (in *Instance) Speed(m int) float64 {
+	if in.Speeds == nil {
+		return 1
+	}
+	return in.Speeds[m]
+}
+
+// Uniform reports whether all machines run at the same speed.
+func (in *Instance) Uniform() bool {
+	for _, s := range in.Speeds {
+		if s != in.Speeds[0] {
+			return false
+		}
+	}
+	return true
 }
 
 // AddJob appends a job with the given size and bag, extending NumBags if
@@ -64,6 +94,9 @@ func (in *Instance) Clone() *Instance {
 		Machines: in.Machines,
 	}
 	copy(out.Jobs, in.Jobs)
+	if in.Speeds != nil {
+		out.Speeds = append([]float64(nil), in.Speeds...)
+	}
 	return out
 }
 
@@ -73,6 +106,16 @@ func (in *Instance) Clone() *Instance {
 func (in *Instance) Validate() error {
 	if in.Machines < 1 {
 		return fmt.Errorf("sched: instance has %d machines, need at least 1", in.Machines)
+	}
+	if in.Speeds != nil {
+		if len(in.Speeds) != in.Machines {
+			return fmt.Errorf("sched: instance has %d speeds for %d machines", len(in.Speeds), in.Machines)
+		}
+		for m, s := range in.Speeds {
+			if s <= 0 {
+				return fmt.Errorf("sched: machine %d has non-positive speed %g", m, s)
+			}
+		}
 	}
 	seen := make(map[JobID]bool, len(in.Jobs))
 	for i, j := range in.Jobs {
@@ -217,9 +260,21 @@ func (s *Schedule) Loads() []float64 {
 	return loads
 }
 
-// Makespan returns the maximum machine load.
+// Makespan returns the maximum machine completion time: the maximum
+// load for identical machines, the maximum of load/speed when the
+// instance carries machine speeds.
 func (s *Schedule) Makespan() float64 {
-	return numeric.MaxFloat(s.Loads())
+	loads := s.Loads()
+	if s.Inst.Speeds == nil {
+		return numeric.MaxFloat(loads)
+	}
+	var ms float64
+	for m, l := range loads {
+		if t := l / s.Inst.Speeds[m]; t > ms {
+			ms = t
+		}
+	}
+	return ms
 }
 
 // Conflict is a violation of the bag-constraint: two jobs of one bag on

@@ -7,10 +7,12 @@
 // Endpoints:
 //
 //	POST /v1/solve   {"instance": {...}, "eps": 0.5, "backend": "bnb",
-//	                  "timeout_ms": 1000, "no_cache": false}
+//	                  "family": "bags", "timeout_ms": 1000,
+//	                  "no_cache": false}
 //	POST /v1/batch   {"instances": [{...}, ...], "eps": 0.5, ...}
-//	GET  /v1/stats   cache/queue/latency counters; ?window=N adds
-//	                 percentiles over the last N solves
+//	GET  /v1/stats   cache/queue/latency counters, per-family solve
+//	                 counts and latencies; ?window=N adds percentiles
+//	                 over the last N solves
 //	GET  /healthz    liveness
 //	GET  /metrics    Prometheus-style text metrics
 //	GET  /debug/vars expvar (includes the same stats payload after
@@ -48,6 +50,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/family"
 	"repro/internal/memo"
 	"repro/internal/oracle"
 	"repro/internal/sched"
@@ -97,7 +100,10 @@ type Server struct {
 	queue  *batch.Queue
 	flight *flight
 	lat    *latencyRing
-	start  time.Time
+	// fams tracks per-problem-family solve counts and latencies, keyed
+	// by family name; built once in New for every registered family.
+	fams  map[string]*famStats
+	start time.Time
 
 	requests    atomic.Int64 // HTTP requests accepted into a handler
 	solves      atomic.Int64 // successful solve responses (incl. batch items)
@@ -128,14 +134,25 @@ func New(cfg Config) *Server {
 	if cache == nil {
 		cache = memo.New(cfg.CacheBytes)
 	}
+	fams := make(map[string]*famStats, len(family.List()))
+	for _, f := range family.List() {
+		fams[f.Name()] = &famStats{lat: newLatencyRing(1 << 12)}
+	}
 	return &Server{
 		cfg:    cfg,
 		cache:  cache,
 		queue:  batch.NewQueue(cfg.Workers, cfg.QueueDepth),
 		flight: newFlight(),
 		lat:    newLatencyRing(1 << 14),
+		fams:   fams,
 		start:  time.Now(),
 	}
+}
+
+// famStats is the per-family slice of the serving metrics.
+type famStats struct {
+	solves atomic.Int64
+	lat    *latencyRing
 }
 
 // Cache returns the shared cross-request memo.
@@ -179,6 +196,9 @@ type solveRequest struct {
 	// Backend overrides the oracle backend ("bnb", "cfgdp",
 	// "portfolio"; empty keeps the default).
 	Backend string `json:"backend"`
+	// Family selects the problem family ("bags", "identical",
+	// "related"; empty selects bags, the bag-constrained default).
+	Family string `json:"family"`
 	// TimeoutMS bounds this solve's wall clock; clamped to the server
 	// maximum. 0 selects the server default.
 	TimeoutMS int64 `json:"timeout_ms"`
@@ -194,6 +214,7 @@ type batchRequest struct {
 	Instances []*sched.Instance `json:"instances"`
 	Eps       float64           `json:"eps"`
 	Backend   string            `json:"backend"`
+	Family    string            `json:"family"`
 	TimeoutMS int64             `json:"timeout_ms"`
 	NoCache   bool              `json:"no_cache"`
 }
@@ -230,16 +251,18 @@ type errorResponse struct {
 }
 
 // spec is one decoded, validated solve: the instance, the resolved
-// solver options and the coalescing key.
+// solver options, the family name (for the per-family counters) and the
+// coalescing key.
 type spec struct {
 	in  *sched.Instance
 	opt core.Options
+	fam string
 	key [sha256.Size]byte
 }
 
 // resolve validates the scalar knobs of a request and builds the solve
 // spec. A non-nil error is a client error (400).
-func (s *Server) resolve(in *sched.Instance, eps float64, backendName string, noCache bool) (*spec, error) {
+func (s *Server) resolve(in *sched.Instance, eps float64, backendName, familyName string, noCache bool) (*spec, error) {
 	if in == nil {
 		return nil, errors.New("missing \"instance\"")
 	}
@@ -257,7 +280,11 @@ func (s *Server) resolve(in *sched.Instance, eps float64, backendName string, no
 			return nil, err
 		}
 	}
-	opt := core.Options{Eps: eps, Oracle: oracle.Selection{Backend: backend}}
+	fam, err := family.Parse(familyName)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.Options{Eps: eps, Family: fam, Oracle: oracle.Selection{Backend: backend}}
 	if !noCache {
 		opt.Cache = s.cache
 	}
@@ -268,8 +295,11 @@ func (s *Server) resolve(in *sched.Instance, eps float64, backendName string, no
 		return nil, err
 	}
 	h.Write(b)
-	fmt.Fprintf(h, "|%x|%d|%v", math.Float64bits(eps), backend, noCache)
-	sp := &spec{in: in, opt: opt}
+	// The family is part of the coalescing identity: the same instance
+	// solved as different families is different work with different
+	// answers.
+	fmt.Fprintf(h, "|%x|%d|%s|%v", math.Float64bits(eps), backend, fam.Name(), noCache)
+	sp := &spec{in: in, opt: opt, fam: fam.Name()}
 	h.Sum(sp.key[:0])
 	return sp, nil
 }
@@ -325,7 +355,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	sp, err := s.resolve(req.Instance, req.Eps, req.Backend, req.NoCache)
+	sp, err := s.resolve(req.Instance, req.Eps, req.Backend, req.Family, req.NoCache)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
@@ -351,7 +381,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.solves.Add(1)
 	s.lat.record(elapsed)
+	s.recordFamily(sp.fam, elapsed)
 	writeJSON(w, http.StatusOK, result(out.Result, shared, elapsed))
+}
+
+// recordFamily feeds the per-family counters of one successful solve.
+func (s *Server) recordFamily(fam string, elapsed time.Duration) {
+	if fs, ok := s.fams[fam]; ok {
+		fs.solves.Add(1)
+		fs.lat.record(elapsed)
+	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -366,7 +405,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	specs := make([]*spec, len(req.Instances))
 	for i, in := range req.Instances {
-		sp, err := s.resolve(in, req.Eps, req.Backend, req.NoCache)
+		sp, err := s.resolve(in, req.Eps, req.Backend, req.Family, req.NoCache)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("instance %d: %v", i, err)})
 			return
@@ -413,6 +452,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			default:
 				s.solves.Add(1)
 				s.lat.record(itemElapsed)
+				s.recordFamily(sp.fam, itemElapsed)
 				items[i] = batchItem{solveResult: result(out.Result, shared, itemElapsed)}
 			}
 		}(i, sp)
@@ -472,6 +512,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.typ, m.name, m.value)
 	}
+	fmt.Fprintf(w, "# TYPE bagsched_family_solves_total counter\n")
+	for _, f := range family.List() {
+		fs := s.fams[f.Name()]
+		fmt.Fprintf(w, "bagsched_family_solves_total{family=%q} %d\n", f.Name(), fs.solves.Load())
+	}
+	fmt.Fprintf(w, "# TYPE bagsched_family_solve_latency_p50_microseconds gauge\n")
+	for _, f := range family.List() {
+		fs := s.fams[f.Name()]
+		fmt.Fprintf(w, "bagsched_family_solve_latency_p50_microseconds{family=%q} %d\n", f.Name(), fs.lat.percentiles(0).P50)
+	}
 }
 
 // statsPayload builds the GET /v1/stats (and expvar) document. window >
@@ -505,6 +555,19 @@ func (s *Server) statsPayload(window int) map[string]any {
 		},
 		"latency": s.lat.percentiles(0),
 	}
+	families := make(map[string]any, len(s.fams))
+	for _, f := range family.List() {
+		fs := s.fams[f.Name()]
+		fam := map[string]any{
+			"solves":  fs.solves.Load(),
+			"latency": fs.lat.percentiles(0),
+		}
+		if window > 0 {
+			fam["window"] = fs.lat.percentiles(window)
+		}
+		families[f.Name()] = fam
+	}
+	payload["families"] = families
 	if window > 0 {
 		payload["window"] = s.lat.percentiles(window)
 	}

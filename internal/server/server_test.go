@@ -400,6 +400,7 @@ func TestSharedCacheHammer(t *testing.T) {
 	type fixture struct {
 		name string
 		in   *sched.Instance
+		fam  string
 		want float64
 	}
 	var fixtures []fixture
@@ -412,12 +413,18 @@ func TestSharedCacheHammer(t *testing.T) {
 		if err := json.Unmarshal(raw, &in); err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
+		// Speed fixtures must be solved as the related family; the bag
+		// default rejects them.
+		fam := "bags"
+		if !in.Uniform() {
+			fam = "related"
+		}
 		// The no-shared-cache reference, served by the same process.
-		status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": &in, "no_cache": true})
+		status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": &in, "family": fam, "no_cache": true})
 		if status != http.StatusOK {
 			t.Fatalf("%s baseline: %d %v", path, status, doc)
 		}
-		fixtures = append(fixtures, fixture{filepath.Base(path), &in, doc["makespan"].(float64)})
+		fixtures = append(fixtures, fixture{filepath.Base(path), &in, fam, doc["makespan"].(float64)})
 	}
 
 	const clients = 32
@@ -430,7 +437,7 @@ func TestSharedCacheHammer(t *testing.T) {
 				// Stagger the corpus so clients overlap on different
 				// fixtures at different times.
 				f = fixtures[(i+c)%len(fixtures)]
-				status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": f.in})
+				status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": f.in, "family": f.fam})
 				if status == http.StatusServiceUnavailable {
 					continue // admission shedding is legal under the hammer
 				}
@@ -540,5 +547,92 @@ func TestStatsPayloadShape(t *testing.T) {
 		if !bytes.Contains(raw, []byte(fmt.Sprintf("%q", key))) {
 			t.Errorf("stats payload missing %q: %s", key, raw)
 		}
+	}
+}
+
+// relatedTestInstance is a small uniformly-related instance (singleton
+// bags, two speed classes).
+func relatedTestInstance(t *testing.T) *sched.Instance {
+	t.Helper()
+	in := sched.NewRelatedInstance([]float64{1, 1, 2, 4})
+	sizes := []float64{2.5, 1.8, 1.1, 0.9, 0.6, 0.4, 0.3, 0.2}
+	for i, size := range sizes {
+		in.AddJob(size, i)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestFamilyField pins the per-request problem-family selection: a
+// related instance solves under family=related, is rejected by the bag
+// default (422: well-formed body, unsolvable as asked), an unknown
+// family is a 400 client error, and the per-family counters in
+// /v1/stats attribute the solve to the right family.
+func TestFamilyField(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	rel := relatedTestInstance(t)
+
+	status, doc := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": rel, "family": "related"})
+	if status != http.StatusOK {
+		t.Fatalf("family=related: status %d (%v)", status, doc)
+	}
+	if doc["makespan"].(float64) <= 0 {
+		t.Fatalf("family=related: missing makespan in %v", doc)
+	}
+
+	status, doc = postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": rel})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("bag default on a speed instance: status %d (%v), want 422", status, doc)
+	}
+
+	status, doc = postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": rel, "family": "nope"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown family: status %d (%v), want 400", status, doc)
+	}
+
+	// A bags solve for contrast, then check the per-family attribution.
+	status, doc = postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": testInstance(t)})
+	if status != http.StatusOK {
+		t.Fatalf("bags solve: status %d (%v)", status, doc)
+	}
+
+	status, stats := getJSON(t, ts.URL+"/v1/stats?window=8")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	fams, ok := stats["families"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats payload has no families section: %v", stats)
+	}
+	for name, want := range map[string]float64{"related": 1, "bags": 1, "identical": 0} {
+		fs, ok := fams[name].(map[string]any)
+		if !ok {
+			t.Fatalf("families section missing %q: %v", name, fams)
+		}
+		if got := fs["solves"].(float64); got != want {
+			t.Errorf("families[%q].solves = %v, want %v", name, got, want)
+		}
+		if _, ok := fs["latency"]; !ok {
+			t.Errorf("families[%q] has no latency digest", name)
+		}
+		if _, ok := fs["window"]; !ok {
+			t.Errorf("families[%q] has no window digest (requested window=8)", name)
+		}
+	}
+
+	// The family must also separate coalescing and metrics exposure.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`bagsched_family_solves_total{family="related"} 1`)) {
+		t.Errorf("metrics missing the related family counter:\n%s", raw)
 	}
 }

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/sched"
+)
+
+// Related-machines generator families. Their instances carry machine
+// speeds and singleton bags; solve them with the related problem family
+// (bagsched.FamilyRelated), not the bag-constrained default — they are
+// deliberately excluded from Families() because the bag solver rejects
+// instances with distinct speeds.
+const (
+	// RelatedFew spreads machines over a handful of well-separated
+	// speed classes (1x/2x/4x, dealt round-robin) with uniform job
+	// sizes — the regime the few-distinct-speeds scheme targets.
+	RelatedFew Family = "relatedfew"
+	// RelatedSkew concentrates most of the capacity on a few fast
+	// machines (8x) above a fleet of unit-speed ones, with a bimodal
+	// size mix whose large jobs only finish in time on the fast tier.
+	RelatedSkew Family = "relatedskew"
+)
+
+// RelatedFamilies lists the related-machines generators in a stable
+// order.
+func RelatedFamilies() []Family {
+	return []Family{RelatedFew, RelatedSkew}
+}
+
+// relatedFew deals speeds 1, 2, 4 round-robin over the machines and
+// draws sizes uniformly; every job gets its own bag so the instance is
+// also feasible under the bag validator.
+func relatedFew(spec Spec, rng *rand.Rand) *sched.Instance {
+	speeds := make([]float64, spec.Machines)
+	classes := []float64{1, 2, 4}
+	for m := range speeds {
+		speeds[m] = classes[m%len(classes)]
+	}
+	in := sched.NewRelatedInstance(speeds)
+	for i := 0; i < spec.Jobs; i++ {
+		in.AddJob(0.1+0.9*rng.Float64(), i)
+	}
+	in.NumBags = len(in.Jobs)
+	return in
+}
+
+// relatedSkew puts a quarter of the machines (at least one) at speed 8
+// over unit-speed stragglers; a quarter of the jobs are large (sized so
+// only a fast machine finishes them within a reasonable makespan), the
+// rest small filler.
+func relatedSkew(spec Spec, rng *rand.Rand) *sched.Instance {
+	speeds := make([]float64, spec.Machines)
+	for m := range speeds {
+		speeds[m] = 1
+	}
+	fast := spec.Machines / 4
+	if fast == 0 {
+		fast = 1
+	}
+	for m := 0; m < fast; m++ {
+		speeds[m] = 8
+	}
+	in := sched.NewRelatedInstance(speeds)
+	for i := 0; i < spec.Jobs; i++ {
+		var size float64
+		if rng.Float64() < 0.25 {
+			size = 3 + 3*rng.Float64() // fast-tier work
+		} else {
+			size = 0.05 + 0.3*rng.Float64() // filler
+		}
+		in.AddJob(size, i)
+	}
+	in.NumBags = len(in.Jobs)
+	return in
+}

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRelatedFamilies(t *testing.T) {
+	got := RelatedFamilies()
+	if !reflect.DeepEqual(got, []Family{RelatedFew, RelatedSkew}) {
+		t.Fatalf("RelatedFamilies() = %v", got)
+	}
+	// Related generators are deliberately not in the bag-family list:
+	// the corpus-wide bag differential tests iterate Families().
+	for _, f := range Families() {
+		if f == RelatedFew || f == RelatedSkew {
+			t.Fatalf("%s leaked into the bag-family list", f)
+		}
+	}
+}
+
+func TestRelatedGenerators(t *testing.T) {
+	for _, fam := range RelatedFamilies() {
+		in := MustGenerate(Spec{Family: fam, Machines: 6, Jobs: 20, Seed: 3})
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if in.Uniform() {
+			t.Errorf("%s: generated uniform speeds; the generator exists to exercise the related family", fam)
+		}
+		if len(in.Speeds) != 6 || len(in.Jobs) != 20 {
+			t.Errorf("%s: %d speeds, %d jobs", fam, len(in.Speeds), len(in.Jobs))
+		}
+		if in.NumBags != len(in.Jobs) {
+			t.Errorf("%s: NumBags = %d, want singleton bags (%d)", fam, in.NumBags, len(in.Jobs))
+		}
+		for i, j := range in.Jobs {
+			if j.Bag != i {
+				t.Fatalf("%s: job %d in bag %d, want singleton bags", fam, i, j.Bag)
+			}
+		}
+		// Seed determinism.
+		again := MustGenerate(Spec{Family: fam, Machines: 6, Jobs: 20, Seed: 3})
+		if !reflect.DeepEqual(in, again) {
+			t.Errorf("%s: generation is not deterministic", fam)
+		}
+	}
+}

@@ -41,7 +41,10 @@ const (
 	ManyLarge Family = "manylarge"
 )
 
-// Families lists all generator families in a stable order.
+// Families lists the bag-constrained generator families in a stable
+// order. The related-machines generators (instances with speeds) are
+// listed separately by RelatedFamilies: the bag solver rejects their
+// instances, so the corpus-wide bag tests must not iterate them.
 func Families() []Family {
 	return []Family{Uniform, Bimodal, Geometric, Unit, Adversarial, SmallHeavy, Skewed, ManyLarge}
 }
@@ -99,6 +102,10 @@ func Generate(spec Spec) (*sched.Instance, error) {
 		in = skewed(spec, rng)
 	case ManyLarge:
 		in = manyLarge(spec, rng)
+	case RelatedFew:
+		in = relatedFew(spec, rng)
+	case RelatedSkew:
+		in = relatedSkew(spec, rng)
 	default:
 		return nil, fmt.Errorf("workload: unknown family %q", spec.Family)
 	}
