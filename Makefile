@@ -1,7 +1,7 @@
 GO ?= go
 COVER_FLOOR ?= 70
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-compare fuzz ci cover family-diff serve loadtest
+.PHONY: all build vet test race bench bench-smoke bench-json bench-compare pgo fuzz ci cover family-diff serve loadtest
 
 all: ci
 
@@ -27,6 +27,16 @@ race:
 family-diff:
 	$(GO) test -race -run '^TestFamily' . ./internal/pipeline ./internal/server
 
+# workers-diff is the parallel-oracle differential suite under the race
+# detector: every committed fixture, every oracle backend, every
+# problem family, at oracle worker counts 1/2/4/8, must produce
+# bit-identical makespans, schedules and decision statistics (plus the
+# intra-backend determinism tests of internal/milp and internal/oracle).
+# The full race leg already includes these tests; this named gate lets
+# CI and bisects point a speculation regression at itself.
+workers-diff:
+	$(GO) test -race -run 'TestOracleWorkers|TestCfgDPWorkers|TestBnBWorkers|TestParallel' . ./internal/oracle ./internal/milp
+
 # bench runs every benchmark in the repository, including the internal
 # package benchmarks (pattern, placer, pipeline, milp, numeric).
 bench:
@@ -49,6 +59,21 @@ bench-json:
 # noise on shared runners must not fail the build).
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare -benchtime 3x
+
+# pgo regenerates the committed profile-guided-optimization profile,
+# default.pgo, from a CPU profile of the hot-path benchmark suite (the
+# same families benchjson snapshots). cmd/benchjson builds with the
+# committed profile whenever it is present — go's -pgo=auto only applies
+# default.pgo to main packages, so the tool passes the flag explicitly —
+# which keeps snapshots, bench-compare in CI and production builds
+# measuring the same optimized binary. Rerun after large hot-path
+# refactors; the profile is data, not code, so a stale one degrades
+# gracefully to smaller wins.
+pgo:
+	$(GO) test -run '^$$' -bench 'Benchmark(Ex[A-Z]|Oracle|Family)' \
+		-cpuprofile pgo.cpu.out .
+	mv pgo.cpu.out default.pgo
+	rm -f repro.test bagsched.test
 
 # fuzz runs the native fuzz target for a short burst.
 fuzz:
@@ -78,4 +103,4 @@ loadtest:
 
 # ci is what .github/workflows/ci.yml runs (plus a non-blocking
 # bench-compare step); the coverage matrix leg swaps race for cover.
-ci: vet build race family-diff bench-smoke
+ci: vet build race family-diff workers-diff bench-smoke

@@ -135,7 +135,15 @@ func TestBackendDifferentialCorpus(t *testing.T) {
 			}
 
 			// Paper mode: bnb decides it; the portfolio must agree bit for
-			// bit because cfgdp drops out of the race as unsupported.
+			// bit because cfgdp drops out of the race as unsupported. The
+			// paper-mode MILP grows disproportionately with machine count
+			// (single solves on the m=256 fixture run for seconds where
+			// decomposed mode takes milliseconds), so the large-instance
+			// scaling class pins only the decomposed contract above and
+			// leaves the paper-mode contract to the small corpus.
+			if in.Machines >= 64 {
+				return
+			}
 			bnbPaper := solveDeterministic(t, in, "paper/bnb", WithMode(ModePaper), WithBackend(BackendBnB))
 			pfPaper := solveDeterministic(t, in, "paper/portfolio", WithMode(ModePaper), WithBackend(BackendPortfolio))
 			if pfPaper.Makespan != bnbPaper.Makespan {

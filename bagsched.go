@@ -244,6 +244,22 @@ func WithPriorityCap(bprime int) Option {
 	return func(o *core.Options) { o.BPrimeOverride = bprime }
 }
 
+// WithOracleWorkers sets the number of concurrent lanes a single oracle
+// solve may use (default 1, sequential): helper lanes speculatively
+// solve LP relaxations ahead of the branch-and-bound loop and explore
+// root subtrees ahead of the configuration DP, and the main lane adopts
+// their results only when provably identical to what it would have
+// computed itself. Results — the schedule, the makespan, and every
+// decision statistic — are bit-for-bit identical at any worker count;
+// the knob trades CPU for latency on large single instances. It
+// composes with WithSpeculation (parallelism across guesses) and with
+// batching (parallelism across instances); on a saturated batch
+// workload extra oracle workers mostly add contention, so prefer it for
+// interactive or few-instance workloads.
+func WithOracleWorkers(n int) Option {
+	return func(o *core.Options) { o.OracleWorkers = n }
+}
+
 // WithSpeculation controls speculative parallel guess evaluation in the
 // binary search: 1 forces the strictly sequential search; any larger
 // value (all treated alike) evaluates the current midpoint plus its two

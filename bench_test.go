@@ -9,7 +9,9 @@ package bagsched
 import (
 	"context"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/cfgmilp"
@@ -463,8 +465,14 @@ func TestBenchmarkInstancesFeasible(t *testing.T) {
 // benchOracleModel builds the few-patterns configuration program once,
 // as the pipeline would at the bag-LPT guess.
 func benchOracleModel(b *testing.B) *cfgmilp.Built {
+	return benchOracleModelFrom(b, "testdata/fewpatterns_m12_n32.json")
+}
+
+// benchOracleModelFrom builds the configuration program of a committed
+// fixture at its accepted bag-LPT guess, as the pipeline would.
+func benchOracleModelFrom(b *testing.B, path string) *cfgmilp.Built {
 	b.Helper()
-	f, err := os.Open("testdata/fewpatterns_m12_n32.json")
+	f, err := os.Open(path)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -508,6 +516,84 @@ func benchOracleBackend(b *testing.B, kind oracle.Kind) {
 func BenchmarkOracleBnB(b *testing.B)       { benchOracleBackend(b, oracle.KindBnB) }
 func BenchmarkOracleCfgDP(b *testing.B)     { benchOracleBackend(b, oracle.KindCfgDP) }
 func BenchmarkOraclePortfolio(b *testing.B) { benchOracleBackend(b, oracle.KindPortfolio) }
+
+// --- Parallel oracle: intra-solve worker lanes on the large corpus ---
+//
+// The BenchmarkOracleParallel family is the scaling curve of the
+// speculative worker lanes (internal/milp parallel.go, internal/oracle
+// cfgdp_parallel.go) on the large-instance fixture class. The lane count
+// follows GOMAXPROCS, so
+//
+//	go test -bench BenchmarkOracleParallel -cpu 1,2,4,8
+//
+// sweeps workers 1, 2, 4 and 8 — the -N suffix on each benchmark line is
+// the lane count, and cmd/benchjson records it in the result identity.
+// The -cpu 1 leg runs the exact sequential code path (workers<=1 never
+// touches the speculation machinery), so the curve's first point doubles
+// as the no-regression baseline. Results are bit-identical at every
+// point on the curve (TestOracleWorkersDifferentialCorpus); only the
+// wall clock may move. On a single-core machine the curve is flat to
+// slightly negative — speculative lanes can only trade spare cores for
+// latency.
+
+// benchOracleParallel solves one prebuilt configuration program with as
+// many worker lanes as GOMAXPROCS allows.
+func benchOracleParallel(b *testing.B, path string, kind oracle.Kind) {
+	built := benchOracleModelFrom(b, path)
+	backend := oracle.For(oracle.Selection{Backend: kind})
+	lim := oracle.Limits{
+		MILP:    milp.Options{MaxNodes: 500, StopAtFirst: true, TimeLimit: 10 * time.Minute},
+		Workers: runtime.GOMAXPROCS(0),
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, _, err := backend.Solve(ctx, built, lim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = plan
+	}
+}
+
+// BenchmarkOracleParallelBnBLarge is the headline scaling benchmark: the
+// m=256 bimodal fixture's configuration program has 466 patterns, so
+// every simplex solve in the branch-and-bound is expensive and the
+// speculative sibling-LP lanes have real work to steal.
+func BenchmarkOracleParallelBnBLarge(b *testing.B) {
+	benchOracleParallel(b, "testdata/large_bimodal_m256_n384.json", oracle.KindBnB)
+}
+
+// BenchmarkOracleParallelCfgDPLarge sweeps the same program through the
+// configuration DP's speculative root-subtree lanes.
+func BenchmarkOracleParallelCfgDPLarge(b *testing.B) {
+	benchOracleParallel(b, "testdata/large_bimodal_m256_n384.json", oracle.KindCfgDP)
+}
+
+// BenchmarkOracleParallelSolveLarge is the end-to-end view: a full EPTAS
+// solve of the large bimodal fixture with the per-solve worker knob set
+// from GOMAXPROCS, amortizing the oracle speedup over the sequential
+// pipeline stages around it.
+func BenchmarkOracleParallelSolveLarge(b *testing.B) {
+	f, err := os.Open("testdata/large_bimodal_m256_n384.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := sched.ReadInstance(f)
+	f.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEPTAS(in, 0.5, WithOracleWorkers(workers), WithSpeculation(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- Problem families: one full solve per sibling family ---
 //

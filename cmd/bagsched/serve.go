@@ -34,6 +34,7 @@ func runServe(args []string) error {
 	backendName := fs.String("backend", "bnb", "default oracle backend: bnb, cfgdp or portfolio (requests may override)")
 	eps := fs.Float64("eps", server.DefaultEps, "default accuracy parameter in (0,1) (requests may override)")
 	maxTimeout := fs.Duration("max-timeout", server.DefaultMaxTimeout, "upper clamp on per-request solve timeouts")
+	maxOracleWorkers := fs.Int("max-oracle-workers", 0, "upper clamp on per-request oracle_workers (0 = GOMAXPROCS divided by -workers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,12 +51,13 @@ func runServe(args []string) error {
 
 	cache := bagsched.NewCache(*cacheBytes)
 	srv := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		Cache:      cache,
-		Eps:        *eps,
-		Backend:    backend,
-		MaxTimeout: *maxTimeout,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		Cache:            cache,
+		Eps:              *eps,
+		Backend:          backend,
+		MaxTimeout:       *maxTimeout,
+		MaxOracleWorkers: *maxOracleWorkers,
 	})
 	srv.PublishExpvar()
 

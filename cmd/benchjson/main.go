@@ -10,10 +10,15 @@
 //
 // By default it runs the EPTAS hot-path benchmarks (the EX suite of
 // bench_test.go) once each and writes BENCH_<YYYY-MM-DD>.json in the
-// current directory. With -compare it instead runs the tracked hot-path
-// benchmarks fresh, diffs their ns/op against the latest committed
-// BENCH_*.json snapshot, writes no file, and exits non-zero when any
-// tracked benchmark regressed by more than the threshold (default 25%).
+// current directory. The parallel-oracle scaling family
+// (BenchmarkOracleParallel*) runs in a dedicated pass at -cpu 1,2,4,8,
+// and the GOMAXPROCS value of each line — the worker-lane count — is
+// recorded as part of the result identity. With -compare it instead
+// runs the tracked hot-path benchmarks fresh (the parallel family again
+// across its -cpu sweep, matched point by point), diffs their ns/op
+// against the latest committed BENCH_*.json snapshot, writes no file,
+// and exits non-zero when any tracked benchmark regressed by more than
+// the threshold (default 25%).
 // It shells out to "go test -bench", so it needs the go toolchain — the
 // same requirement as building the repo.
 package main
@@ -42,6 +47,20 @@ import (
 // problem families (BenchmarkFamilyRelated/Identical).
 const defaultBench = "Benchmark(Ex[A-Z]|Oracle|Family)"
 
+// The BenchmarkOracleParallel family scales its worker-lane count with
+// GOMAXPROCS, so its numbers are only meaningful at a pinned -cpu value:
+// snapshots and compares run it in a dedicated pass over parallelCPUs
+// and record the lane count in each result's identity. (It is excluded
+// from the main pass, where GOMAXPROCS is whatever the machine has.)
+const (
+	parallelBench = "BenchmarkOracleParallel"
+	parallelCPUs  = "1,2,4,8"
+)
+
+// pgoProfile is the committed profile-guided-optimization profile at the
+// repository root; see the pgo target in the Makefile.
+const pgoProfile = "default.pgo"
+
 // tracked lists the hot-path benchmarks bench-compare gates on: the
 // pattern-enumeration stage, the end-to-end EPTAS solves that dominate
 // production cost, the speculative search, the three oracle backends on
@@ -61,6 +80,9 @@ var tracked = []string{
 	"BenchmarkOraclePortfolio",
 	"BenchmarkFamilyRelated",
 	"BenchmarkFamilyIdentical",
+	"BenchmarkOracleParallelBnBLarge",
+	"BenchmarkOracleParallelCfgDPLarge",
+	"BenchmarkOracleParallelSolveLarge",
 }
 
 // Snapshot is the file format of one benchmark run.
@@ -72,23 +94,34 @@ type Snapshot struct {
 	NumCPU    int      `json:"num_cpu"`
 	Bench     string   `json:"bench"`
 	BenchTime string   `json:"benchtime"`
+	PGO       bool     `json:"pgo,omitempty"`
 	Results   []Result `json:"results"`
 }
 
 // Result is one benchmark line. The allocation fields are always present
 // (-benchmem is always passed), so a genuine 0 B/op survives in the JSON
-// and trajectory diffs can rely on the columns existing.
+// and trajectory diffs can rely on the columns existing. CPU is the
+// GOMAXPROCS suffix of the line (the -8 in "BenchmarkFoo-8"); it is part
+// of the result's identity — the parallel-oracle benchmarks scale their
+// worker lanes with GOMAXPROCS, so the same name at different -cpu
+// values measures different configurations. 0 means the line carried no
+// suffix (GOMAXPROCS was 1 and -cpu was not passed), which comparisons
+// treat as a wildcard so snapshots predating this field stay usable.
 type Result struct {
 	Name     string  `json:"name"`
+	CPU      int     `json:"cpu,omitempty"`
 	Iters    int     `json:"iters"`
 	NsPerOp  float64 `json:"ns_per_op"`
 	BPerOp   float64 `json:"b_per_op"`
 	AllocsOp float64 `json:"allocs_per_op"`
 }
 
+// key is the identity a result is deduplicated and compared under.
+func (r Result) key() string { return fmt.Sprintf("%s-%d", r.Name, r.CPU) }
+
 // benchLine matches "BenchmarkName-8  10  123456 ns/op  78 B/op  9 allocs/op"
 // (the -8 GOMAXPROCS suffix and the allocation columns are optional).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
@@ -113,15 +146,29 @@ func main() {
 
 // runBench shells out to go test -bench and parses the result lines.
 // With count > 1 the minimum ns/op per benchmark is kept (the most
-// noise-resistant statistic for regression gating).
-func runBench(bench, benchtime string, count int) ([]Result, error) {
-	cmd := exec.Command("go", "test",
+// noise-resistant statistic for regression gating). A non-empty cpus
+// string is passed through as -cpu, making GOMAXPROCS — and with it the
+// parallel oracle's worker-lane count — part of each result's identity.
+func runBench(bench, benchtime string, count int, cpus string) ([]Result, error) {
+	args := []string{"test",
 		"-run", "^$",
 		"-bench", bench,
 		"-benchtime", benchtime,
 		"-count", strconv.Itoa(count),
 		"-benchmem",
-		".")
+	}
+	if cpus != "" {
+		args = append(args, "-cpu", cpus)
+	}
+	// Build with the committed profile when one exists (make pgo
+	// regenerates it), so snapshots and compares measure the binary that
+	// production builds would ship. go's auto mode only applies
+	// default.pgo to main packages, hence the explicit flag.
+	if _, err := os.Stat(pgoProfile); err == nil {
+		args = append(args, "-pgo="+pgoProfile)
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -140,21 +187,24 @@ func runBench(bench, benchtime string, count int) ([]Result, error) {
 		if m == nil {
 			continue
 		}
-		iters, _ := strconv.Atoi(m[2])
-		ns, _ := strconv.ParseFloat(m[3], 64)
+		iters, _ := strconv.Atoi(m[3])
+		ns, _ := strconv.ParseFloat(m[4], 64)
 		r := Result{Name: m[1], Iters: iters, NsPerOp: ns}
-		if m[4] != "" {
-			r.BPerOp, _ = strconv.ParseFloat(m[4], 64)
+		if m[2] != "" {
+			r.CPU, _ = strconv.Atoi(m[2])
 		}
 		if m[5] != "" {
-			r.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
+			r.BPerOp, _ = strconv.ParseFloat(m[5], 64)
 		}
-		prev, seen := best[r.Name]
+		if m[6] != "" {
+			r.AllocsOp, _ = strconv.ParseFloat(m[6], 64)
+		}
+		prev, seen := best[r.key()]
 		if !seen {
-			order = append(order, r.Name)
-			best[r.Name] = r
+			order = append(order, r.key())
+			best[r.key()] = r
 		} else if r.NsPerOp < prev.NsPerOp {
-			best[r.Name] = r
+			best[r.key()] = r
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -164,8 +214,8 @@ func runBench(bench, benchtime string, count int) ([]Result, error) {
 		return nil, fmt.Errorf("go test -bench: %w", err)
 	}
 	results := make([]Result, 0, len(order))
-	for _, name := range order {
-		results = append(results, best[name])
+	for _, k := range order {
+		results = append(results, best[k])
 	}
 	return results, nil
 }
@@ -175,13 +225,28 @@ func run(bench, benchtime string, count int, out string) error {
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s.json", date)
 	}
-	results, err := runBench(bench, benchtime, count)
+	results, err := runBench(bench, benchtime, count, "")
 	if err != nil {
 		return err
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark results matched %q", bench)
 	}
+	// The parallel-oracle family only means something at a pinned lane
+	// count: drop whatever the main pass measured at ambient GOMAXPROCS
+	// and re-run it across the tracked -cpu sweep.
+	kept := results[:0]
+	for _, r := range results {
+		if !strings.HasPrefix(r.Name, parallelBench) {
+			kept = append(kept, r)
+		}
+	}
+	results = kept
+	par, err := runBench("^"+parallelBench, benchtime, count, parallelCPUs)
+	if err != nil {
+		return err
+	}
+	results = append(results, par...)
 	snap := Snapshot{
 		Date:      date,
 		GoVersion: runtime.Version(),
@@ -191,6 +256,9 @@ func run(bench, benchtime string, count int, out string) error {
 		Bench:     bench,
 		BenchTime: benchtime,
 		Results:   results,
+	}
+	if _, err := os.Stat(pgoProfile); err == nil {
+		snap.PGO = true
 	}
 
 	f, err := os.Create(out)
@@ -233,47 +301,100 @@ func latestSnapshot() (string, *Snapshot, error) {
 	return path, &snap, nil
 }
 
+// lookup resolves a benchmark identity in a result set: the exact
+// (name, cpu) pair first, then the cpu-less form (snapshots written
+// before CPU joined the identity, or lines from a 1-core run), then —
+// for results that are the only entry under their name — any cpu, so
+// non-parallel benchmarks stay comparable across machines with
+// different core counts.
+func lookup(set map[string]Result, byName map[string][]Result, name string, cpu int) (Result, bool) {
+	if r, ok := set[Result{Name: name, CPU: cpu}.key()]; ok {
+		return r, true
+	}
+	if r, ok := set[Result{Name: name}.key()]; ok {
+		return r, true
+	}
+	if rs := byName[name]; len(rs) == 1 {
+		return rs[0], true
+	}
+	return Result{}, false
+}
+
+func index(results []Result) (map[string]Result, map[string][]Result) {
+	set := make(map[string]Result, len(results))
+	byName := make(map[string][]Result)
+	for _, r := range results {
+		set[r.key()] = r
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	return set, byName
+}
+
 // runCompare diffs a fresh run of the tracked benchmarks against the
 // latest committed snapshot and fails on a >threshold ns/op regression.
+// The parallel-oracle family is compared point by point along its -cpu
+// sweep; everything else at whatever GOMAXPROCS both runs used.
 func runCompare(benchtime string, count int, threshold float64) error {
 	path, base, err := latestSnapshot()
 	if err != nil {
 		return err
 	}
-	baseline := make(map[string]Result, len(base.Results))
-	for _, r := range base.Results {
-		baseline[r.Name] = r
+	baseSet, baseByName := index(base.Results)
+
+	var serial, parallel []string
+	for _, name := range tracked {
+		if strings.HasPrefix(name, parallelBench) {
+			parallel = append(parallel, name)
+		} else {
+			serial = append(serial, name)
+		}
 	}
-	pattern := "^(" + strings.Join(tracked, "|") + ")$"
-	fresh, err := runBench(pattern, benchtime, count)
+	fresh, err := runBench("^("+strings.Join(serial, "|")+")$", benchtime, count, "")
 	if err != nil {
 		return err
 	}
-	current := make(map[string]Result, len(fresh))
-	for _, r := range fresh {
-		current[r.Name] = r
+	if len(parallel) > 0 {
+		par, err := runBench("^("+strings.Join(parallel, "|")+")$", benchtime, count, parallelCPUs)
+		if err != nil {
+			return err
+		}
+		fresh = append(fresh, par...)
 	}
+	curSet, curByName := index(fresh)
 
 	fmt.Printf("\nbench-compare against %s (threshold %.0f%%):\n", path, (threshold-1)*100)
 	var regressions []string
-	for _, name := range tracked {
-		old, okOld := baseline[name]
-		now, okNow := current[name]
+	compareOne := func(name string, cpu int) {
+		label := name
+		if cpu > 0 {
+			label = fmt.Sprintf("%s-%d", name, cpu)
+		}
+		old, okOld := lookup(baseSet, baseByName, name, cpu)
+		now, okNow := lookup(curSet, curByName, name, cpu)
 		switch {
 		case !okNow:
 			// A tracked benchmark that no longer runs is itself a
 			// regression — this is how the gate notices rotted benchmarks.
-			regressions = append(regressions, fmt.Sprintf("%s: missing from fresh run", name))
+			regressions = append(regressions, fmt.Sprintf("%s: missing from fresh run", label))
 		case !okOld:
-			fmt.Printf("  %-36s %12.0f ns/op (new, no baseline)\n", name, now.NsPerOp)
+			fmt.Printf("  %-36s %12.0f ns/op (new, no baseline)\n", label, now.NsPerOp)
 		default:
 			ratio := now.NsPerOp / old.NsPerOp
 			verdict := "ok"
 			if ratio > threshold {
 				verdict = "REGRESSION"
-				regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx)", name, old.NsPerOp, now.NsPerOp, ratio))
+				regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx)", label, old.NsPerOp, now.NsPerOp, ratio))
 			}
-			fmt.Printf("  %-36s %12.0f -> %10.0f ns/op  %5.2fx  %s\n", name, old.NsPerOp, now.NsPerOp, ratio, verdict)
+			fmt.Printf("  %-36s %12.0f -> %10.0f ns/op  %5.2fx  %s\n", label, old.NsPerOp, now.NsPerOp, ratio, verdict)
+		}
+	}
+	for _, name := range serial {
+		compareOne(name, 0)
+	}
+	for _, name := range parallel {
+		for _, cpu := range strings.Split(parallelCPUs, ",") {
+			c, _ := strconv.Atoi(cpu)
+			compareOne(name, c)
 		}
 	}
 	if len(regressions) > 0 {

@@ -99,6 +99,26 @@ func TestFixtureShapes(t *testing.T) {
 		// solved as FamilyRelated by the corpus test.
 		"related_few_m6_n20.json":  {6, 20, 20},
 		"related_skew_m8_n28.json": {8, 28, 28},
+		// Large-instance scaling class (hundreds of machines, 200-400
+		// jobs): the working set the parallel-oracle benchmarks scale
+		// over, committed so every corpus-glob test exercises oracle
+		// solves at production-like instance sizes. Regenerate with:
+		//
+		//	go run ./cmd/benchgen -family bimodal -machines 256 -jobs 384 \
+		//	    -bags 32 -seed 7 -out testdata/large_bimodal_m256_n384.json
+		//	go run ./cmd/benchgen -family geometric -machines 200 -jobs 320 \
+		//	    -bags 24 -seed 9 -out testdata/large_geometric_m200_n320.json
+		//	go run ./cmd/benchgen -family adversarial -machines 100 -jobs 300 \
+		//	    -bags 24 -seed 13 -out testdata/large_adversarial_m100_n300.json
+		//	go run ./cmd/benchgen -family relatedfew -machines 192 -jobs 288 \
+		//	    -seed 17 -out testdata/large_related_m192_n288.json
+		//
+		// (adversarial derives its own job and bag counts from the machine
+		// count; m=100 lands at n=300, b=52.)
+		"large_bimodal_m256_n384.json":     {256, 384, 32},
+		"large_geometric_m200_n320.json":   {200, 320, 24},
+		"large_adversarial_m100_n300.json": {100, 300, 52},
+		"large_related_m192_n288.json":     {192, 288, 288},
 	}
 	for name, want := range shapes {
 		in := readFixture(t, filepath.Join("testdata", name))

@@ -74,6 +74,15 @@ type Options struct {
 	// DisableRounding turns off the largest-remainder rounding heuristic
 	// (used by the EX-A2 ablation to quantify its effect).
 	DisableRounding bool
+	// Workers sets the number of concurrent LP-evaluation lanes,
+	// including the main search loop; values <= 1 run the plain
+	// sequential search. Extra lanes speculatively solve the LP
+	// relaxations of open frontier nodes while the main loop keeps the
+	// exact sequential pop/prune/branch order and replays each adopted
+	// relaxation's per-pivot Progress sequence, so the returned
+	// Solution — status, X, Nodes, Pivots, Bound, and every Progress
+	// tick — is bit-identical for any worker count. See parallel.go.
+	Workers int
 	// Progress, when non-nil, is invoked once per expanded node and once
 	// per simplex pivot inside each node's LP solve, with the cumulative
 	// node and pivot counts so far. A non-nil return aborts the search
@@ -100,6 +109,14 @@ type Solution struct {
 	Pivots int
 	// Bound is the best proven lower bound on the objective.
 	Bound float64
+	// Steals is the number of LP relaxations claimed by speculative
+	// helper lanes, and SpecUsed the subset the main loop adopted.
+	// Both are zero for sequential solves, and — unlike every field
+	// above — depend on scheduling, so they are utilization telemetry
+	// only and must never feed result-affecting decisions.
+	Steals int
+	// SpecUsed counts adopted speculative LP results; see Steals.
+	SpecUsed int
 }
 
 // bound is one branching decision: var <= val or var >= val.
@@ -234,6 +251,21 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 	q := &nodeQueue{}
 	q.push(&node{lpObj: math.Inf(-1)})
 
+	// Workers > 1 spawns speculative LP helpers; attach stamps their
+	// utilization counters onto solutions the caller will see. The
+	// sequential path (spec == nil) is untouched.
+	var spec *speculator
+	if opt.Workers > 1 {
+		spec = newSpeculator(m.Prob, opt.Workers-1, opt.LPMaxIters)
+		defer spec.stop()
+	}
+	attach := func(s Solution) Solution {
+		if spec != nil {
+			s.Steals, s.SpecUsed = spec.counts()
+		}
+		return s
+	}
+
 	rootBound := math.Inf(-1)
 	for q.len() > 0 {
 		if nodes >= opt.MaxNodes {
@@ -257,20 +289,44 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 			}
 		}
 
-		prob := m.Prob.Clone()
-		for _, bc := range nd.bounds {
-			if bc.upper {
-				prob.AddConstraint([]lp.Term{{Var: bc.v, Coef: 1}}, lp.LE, bc.val)
-			} else {
-				prob.AddConstraint([]lp.Term{{Var: bc.v, Coef: 1}}, lp.GE, bc.val)
+		var t *specTask
+		if spec != nil {
+			t = spec.take(nd.bounds)
+		}
+		var res lp.Result
+		var err error
+		if t != nil {
+			// A helper solved this node's relaxation. Adopt it and
+			// replay the per-pivot Progress sequence the inline solve
+			// would have produced: the simplex is deterministic and its
+			// hook observational, so (res, err) and the tick stream are
+			// exactly what the sequential path computes.
+			<-t.done
+			res, err = t.res, t.err
+			if opt.Progress != nil {
+				base := pivots
+				for i := 1; i <= res.Iters; i++ {
+					if perr := opt.Progress(nodes, base+i); perr != nil {
+						return Solution{}, perr
+					}
+				}
 			}
+		} else {
+			prob := m.Prob.Clone()
+			for _, bc := range nd.bounds {
+				if bc.upper {
+					prob.AddConstraint([]lp.Term{{Var: bc.v, Coef: 1}}, lp.LE, bc.val)
+				} else {
+					prob.AddConstraint([]lp.Term{{Var: bc.v, Coef: 1}}, lp.GE, bc.val)
+				}
+			}
+			lpOpt := lp.Options{MaxIters: opt.LPMaxIters}
+			if opt.Progress != nil {
+				base := pivots
+				lpOpt.Progress = func(iters int) error { return opt.Progress(nodes, base+iters) }
+			}
+			res, err = prob.Solve(lpOpt)
 		}
-		lpOpt := lp.Options{MaxIters: opt.LPMaxIters}
-		if opt.Progress != nil {
-			base := pivots
-			lpOpt.Progress = func(iters int) error { return opt.Progress(nodes, base+iters) }
-		}
-		res, err := prob.Solve(lpOpt)
 		pivots += res.Iters
 		if err != nil {
 			return Solution{}, err
@@ -306,7 +362,7 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 				incumbentObj = obj
 				haveInc = true
 				if opt.StopAtFirst {
-					return Solution{Status: StatusFeasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Pivots: pivots, Bound: rootBound}, nil
+					return attach(Solution{Status: StatusFeasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Pivots: pivots, Bound: rootBound}), nil
 				}
 			}
 		}
@@ -329,7 +385,7 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 				incumbentObj = res.Obj
 				haveInc = true
 				if opt.StopAtFirst {
-					return Solution{Status: StatusFeasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Pivots: pivots, Bound: rootBound}, nil
+					return attach(Solution{Status: StatusFeasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Pivots: pivots, Bound: rootBound}), nil
 				}
 			}
 			q.recycle(nd)
@@ -340,6 +396,9 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 		q.push(q.newNode(nd.bounds, boundChange{v: branchVar, upper: true, val: math.Floor(xv)}, res.Obj, nd.depth+1))
 		q.push(q.newNode(nd.bounds, boundChange{v: branchVar, upper: false, val: math.Ceil(xv)}, res.Obj, nd.depth+1))
 		q.recycle(nd)
+		if spec != nil {
+			spec.refresh(q)
+		}
 	}
 
 	if q.len() == 0 {
@@ -353,12 +412,12 @@ func Solve(ctx context.Context, m *Model, opt Options) (Solution, error) {
 		if q.len() == 0 || bestBound >= incumbentObj-1e-9 {
 			status = StatusOptimal
 		}
-		return Solution{Status: status, X: incumbent, Obj: incumbentObj, Nodes: nodes, Pivots: pivots, Bound: bestBound}, nil
+		return attach(Solution{Status: status, X: incumbent, Obj: incumbentObj, Nodes: nodes, Pivots: pivots, Bound: bestBound}), nil
 	}
 	if q.len() == 0 {
-		return Solution{Status: StatusInfeasible, Nodes: nodes, Pivots: pivots}, nil
+		return attach(Solution{Status: StatusInfeasible, Nodes: nodes, Pivots: pivots}), nil
 	}
-	return Solution{Status: StatusLimit, Nodes: nodes, Pivots: pivots, Bound: bestBound}, nil
+	return attach(Solution{Status: StatusLimit, Nodes: nodes, Pivots: pivots, Bound: bestBound}), nil
 }
 
 // roundHeuristic rounds the integer components of x while preserving

@@ -1,0 +1,142 @@
+package milp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// genFeasModel builds a random pure-feasibility model with the oracle's
+// shape: zero objective, an aggregate equality row, and covering rows
+// that force real branching.
+func genFeasModel(rng *rand.Rand, vars, rows int) *Model {
+	p := lp.NewProblem()
+	for v := 0; v < vars; v++ {
+		p.AddVar(0)
+	}
+	total := 2 + rng.Intn(6)
+	terms := make([]lp.Term, 0, vars)
+	for v := 0; v < vars; v++ {
+		terms = append(terms, lp.Term{Var: v, Coef: 1})
+	}
+	p.AddConstraint(terms, lp.EQ, float64(total))
+	for r := 0; r < rows; r++ {
+		rowTerms := make([]lp.Term, 0, vars)
+		for v := 0; v < vars; v++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			rowTerms = append(rowTerms, lp.Term{Var: v, Coef: float64(1 + rng.Intn(4))})
+		}
+		if len(rowTerms) == 0 {
+			continue
+		}
+		rhs := float64(rng.Intn(3*total)) / 2
+		if rng.Intn(2) == 0 {
+			p.AddConstraint(rowTerms, lp.GE, rhs)
+		} else {
+			p.AddConstraint(rowTerms, lp.LE, rhs)
+		}
+	}
+	integer := make([]int, vars)
+	for v := range integer {
+		integer[v] = v
+	}
+	return &Model{Prob: p, Integer: integer}
+}
+
+// stripUtilization zeroes the scheduling-dependent telemetry fields so
+// the remaining Solution can be compared bit-for-bit.
+func stripUtilization(s Solution) Solution {
+	s.Steals = 0
+	s.SpecUsed = 0
+	return s
+}
+
+// TestParallelBitIdentical checks that the speculative parallel search
+// returns the exact sequential Solution — including node and pivot
+// counts and the full Progress tick trace — for every worker count.
+func TestParallelBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := genFeasModel(rng, 4+rng.Intn(5), 3+rng.Intn(5))
+		for _, stopAtFirst := range []bool{true, false} {
+			var wantTrace [][2]int
+			opt := Options{StopAtFirst: stopAtFirst, Progress: func(nodes, pivots int) error {
+				wantTrace = append(wantTrace, [2]int{nodes, pivots})
+				return nil
+			}}
+			want, wantErr := Solve(ctx, m, opt)
+			for _, workers := range []int{2, 4, 8} {
+				var gotTrace [][2]int
+				opt := Options{StopAtFirst: stopAtFirst, Workers: workers, Progress: func(nodes, pivots int) error {
+					gotTrace = append(gotTrace, [2]int{nodes, pivots})
+					return nil
+				}}
+				got, gotErr := Solve(ctx, m, opt)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("seed %d stopAtFirst=%v workers=%d: err %v vs %v", seed, stopAtFirst, workers, gotErr, wantErr)
+				}
+				if !reflect.DeepEqual(stripUtilization(got), stripUtilization(want)) {
+					t.Fatalf("seed %d stopAtFirst=%v workers=%d:\n got %+v\nwant %+v", seed, stopAtFirst, workers, got, want)
+				}
+				if !reflect.DeepEqual(gotTrace, wantTrace) {
+					t.Fatalf("seed %d stopAtFirst=%v workers=%d: progress trace diverged (%d vs %d ticks)", seed, stopAtFirst, workers, len(gotTrace), len(wantTrace))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelProgressAbortIdentical checks that a Progress hook abort
+// fires at the identical tick for every worker count: the speculative
+// path must replay per-pivot ticks, not batch them.
+func TestParallelProgressAbortIdentical(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	m := genFeasModel(rng, 6, 5)
+
+	// Total ticks of an unrestricted sequential solve, to pick abort
+	// points that land mid-LP.
+	total := 0
+	if _, err := Solve(ctx, m, Options{Progress: func(nodes, pivots int) error {
+		total++
+		return nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if total < 4 {
+		t.Skipf("model too easy: %d ticks", total)
+	}
+	for _, cut := range []int{1, total / 3, total / 2, total - 1} {
+		abortErr := fmt.Errorf("abort at %d", cut)
+		run := func(workers int) ([2]int, error) {
+			var last [2]int
+			n := 0
+			_, err := Solve(ctx, m, Options{Workers: workers, Progress: func(nodes, pivots int) error {
+				n++
+				last = [2]int{nodes, pivots}
+				if n >= cut {
+					return abortErr
+				}
+				return nil
+			}})
+			return last, err
+		}
+		wantLast, wantErr := run(1)
+		if wantErr != abortErr {
+			t.Fatalf("cut %d: sequential err = %v", cut, wantErr)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			gotLast, gotErr := run(workers)
+			if gotErr != abortErr || gotLast != wantLast {
+				t.Fatalf("cut %d workers %d: last tick %v err %v, want %v %v", cut, workers, gotLast, gotErr, wantLast, wantErr)
+			}
+		}
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cfgmilp"
 	"repro/internal/numeric"
 	"repro/internal/pattern"
+	"repro/internal/scratch"
 )
 
 // CfgDP is the exact configuration dynamic program: it decides the
@@ -85,9 +87,16 @@ func (bk CfgDP) Solve(ctx context.Context, b *cfgmilp.Built, lim Limits) (*cfgmi
 	if len(sp.Patterns) == 0 || sp.Patterns[0].NumJobs != 0 {
 		return nil, st, fmt.Errorf("%w (pattern space lacks the empty pattern)", ErrUnsupported)
 	}
-	d := newDPSolver(b, lim.maxStates(), bk.tick)
-	found, err := d.dfs(ctx, 0, d.m, d.slotRes, d.avoidRes, d.area)
+	d := newDPSolver(b, lim.maxStates(), bk.tick, lim.Arena)
+	workers := lim.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	found, err := d.dfsRoot(ctx, workers)
 	st.States = d.states
+	st.Workers = workers
+	st.Steals = d.steals
+	st.SpecUsed = d.specUsed
 	if err != nil {
 		return nil, st, err
 	}
@@ -154,9 +163,24 @@ type dpSolver struct {
 
 	infeasible map[string]struct{}
 	keyBuf     []byte
+
+	// Parallel-mode fields, nil/zero for sequential solves. memoMu
+	// guards worker reads of infeasible against main-loop inserts;
+	// writeLog records the hash of every inserted key so speculative
+	// subtree results can be validated (see cfgdp_parallel.go); steals
+	// and specUsed are utilization telemetry.
+	memoMu   *sync.RWMutex
+	writeLog []uint64
+	steals   int64
+	specUsed int64
 }
 
-func newDPSolver(b *cfgmilp.Built, maxStates int64, tick tickFunc) *dpSolver {
+// newDPSolver builds the solver's demand tables and scratch buffers.
+// When arena is non-nil every buffer that dies with the solve comes from
+// it; xs stays heap-allocated because a successful Plan retains it, and
+// the infeasibility memo stays a plain map for the same reason the
+// memoMinStates gate exists (easy solves never touch it).
+func newDPSolver(b *cfgmilp.Built, maxStates int64, tick tickFunc, arena *scratch.Arena) *dpSolver {
 	sp := b.Space
 	info := b.View.Info
 	dem := &b.Demand
@@ -169,12 +193,12 @@ func newDPSolver(b *cfgmilp.Built, maxStates int64, tick tickFunc) *dpSolver {
 		m:           dem.Machines,
 		capFx:       info.TCapFx,
 		nSlot:       nSlot,
-		slotDemand:  make([]int, nSlot),
+		slotDemand:  arena.Ints(nSlot),
 		nAvoid:      nAvoid,
-		avoidDemand: make([]int, nAvoid),
-		contrib:     make([]int16, nPat*nSlot),
-		avoids:      make([]bool, nPat*nAvoid),
-		headroom:    make([]numeric.Fx, nPat),
+		avoidDemand: arena.Ints(nAvoid),
+		contrib:     arena.Int16s(nPat * nSlot),
+		avoids:      arena.Bools(nPat * nAvoid),
+		headroom:    arena.Fxs(nPat),
 		area:        dem.SmallAreaFx,
 		maxStates:   maxStates,
 		tick:        tick,
@@ -210,9 +234,9 @@ func newDPSolver(b *cfgmilp.Built, maxStates int64, tick tickFunc) *dpSolver {
 	// Exploration order: slot-richest patterns first, ties by
 	// enumeration index — deterministic, and part of the backend's
 	// contract (it decides which feasible plan is "first").
-	d.order = make([]int, 0, nPat-1)
+	d.order = arena.Ints(nPat - 1)
 	for p := 1; p < nPat; p++ {
-		d.order = append(d.order, p)
+		d.order[p-1] = p
 	}
 	sort.SliceStable(d.order, func(a, b int) bool {
 		na, nb := sp.Patterns[d.order[a]].NumJobs, sp.Patterns[d.order[b]].NumJobs
@@ -224,8 +248,8 @@ func newDPSolver(b *cfgmilp.Built, maxStates int64, tick tickFunc) *dpSolver {
 	// Suffix maxima over order positions >= i, for the supply-bound
 	// prunings.
 	depth := len(d.order)
-	d.sufMax = make([]int16, (depth+1)*nSlot)
-	d.sufJobs = make([]int, depth+1)
+	d.sufMax = arena.Int16s((depth + 1) * nSlot)
+	d.sufJobs = arena.Ints(depth + 1)
 	for i := depth - 1; i >= 0; i-- {
 		row := d.sufMax[i*nSlot : (i+1)*nSlot]
 		copy(row, d.sufMax[(i+1)*nSlot:(i+2)*nSlot])
@@ -237,10 +261,12 @@ func newDPSolver(b *cfgmilp.Built, maxStates int64, tick tickFunc) *dpSolver {
 		d.sufJobs[i] = sp.Patterns[d.order[i]].NumJobs // sorted: suffix max
 	}
 	// Per-depth scratch residuals.
-	d.slotBuf = make([]int, (depth+1)*nSlot)
-	d.avoidBuf = make([]int, (depth+1)*nAvoid)
-	d.slotRes = append([]int(nil), d.slotDemand...)
-	d.avoidRes = append([]int(nil), d.avoidDemand...)
+	d.slotBuf = arena.Ints((depth + 1) * nSlot)
+	d.avoidBuf = arena.Ints((depth + 1) * nAvoid)
+	d.slotRes = arena.Ints(nSlot)
+	copy(d.slotRes, d.slotDemand)
+	d.avoidRes = arena.Ints(nAvoid)
+	copy(d.avoidRes, d.avoidDemand)
 	return d
 }
 
@@ -251,7 +277,7 @@ func newDPSolver(b *cfgmilp.Built, maxStates int64, tick tickFunc) *dpSolver {
 func (d *dpSolver) dfs(ctx context.Context, i, left int, slots, avoid []int, area numeric.Fx) (bool, error) {
 	d.states++
 	if d.states > d.maxStates {
-		return false, fmt.Errorf("%w (configuration DP exceeded %d states)", ErrLimit, d.maxStates)
+		return false, errDPLimit(d.maxStates)
 	}
 	if d.states%dpTickInterval == 0 {
 		if err := ctx.Err(); err != nil {
@@ -369,21 +395,49 @@ func (d *dpSolver) dfs(ctx context.Context, i, left int, slots, avoid []int, are
 	// is re-serialized here: the recursion above reused the shared key
 	// buffer, and (i, left, slots, avoid, area) are unchanged by the loop.
 	if d.states > memoMinStates {
-		d.infeasible[string(d.stateKey(i, left, slots, avoid, area))] = struct{}{}
+		d.memoInsert(string(d.stateKey(i, left, slots, avoid, area)))
 	}
 	return false, nil
+}
+
+// memoInsert records a proven-infeasible state. In parallel mode the
+// insert happens under the memo lock and is logged so in-flight
+// speculative subtrees that visited the state can be invalidated;
+// sequential solves take the direct path.
+func (d *dpSolver) memoInsert(key string) {
+	if d.memoMu == nil {
+		d.infeasible[key] = struct{}{}
+		return
+	}
+	d.memoMu.Lock()
+	d.infeasible[key] = struct{}{}
+	d.writeLog = append(d.writeLog, dpKeyHash(key))
+	d.memoMu.Unlock()
 }
 
 // memoMinStates is the state count below which infeasible states are not
 // memoized; see dfs.
 const memoMinStates = 256
 
+// errDPLimit is the DP's budget-exhaustion error; the parallel adoption
+// replay must surface the byte-identical error the recursion produces.
+func errDPLimit(maxStates int64) error {
+	return fmt.Errorf("%w (configuration DP exceeded %d states)", ErrLimit, maxStates)
+}
+
 // stateKey serializes a residual state for the infeasibility memo into
 // the solver's reusable buffer. The clamped residual vector (plus
 // pattern index and machines left) fully determines the subproblem, so
 // equal keys mean equal outcomes.
 func (d *dpSolver) stateKey(i, left int, slots, avoid []int, area numeric.Fx) []byte {
-	buf := d.keyBuf[:0]
+	d.keyBuf = appendStateKey(d.keyBuf[:0], i, left, slots, avoid, area)
+	return d.keyBuf
+}
+
+// appendStateKey is the shared state-key encoding; speculative workers
+// use it with their own buffers and must match the main loop byte for
+// byte.
+func appendStateKey(buf []byte, i, left int, slots, avoid []int, area numeric.Fx) []byte {
 	buf = binary.AppendUvarint(buf, uint64(i))
 	buf = binary.AppendUvarint(buf, uint64(left))
 	for _, r := range slots {
@@ -393,7 +447,6 @@ func (d *dpSolver) stateKey(i, left int, slots, avoid []int, area numeric.Fx) []
 		buf = binary.AppendUvarint(buf, uint64(r))
 	}
 	buf = binary.AppendUvarint(buf, uint64(area))
-	d.keyBuf = buf
 	return buf
 }
 

@@ -1,0 +1,138 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cfgmilp"
+	"repro/internal/workload"
+)
+
+// stripUtilization zeroes the load-dependent telemetry so the remaining
+// Stats can be compared bit-for-bit across worker counts.
+func stripUtilization(st Stats) Stats {
+	st.Workers = 0
+	st.Steals = 0
+	st.SpecUsed = 0
+	st.LoserNodes = 0
+	st.LoserStates = 0
+	st.LoserTime = 0
+	return st
+}
+
+// TestOracleWorkersBitIdentical solves assorted models with every
+// backend at workers 1, 2, 4 and 8 and requires the identical plan,
+// stats (minus utilization telemetry) and error surface.
+func TestOracleWorkersBitIdentical(t *testing.T) {
+	specs := []workload.Spec{
+		{Family: workload.Bimodal, Machines: 5, Jobs: 20, Bags: 8, Seed: 37},
+		{Family: workload.Adversarial, Machines: 8, Jobs: 40, Bags: 10, Seed: 3},
+		{Family: workload.Geometric, Machines: 6, Jobs: 28, Bags: 6, Seed: 11},
+		{Family: workload.SmallHeavy, Machines: 7, Jobs: 30, Bags: 7, Seed: 5},
+	}
+	backends := []Backend{BnB{}, CfgDP{}, For(Selection{Backend: KindPortfolio})}
+	for _, spec := range specs {
+		built := buildModel(t, cfgmilp.ModeDecomposed, spec)
+		for _, bk := range backends {
+			base := Limits{MILP: defaultMILP()}
+			wantPlan, wantStats, wantErr := bk.Solve(context.Background(), built, base)
+			for _, workers := range []int{2, 4, 8} {
+				lim := base
+				lim.Workers = workers
+				plan, st, err := bk.Solve(context.Background(), built, lim)
+				if (err == nil) != (wantErr == nil) || (err != nil && err.Error() != wantErr.Error()) {
+					t.Fatalf("%s/%s workers=%d: err %v, want %v", spec.Family, bk.Name(), workers, err, wantErr)
+				}
+				if (plan == nil) != (wantPlan == nil) {
+					t.Fatalf("%s/%s workers=%d: plan presence differs", spec.Family, bk.Name(), workers)
+				}
+				if plan != nil && !reflect.DeepEqual(plan.XCount, wantPlan.XCount) {
+					t.Fatalf("%s/%s workers=%d: plan differs\n got %v\nwant %v", spec.Family, bk.Name(), workers, plan.XCount, wantPlan.XCount)
+				}
+				if got, want := stripUtilization(st), stripUtilization(wantStats); got != want {
+					t.Fatalf("%s/%s workers=%d: stats differ\n got %+v\nwant %+v", spec.Family, bk.Name(), workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCfgDPWorkersInfeasibleAndLimit checks the parallel DP on the two
+// non-plan outcomes: a proof of infeasibility must report the identical
+// exhausted state count, and a state-budget limit must surface the
+// identical error at the identical count.
+func TestCfgDPWorkersInfeasibleAndLimit(t *testing.T) {
+	built := buildModel(t, cfgmilp.ModeDecomposed, workload.Spec{
+		Family: workload.Adversarial, Machines: 8, Jobs: 40, Bags: 10, Seed: 3,
+	})
+	for _, maxStates := range []int64{0, 4096, 512, 64, 1} {
+		base := Limits{MaxStates: maxStates}
+		_, wantStats, wantErr := CfgDP{}.Solve(context.Background(), built, base)
+		for _, workers := range []int{2, 4, 8} {
+			lim := base
+			lim.Workers = workers
+			_, st, err := CfgDP{}.Solve(context.Background(), built, lim)
+			if (err == nil) != (wantErr == nil) || (err != nil && err.Error() != wantErr.Error()) {
+				t.Fatalf("maxStates=%d workers=%d: err %v, want %v", maxStates, workers, err, wantErr)
+			}
+			if st.States != wantStats.States {
+				t.Fatalf("maxStates=%d workers=%d: %d states, want %d", maxStates, workers, st.States, wantStats.States)
+			}
+		}
+	}
+}
+
+// TestCfgDPWorkersRepeatedDeterministic re-runs the same parallel solve
+// many times: scheduling noise must never leak into the result.
+func TestCfgDPWorkersRepeatedDeterministic(t *testing.T) {
+	built := buildModel(t, cfgmilp.ModeDecomposed, testSpec())
+	lim := Limits{Workers: 4}
+	wantPlan, wantStats, err := CfgDP{}.Solve(context.Background(), built, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		plan, st, err := CfgDP{}.Solve(context.Background(), built, lim)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(plan.XCount, wantPlan.XCount) {
+			t.Fatalf("run %d: plan differs", i)
+		}
+		if st.States != wantStats.States {
+			t.Fatalf("run %d: %d states, want %d", i, st.States, wantStats.States)
+		}
+	}
+}
+
+// TestBnBWorkersErrorPathStats checks that a raced, aborted parallel
+// bnb solve reports the same progress-hook counts as sequential (the
+// error path feeds the ladder's stats).
+func TestBnBWorkersErrorPathStats(t *testing.T) {
+	built := buildModel(t, cfgmilp.ModeDecomposed, testSpec())
+	abort := errors.New("raced out")
+	run := func(workers int) (Stats, error) {
+		bk := BnB{tick: func(logical int64) error {
+			if logical > 3*bnbNodeCost {
+				return abort
+			}
+			return nil
+		}}
+		lim := Limits{MILP: defaultMILP(), Workers: workers}
+		_, st, err := bk.Solve(context.Background(), built, lim)
+		return st, err
+	}
+	wantStats, wantErr := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		st, err := run(workers)
+		if !errors.Is(err, wantErr) && err != wantErr {
+			t.Fatalf("workers=%d: err %v, want %v", workers, err, wantErr)
+		}
+		if st.Nodes != wantStats.Nodes || st.Pivots != wantStats.Pivots {
+			t.Fatalf("workers=%d: aborted at (%d nodes, %d pivots), want (%d, %d)",
+				workers, st.Nodes, st.Pivots, wantStats.Nodes, wantStats.Pivots)
+		}
+	}
+}

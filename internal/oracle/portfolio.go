@@ -149,6 +149,12 @@ func (p Portfolio) raceParallel(ctx context.Context, b *cfgmilp.Built, lim Limit
 	var wg sync.WaitGroup
 	for i, bk := range p.Backends {
 		i, bk := i, bk
+		blim := lim
+		if i > 0 {
+			// The scratch arena is single-goroutine; only the first
+			// raced backend may use it.
+			blim.Arena = nil
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -159,7 +165,7 @@ func (p Portfolio) raceParallel(ctx context.Context, b *cfgmilp.Built, lim Limit
 				return nil
 			}
 			start := time.Now()
-			plan, st, err := withTick(bk, tick).Solve(ctx, b, lim)
+			plan, st, err := withTick(bk, tick).Solve(ctx, b, blim)
 			o := raceOutcome{plan: plan, stats: st, err: err, elapsed: time.Since(start)}
 			o.finish()
 			if o.definitive {
@@ -180,6 +186,12 @@ func (p Portfolio) raceSequential(ctx context.Context, b *cfgmilp.Built, lim Lim
 	deadline := int64(math.MaxInt64)
 	outs := make([]raceOutcome, len(p.Backends))
 	for i, bk := range p.Backends {
+		blim := lim
+		if i > 0 {
+			// Mirror raceParallel: one arena user per race, so the
+			// allocation profile does not depend on the race strategy.
+			blim.Arena = nil
+		}
 		tick := func(logical int64) error {
 			if logical > deadline {
 				return errOutraced
@@ -187,7 +199,7 @@ func (p Portfolio) raceSequential(ctx context.Context, b *cfgmilp.Built, lim Lim
 			return nil
 		}
 		start := time.Now()
-		plan, st, err := withTick(bk, tick).Solve(ctx, b, lim)
+		plan, st, err := withTick(bk, tick).Solve(ctx, b, blim)
 		o := raceOutcome{plan: plan, stats: st, err: err, elapsed: time.Since(start)}
 		o.finish()
 		if o.definitive && o.logical < deadline {
@@ -209,6 +221,14 @@ func (p Portfolio) adjudicate(ctx context.Context, outs []raceOutcome) (*cfgmilp
 	for i := range outs {
 		if outs[i].definitive && (winner < 0 || outs[i].logical < outs[winner].logical) {
 			winner = i
+		}
+		// Utilization telemetry sums over the whole raced set: worker
+		// lanes are a shared resource, so the solve's speculative
+		// activity is the union of every backend's.
+		agg.Steals += outs[i].stats.Steals
+		agg.SpecUsed += outs[i].stats.SpecUsed
+		if outs[i].stats.Workers > agg.Workers {
+			agg.Workers = outs[i].stats.Workers
 		}
 	}
 	if winner < 0 {

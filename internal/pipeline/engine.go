@@ -15,6 +15,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/placer"
 	"repro/internal/sched"
+	"repro/internal/scratch"
 	"repro/internal/transform"
 )
 
@@ -123,6 +124,11 @@ type Engine struct {
 	fam     family.Family
 	cache   *memo.Cache
 	cfgHash uint64
+	// arenas pools scratch arenas, one leased per pipeline execution
+	// (speculative guesses run several at once, each with its own). In
+	// steady state every run reuses warmed slabs and the per-guess
+	// allocation churn of the oracle and the placer disappears.
+	arenas sync.Pool
 
 	mu      sync.Mutex
 	metrics Metrics
@@ -147,6 +153,7 @@ func New(cfg Config) *Engine {
 		cfg:     cfg,
 		fam:     fam,
 		cfgHash: configHash(cfg),
+		arenas:  sync.Pool{New: func() any { return new(scratch.Arena) }},
 		metrics: Metrics{
 			StageTime: make(map[string]time.Duration),
 		},
@@ -259,8 +266,19 @@ func (e *Engine) auxFor(in *sched.Instance) uint64 {
 }
 
 // runLadder runs the Classify..Lift stages, degrading the priority cap on
-// pattern explosions and MILP resource limits.
+// pattern explosions and MILP resource limits. The run leases a scratch
+// arena from the engine pool; it is reset and returned when the ladder
+// finishes, which is sound because no Result artifact lives in arena
+// memory (plans, schedules and stats are all heap values — see
+// scratch.Arena).
 func (e *Engine) runLadder(ctx context.Context, st *State) (*Result, error) {
+	ar := e.arenas.Get().(*scratch.Arena)
+	st.Arena = ar
+	defer func() {
+		st.Arena = nil
+		ar.Reset()
+		e.arenas.Put(ar)
+	}()
 	caps := []int{e.cfg.BPrimeOverride}
 	if e.cfg.BPrimeOverride == 0 && !e.cfg.AllPriority {
 		caps = []int{0, 4, 2, 1}
@@ -447,9 +465,12 @@ func hashMix(h, x uint64) uint64 {
 // configHash digests every Config knob that can change a pipeline
 // outcome, so that one shared cache serves differently-configured
 // requests without false sharing. DisableMemo and Cache itself are
-// excluded (they select where results are stored, not what they are);
-// MILP.Progress cannot be hashed and instead forces a private cache in
-// New.
+// excluded (they select where results are stored, not what they are),
+// and so is OracleWorkers: the oracle's parallelism contract makes
+// results bit-identical at every worker count, so entries cached at one
+// count are valid at any other — hashing it would only fragment the
+// cache. MILP.Progress cannot be hashed and instead forces a private
+// cache in New.
 func configHash(cfg Config) uint64 {
 	h := hashMix(0, math.Float64bits(cfg.Eps))
 	h = hashMix(h, uint64(cfg.Mode))

@@ -34,6 +34,7 @@ import (
 	"repro/internal/placer"
 	"repro/internal/round"
 	"repro/internal/sched"
+	"repro/internal/scratch"
 	"repro/internal/transform"
 )
 
@@ -60,6 +61,13 @@ type Config struct {
 	// dispatches to; the zero value is the bnb backend (bit-identical to
 	// the pre-oracle-layer pipeline).
 	Oracle oracle.Selection
+	// OracleWorkers is the number of concurrent lanes each oracle solve
+	// may use (oracle.Limits.Workers); <= 1 means sequential. Results are
+	// bit-identical at any value — it is a throughput knob, never a
+	// result knob — which is why it is deliberately excluded from the
+	// memo config hash: entries cached at one worker count serve solves
+	// at any other.
+	OracleWorkers int
 	// AllPriority disables priority-bag selection and the instance
 	// transformation (Das–Wiese mode).
 	AllPriority bool
@@ -102,6 +110,12 @@ type State struct {
 	// NodeBudget bounds MILP nodes on non-final ladder rungs (0 = use
 	// Cfg.MILP.MaxNodes).
 	NodeBudget int
+	// Arena is the run's scratch arena, leased from the engine's pool for
+	// the duration of one pipeline execution (nil when the caller runs
+	// stages by hand). Single-goroutine; stages hand it to the oracle and
+	// the placer, and nothing retained in the Result may alias its
+	// memory.
+	Arena *scratch.Arena
 
 	// Scaled is In scaled by 1/Guess with sizes rounded up to powers of
 	// (1+eps); Exps holds the geometric exponent per job.
@@ -292,6 +306,8 @@ func (st *State) oracleLimits() oracle.Limits {
 	if st.NodeBudget > 0 && st.NodeBudget < lim.MILP.MaxNodes {
 		lim.MILP.MaxNodes = st.NodeBudget
 	}
+	lim.Workers = st.Cfg.OracleWorkers
+	lim.Arena = st.Arena
 	return lim
 }
 
@@ -322,6 +338,7 @@ func (placeStage) Run(_ context.Context, st *State) error {
 		Space:      st.Space,
 		Plan:       st.Plan,
 		Float64Ref: st.Cfg.Float64Ref,
+		Arena:      st.Arena,
 	})
 	if err != nil {
 		return err

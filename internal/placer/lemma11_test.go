@@ -33,7 +33,7 @@ func mkState(t *testing.T, in *sched.Instance) *state {
 		view:   view,
 		prio:   prio,
 		sched:  sched.NewSchedule(in),
-		loads:  newLoadVec(in.Machines, false),
+		loads:  newLoadVec(in.Machines, false, nil),
 		bagsOn: bags,
 		origin: map[int]int{},
 	}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/numeric"
 	"repro/internal/pattern"
 	"repro/internal/sched"
+	"repro/internal/scratch"
 )
 
 // Stats reports the placement work performed.
@@ -75,6 +76,10 @@ type Input struct {
 	// Results are bit-identical either way; the flag exists for
 	// differential testing.
 	Float64Ref bool
+	// Arena, when non-nil, supplies the placement's scratch arrays (load
+	// vectors, the machine→pattern map, greedy load snapshots). The
+	// returned Schedule never aliases arena memory.
+	Arena *scratch.Arena
 }
 
 // loadVec is the per-machine load accumulator. The default pipeline
@@ -87,10 +92,10 @@ type loadVec struct {
 	ref []float64 // non-nil only in Float64Ref mode
 }
 
-func newLoadVec(n int, float64Ref bool) loadVec {
-	l := loadVec{fx: make([]numeric.Fx, n)}
+func newLoadVec(n int, float64Ref bool, arena *scratch.Arena) loadVec {
+	l := loadVec{fx: arena.Fxs(n)}
 	if float64Ref {
-		l.ref = make([]float64, n)
+		l.ref = arena.Float64s(n)
 	}
 	return l
 }
@@ -136,6 +141,7 @@ type state struct {
 	bagsOn      []map[int]int // machine -> bag -> count
 	origin      map[int]int   // priority ML job -> MILP machine (Lemma 11)
 	machPattern []int         // machine -> pattern index
+	arena       *scratch.Arena
 	stats       Stats
 }
 
@@ -147,9 +153,10 @@ func Place(inp Input) (*sched.Schedule, Stats, error) {
 		prio:   inp.Prio,
 		space:  inp.Space,
 		sched:  sched.NewSchedule(inp.Inst),
-		loads:  newLoadVec(inp.Inst.Machines, inp.Float64Ref),
+		loads:  newLoadVec(inp.Inst.Machines, inp.Float64Ref, inp.Arena),
 		bagsOn: make([]map[int]int, inp.Inst.Machines),
 		origin: make(map[int]int),
+		arena:  inp.Arena,
 	}
 	for i := range st.bagsOn {
 		st.bagsOn[i] = make(map[int]int)
@@ -214,7 +221,7 @@ func (st *state) expandMachines(plan *cfgmilp.Plan) error {
 	if total > st.in.Machines {
 		return fmt.Errorf("placer: plan uses %d machines, instance has %d", total, st.in.Machines)
 	}
-	st.machPattern = make([]int, st.in.Machines)
+	st.machPattern = st.arena.Ints(st.in.Machines)
 	mach := 0
 	for p, c := range plan.XCount {
 		for i := 0; i < c; i++ {
@@ -514,7 +521,7 @@ func (st *state) placePrioritySmall(plan *cfgmilp.Plan) error {
 			}
 			bags = append(bags, items)
 		}
-		loads := make([]float64, len(machines))
+		loads := st.arena.Float64s(len(machines))
 		for i, m := range machines {
 			loads[i] = st.loads.at(m)
 		}
@@ -760,7 +767,7 @@ func (st *state) placeNonPrioritySmall() error {
 		for _, bag := range sortedKeysItems(perGroup[gi]) {
 			gBags = append(gBags, perGroup[gi][bag])
 		}
-		loads := make([]float64, len(g.Machines))
+		loads := st.arena.Float64s(len(g.Machines))
 		for i, m := range g.Machines {
 			loads[i] = st.loads.at(m)
 		}

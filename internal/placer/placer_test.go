@@ -140,7 +140,7 @@ func TestLemma7SwapPreservesLoads(t *testing.T) {
 		view:   view,
 		prio:   []bool{false, false},
 		sched:  sched.NewSchedule(in),
-		loads:  newLoadVec(2, false),
+		loads:  newLoadVec(2, false, nil),
 		bagsOn: []map[int]int{{}, {}},
 		origin: map[int]int{},
 	}
@@ -180,7 +180,7 @@ func TestGenericRepairTerminatesAndFixes(t *testing.T) {
 		view:   view,
 		prio:   []bool{false},
 		sched:  sched.NewSchedule(in),
-		loads:  newLoadVec(3, false),
+		loads:  newLoadVec(3, false, nil),
 		bagsOn: []map[int]int{{}, {}, {}},
 		origin: map[int]int{},
 	}
@@ -218,7 +218,7 @@ func TestGenericRepairDetectsSaturation(t *testing.T) {
 		view:   view,
 		prio:   []bool{false},
 		sched:  sched.NewSchedule(in),
-		loads:  newLoadVec(2, false),
+		loads:  newLoadVec(2, false, nil),
 		bagsOn: []map[int]int{{}, {}},
 		origin: map[int]int{},
 	}

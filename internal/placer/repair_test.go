@@ -38,7 +38,7 @@ func TestGenericRepairProperty(t *testing.T) {
 			view:   view,
 			prio:   make([]bool, in.NumBags),
 			sched:  sched.NewSchedule(in),
-			loads:  newLoadVec(m, false),
+			loads:  newLoadVec(m, false, nil),
 			bagsOn: make([]map[int]int, m),
 			origin: map[int]int{},
 		}
@@ -79,7 +79,7 @@ func TestSwapRepairNoOpOnCleanState(t *testing.T) {
 		view:   view,
 		prio:   make([]bool, in.NumBags),
 		sched:  sched.NewSchedule(in),
-		loads:  newLoadVec(in.Machines, false),
+		loads:  newLoadVec(in.Machines, false, nil),
 		bagsOn: make([]map[int]int, in.Machines),
 		origin: map[int]int{},
 	}
@@ -133,7 +133,7 @@ func TestOriginChasingIsBounded(t *testing.T) {
 			view:   view,
 			prio:   []bool{true},
 			sched:  sched.NewSchedule(in),
-			loads:  newLoadVec(m, false),
+			loads:  newLoadVec(m, false, nil),
 			bagsOn: make([]map[int]int, m),
 			origin: map[int]int{},
 		}

@@ -1,0 +1,91 @@
+package scratch
+
+import "testing"
+
+func TestArenaZeroedAndDisjoint(t *testing.T) {
+	var a Arena
+	x := a.Ints(8)
+	y := a.Ints(8)
+	if len(x) != 8 || len(y) != 8 {
+		t.Fatalf("lengths %d, %d; want 8, 8", len(x), len(y))
+	}
+	for i := range x {
+		x[i] = i + 1
+	}
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("y[%d] = %d after writing x; slices overlap or are not zeroed", i, v)
+		}
+	}
+	// Full-slice-expression capacity: appending to x must not step into y.
+	x = append(x, 99)
+	if y[0] != 0 {
+		t.Fatal("append to x clobbered y; take must cap its subslices")
+	}
+}
+
+func TestArenaReuseAfterReset(t *testing.T) {
+	var a Arena
+	x := a.Ints(4)
+	x[0] = 7
+	a.Reset()
+	z := a.Ints(4)
+	if z[0] != 0 {
+		t.Fatalf("slice not re-zeroed after Reset: %d", z[0])
+	}
+	if &x[0] != &z[0] {
+		t.Error("Reset did not reuse the slab backing; arena never stops allocating")
+	}
+}
+
+func TestArenaGrowthKeepsOldSlicesValid(t *testing.T) {
+	var a Arena
+	x := a.Ints(1000)
+	for i := range x {
+		x[i] = i
+	}
+	// Exceed the first slab so take allocates a bigger backing.
+	y := a.Ints(5000)
+	y[0] = -1
+	for i := range x {
+		if x[i] != i {
+			t.Fatalf("x[%d] = %d after growth; old slices must stay valid", i, x[i])
+		}
+	}
+}
+
+func TestArenaNilFallback(t *testing.T) {
+	var a *Arena
+	if got := len(a.Ints(3)); got != 3 {
+		t.Errorf("nil Ints(3) length %d", got)
+	}
+	if got := len(a.Int16s(3)); got != 3 {
+		t.Errorf("nil Int16s(3) length %d", got)
+	}
+	if got := len(a.Bools(3)); got != 3 {
+		t.Errorf("nil Bools(3) length %d", got)
+	}
+	if got := len(a.Fxs(3)); got != 3 {
+		t.Errorf("nil Fxs(3) length %d", got)
+	}
+	if got := len(a.Float64s(3)); got != 3 {
+		t.Errorf("nil Float64s(3) length %d", got)
+	}
+}
+
+func TestArenaTypedSlabsIndependent(t *testing.T) {
+	var a Arena
+	i16 := a.Int16s(4)
+	bo := a.Bools(4)
+	fx := a.Fxs(4)
+	f64 := a.Float64s(4)
+	i16[0], bo[0], fx[0], f64[0] = 1, true, 2, 3.5
+	in := a.Ints(4)
+	if in[0] != 0 {
+		t.Error("typed slabs share memory")
+	}
+	a.Reset()
+	if got := a.Int16s(4); got[0] != 0 {
+		t.Error("Int16s not re-zeroed after Reset")
+	}
+}

@@ -8,7 +8,7 @@
 //
 //	POST /v1/solve   {"instance": {...}, "eps": 0.5, "backend": "bnb",
 //	                  "family": "bags", "timeout_ms": 1000,
-//	                  "no_cache": false}
+//	                  "no_cache": false, "oracle_workers": 4}
 //	POST /v1/batch   {"instances": [{...}, ...], "eps": 0.5, ...}
 //	GET  /v1/stats   cache/queue/latency counters, per-family solve
 //	                 counts and latencies; ?window=N adds percentiles
@@ -91,6 +91,14 @@ type Config struct {
 	// MaxTimeout clamps per-request timeouts (<= 0 selects
 	// DefaultMaxTimeout).
 	MaxTimeout time.Duration
+	// MaxOracleWorkers clamps the per-request "oracle_workers" knob
+	// (<= 0 selects GOMAXPROCS/Workers — see New). The clamp is tied to
+	// admission: the queue already admits up to Workers concurrent
+	// solves, so granting each solve many extra oracle lanes multiplies
+	// the worst-case CPU demand; the cap keeps total lanes bounded by
+	// roughly one machine's worth. Results are bit-identical at any
+	// clamp (oracle workers never change answers).
+	MaxOracleWorkers int
 }
 
 // Server is the solve service. Create with New; serve via Handler.
@@ -110,6 +118,15 @@ type Server struct {
 	solveErrors atomic.Int64 // failed solves (solver errors, not 4xx decode)
 	coalesced   atomic.Int64 // solves served by joining an identical in-flight request
 	timeouts    atomic.Int64 // solves aborted by per-request deadlines
+
+	// Oracle worker utilization over all successful solves: how many ran
+	// with more than one lane, how many speculative work units helper
+	// lanes claimed (steals), and how many of those the main lane
+	// adopted (busy/useful). Telemetry only — per-solve values are
+	// load-dependent and never part of any response payload.
+	oracleParallelSolves atomic.Int64
+	oracleSteals         atomic.Int64
+	oracleSpecUsed       atomic.Int64
 }
 
 // New returns a service with one shared cache and one shared queue for
@@ -129,6 +146,15 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.MaxOracleWorkers <= 0 {
+		// Tie the lane budget to admission: with Workers solves running
+		// concurrently, give each at most its fair share of the machine
+		// (at least 1, i.e. requests can never be rejected for asking).
+		cfg.MaxOracleWorkers = runtime.GOMAXPROCS(0) / cfg.Workers
+		if cfg.MaxOracleWorkers < 1 {
+			cfg.MaxOracleWorkers = 1
+		}
 	}
 	cache := cfg.Cache
 	if cache == nil {
@@ -206,17 +232,23 @@ type solveRequest struct {
 	// private per-solve memo, exactly like the CLI). Used by the
 	// differential tests and the load driver's baseline mode.
 	NoCache bool `json:"no_cache"`
+	// OracleWorkers asks for concurrent lanes inside each oracle solve;
+	// clamped to the server's Config.MaxOracleWorkers (which is tied to
+	// the admission worker count). 0 or 1 is sequential. Responses are
+	// bit-identical at any value — the knob trades CPU for latency.
+	OracleWorkers int `json:"oracle_workers"`
 }
 
 // batchRequest is the POST /v1/batch body; the scalar fields apply to
 // every instance.
 type batchRequest struct {
-	Instances []*sched.Instance `json:"instances"`
-	Eps       float64           `json:"eps"`
-	Backend   string            `json:"backend"`
-	Family    string            `json:"family"`
-	TimeoutMS int64             `json:"timeout_ms"`
-	NoCache   bool              `json:"no_cache"`
+	Instances     []*sched.Instance `json:"instances"`
+	Eps           float64           `json:"eps"`
+	Backend       string            `json:"backend"`
+	Family        string            `json:"family"`
+	TimeoutMS     int64             `json:"timeout_ms"`
+	NoCache       bool              `json:"no_cache"`
+	OracleWorkers int               `json:"oracle_workers"`
 }
 
 // solveResult is one solved instance on the wire.
@@ -262,9 +294,15 @@ type spec struct {
 
 // resolve validates the scalar knobs of a request and builds the solve
 // spec. A non-nil error is a client error (400).
-func (s *Server) resolve(in *sched.Instance, eps float64, backendName, familyName string, noCache bool) (*spec, error) {
+func (s *Server) resolve(in *sched.Instance, eps float64, backendName, familyName string, noCache bool, oracleWorkers int) (*spec, error) {
 	if in == nil {
 		return nil, errors.New("missing \"instance\"")
+	}
+	if oracleWorkers < 0 {
+		return nil, fmt.Errorf("\"oracle_workers\" must be >= 0, got %d", oracleWorkers)
+	}
+	if oracleWorkers > s.cfg.MaxOracleWorkers {
+		oracleWorkers = s.cfg.MaxOracleWorkers
 	}
 	if eps == 0 {
 		eps = s.cfg.Eps
@@ -284,7 +322,7 @@ func (s *Server) resolve(in *sched.Instance, eps float64, backendName, familyNam
 	if err != nil {
 		return nil, err
 	}
-	opt := core.Options{Eps: eps, Family: fam, Oracle: oracle.Selection{Backend: backend}}
+	opt := core.Options{Eps: eps, Family: fam, Oracle: oracle.Selection{Backend: backend}, OracleWorkers: oracleWorkers}
 	if !noCache {
 		opt.Cache = s.cache
 	}
@@ -297,8 +335,11 @@ func (s *Server) resolve(in *sched.Instance, eps float64, backendName, familyNam
 	h.Write(b)
 	// The family is part of the coalescing identity: the same instance
 	// solved as different families is different work with different
-	// answers.
-	fmt.Fprintf(h, "|%x|%d|%s|%v", math.Float64bits(eps), backend, fam.Name(), noCache)
+	// answers. The clamped worker count is hashed too — responses would
+	// coalesce correctly across worker counts (results are identical by
+	// contract), but every resolved knob goes into the key so coalescing
+	// never has to argue from that contract.
+	fmt.Fprintf(h, "|%x|%d|%s|%v|%d", math.Float64bits(eps), backend, fam.Name(), noCache, oracleWorkers)
 	sp := &spec{in: in, opt: opt, fam: fam.Name()}
 	h.Sum(sp.key[:0])
 	return sp, nil
@@ -355,7 +396,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	sp, err := s.resolve(req.Instance, req.Eps, req.Backend, req.Family, req.NoCache)
+	sp, err := s.resolve(req.Instance, req.Eps, req.Backend, req.Family, req.NoCache, req.OracleWorkers)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
@@ -382,6 +423,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.solves.Add(1)
 	s.lat.record(elapsed)
 	s.recordFamily(sp.fam, elapsed)
+	s.recordOracle(out.Result.Stats)
 	writeJSON(w, http.StatusOK, result(out.Result, shared, elapsed))
 }
 
@@ -391,6 +433,16 @@ func (s *Server) recordFamily(fam string, elapsed time.Duration) {
 		fs.solves.Add(1)
 		fs.lat.record(elapsed)
 	}
+}
+
+// recordOracle feeds the oracle worker-utilization counters of one
+// successful solve.
+func (s *Server) recordOracle(st core.Stats) {
+	if st.OracleWorkers > 1 {
+		s.oracleParallelSolves.Add(1)
+	}
+	s.oracleSteals.Add(st.OracleSteals)
+	s.oracleSpecUsed.Add(st.OracleSpecUsed)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -405,7 +457,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	specs := make([]*spec, len(req.Instances))
 	for i, in := range req.Instances {
-		sp, err := s.resolve(in, req.Eps, req.Backend, req.Family, req.NoCache)
+		sp, err := s.resolve(in, req.Eps, req.Backend, req.Family, req.NoCache, req.OracleWorkers)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("instance %d: %v", i, err)})
 			return
@@ -453,6 +505,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				s.solves.Add(1)
 				s.lat.record(itemElapsed)
 				s.recordFamily(sp.fam, itemElapsed)
+				s.recordOracle(out.Result.Stats)
 				items[i] = batchItem{solveResult: result(out.Result, shared, itemElapsed)}
 			}
 		}(i, sp)
@@ -509,6 +562,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"bagsched_solve_latency_p50_microseconds", "gauge", all.P50},
 		{"bagsched_solve_latency_p90_microseconds", "gauge", all.P90},
 		{"bagsched_solve_latency_p99_microseconds", "gauge", all.P99},
+		{"bagsched_oracle_parallel_solves_total", "counter", s.oracleParallelSolves.Load()},
+		{"bagsched_oracle_worker_steals_total", "counter", s.oracleSteals.Load()},
+		{"bagsched_oracle_worker_adopted_total", "counter", s.oracleSpecUsed.Load()},
 	} {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.typ, m.name, m.value)
 	}
@@ -554,6 +610,12 @@ func (s *Server) statsPayload(window int) map[string]any {
 			"max_cost_bytes":   cs.MaxCost,
 		},
 		"latency": s.lat.percentiles(0),
+		"oracle_workers": map[string]any{
+			"max_per_solve":   s.cfg.MaxOracleWorkers,
+			"parallel_solves": s.oracleParallelSolves.Load(),
+			"steals":          s.oracleSteals.Load(),
+			"adopted":         s.oracleSpecUsed.Load(),
+		},
 	}
 	families := make(map[string]any, len(s.fams))
 	for _, f := range family.List() {
