@@ -1,7 +1,7 @@
 GO ?= go
 COVER_FLOOR ?= 70
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-compare pgo fuzz ci cover family-diff serve loadtest
+.PHONY: all build vet test race bench bench-smoke bench-json bench-compare pgo fuzz ci cover family-diff shard-diff serve loadtest
 
 all: ci
 
@@ -37,6 +37,18 @@ family-diff:
 workers-diff:
 	$(GO) test -race -run 'TestOracleWorkers|TestCfgDPWorkers|TestBnBWorkers|TestParallel' . ./internal/oracle ./internal/milp
 
+# shard-diff is the sharded-serving differential suite under the race
+# detector: the consistent-hash router must be answer-invisible against
+# a single replica under concurrent clients, and a memo snapshot
+# export/import round trip must reproduce every fixture × backend ×
+# family solve bit for bit with zero pipeline runs — plus the full
+# shard, wire, memo and pipeline-codec package suites. The full race
+# leg already includes these tests; this named gate lets CI and bisects
+# attribute a serving-layer regression directly.
+shard-diff:
+	$(GO) test -race -run 'TestShardRouterDifferential|TestSnapshot' .
+	$(GO) test -race ./internal/shard ./internal/wire ./internal/memo ./internal/pipeline
+
 # bench runs every benchmark in the repository, including the internal
 # package benchmarks (pattern, placer, pipeline, milp, numeric).
 bench:
@@ -70,7 +82,7 @@ bench-compare:
 # refactors; the profile is data, not code, so a stale one degrades
 # gracefully to smaller wins.
 pgo:
-	$(GO) test -run '^$$' -bench 'Benchmark(Ex[A-Z]|Oracle|Family)' \
+	$(GO) test -run '^$$' -bench 'Benchmark(Ex[A-Z]|Oracle|Family|Codec)' \
 		-cpuprofile pgo.cpu.out .
 	mv pgo.cpu.out default.pgo
 	rm -f repro.test bagsched.test
@@ -103,4 +115,4 @@ loadtest:
 
 # ci is what .github/workflows/ci.yml runs (plus a non-blocking
 # bench-compare step); the coverage matrix leg swaps race for cover.
-ci: vet build race family-diff workers-diff bench-smoke
+ci: vet build race family-diff workers-diff shard-diff bench-smoke

@@ -73,6 +73,7 @@ package bagsched
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"repro/internal/baselines"
@@ -82,6 +83,7 @@ import (
 	"repro/internal/family"
 	"repro/internal/memo"
 	"repro/internal/oracle"
+	"repro/internal/pipeline"
 	"repro/internal/sched"
 )
 
@@ -301,6 +303,35 @@ func NewCache(maxBytes int64) *Cache { return memo.New(maxBytes) }
 // answers. A nil c restores the private per-solve memo.
 func WithSharedCache(c *Cache) Option {
 	return func(o *core.Options) { o.Cache = c }
+}
+
+// SnapshotImportStats reports what ImportCacheSnapshot loaded and what
+// it skipped (and why).
+type SnapshotImportStats = memo.ImportStats
+
+// ExportCacheSnapshot writes a versioned, checksummed snapshot of c to
+// w: every committed entry — positive plans and memoized rejections —
+// in recency order, with the plan payloads serialized by the exact
+// integer result codec. The export reads the cache without perturbing
+// its LRU order or counters and never holds the cache lock across I/O,
+// so it is safe to call on a cache serving live traffic. It returns the
+// number of entries written. Because solves are fully determined by
+// their scaled-rounded signature, a snapshot is location-independent:
+// importing it on any replica yields bit-identical warm results.
+func ExportCacheSnapshot(c *Cache, w io.Writer) (int, error) {
+	written, _, err := c.Export(w, pipeline.SnapshotEncoder())
+	return written, err
+}
+
+// ImportCacheSnapshot loads a snapshot written by ExportCacheSnapshot
+// into c, warm-starting it. Entries already live in c are kept (the
+// import never overwrites), entries beyond c's cost budget are dropped
+// coldest-first, and individually undecodable entries are skipped; a
+// snapshot whose container is corrupt or of an unknown version is
+// rejected as a whole with memo.ErrSnapshotCorrupt or
+// memo.ErrSnapshotVersion, leaving c unchanged.
+func ImportCacheSnapshot(c *Cache, r io.Reader) (SnapshotImportStats, error) {
+	return c.Import(r, pipeline.SnapshotDecoder())
 }
 
 // WithMemo toggles the cross-guess memoization of the per-guess pipeline

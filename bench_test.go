@@ -7,7 +7,10 @@ package bagsched
 //
 //	go test -bench=. -benchmem
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/round"
 	"repro/internal/sched"
 	"repro/internal/transform"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -631,6 +635,93 @@ func BenchmarkFamilyIdentical(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := SolveEPTAS(in, 0.5, WithFamily(FamilyIdentical), WithSpeculation(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Codec benchmarks: the shippable memo tier and the wire documents ---
+
+// benchSnapshotCache populates one shared cache with cold solves of a
+// few committed fixtures — the donor a replica would snapshot on
+// shutdown.
+func benchSnapshotCache(b *testing.B) *Cache {
+	b.Helper()
+	cache := NewCache(64 << 20)
+	for _, name := range []string{
+		"testdata/adversarial_m8_n24.json",
+		"testdata/bimodal_m6_n24.json",
+		"testdata/fewpatterns_m12_n32.json",
+	} {
+		f, err := os.Open(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, err := sched.ReadInstance(f)
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := SolveEPTAS(in, 0.5, WithSharedCache(cache)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cache
+}
+
+func BenchmarkCodecSnapshotExport(b *testing.B) {
+	cache := benchSnapshotCache(b)
+	var buf bytes.Buffer
+	if _, err := ExportCacheSnapshot(cache, &buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExportCacheSnapshot(cache, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecSnapshotImport(b *testing.B) {
+	cache := benchSnapshotCache(b)
+	var buf bytes.Buffer
+	if _, err := ExportCacheSnapshot(cache, &buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := NewCache(64 << 20)
+		if _, err := ImportCacheSnapshot(fresh, bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecWireDecodeSolveRequest(b *testing.B) {
+	f, err := os.Open("testdata/adversarial_m8_n24.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := sched.ReadInstance(f)
+	f.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(wire.SolveRequest{Instance: in, Eps: 0.5, Family: "bags"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var req wire.SolveRequest
+		if err := wire.Unmarshal(body, &req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,7 +12,10 @@
 //	         [-workers N] [-oracle-workers N] [-timeout 5m]
 //	bagsched serve [-addr :8080] [-workers N] [-cache-bytes N]
 //	         [-backend bnb] [-eps 0.5] [-queue-depth N] [-max-timeout 2m]
-//	         [-max-oracle-workers N]
+//	         [-max-oracle-workers N] [-snapshot cache.bgms]
+//	bagsched route -replicas http://h1:8080,http://h2:8080[,...]
+//	         [-addr :8090] [-vnodes 64] [-policy hash|random] [-eps 0.5]
+//	         [-health-interval 1s]
 //
 // In batch mode every instance JSON in dir (files matching *.json,
 // excluding earlier *.schedule.json outputs) is solved with the EPTAS on
@@ -22,8 +25,17 @@
 // The serve subcommand runs the long-running solve service: an HTTP/JSON
 // API (POST /v1/solve, POST /v1/batch, GET /v1/stats, GET /healthz, GET
 // /metrics) sharing one bounded cross-request guess-memo cache and one
-// admission-controlled worker pool across all requests. See
-// internal/server and the README's Serving section.
+// admission-controlled worker pool across all requests. With -snapshot
+// the cache is persisted to the given file on graceful shutdown and
+// warm-started from it on boot (corrupt or version-mismatched snapshots
+// are skipped with a warning, never fatal). See internal/server and the
+// README's Serving and "Sharded serving" sections.
+//
+// The route subcommand fronts N serve replicas with the consistent-hash
+// shard router (internal/shard): signature-equivalent requests always
+// land on the replica whose cache already holds the entry, with health
+// checks and retry/backoff to a fallback replica. It exposes the same
+// HTTP surface as a single replica plus router stats and metrics.
 //
 // -backend selects the EPTAS's integer-programming oracle: LP-simplex
 // branch-and-bound (bnb, the default), the exact configuration DP
@@ -75,6 +87,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := runServe(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "bagsched serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "route" {
+		if err := runRoute(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "bagsched route:", err)
 			os.Exit(1)
 		}
 		return

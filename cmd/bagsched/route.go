@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// runRoute is the `bagsched route` subcommand: the consistent-hash
+// shard router fronting N `bagsched serve` replicas. See internal/shard
+// for the routing contract.
+func runRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: bagsched route -replicas URL[,URL...] [flags]\n\n"+
+			"Front N bagsched serve replicas with a consistent-hash router:\n"+
+			"signature-equivalent solve requests always land on the replica whose\n"+
+			"memo cache already holds the entry. Serves the same HTTP surface as a\n"+
+			"single replica (POST /v1/solve, POST /v1/batch, GET /v1/stats,\n"+
+			"GET /healthz, GET /metrics) plus router counters.\n\n")
+		fs.PrintDefaults()
+	}
+	addr := fs.String("addr", ":8090", "listen address")
+	replicas := fs.String("replicas", "", "comma-separated base URLs of the fronted replicas (required)")
+	vnodes := fs.Int("vnodes", shard.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	policyName := fs.String("policy", "hash", "replica placement: hash (cache-affine) or random (ablation baseline)")
+	eps := fs.Float64("eps", server.DefaultEps, "default accuracy mirrored from the replicas (affects routing of knob-less requests only)")
+	healthInterval := fs.Duration("health-interval", shard.DefaultHealthInterval, "replica health-check period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("route takes no positional arguments (got %q)", fs.Args())
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return errors.New("-replicas is required (comma-separated URLs)")
+	}
+	policy, err := shard.ParsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	if *eps <= 0 || *eps >= 1 {
+		return fmt.Errorf("-eps must be in (0,1), got %g", *eps)
+	}
+
+	rt, err := shard.New(shard.Config{
+		Replicas:       urls,
+		VNodes:         *vnodes,
+		Policy:         policy,
+		Eps:            *eps,
+		HealthInterval: *healthInterval,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("bagsched route: listening on %s fronting %d replicas (policy %s, %d vnodes each)\n",
+		*addr, len(urls), policy, *vnodes)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("bagsched route: drained")
+	return nil
+}

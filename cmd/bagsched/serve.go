@@ -35,6 +35,7 @@ func runServe(args []string) error {
 	eps := fs.Float64("eps", server.DefaultEps, "default accuracy parameter in (0,1) (requests may override)")
 	maxTimeout := fs.Duration("max-timeout", server.DefaultMaxTimeout, "upper clamp on per-request solve timeouts")
 	maxOracleWorkers := fs.Int("max-oracle-workers", 0, "upper clamp on per-request oracle_workers (0 = GOMAXPROCS divided by -workers)")
+	snapshotPath := fs.String("snapshot", "", "cache snapshot file: warm-start the cache from it on boot, persist the cache to it on graceful shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +51,7 @@ func runServe(args []string) error {
 	}
 
 	cache := bagsched.NewCache(*cacheBytes)
+	loaded, skipped, warmed := loadSnapshot(cache, *snapshotPath)
 	srv := server.New(server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
@@ -60,6 +62,9 @@ func runServe(args []string) error {
 		MaxOracleWorkers: *maxOracleWorkers,
 	})
 	srv.PublishExpvar()
+	if warmed {
+		srv.RecordSnapshot(loaded, skipped)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -89,5 +94,65 @@ func runServe(args []string) error {
 	}
 	st := cache.Stats()
 	fmt.Printf("bagsched serve: drained; cache served %d hits / %d lookups\n", st.Hits, st.Hits+st.Misses)
+	if *snapshotPath != "" {
+		if err := saveSnapshot(cache, *snapshotPath); err != nil {
+			// Persisting the cache is best-effort: a failed snapshot only
+			// costs the next boot its warm start.
+			fmt.Fprintf(os.Stderr, "bagsched serve: warning: snapshot not saved: %v\n", err)
+		}
+	}
+	return nil
+}
+
+// loadSnapshot warm-starts cache from path. Every failure — missing
+// file, corrupt container, version mismatch — is a logged skip, never
+// fatal: a replica must boot (cold) no matter what is on disk. It
+// reports what was loaded and whether an import ran at all.
+func loadSnapshot(cache *bagsched.Cache, path string) (loaded, skipped int, warmed bool) {
+	if path == "" {
+		return 0, 0, false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			fmt.Printf("bagsched serve: no snapshot at %s, starting cold\n", path)
+		} else {
+			fmt.Fprintf(os.Stderr, "bagsched serve: warning: snapshot unreadable, starting cold: %v\n", err)
+		}
+		return 0, 0, false
+	}
+	defer f.Close()
+	st, err := bagsched.ImportCacheSnapshot(cache, f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bagsched serve: warning: snapshot %s skipped, starting cold: %v\n", path, err)
+		return 0, 0, false
+	}
+	fmt.Printf("bagsched serve: warm-started from %s: %d entries loaded, %d skipped (%d existing, %d over budget, %d undecodable)\n",
+		path, st.Loaded, st.Skipped(), st.SkippedExisting, st.SkippedBudget, st.SkippedDecode)
+	return st.Loaded, st.Skipped(), true
+}
+
+// saveSnapshot persists cache to path atomically (temp file + rename),
+// so a crash mid-write can never leave a truncated snapshot where the
+// next boot would find it.
+func saveSnapshot(cache *bagsched.Cache, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	written, err := bagsched.ExportCacheSnapshot(cache, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	fmt.Printf("bagsched serve: snapshot saved to %s (%d entries)\n", path, written)
 	return nil
 }

@@ -43,9 +43,12 @@ import (
 // (BenchmarkExF1, ExT*, ExS*, ExL*, ExB*, ExA* — an uppercase letter
 // after "Ex" keeps BenchmarkExactSolver and other substrate
 // micro-benchmarks out of the default snapshot), the oracle-backend
-// benchmarks (BenchmarkOracleBnB/CfgDP/Portfolio) and the sibling
-// problem families (BenchmarkFamilyRelated/Identical).
-const defaultBench = "Benchmark(Ex[A-Z]|Oracle|Family)"
+// benchmarks (BenchmarkOracleBnB/CfgDP/Portfolio), the sibling
+// problem families (BenchmarkFamilyRelated/Identical) and the serving
+// codecs (BenchmarkCodec*: snapshot export/import and wire decode —
+// the per-request and per-warm-start overheads of the sharded
+// service).
+const defaultBench = "Benchmark(Ex[A-Z]|Oracle|Family|Codec)"
 
 // The BenchmarkOracleParallel family scales its worker-lane count with
 // GOMAXPROCS, so its numbers are only meaningful at a pinned -cpu value:
@@ -83,6 +86,9 @@ var tracked = []string{
 	"BenchmarkOracleParallelBnBLarge",
 	"BenchmarkOracleParallelCfgDPLarge",
 	"BenchmarkOracleParallelSolveLarge",
+	"BenchmarkCodecSnapshotExport",
+	"BenchmarkCodecSnapshotImport",
+	"BenchmarkCodecWireDecodeSolveRequest",
 }
 
 // Snapshot is the file format of one benchmark run.

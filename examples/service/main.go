@@ -86,8 +86,27 @@ func main() {
 	backend := flag.String("backend", "", "oracle backend (empty = server default)")
 	noCache := flag.Bool("no-cache", false, "bypass the shared cache (control run)")
 	speedup := flag.Float64("speedup", 2, "required cold-p50 / warm-p50 ratio for PASS")
+	replicas := flag.Int("replicas", 0, "run the in-process multi-replica mode with this many sharded replicas (0 = single-server replay against -addr)")
+	requests := flag.Int("requests", 192, "multi-replica: requests per trace pass")
+	distinct := flag.Int("distinct", 512, "multi-replica: synthetic corpus size grown from -dir by job-size perturbation")
+	zipfS := flag.Float64("zipf-s", 1.1, "multi-replica: Zipf skew of the trace (> 1)")
+	seed := flag.Int64("seed", 1, "multi-replica: trace and perturbation seed")
+	routeSpeedup := flag.Float64("route-speedup", 2, "multi-replica: required random-p50 / hash-p50 warm ratio for PASS")
+	hitRate := flag.Float64("hit-rate", 0.5, "multi-replica: required first-pass cache hit rate on the snapshot-warmed replica")
+	maxJobs := flag.Int("max-jobs", 64, "multi-replica: skip corpus instances with more jobs (the mode measures routing, not solver scale; 0 = keep all)")
 	flag.Parse()
 
+	if *replicas > 0 {
+		if *zipfS <= 1 {
+			fmt.Fprintln(os.Stderr, "service: -zipf-s must be > 1")
+			os.Exit(1)
+		}
+		if err := runMulti(*dir, *replicas, *requests, *distinct, *concurrency, *maxJobs, *eps, *backend, *zipfS, *seed, *routeSpeedup, *hitRate); err != nil {
+			fmt.Fprintln(os.Stderr, "service:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*addr, *dir, *passes, *concurrency, *eps, *backend, *noCache, *speedup); err != nil {
 		fmt.Fprintln(os.Stderr, "service:", err)
 		os.Exit(1)

@@ -1,0 +1,428 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	bagsched "repro"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// The multi-replica mode (-replicas N) runs the whole sharded serving
+// stack in process: N solve replicas behind a consistent-hash router,
+// replaying a Zipf-skewed trace over a synthetic corpus grown from the
+// on-disk fixtures. It reports, from /v1/stats only:
+//
+//   - per-replica cache hit rates and routed-request shares under
+//     consistent hashing,
+//   - warm p50/p99 routed (hash) vs a fresh fleet behind the random
+//     placement policy — the ablation that shows what signature routing
+//     buys (-route-speedup is the PASS bar),
+//   - snapshot warm-start: every hash-fleet cache is exported with the
+//     versioned snapshot codec and imported into one fresh replica,
+//     which must then serve the first replay of the same trace at
+//     >= -hit-rate cache hit rate, with the import latency reported.
+//
+// Every phase cross-checks makespans bit for bit: routing policy,
+// fallbacks and snapshot shipping must never change an answer.
+
+// rawInstance mirrors the instance JSON just enough to perturb it.
+type rawInstance struct {
+	Machines int       `json:"machines"`
+	NumBags  int       `json:"num_bags"`
+	Speeds   []float64 `json:"speeds,omitempty"`
+	Jobs     []rawJob  `json:"jobs"`
+}
+
+type rawJob struct {
+	ID   int     `json:"id"`
+	Size float64 `json:"size"`
+	Bag  int     `json:"bag"`
+}
+
+// synthCorpus grows the base corpus to `distinct` instances by
+// perturbing each job size with a deterministic per-variant factor in
+// [0.6, 1.4). The perturbation is per-job (not uniform), so variants
+// land on distinct scaled-rounded signatures — uniform scaling would
+// cancel against the lower bound and collapse every variant onto one
+// cache line.
+func synthCorpus(base []json.RawMessage, names, fams []string, distinct int, seed int64) ([]json.RawMessage, []string, []string, error) {
+	if distinct <= len(base) {
+		return base, names, fams, nil
+	}
+	corpus := append([]json.RawMessage{}, base...)
+	outNames := append([]string{}, names...)
+	outFams := append([]string{}, fams...)
+	for v := len(base); v < distinct; v++ {
+		b := v % len(base)
+		var inst rawInstance
+		if err := json.Unmarshal(base[b], &inst); err != nil {
+			return nil, nil, nil, fmt.Errorf("perturb %s: %w", names[b], err)
+		}
+		rng := rand.New(rand.NewSource(seed + int64(v)*1_000_003))
+		for j := range inst.Jobs {
+			inst.Jobs[j].Size *= 0.6 + 0.8*rng.Float64()
+		}
+		raw, err := json.Marshal(&inst)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		corpus = append(corpus, raw)
+		outNames = append(outNames, fmt.Sprintf("%s#v%d", names[b], v))
+		outFams = append(outFams, fams[b])
+	}
+	return corpus, outNames, outFams, nil
+}
+
+// filterBySize drops instances with more than maxJobs jobs (0 keeps
+// everything), reporting what it skipped: the multi-replica mode
+// measures routing and snapshot shipping, and one oversized variant
+// solving for seconds would drown the latency signal.
+func filterBySize(base []json.RawMessage, names, fams []string, maxJobs int) ([]json.RawMessage, []string, []string, error) {
+	if maxJobs <= 0 {
+		return base, names, fams, nil
+	}
+	var corpus []json.RawMessage
+	var outNames, outFams []string
+	var skipped []string
+	for i, raw := range base {
+		var inst rawInstance
+		if err := json.Unmarshal(raw, &inst); err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", names[i], err)
+		}
+		if len(inst.Jobs) > maxJobs {
+			skipped = append(skipped, names[i])
+			continue
+		}
+		corpus = append(corpus, raw)
+		outNames = append(outNames, names[i])
+		outFams = append(outFams, fams[i])
+	}
+	if len(skipped) > 0 {
+		fmt.Printf("skipping %d instances over %d jobs (pass -max-jobs 0 to keep them): %v\n", len(skipped), maxJobs, skipped)
+	}
+	if len(corpus) == 0 {
+		return nil, nil, nil, fmt.Errorf("no instances at or under -max-jobs %d", maxJobs)
+	}
+	return corpus, outNames, outFams, nil
+}
+
+// zipfTrace draws `requests` corpus indices from a Zipf(s) distribution
+// over n instances, deterministically from seed.
+func zipfTrace(n, requests int, s float64, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	trace := make([]int, requests)
+	for i := range trace {
+		trace[i] = int(z.Uint64())
+	}
+	return trace
+}
+
+// fleet is N in-process solve replicas, each a full server.Server on
+// its own memo cache behind its own HTTP listener.
+type fleet struct {
+	servers  []*server.Server
+	backends []*httptest.Server
+	urls     []string
+}
+
+func newFleet(n int) *fleet {
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		f.servers = append(f.servers, srv)
+		f.backends = append(f.backends, ts)
+		f.urls = append(f.urls, ts.URL)
+	}
+	return f
+}
+
+func (f *fleet) close() {
+	for _, ts := range f.backends {
+		ts.Close()
+	}
+}
+
+// front builds a router over the fleet and exposes it on its own
+// listener. Health checking is passive (no background loop): the fleet
+// is in-process and its liveness is the driver's own.
+func (f *fleet) front(policy shard.Policy, seed int64) (*shard.Router, *httptest.Server, error) {
+	rt, err := shard.New(shard.Config{
+		Replicas:       f.urls,
+		Policy:         policy,
+		Seed:           seed,
+		HealthInterval: -1,
+		RetryBackoff:   -1,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rt.Start()
+	ts := httptest.NewServer(rt.Handler())
+	return rt, ts, nil
+}
+
+// routerStats is the slice of the router's /v1/stats payload the driver
+// reads.
+type routerStats struct {
+	Router struct {
+		Policy          string `json:"policy"`
+		Routed          int64  `json:"routed"`
+		FallbackRetries int64  `json:"fallback_retries"`
+	} `json:"router"`
+	Replicas []struct {
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+		Routed  int64  `json:"routed"`
+	} `json:"replicas"`
+	Window window `json:"window"`
+}
+
+func fetchRouterStats(addr string, n int) (*routerStats, error) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/stats?window=%d", addr, n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router stats: status %d", resp.StatusCode)
+	}
+	var st routerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// replayTrace posts the trace in order (at most `concurrency` in
+// flight) and returns the makespan per trace position.
+func replayTrace(addr string, corpus []json.RawMessage, fams []string, trace []int, concurrency int, eps float64, backend string) ([]float64, error) {
+	reqs := make([]json.RawMessage, len(trace))
+	reqFams := make([]string, len(trace))
+	for i, v := range trace {
+		reqs[i] = corpus[v]
+		reqFams[i] = fams[v]
+	}
+	return replay(addr, reqs, reqFams, concurrency, eps, backend, false)
+}
+
+// checkTrace verifies every trace position against the per-variant
+// baseline, growing the baseline on first sight. All phases share one
+// baseline: any routing or snapshot divergence is a hard failure.
+func checkTrace(phase string, trace []int, makespans []float64, names []string, baseline map[int]float64) error {
+	for i, v := range trace {
+		got := makespans[i]
+		want, ok := baseline[v]
+		if !ok {
+			baseline[v] = got
+			continue
+		}
+		if got != want {
+			return fmt.Errorf("%s: %s returned makespan %.17g, baseline is %.17g — serving must be result-transparent",
+				phase, names[v], got, want)
+		}
+	}
+	return nil
+}
+
+// runMulti is the -replicas N mode. See the package comment block above
+// for what it measures.
+func runMulti(dir string, nReplicas, requests, distinct, concurrency, maxJobs int, eps float64, backend string, zipfS float64, seed int64, routeSpeedup, hitRateMin float64) error {
+	base, names, fams, err := loadCorpus(dir)
+	if err != nil {
+		return err
+	}
+	base, names, fams, err = filterBySize(base, names, fams, maxJobs)
+	if err != nil {
+		return err
+	}
+	corpus, names, fams, err := synthCorpus(base, names, fams, distinct, seed)
+	if err != nil {
+		return err
+	}
+	trace := zipfTrace(len(corpus), requests, zipfS, seed)
+	unique := map[int]bool{}
+	for _, v := range trace {
+		unique[v] = true
+	}
+	fmt.Printf("multi-replica: %d replicas, %d requests over %d distinct instances (%d drawn, zipf s=%g, seed %d, eps %g)\n",
+		nReplicas, requests, len(corpus), len(unique), zipfS, seed, eps)
+
+	baseline := map[int]float64{}
+
+	// Phase 1: consistent-hash fleet, cold then warm pass of the same
+	// trace.
+	hashFleet := newFleet(nReplicas)
+	defer hashFleet.close()
+	hashRouter, hashFront, err := hashFleet.front(shard.PolicyHash, seed)
+	if err != nil {
+		return err
+	}
+	defer hashRouter.Close()
+	defer hashFront.Close()
+
+	coldStart := time.Now()
+	makespans, err := replayTrace(hashFront.URL, corpus, fams, trace, concurrency, eps, backend)
+	if err != nil {
+		return fmt.Errorf("hash cold pass: %w", err)
+	}
+	if err := checkTrace("hash cold pass", trace, makespans, names, baseline); err != nil {
+		return err
+	}
+	coldStats, err := fetchRouterStats(hashFront.URL, len(trace))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hash cold pass:   p50 %s  p99 %s  (%s wall)\n",
+		us(coldStats.Window.P50), us(coldStats.Window.P99), time.Since(coldStart).Round(time.Millisecond))
+
+	makespans, err = replayTrace(hashFront.URL, corpus, fams, trace, concurrency, eps, backend)
+	if err != nil {
+		return fmt.Errorf("hash warm pass: %w", err)
+	}
+	if err := checkTrace("hash warm pass", trace, makespans, names, baseline); err != nil {
+		return err
+	}
+	hashStats, err := fetchRouterStats(hashFront.URL, len(trace))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hash warm pass:   p50 %s  p99 %s  (fallback retries %d)\n",
+		us(hashStats.Window.P50), us(hashStats.Window.P99), hashStats.Router.FallbackRetries)
+
+	// Per-replica view: routed share from the router, hit rate from each
+	// replica's own stats.
+	for i, url := range hashFleet.urls {
+		st, err := fetchStats(url, 1)
+		if err != nil {
+			return err
+		}
+		hits, misses := st.Cache.Hits, st.Cache.Misses
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		var routed int64
+		for _, r := range hashStats.Replicas {
+			if r.URL == url {
+				routed = r.Routed
+			}
+		}
+		fmt.Printf("  replica %d: %4d routed, %d entries, hit rate %.0f%% (%d hits / %d misses)\n",
+			i, routed, st.Cache.Entries, 100*rate, hits, misses)
+	}
+
+	// Phase 2: ablation — a fresh fleet behind random placement replays
+	// the identical trace. Cold caches everywhere, so any warm-pass gap
+	// vs phase 1 is pure routing.
+	randFleet := newFleet(nReplicas)
+	defer randFleet.close()
+	randRouter, randFront, err := randFleet.front(shard.PolicyRandom, seed)
+	if err != nil {
+		return err
+	}
+	defer randRouter.Close()
+	defer randFront.Close()
+
+	makespans, err = replayTrace(randFront.URL, corpus, fams, trace, concurrency, eps, backend)
+	if err != nil {
+		return fmt.Errorf("random cold pass: %w", err)
+	}
+	if err := checkTrace("random cold pass", trace, makespans, names, baseline); err != nil {
+		return err
+	}
+	makespans, err = replayTrace(randFront.URL, corpus, fams, trace, concurrency, eps, backend)
+	if err != nil {
+		return fmt.Errorf("random warm pass: %w", err)
+	}
+	if err := checkTrace("random warm pass", trace, makespans, names, baseline); err != nil {
+		return err
+	}
+	randStats, err := fetchRouterStats(randFront.URL, len(trace))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("random warm pass: p50 %s  p99 %s\n", us(randStats.Window.P50), us(randStats.Window.P99))
+
+	ratio := float64(randStats.Window.P50) / float64(max64(hashStats.Window.P50, 1))
+	verdict := "PASS"
+	if ratio < routeSpeedup {
+		verdict = "FAIL"
+	}
+	fmt.Printf("routed vs random warm p50: %s vs %s = %.1fx (threshold %.1fx): %s\n",
+		us(hashStats.Window.P50), us(randStats.Window.P50), ratio, routeSpeedup, verdict)
+	if verdict == "FAIL" {
+		return fmt.Errorf("hash routing warm p50 only %.2fx better than random, need %.1fx", ratio, routeSpeedup)
+	}
+
+	// Phase 3: snapshot warm-start. Export every hash-fleet cache with
+	// the versioned snapshot codec, import all of them into one fresh
+	// replica, and replay the trace against it directly: the first pass
+	// must already be warm.
+	var snaps []*bytes.Buffer
+	var snapBytes int64
+	exported := 0
+	for _, srv := range hashFleet.servers {
+		var buf bytes.Buffer
+		n, err := bagsched.ExportCacheSnapshot(srv.Cache(), &buf)
+		if err != nil {
+			return fmt.Errorf("snapshot export: %w", err)
+		}
+		exported += n
+		snapBytes += int64(buf.Len())
+		snaps = append(snaps, &buf)
+	}
+
+	warm := server.New(server.Config{})
+	warmTS := httptest.NewServer(warm.Handler())
+	defer warmTS.Close()
+	importStart := time.Now()
+	loaded := 0
+	for _, buf := range snaps {
+		st, err := bagsched.ImportCacheSnapshot(warm.Cache(), buf)
+		if err != nil {
+			return fmt.Errorf("snapshot import: %w", err)
+		}
+		warm.RecordSnapshot(st.Loaded, st.Skipped())
+		loaded += st.Loaded
+	}
+	importDur := time.Since(importStart)
+	fmt.Printf("snapshot warm-start: %d entries (%s) from %d replicas imported as %d in %s\n",
+		exported, bytesHuman(snapBytes), nReplicas, loaded, importDur.Round(time.Microsecond))
+
+	makespans, err = replayTrace(warmTS.URL, corpus, fams, trace, concurrency, eps, backend)
+	if err != nil {
+		return fmt.Errorf("snapshot warm pass: %w", err)
+	}
+	if err := checkTrace("snapshot warm pass", trace, makespans, names, baseline); err != nil {
+		return err
+	}
+	warmStats, err := fetchStats(warmTS.URL, len(trace))
+	if err != nil {
+		return err
+	}
+	hits, misses := warmStats.Cache.Hits, warmStats.Cache.Misses
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	verdict = "PASS"
+	if rate < hitRateMin {
+		verdict = "FAIL"
+	}
+	fmt.Printf("snapshot-warmed first pass: p50 %s  hit rate %.0f%% (%d hits / %d misses, threshold %.0f%%): %s\n",
+		us(warmStats.Window.P50), 100*rate, hits, misses, 100*hitRateMin, verdict)
+	if verdict == "FAIL" {
+		return fmt.Errorf("snapshot-warmed hit rate %.0f%% below %.0f%%", 100*rate, 100*hitRateMin)
+	}
+	fmt.Printf("bit-identity: %d distinct instances agreed across all passes and fleets\n", len(baseline))
+	return nil
+}

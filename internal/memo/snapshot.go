@@ -1,0 +1,373 @@
+package memo
+
+// Snapshot format: a versioned, checksummed serialization of a cache's
+// committed entries (positive and negative), so a replica can persist
+// its warm state on graceful shutdown, warm-start on boot, or ship the
+// file to a peer. Entries are location-independent by construction —
+// a Key is a pure function of the scaled-rounded instance signature and
+// the solve configuration, never of the process that computed it — so a
+// snapshot written by one replica is valid input for any other replica
+// running the same code.
+//
+// The cache stores values as opaque `any`, so serialization is split:
+// this package owns the container (header, per-entry framing, ordering,
+// checksum) and the caller supplies the value codec (the pipeline layer
+// encodes its Result in exact fixed-point/integer payloads). Negative
+// entries need no caller codec — the error text is the payload.
+//
+// # Layout
+//
+//	magic   "bgms" (4 bytes)
+//	version uint32 little-endian (currently 1)
+//	count   uint32 little-endian
+//	count records:
+//	  key     M, N int32; H0, H1, Aux uint64 (little-endian)
+//	  cost    int64
+//	  kind    byte (0 positive, 1 negative)
+//	  payload uint32 length + bytes (codec output, or error text)
+//	crc     uint64 little-endian CRC-64/ECMA of everything before it
+//
+// Records are ordered least-recently-used first, so an importer that
+// links each record at the LRU head reproduces the exporter's recency
+// order, and an importer with a smaller budget keeps the hottest
+// suffix.
+//
+// # Versioning contract
+//
+// The container version changes only when this layout changes; value
+// payloads carry their own codec version (first payload byte, owned by
+// the caller's codec). A reader rejects unknown container versions with
+// ErrSnapshotVersion and any framing or checksum damage with
+// ErrSnapshotCorrupt — callers treat both as "skip the snapshot and
+// start cold", never as fatal. An entry whose payload the value codec
+// rejects is skipped individually; the rest of the snapshot still
+// loads.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+)
+
+// snapshotMagic and snapshotVersion identify the container format.
+var snapshotMagic = [4]byte{'b', 'g', 'm', 's'}
+
+const snapshotVersion = 1
+
+// Sanity bounds applied while parsing untrusted snapshot bytes; both are
+// far above anything a real cache produces but keep a corrupt or
+// adversarial length field from driving huge allocations before the
+// checksum verdict is in.
+const (
+	maxSnapshotEntries = 1 << 24
+	maxPayloadBytes    = 1 << 28
+)
+
+// ErrSnapshotVersion reports a snapshot written by an unknown container
+// version; ErrSnapshotCorrupt reports framing or checksum damage.
+// Callers are expected to log and start cold on either.
+var (
+	ErrSnapshotVersion = errors.New("memo: unsupported snapshot version")
+	ErrSnapshotCorrupt = errors.New("memo: corrupt snapshot")
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Len reports the number of committed entries (in-flight claims are not
+// counted).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats.Entries
+}
+
+// CostUsed reports the current total cost of committed entries.
+func (c *Cache) CostUsed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cost
+}
+
+// exported is the under-lock copy of one committed entry taken by
+// Export: everything needed to serialize the entry after the lock is
+// released. value is referenced, not copied — cached values are
+// immutable by the package contract, so reading them outside the lock
+// is safe.
+type exported struct {
+	key   Key
+	cost  int64
+	value any
+	err   error
+}
+
+// Export writes a snapshot of every committed entry to w. enc encodes a
+// positive entry's value; returning ok=false skips that entry (a value
+// the caller's codec does not cover), which is counted in the returned
+// skipped total. Negative entries are serialized as their error text
+// and need no codec.
+//
+// Export observes the cache under its lock only long enough to copy the
+// entry list (keys, costs and value references) — encoding and I/O all
+// happen outside the lock, so a snapshot of a large cache never stalls
+// concurrent solvers. Exporting is read-only: it does not touch LRU
+// recency order and perturbs no counter, so a mid-traffic export is
+// invisible to cache behaviour (unit-tested).
+func (c *Cache) Export(w io.Writer, enc func(value any) ([]byte, bool)) (written, skipped int, err error) {
+	c.mu.Lock()
+	entries := make([]exported, 0, c.stats.Entries)
+	// Tail (least recently used) first; see the layout notes above.
+	for e := c.tail; e != nil; e = e.prev {
+		entries = append(entries, exported{key: e.key, cost: e.cost, value: e.value, err: e.err})
+	}
+	c.mu.Unlock()
+
+	// Encode values first: entries the codec cannot express drop out of
+	// the count before the header is written.
+	type record struct {
+		exported
+		payload []byte
+		neg     bool
+	}
+	records := make([]record, 0, len(entries))
+	for _, e := range entries {
+		r := record{exported: e}
+		if e.err != nil {
+			r.neg = true
+			r.payload = []byte(e.err.Error())
+		} else {
+			p, ok := enc(e.value)
+			if !ok {
+				skipped++
+				continue
+			}
+			r.payload = p
+		}
+		if len(r.payload) > maxPayloadBytes {
+			skipped++
+			continue
+		}
+		records = append(records, r)
+	}
+
+	cw := &crcWriter{w: w}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, snapshotMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, snapshotVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(records)))
+	if _, err := cw.Write(buf); err != nil {
+		return 0, skipped, err
+	}
+	for _, r := range records {
+		buf = buf[:0]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.key.Sig.M))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.key.Sig.N))
+		buf = binary.LittleEndian.AppendUint64(buf, r.key.Sig.H0)
+		buf = binary.LittleEndian.AppendUint64(buf, r.key.Sig.H1)
+		buf = binary.LittleEndian.AppendUint64(buf, r.key.Aux)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.cost))
+		if r.neg {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.payload)))
+		if _, err := cw.Write(buf); err != nil {
+			return 0, skipped, err
+		}
+		if _, err := cw.Write(r.payload); err != nil {
+			return 0, skipped, err
+		}
+	}
+	var foot [8]byte
+	binary.LittleEndian.PutUint64(foot[:], cw.sum)
+	if _, err := w.Write(foot[:]); err != nil {
+		return 0, skipped, err
+	}
+	return len(records), skipped, nil
+}
+
+// crcWriter forwards to w while accumulating a CRC-64/ECMA of every
+// byte written through it.
+type crcWriter struct {
+	w   io.Writer
+	sum uint64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc64.Update(c.sum, crcTable, p[:n])
+	return n, err
+}
+
+// ImportStats reports what Import did with a snapshot.
+type ImportStats struct {
+	// Loaded is the number of entries committed into the cache;
+	// LoadedNegative is the subset caching a rejection.
+	Loaded         int
+	LoadedNegative int
+	// SkippedExisting counts entries whose key was already present (the
+	// live entry wins), SkippedBudget entries dropped because the cache
+	// budget could not fit them (the coldest entries drop first), and
+	// SkippedDecode entries whose payload the value codec rejected.
+	SkippedExisting int
+	SkippedBudget   int
+	SkippedDecode   int
+}
+
+// Skipped is the total number of snapshot entries not loaded.
+func (s ImportStats) Skipped() int {
+	return s.SkippedExisting + s.SkippedBudget + s.SkippedDecode
+}
+
+// Import loads a snapshot written by Export into the cache. dec decodes
+// a positive entry's payload back into a cache value; an entry dec
+// rejects is skipped, not fatal. A snapshot from an unknown container
+// version fails with ErrSnapshotVersion, framing or checksum damage
+// with ErrSnapshotCorrupt; in both cases the cache is left untouched.
+//
+// Entries already present in the cache are skipped (the live state
+// wins). When the snapshot does not fit the cache budget the
+// least-recently-used entries are dropped first, so a replica with a
+// smaller budget inherits the hottest slice of a bigger one's state.
+// Like Export, Import never holds the cache lock across I/O or
+// decoding: the snapshot is parsed and decoded first, then committed
+// under one short critical section.
+func (c *Cache) Import(r io.Reader, dec func(payload []byte) (value any, err error)) (ImportStats, error) {
+	var st ImportStats
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return st, err
+	}
+	if len(data) < 20 {
+		return st, fmt.Errorf("%w: truncated header (%d bytes)", ErrSnapshotCorrupt, len(data))
+	}
+	if [4]byte(data[:4]) != snapshotMagic {
+		return st, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != snapshotVersion {
+		return st, fmt.Errorf("%w: got %d, want %d", ErrSnapshotVersion, v, snapshotVersion)
+	}
+	body, foot := data[:len(data)-8], data[len(data)-8:]
+	if crc64.Checksum(body, crcTable) != binary.LittleEndian.Uint64(foot) {
+		return st, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	count := binary.LittleEndian.Uint32(body[8:12])
+	if count > maxSnapshotEntries {
+		return st, fmt.Errorf("%w: implausible entry count %d", ErrSnapshotCorrupt, count)
+	}
+
+	type record struct {
+		key   Key
+		cost  int64
+		value any
+		err   error
+	}
+	records := make([]record, 0, count)
+	off := 12
+	for i := uint32(0); i < count; i++ {
+		// key (32) + cost (8) + kind (1) + payload length (4).
+		if len(body)-off < 45 {
+			return st, fmt.Errorf("%w: truncated record %d", ErrSnapshotCorrupt, i)
+		}
+		var rec record
+		rec.key.Sig.M = int32(binary.LittleEndian.Uint32(body[off:]))
+		rec.key.Sig.N = int32(binary.LittleEndian.Uint32(body[off+4:]))
+		rec.key.Sig.H0 = binary.LittleEndian.Uint64(body[off+8:])
+		rec.key.Sig.H1 = binary.LittleEndian.Uint64(body[off+16:])
+		rec.key.Aux = binary.LittleEndian.Uint64(body[off+24:])
+		rec.cost = int64(binary.LittleEndian.Uint64(body[off+32:]))
+		kind := body[off+40]
+		plen := binary.LittleEndian.Uint32(body[off+41:])
+		off += 45
+		if plen > maxPayloadBytes || len(body)-off < int(plen) {
+			return st, fmt.Errorf("%w: truncated payload in record %d", ErrSnapshotCorrupt, i)
+		}
+		payload := body[off : off+int(plen)]
+		off += int(plen)
+		switch kind {
+		case 0:
+			v, err := dec(payload)
+			if err != nil {
+				st.SkippedDecode++
+				continue
+			}
+			rec.value = v
+		case 1:
+			// Reconstructed rejections lose their concrete error type but
+			// keep their text; the solver layers only branch on nil-ness
+			// (and on cancellation, which is never snapshotted), so this
+			// is behaviour-preserving.
+			rec.err = errors.New(string(payload))
+		default:
+			return st, fmt.Errorf("%w: unknown entry kind %d in record %d", ErrSnapshotCorrupt, kind, i)
+		}
+		if rec.cost < 0 {
+			st.SkippedDecode++
+			continue
+		}
+		records = append(records, rec)
+	}
+	if off != len(body) {
+		return st, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(body)-off)
+	}
+
+	// Budget pass: records are coldest-first, so when they cannot all
+	// fit, drop the leading (cold) prefix and keep the hot suffix.
+	start := 0
+	if c.maxCost > 0 {
+		var need int64
+		for _, rec := range records {
+			need += rec.cost
+		}
+		for start < len(records) && need > c.maxCost {
+			need -= records[start].cost
+			st.SkippedBudget++
+			start++
+		}
+	}
+
+	c.mu.Lock()
+	for _, rec := range records[start:] {
+		if _, ok := c.entries[rec.key]; ok {
+			st.SkippedExisting++
+			continue
+		}
+		e := &entry{
+			key:       rec.key,
+			done:      closedChan,
+			committed: true,
+			value:     rec.value,
+			err:       rec.err,
+			cost:      rec.cost,
+		}
+		c.entries[rec.key] = e
+		c.link(e)
+		c.cost += e.cost
+		c.stats.Entries++
+		if e.err != nil {
+			c.stats.Negative++
+		}
+		st.Loaded++
+		if rec.err != nil {
+			st.LoadedNegative++
+		}
+	}
+	// Imported entries count toward the budget like any commit; if live
+	// traffic raced a concurrent commit past the budget, trim back to it
+	// (the entries just linked at the head are the last to go).
+	if c.maxCost > 0 {
+		c.evict(nil)
+	}
+	c.mu.Unlock()
+	return st, nil
+}
+
+// closedChan is the done channel of entries that were never in flight:
+// imported entries are born committed.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()

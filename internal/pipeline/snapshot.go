@@ -1,0 +1,350 @@
+package pipeline
+
+// Snapshot value codec: the serialization of one memoized pipeline
+// outcome, used by the memo snapshot tier (internal/memo) to persist a
+// replica's warm cache and ship it between replicas.
+//
+// What is serialized is the *serving projection* of a Result — exactly
+// the fields a cache hit feeds back into a solve: the final machine
+// assignment (exact integers, rebindable to any signature-equivalent
+// instance via Result.cloneFor) plus every counter the solver
+// statistics absorb (oracle work, classification constants, placement
+// and lift repairs, pattern-space sizes). Heavyweight intermediate
+// artifacts (the scaled instance, the enumerated pattern space's
+// contents, the transformation) are not shipped: a decoded Result
+// serves warm requests bit-identically — the snapshot differential
+// test at the repository root proves it corpus-wide — but is not a
+// substitute for a fresh RunPipeline when a caller wants to inspect
+// intermediates. Everything on the wire is integral (counts, exact
+// fixed-point-derived assignments) except the backend name; no floats
+// are serialized, so the payload is platform-independent by
+// construction.
+//
+// The payload's first byte is its codec version; DecodeResult rejects
+// unknown versions, which the memo importer treats as a per-entry skip
+// (never fatal). Bump resultCodecVersion whenever the field set below
+// changes.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/pattern"
+	"repro/internal/sched"
+)
+
+const resultCodecVersion = 1
+
+// Decode-side sanity bounds: a corrupt length must not drive a huge
+// allocation. Both are far above anything the solver produces.
+const (
+	maxSnapshotJobs     = 1 << 24
+	maxSnapshotPatterns = 1 << 24
+)
+
+// ErrSnapshotCodec reports a payload DecodeResult cannot interpret.
+var ErrSnapshotCodec = errors.New("pipeline: bad result snapshot payload")
+
+// presence bits of the shape byte.
+const (
+	hasInfo = 1 << iota
+	hasSpace
+	hasRelInfo
+	hasRelSpace
+	hasFinal
+)
+
+// EncodeResult serializes the serving projection of r.
+func EncodeResult(r *Result) []byte {
+	buf := make([]byte, 0, 64+10*len(finalMachine(r)))
+	buf = append(buf, resultCodecVersion)
+	buf = putUvarint(buf, uint64(r.Attempts))
+	buf = putUvarint(buf, uint64(r.IntegerVars))
+	buf = putUvarint(buf, uint64(r.MILPNodes))
+
+	os := r.OracleStats
+	buf = putString(buf, os.Backend)
+	buf = putUvarint(buf, uint64(os.Nodes))
+	buf = putUvarint(buf, uint64(os.Pivots))
+	buf = putUvarint(buf, uint64(os.States))
+	buf = putUvarint(buf, uint64(os.Raced))
+	buf = putUvarint(buf, uint64(os.LoserNodes))
+	buf = putUvarint(buf, uint64(os.LoserStates))
+	buf = putUvarint(buf, uint64(os.LoserTime))
+	buf = putUvarint(buf, uint64(os.Workers))
+	buf = putUvarint(buf, uint64(os.Steals))
+	buf = putUvarint(buf, uint64(os.SpecUsed))
+
+	ps := r.PlaceStats
+	for _, v := range []int{ps.MachinesUsed, ps.EmptySlots, ps.XConflicts, ps.SwapRepairs, ps.OriginMoves, ps.GenericMoves} {
+		buf = putUvarint(buf, uint64(v))
+	}
+	ls := r.LiftStats
+	for _, v := range []int{ls.MediumInserted, ls.MachineCap, ls.FillerSwaps, ls.FallbackMoves} {
+		buf = putUvarint(buf, uint64(v))
+	}
+
+	var shape byte
+	if r.Info != nil {
+		shape |= hasInfo
+	}
+	if r.Space != nil {
+		shape |= hasSpace
+	}
+	if r.RelInfo != nil {
+		shape |= hasRelInfo
+	}
+	if r.RelSpace != nil {
+		shape |= hasRelSpace
+	}
+	if r.Final != nil {
+		shape |= hasFinal
+	}
+	buf = append(buf, shape)
+	if r.Info != nil {
+		buf = putUvarint(buf, uint64(r.Info.K))
+		buf = putUvarint(buf, uint64(r.Info.Q))
+		buf = putUvarint(buf, uint64(r.Info.BPrime))
+		// The statistics count priority bags over the transformed vector
+		// when a transformation ran; snapshot the effective count.
+		prio := r.Info.Priority
+		if r.Transformed != nil {
+			prio = r.Transformed.Priority
+		}
+		n := 0
+		for _, b := range prio {
+			if b {
+				n++
+			}
+		}
+		buf = putUvarint(buf, uint64(n))
+	}
+	if r.Space != nil {
+		buf = putUvarint(buf, uint64(len(r.Space.Patterns)))
+	}
+	if r.RelInfo != nil {
+		buf = putUvarint(buf, uint64(len(r.RelInfo.Sizes)))
+	}
+	if r.RelSpace != nil {
+		buf = putUvarint(buf, uint64(r.RelSpace.TotalPatterns()))
+	}
+	if r.Final != nil {
+		buf = putUvarint(buf, uint64(len(r.Final.Machine)))
+		for _, m := range r.Final.Machine {
+			buf = putVarint(buf, int64(m))
+		}
+	}
+	return buf
+}
+
+// DecodeResult reconstructs the serving projection encoded by
+// EncodeResult. The returned Result serves memo hits bit-identically to
+// the original (final assignment, all absorbed statistics); stand-in
+// artifacts carry only the quantities the statistics read (pattern
+// counts, classification constants), not the full intermediate state.
+func DecodeResult(payload []byte) (*Result, error) {
+	d := &decoder{buf: payload}
+	if v := d.byte(); v != resultCodecVersion {
+		return nil, fmt.Errorf("%w: codec version %d, want %d", ErrSnapshotCodec, v, resultCodecVersion)
+	}
+	r := &Result{}
+	r.Attempts = int(d.uvarint())
+	r.IntegerVars = int(d.uvarint())
+	r.MILPNodes = int(d.uvarint())
+
+	r.OracleStats.Backend = d.string()
+	r.OracleStats.Nodes = int(d.uvarint())
+	r.OracleStats.Pivots = int(d.uvarint())
+	r.OracleStats.States = int64(d.uvarint())
+	r.OracleStats.Raced = int(d.uvarint())
+	r.OracleStats.LoserNodes = int(d.uvarint())
+	r.OracleStats.LoserStates = int64(d.uvarint())
+	r.OracleStats.LoserTime = time.Duration(d.uvarint())
+	r.OracleStats.Workers = int(d.uvarint())
+	r.OracleStats.Steals = int64(d.uvarint())
+	r.OracleStats.SpecUsed = int64(d.uvarint())
+
+	r.PlaceStats.MachinesUsed = int(d.uvarint())
+	r.PlaceStats.EmptySlots = int(d.uvarint())
+	r.PlaceStats.XConflicts = int(d.uvarint())
+	r.PlaceStats.SwapRepairs = int(d.uvarint())
+	r.PlaceStats.OriginMoves = int(d.uvarint())
+	r.PlaceStats.GenericMoves = int(d.uvarint())
+	r.LiftStats.MediumInserted = int(d.uvarint())
+	r.LiftStats.MachineCap = int(d.uvarint())
+	r.LiftStats.FillerSwaps = int(d.uvarint())
+	r.LiftStats.FallbackMoves = int(d.uvarint())
+
+	shape := d.byte()
+	if shape&hasInfo != 0 {
+		info := &classify.Info{
+			K:      int(d.uvarint()),
+			Q:      int(d.uvarint()),
+			BPrime: int(d.uvarint()),
+		}
+		prio := d.uvarint()
+		if prio > maxSnapshotJobs {
+			return nil, fmt.Errorf("%w: implausible priority count %d", ErrSnapshotCodec, prio)
+		}
+		info.Priority = make([]bool, prio)
+		for i := range info.Priority {
+			info.Priority[i] = true
+		}
+		r.Info = info
+	}
+	if shape&hasSpace != 0 {
+		n := d.uvarint()
+		if n > maxSnapshotPatterns {
+			return nil, fmt.Errorf("%w: implausible pattern count %d", ErrSnapshotCodec, n)
+		}
+		r.Space = &pattern.Space{Patterns: make([]pattern.Pattern, n)}
+	}
+	if shape&hasRelInfo != 0 {
+		n := d.uvarint()
+		if n > maxSnapshotJobs {
+			return nil, fmt.Errorf("%w: implausible size count %d", ErrSnapshotCodec, n)
+		}
+		r.RelInfo = &classify.RelInfo{Sizes: make([]float64, n)}
+	}
+	if shape&hasRelSpace != 0 {
+		n := d.uvarint()
+		if n > maxSnapshotPatterns {
+			return nil, fmt.Errorf("%w: implausible related pattern count %d", ErrSnapshotCodec, n)
+		}
+		r.RelSpace = &pattern.RelSpace{Classes: [][]pattern.RelPattern{make([]pattern.RelPattern, n)}}
+	}
+	if shape&hasFinal != 0 {
+		n := d.uvarint()
+		if n > maxSnapshotJobs {
+			return nil, fmt.Errorf("%w: implausible job count %d", ErrSnapshotCodec, n)
+		}
+		machine := make([]int, n)
+		for i := range machine {
+			machine[i] = int(d.varint())
+		}
+		// Inst is deliberately nil: a cache hit rebinds the schedule to
+		// the requesting instance (Result.cloneFor), and the producing
+		// instance never crosses the snapshot boundary.
+		r.Final = &sched.Schedule{Machine: machine}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCodec, len(d.buf)-d.off)
+	}
+	return r, nil
+}
+
+// SnapshotEncoder adapts EncodeResult to the memo.Cache.Export codec
+// contract: values that are not pipeline Results (a cache shared with
+// some future layer) are skipped, not errors.
+func SnapshotEncoder() func(value any) ([]byte, bool) {
+	return func(value any) ([]byte, bool) {
+		r, ok := value.(*Result)
+		if !ok || r == nil {
+			return nil, false
+		}
+		return EncodeResult(r), true
+	}
+}
+
+// SnapshotDecoder adapts DecodeResult to the memo.Cache.Import codec
+// contract.
+func SnapshotDecoder() func(payload []byte) (any, error) {
+	return func(payload []byte) (any, error) {
+		return DecodeResult(payload)
+	}
+}
+
+// finalMachine sizes the encoder's buffer hint.
+func finalMachine(r *Result) []int {
+	if r.Final == nil {
+		return nil
+	}
+	return r.Final.Machine
+}
+
+func putUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+func putVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+func putString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder reads the payload with sticky error state; every accessor
+// returns the zero value once an error is latched, so call sites stay
+// linear.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrSnapshotCodec}, args...)...)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated at byte %d", d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at byte %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at byte %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<16 || d.off+int(n) > len(d.buf) {
+		d.fail("bad string length %d at byte %d", n, d.off)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}

@@ -1,0 +1,206 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/oracle"
+	"repro/internal/pattern"
+	"repro/internal/placer"
+	"repro/internal/sched"
+	"repro/internal/transform"
+)
+
+// sampleResult populates every field the serving projection carries,
+// with distinct values so a transposed field shows up.
+func sampleResult() *Result {
+	return &Result{
+		Guess:       1.5,
+		Attempts:    3,
+		IntegerVars: 12,
+		MILPNodes:   44,
+		OracleStats: oracle.Stats{
+			Backend: "portfolio", Nodes: 44, Pivots: 9, States: 12345,
+			Raced: 2, LoserNodes: 5, LoserStates: 67, LoserTime: 3 * time.Millisecond,
+			Workers: 4, Steals: 11, SpecUsed: 1,
+		},
+		PlaceStats: placer.Stats{
+			MachinesUsed: 6, EmptySlots: 2, XConflicts: 1,
+			SwapRepairs: 3, OriginMoves: 4, GenericMoves: 5,
+		},
+		LiftStats: transform.LiftStats{
+			MediumInserted: 7, MachineCap: 8, FillerSwaps: 9, FallbackMoves: 10,
+		},
+		Info:  &classify.Info{K: 4, Q: 7, BPrime: 2, Priority: []bool{true, false, true, false}},
+		Space: &pattern.Space{Patterns: make([]pattern.Pattern, 17)},
+		Final: &sched.Schedule{Machine: []int{0, 1, 2, 0, 1, 5}},
+	}
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	r := sampleResult()
+	got, err := DecodeResult(EncodeResult(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attempts != r.Attempts || got.IntegerVars != r.IntegerVars || got.MILPNodes != r.MILPNodes {
+		t.Fatalf("counters: got %d/%d/%d", got.Attempts, got.IntegerVars, got.MILPNodes)
+	}
+	if got.OracleStats != r.OracleStats {
+		t.Fatalf("oracle stats: got %+v, want %+v", got.OracleStats, r.OracleStats)
+	}
+	if got.PlaceStats != r.PlaceStats {
+		t.Fatalf("place stats: got %+v, want %+v", got.PlaceStats, r.PlaceStats)
+	}
+	if got.LiftStats != r.LiftStats {
+		t.Fatalf("lift stats: got %+v, want %+v", got.LiftStats, r.LiftStats)
+	}
+	if got.Info == nil || got.Info.K != 4 || got.Info.Q != 7 || got.Info.BPrime != 2 {
+		t.Fatalf("info: got %+v", got.Info)
+	}
+	// The stand-in priority vector must preserve the *count* the solver
+	// statistics read, not the literal bits.
+	if want := countTrue(r.Info.Priority); countTrue(got.Info.Priority) != want {
+		t.Fatalf("priority count %d, want %d", countTrue(got.Info.Priority), want)
+	}
+	if got.Space == nil || len(got.Space.Patterns) != len(r.Space.Patterns) {
+		t.Fatalf("space: got %+v", got.Space)
+	}
+	if got.RelInfo != nil || got.RelSpace != nil {
+		t.Fatal("related stand-ins materialized for a bags-shaped result")
+	}
+	if got.Final == nil || got.Final.Inst != nil {
+		t.Fatalf("final: got %+v (Inst must stay nil until a hit rebinds it)", got.Final)
+	}
+	for i, m := range r.Final.Machine {
+		if got.Final.Machine[i] != m {
+			t.Fatalf("machine[%d] = %d, want %d", i, got.Final.Machine[i], m)
+		}
+	}
+}
+
+// TestResultCodecTransformedPriority: when the Section 2.2
+// transformation ran, the effective priority vector is the transformed
+// one; the snapshot must carry that count.
+func TestResultCodecTransformedPriority(t *testing.T) {
+	r := sampleResult()
+	r.Transformed = &transform.Transformed{Priority: []bool{true, true, true, true, true}}
+	got, err := DecodeResult(EncodeResult(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countTrue(got.Info.Priority) != 5 {
+		t.Fatalf("priority count %d, want the transformed vector's 5", countTrue(got.Info.Priority))
+	}
+}
+
+func TestResultCodecRelated(t *testing.T) {
+	r := &Result{
+		Attempts:    1,
+		OracleStats: oracle.Stats{Backend: "cfgdp", States: 9},
+		RelInfo:     &classify.RelInfo{Sizes: []float64{1, 2, 3}},
+		RelSpace: &pattern.RelSpace{Classes: [][]pattern.RelPattern{
+			make([]pattern.RelPattern, 4), make([]pattern.RelPattern, 6),
+		}},
+		Final: &sched.Schedule{Machine: []int{2, 0, 1}},
+	}
+	got, err := DecodeResult(EncodeResult(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RelInfo == nil || len(got.RelInfo.Sizes) != 3 {
+		t.Fatalf("relinfo: got %+v", got.RelInfo)
+	}
+	if got.RelSpace == nil || got.RelSpace.TotalPatterns() != 10 {
+		t.Fatalf("relspace total %d, want 10", got.RelSpace.TotalPatterns())
+	}
+	if got.Info != nil || got.Space != nil {
+		t.Fatal("bags stand-ins materialized for a related result")
+	}
+}
+
+// TestResultCodecRejection: negative entries have no Final and no
+// artifacts at all — the zero shape must round-trip.
+func TestResultCodecRejection(t *testing.T) {
+	r := &Result{Attempts: 2, OracleStats: oracle.Stats{Backend: "bnb", Nodes: 31}, MILPNodes: 31}
+	got, err := DecodeResult(EncodeResult(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Final != nil || got.Info != nil || got.Space != nil || got.RelInfo != nil || got.RelSpace != nil {
+		t.Fatalf("artifacts materialized from an empty shape: %+v", got)
+	}
+	if got.MILPNodes != 31 || got.OracleStats.Backend != "bnb" {
+		t.Fatalf("counters lost: %+v", got)
+	}
+}
+
+func TestResultCodecRejectsDamage(t *testing.T) {
+	good := EncodeResult(sampleResult())
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"unknown version", func(b []byte) []byte { b[0] = resultCodecVersion + 1; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-2] }},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mut(append([]byte(nil), good...))
+			if _, err := DecodeResult(data); !errors.Is(err, ErrSnapshotCodec) {
+				t.Fatalf("got %v, want ErrSnapshotCodec", err)
+			}
+		})
+	}
+}
+
+func TestSnapshotEncoderSkipsForeignValues(t *testing.T) {
+	enc := SnapshotEncoder()
+	if _, ok := enc("not a result"); ok {
+		t.Fatal("encoder accepted a non-Result value")
+	}
+	if _, ok := enc((*Result)(nil)); ok {
+		t.Fatal("encoder accepted a nil Result")
+	}
+	if _, ok := enc(sampleResult()); !ok {
+		t.Fatal("encoder rejected a real Result")
+	}
+}
+
+// FuzzDecodeResult: arbitrary payloads must never panic or
+// over-allocate; whatever decodes must re-encode decodably (the codec
+// is closed over its own output).
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(EncodeResult(sampleResult()))
+	f.Add(EncodeResult(&Result{}))
+	f.Add(EncodeResult(&Result{
+		RelInfo:  &classify.RelInfo{Sizes: make([]float64, 2)},
+		RelSpace: &pattern.RelSpace{Classes: [][]pattern.RelPattern{make([]pattern.RelPattern, 3)}},
+		Final:    &sched.Schedule{Machine: []int{-1, 0, 7}},
+	}))
+	f.Add([]byte{resultCodecVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeResult(EncodeResult(r)); err != nil {
+			t.Fatalf("decoded result failed to re-decode: %v", err)
+		}
+	})
+}

@@ -6,21 +6,21 @@ import (
 	"time"
 )
 
-// latencyRing records the most recent solve latencies in a fixed-size
+// LatencyRing records the most recent solve latencies in a fixed-size
 // ring and reports percentiles over the whole buffer or over the last
 // window entries. The load driver replays a workload pass, then asks
 // for percentiles over exactly that pass's window — comparing a cold
 // pass against a warm one without the server having to know where one
 // pass ends and the next begins.
-type latencyRing struct {
+type LatencyRing struct {
 	mu    sync.Mutex
 	buf   []int64 // microseconds, ring-ordered
 	next  int     // next write position
 	total int64   // lifetime recorded count
 }
 
-// latencySummary is a percentile digest on the wire (microseconds).
-type latencySummary struct {
+// LatencySummary is a percentile digest on the wire (microseconds).
+type LatencySummary struct {
 	// Count is the number of samples summarized; Total is the lifetime
 	// number recorded (Total > Count once the ring has wrapped or a
 	// window was requested).
@@ -32,11 +32,11 @@ type latencySummary struct {
 	Max   int64 `json:"max_us"`
 }
 
-func newLatencyRing(capacity int) *latencyRing {
-	return &latencyRing{buf: make([]int64, 0, capacity)}
+func NewLatencyRing(capacity int) *LatencyRing {
+	return &LatencyRing{buf: make([]int64, 0, capacity)}
 }
 
-func (l *latencyRing) record(d time.Duration) {
+func (l *LatencyRing) Record(d time.Duration) {
 	us := d.Microseconds()
 	l.mu.Lock()
 	if len(l.buf) < cap(l.buf) {
@@ -51,7 +51,7 @@ func (l *latencyRing) record(d time.Duration) {
 
 // percentiles digests the last window samples (window <= 0 or larger
 // than the buffer: every buffered sample).
-func (l *latencyRing) percentiles(window int) latencySummary {
+func (l *LatencyRing) Percentiles(window int) LatencySummary {
 	l.mu.Lock()
 	n := len(l.buf)
 	if window <= 0 || window > n {
@@ -65,7 +65,7 @@ func (l *latencyRing) percentiles(window int) latencySummary {
 	total := l.total
 	l.mu.Unlock()
 
-	sum := latencySummary{Count: len(samples), Total: total}
+	sum := LatencySummary{Count: len(samples), Total: total}
 	if len(samples) == 0 {
 		return sum
 	}

@@ -54,6 +54,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/oracle"
 	"repro/internal/sched"
+	"repro/internal/wire"
 )
 
 // Defaults for Config zero values.
@@ -107,7 +108,7 @@ type Server struct {
 	cache  *memo.Cache
 	queue  *batch.Queue
 	flight *flight
-	lat    *latencyRing
+	lat    *LatencyRing
 	// fams tracks per-problem-family solve counts and latencies, keyed
 	// by family name; built once in New for every registered family.
 	fams  map[string]*famStats
@@ -127,6 +128,22 @@ type Server struct {
 	oracleParallelSolves atomic.Int64
 	oracleSteals         atomic.Int64
 	oracleSpecUsed       atomic.Int64
+
+	// Cache snapshot warm-start counters (see RecordSnapshot): how many
+	// snapshot imports ran, how many entries they loaded into the shared
+	// cache and how many they skipped (already present, over budget, or
+	// undecodable).
+	snapshotLoads   atomic.Int64
+	snapshotEntries atomic.Int64
+	snapshotSkipped atomic.Int64
+}
+
+// RecordSnapshot notes one cache snapshot import (a warm start) so it
+// shows up in /v1/stats and /metrics alongside the cache counters.
+func (s *Server) RecordSnapshot(loaded, skipped int) {
+	s.snapshotLoads.Add(1)
+	s.snapshotEntries.Add(int64(loaded))
+	s.snapshotSkipped.Add(int64(skipped))
 }
 
 // New returns a service with one shared cache and one shared queue for
@@ -162,14 +179,14 @@ func New(cfg Config) *Server {
 	}
 	fams := make(map[string]*famStats, len(family.List()))
 	for _, f := range family.List() {
-		fams[f.Name()] = &famStats{lat: newLatencyRing(1 << 12)}
+		fams[f.Name()] = &famStats{lat: NewLatencyRing(1 << 12)}
 	}
 	return &Server{
 		cfg:    cfg,
 		cache:  cache,
 		queue:  batch.NewQueue(cfg.Workers, cfg.QueueDepth),
 		flight: newFlight(),
-		lat:    newLatencyRing(1 << 14),
+		lat:    NewLatencyRing(1 << 14),
 		fams:   fams,
 		start:  time.Now(),
 	}
@@ -178,7 +195,7 @@ func New(cfg Config) *Server {
 // famStats is the per-family slice of the serving metrics.
 type famStats struct {
 	solves atomic.Int64
-	lat    *latencyRing
+	lat    *LatencyRing
 }
 
 // Cache returns the shared cross-request memo.
@@ -213,74 +230,9 @@ func (s *Server) PublishExpvar() {
 	})
 }
 
-// solveRequest is the POST /v1/solve body.
-type solveRequest struct {
-	// Instance is the instance to schedule (required).
-	Instance *sched.Instance `json:"instance"`
-	// Eps overrides the server's default accuracy (0 keeps the default).
-	Eps float64 `json:"eps"`
-	// Backend overrides the oracle backend ("bnb", "cfgdp",
-	// "portfolio"; empty keeps the default).
-	Backend string `json:"backend"`
-	// Family selects the problem family ("bags", "identical",
-	// "related"; empty selects bags, the bag-constrained default).
-	Family string `json:"family"`
-	// TimeoutMS bounds this solve's wall clock; clamped to the server
-	// maximum. 0 selects the server default.
-	TimeoutMS int64 `json:"timeout_ms"`
-	// NoCache bypasses the shared cache for this solve (it still gets a
-	// private per-solve memo, exactly like the CLI). Used by the
-	// differential tests and the load driver's baseline mode.
-	NoCache bool `json:"no_cache"`
-	// OracleWorkers asks for concurrent lanes inside each oracle solve;
-	// clamped to the server's Config.MaxOracleWorkers (which is tied to
-	// the admission worker count). 0 or 1 is sequential. Responses are
-	// bit-identical at any value — the knob trades CPU for latency.
-	OracleWorkers int `json:"oracle_workers"`
-}
-
-// batchRequest is the POST /v1/batch body; the scalar fields apply to
-// every instance.
-type batchRequest struct {
-	Instances     []*sched.Instance `json:"instances"`
-	Eps           float64           `json:"eps"`
-	Backend       string            `json:"backend"`
-	Family        string            `json:"family"`
-	TimeoutMS     int64             `json:"timeout_ms"`
-	NoCache       bool              `json:"no_cache"`
-	OracleWorkers int               `json:"oracle_workers"`
-}
-
-// solveResult is one solved instance on the wire.
-type solveResult struct {
-	Makespan    float64   `json:"makespan"`
-	LowerBound  float64   `json:"lower_bound"`
-	Assignment  []int     `json:"assignment"`
-	Loads       []float64 `json:"loads"`
-	Guesses     int       `json:"guesses"`
-	CacheHits   int       `json:"cache_hits"`
-	CacheMisses int       `json:"cache_misses"`
-	Fallback    bool      `json:"fallback,omitempty"`
-	Backend     string    `json:"backend,omitempty"`
-	Coalesced   bool      `json:"coalesced,omitempty"`
-	ElapsedUS   int64     `json:"elapsed_us"`
-}
-
-// batchItem is one batch outcome: exactly one of the embedded result
-// and Error is meaningful.
-type batchItem struct {
-	*solveResult
-	Error string `json:"error,omitempty"`
-}
-
-type batchResponse struct {
-	Outcomes  []batchItem `json:"outcomes"`
-	ElapsedUS int64       `json:"elapsed_us"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
+// The request/response document types live in internal/wire — the
+// transport-neutral codec shared with the shard router — so this file
+// only keeps the HTTP plumbing around them.
 
 // spec is one decoded, validated solve: the instance, the resolved
 // solver options, the family name (for the per-family counters) and the
@@ -373,37 +325,20 @@ func (s *Server) solveOne(ctx context.Context, sp *spec) (out batch.Outcome, adm
 	return out, admitted, shared
 }
 
-// result shapes one successful outcome for the wire.
-func result(res *core.Result, shared bool, elapsed time.Duration) *solveResult {
-	return &solveResult{
-		Makespan:    res.Makespan,
-		LowerBound:  res.LowerBound,
-		Assignment:  res.Schedule.Machine,
-		Loads:       res.Schedule.Loads(),
-		Guesses:     res.Stats.Guesses,
-		CacheHits:   res.Stats.CacheHits,
-		CacheMisses: res.Stats.CacheMisses,
-		Fallback:    res.Stats.Fallback,
-		Backend:     res.Stats.OracleBackend,
-		Coalesced:   shared,
-		ElapsedUS:   elapsed.Microseconds(),
-	}
-}
-
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	var req solveRequest
+	var req wire.SolveRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
 	sp, err := s.resolve(req.Instance, req.Eps, req.Backend, req.Family, req.NoCache, req.OracleWorkers)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
 		return
 	}
 	ctx, cancel, err := s.solveContext(r, req.TimeoutMS)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
 		return
 	}
 	defer cancel()
@@ -413,7 +348,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	if !admitted {
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"queue full"})
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "queue full"})
 		return
 	}
 	if out.Err != nil {
@@ -421,17 +356,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.solves.Add(1)
-	s.lat.record(elapsed)
+	s.lat.Record(elapsed)
 	s.recordFamily(sp.fam, elapsed)
 	s.recordOracle(out.Result.Stats)
-	writeJSON(w, http.StatusOK, result(out.Result, shared, elapsed))
+	writeJSON(w, http.StatusOK, wire.FromResult(out.Result, shared, elapsed))
 }
 
 // recordFamily feeds the per-family counters of one successful solve.
 func (s *Server) recordFamily(fam string, elapsed time.Duration) {
 	if fs, ok := s.fams[fam]; ok {
 		fs.solves.Add(1)
-		fs.lat.record(elapsed)
+		fs.lat.Record(elapsed)
 	}
 }
 
@@ -447,32 +382,32 @@ func (s *Server) recordOracle(st core.Stats) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	var req batchRequest
+	var req wire.BatchRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
 	if len(req.Instances) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"missing \"instances\""})
+		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: "missing \"instances\""})
 		return
 	}
 	specs := make([]*spec, len(req.Instances))
 	for i, in := range req.Instances {
 		sp, err := s.resolve(in, req.Eps, req.Backend, req.Family, req.NoCache, req.OracleWorkers)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("instance %d: %v", i, err)})
+			writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: fmt.Sprintf("instance %d: %v", i, err)})
 			return
 		}
 		specs[i] = sp
 	}
 	ctx, cancel, err := s.solveContext(r, req.TimeoutMS)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
 		return
 	}
 	defer cancel()
 
 	start := time.Now()
-	items := make([]batchItem, len(specs))
+	items := make([]wire.BatchItem, len(specs))
 	// Fan out at most one item per worker slot: a batch wider than the
 	// whole admission window (workers+depth) must not race itself into
 	// 'queue full' on an idle server — excess items wait here, inside
@@ -488,7 +423,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			case fanout <- struct{}{}:
 			case <-ctx.Done():
 				s.countSolveError(ctx.Err())
-				items[i] = batchItem{Error: ctx.Err().Error()}
+				items[i] = wire.BatchItem{Error: ctx.Err().Error()}
 				return
 			}
 			defer func() { <-fanout }()
@@ -497,21 +432,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			itemElapsed := time.Since(itemStart)
 			switch {
 			case !admitted:
-				items[i] = batchItem{Error: "queue full"}
+				items[i] = wire.BatchItem{Error: "queue full"}
 			case out.Err != nil:
 				s.countSolveError(out.Err)
-				items[i] = batchItem{Error: out.Err.Error()}
+				items[i] = wire.BatchItem{Error: out.Err.Error()}
 			default:
 				s.solves.Add(1)
-				s.lat.record(itemElapsed)
+				s.lat.Record(itemElapsed)
 				s.recordFamily(sp.fam, itemElapsed)
 				s.recordOracle(out.Result.Stats)
-				items[i] = batchItem{solveResult: result(out.Result, shared, itemElapsed)}
+				items[i] = wire.BatchItem{SolveResult: wire.FromResult(out.Result, shared, itemElapsed)}
 			}
 		}(i, sp)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, batchResponse{Outcomes: items, ElapsedUS: time.Since(start).Microseconds()})
+	writeJSON(w, http.StatusOK, wire.BatchResponse{Outcomes: items, ElapsedUS: time.Since(start).Microseconds()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -520,7 +455,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("window"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{"\"window\" must be a positive integer"})
+			writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: "\"window\" must be a positive integer"})
 			return
 		}
 		window = n
@@ -539,7 +474,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	cs := s.cache.Stats()
-	all := s.lat.percentiles(0)
+	all := s.lat.Percentiles(0)
 	type metric struct {
 		name, typ string
 		value     int64
@@ -565,6 +500,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"bagsched_oracle_parallel_solves_total", "counter", s.oracleParallelSolves.Load()},
 		{"bagsched_oracle_worker_steals_total", "counter", s.oracleSteals.Load()},
 		{"bagsched_oracle_worker_adopted_total", "counter", s.oracleSpecUsed.Load()},
+		{"bagsched_snapshot_loads_total", "counter", s.snapshotLoads.Load()},
+		{"bagsched_snapshot_entries_loaded_total", "counter", s.snapshotEntries.Load()},
+		{"bagsched_snapshot_entries_skipped_total", "counter", s.snapshotSkipped.Load()},
 	} {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.typ, m.name, m.value)
 	}
@@ -576,7 +514,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE bagsched_family_solve_latency_p50_microseconds gauge\n")
 	for _, f := range family.List() {
 		fs := s.fams[f.Name()]
-		fmt.Fprintf(w, "bagsched_family_solve_latency_p50_microseconds{family=%q} %d\n", f.Name(), fs.lat.percentiles(0).P50)
+		fmt.Fprintf(w, "bagsched_family_solve_latency_p50_microseconds{family=%q} %d\n", f.Name(), fs.lat.Percentiles(0).P50)
 	}
 }
 
@@ -609,7 +547,12 @@ func (s *Server) statsPayload(window int) map[string]any {
 			"cost_bytes":       cs.Cost,
 			"max_cost_bytes":   cs.MaxCost,
 		},
-		"latency": s.lat.percentiles(0),
+		"latency": s.lat.Percentiles(0),
+		"snapshot": map[string]any{
+			"loads":           s.snapshotLoads.Load(),
+			"entries_loaded":  s.snapshotEntries.Load(),
+			"entries_skipped": s.snapshotSkipped.Load(),
+		},
 		"oracle_workers": map[string]any{
 			"max_per_solve":   s.cfg.MaxOracleWorkers,
 			"parallel_solves": s.oracleParallelSolves.Load(),
@@ -622,32 +565,27 @@ func (s *Server) statsPayload(window int) map[string]any {
 		fs := s.fams[f.Name()]
 		fam := map[string]any{
 			"solves":  fs.solves.Load(),
-			"latency": fs.lat.percentiles(0),
+			"latency": fs.lat.Percentiles(0),
 		}
 		if window > 0 {
-			fam["window"] = fs.lat.percentiles(window)
+			fam["window"] = fs.lat.Percentiles(window)
 		}
 		families[f.Name()] = fam
 	}
 	payload["families"] = families
 	if window > 0 {
-		payload["window"] = s.lat.percentiles(window)
+		payload["window"] = s.lat.Percentiles(window)
 	}
 	return payload
 }
 
-// decode reads a JSON body strictly (unknown fields and trailing data
-// are errors) and answers 400 itself when the body is malformed.
+// decode reads a JSON body strictly via the shared wire codec (unknown
+// fields and trailing data are errors) and answers 400 itself when the
+// body is malformed.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return false
-	}
-	if dec.More() {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"trailing data after JSON body"})
+	if err := wire.Decode(body, dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
 		return false
 	}
 	return true
@@ -662,11 +600,11 @@ func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	s.countSolveError(err)
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"solve deadline exceeded"})
+		writeJSON(w, http.StatusGatewayTimeout, wire.ErrorResponse{Error: "solve deadline exceeded"})
 	case errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"request canceled"})
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "request canceled"})
 	default:
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		writeJSON(w, http.StatusUnprocessableEntity, wire.ErrorResponse{Error: err.Error()})
 	}
 }
 
@@ -680,7 +618,5 @@ func (s *Server) countSolveError(err error) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // the client may be gone; nothing to do
+	wire.Encode(w, v) //nolint:errcheck // the client may be gone; nothing to do
 }

@@ -516,21 +516,21 @@ func TestFlightCoalesces(t *testing.T) {
 }
 
 func TestLatencyRing(t *testing.T) {
-	l := newLatencyRing(4)
-	if sum := l.percentiles(0); sum.Count != 0 {
+	l := NewLatencyRing(4)
+	if sum := l.Percentiles(0); sum.Count != 0 {
 		t.Fatalf("empty ring summary %+v", sum)
 	}
 	for _, ms := range []int64{10, 20, 30, 40, 50, 60} { // wraps: keeps 30..60
-		l.record(time.Duration(ms) * time.Millisecond)
+		l.Record(time.Duration(ms) * time.Millisecond)
 	}
-	all := l.percentiles(0)
+	all := l.Percentiles(0)
 	if all.Count != 4 || all.Total != 6 {
 		t.Fatalf("summary %+v, want count 4 of total 6", all)
 	}
 	if all.Max != 60000 || all.P50 != 40000 {
 		t.Fatalf("summary %+v, want max 60000us p50 40000us", all)
 	}
-	last2 := l.percentiles(2)
+	last2 := l.Percentiles(2)
 	if last2.Count != 2 || last2.P50 != 50000 || last2.Max != 60000 {
 		t.Fatalf("window summary %+v, want the last two samples", last2)
 	}

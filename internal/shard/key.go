@@ -1,0 +1,73 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/family"
+	"repro/internal/numeric"
+	"repro/internal/round"
+	"repro/internal/wire"
+)
+
+// RouteKey hashes a solve request to its point on the ring. The key is
+// built exactly like the memo identity: the instance is scaled by the
+// family lower bound and geometrically rounded at the request's
+// accuracy, and the resulting numeric.Key signature is mixed with every
+// resolved solver knob that partitions the cache (family, eps, backend,
+// cache opt-out). Requests that would share a memo entry therefore
+// always share a route key; requests under different knobs spread
+// independently.
+//
+// defaultEps is the accuracy the replicas apply when the request sets
+// none — the router must mirror it, or a knob-less request and its
+// explicit-eps twin would route differently while hitting the same
+// cache line.
+func RouteKey(req *wire.SolveRequest, defaultEps float64) (uint64, error) {
+	if req.Instance == nil {
+		return 0, fmt.Errorf("shard: missing instance")
+	}
+	eps := req.Eps
+	if eps == 0 {
+		eps = defaultEps
+	}
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("shard: eps %g outside (0,1)", eps)
+	}
+	fam, err := family.Parse(req.Family)
+	if err != nil {
+		return 0, err
+	}
+
+	in := req.Instance
+	h := mix64(uint64(in.Machines)*0x9e3779b97f4a7c15 + uint64(len(in.Jobs)))
+	// The signature of the first binary-search guess: scale by the family
+	// lower bound and round. Any deterministic target works for routing —
+	// equal instances under equal knobs must map to equal keys, and they
+	// do because the lower bound is itself a pure function of the
+	// instance. Degenerate instances (no jobs, zero lower bound) skip the
+	// signature and route on the shape hash alone.
+	if lb := fam.LowerBound(in); lb > 0 && len(in.Jobs) > 0 {
+		_, exps := round.ScaleRound(in, lb, eps)
+		k := numeric.KeyOf(in.Machines, exps)
+		h = mix64(h ^ k.H0)
+		h = mix64(h + k.H1)
+		h = mix64(h ^ uint64(uint32(k.M))<<32 ^ uint64(uint32(k.N)))
+	}
+	h = mix64(h ^ hashString(fam.Name()))
+	h = mix64(h ^ math.Float64bits(eps))
+	h = mix64(h ^ hashString(req.Backend))
+	if req.NoCache {
+		h = mix64(h + 1)
+	}
+	return h, nil
+}
+
+// hashString is 64-bit FNV-1a, finalized by mix64 at the call sites.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,111 @@
+// Package shard routes solve traffic across replicas of the solve
+// service so signature-equivalent requests land on the replica whose
+// memo cache already holds the entry.
+//
+// The routing key is the scaled-rounded instance signature
+// (numeric.Key) — the same identity the memo cache keys on — mixed with
+// the resolved solver knobs, so two requests that would share a cache
+// entry hash to the same point of a consistent-hash ring, regardless of
+// which client sent them or in what order. Replicas join the ring as a
+// configurable number of virtual nodes, which keeps the key space
+// spread even at small replica counts and moves only ~1/N of the keys
+// when a replica is added or removed.
+//
+// The router health-checks its replicas and retries a failed forward on
+// the next distinct replica of the ring sequence with backoff; a
+// fallback solve is merely a cold-cache solve — answers are
+// bit-identical on every replica by the solver's determinism contract,
+// so rerouting is always safe.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ringPoint is one virtual node: a position on the hash circle owned by
+// a replica.
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// Ring is an immutable consistent-hash ring over replica indices.
+type Ring struct {
+	points   []ringPoint
+	replicas int
+}
+
+// DefaultVNodes is the virtual-node count per replica when the caller
+// does not set one: enough to keep the per-replica key share within a
+// few percent of 1/N at the replica counts a single host fronts.
+const DefaultVNodes = 64
+
+// NewRing builds a ring of vnodes virtual nodes per replica (<= 0
+// selects DefaultVNodes). Replica identity is positional: point i of
+// the ring maps to index i of the replica list the caller keeps.
+func NewRing(replicas int, vnodes int) (*Ring, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one replica, got %d", replicas)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, replicas*vnodes), replicas: replicas}
+	for i := 0; i < replicas; i++ {
+		for v := 0; v < vnodes; v++ {
+			// Independent point per (replica, vnode) pair; the double mix
+			// decorrelates adjacent vnode indices.
+			h := mix64(mix64(uint64(i)*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d) + uint64(v))
+			r.points = append(r.points, ringPoint{hash: h, replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r, nil
+}
+
+// Replicas reports the replica count the ring was built over.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Lookup returns the replica owning key: the first point at or after
+// key on the circle.
+func (r *Ring) Lookup(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].replica
+}
+
+// Sequence returns every replica in ring order starting at key's owner,
+// each exactly once — the fallback order for retries. The first element
+// is Lookup(key).
+func (r *Ring) Sequence(key uint64) []int {
+	seq := make([]int, 0, r.replicas)
+	seen := make([]bool, r.replicas)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for off := 0; off < len(r.points) && len(seq) < r.replicas; off++ {
+		p := r.points[(start+off)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			seq = append(seq, p.replica)
+		}
+	}
+	return seq
+}
+
+// mix64 is the SplitMix64 finalizer (full-avalanche 64-bit
+// permutation), the same mixer the numeric signatures use.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,446 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	r1, err := NewRing(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(4, 64)
+	counts := make([]int, 4)
+	for k := uint64(0); k < 10000; k++ {
+		key := mix64(k * 0x9e3779b97f4a7c15)
+		a, b := r1.Lookup(key), r2.Lookup(key)
+		if a != b {
+			t.Fatalf("ring lookup not deterministic: %d vs %d for key %x", a, b, key)
+		}
+		counts[a]++
+	}
+	for i, c := range counts {
+		// 1/4 share ±60% — vnode placement is hashed, not perfectly even.
+		if c < 1000 || c > 4000 {
+			t.Fatalf("replica %d owns %d/10000 keys — ring badly unbalanced (%v)", i, c, counts)
+		}
+	}
+}
+
+func TestRingSequenceDistinct(t *testing.T) {
+	r, err := NewRing(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		key := mix64(k)
+		seq := r.Sequence(key)
+		if len(seq) != 5 {
+			t.Fatalf("sequence %v misses replicas", seq)
+		}
+		if seq[0] != r.Lookup(key) {
+			t.Fatalf("sequence head %d != lookup %d", seq[0], r.Lookup(key))
+		}
+		seen := map[int]bool{}
+		for _, i := range seq {
+			if seen[i] {
+				t.Fatalf("sequence %v repeats replica %d", seq, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func testInstance(machines, jobs int) *sched.Instance {
+	in := sched.NewInstance(machines)
+	for j := 0; j < jobs; j++ {
+		in.AddJob(0.25+0.5*float64(j%7)/7, j%3)
+	}
+	return in
+}
+
+func TestRouteKeyStability(t *testing.T) {
+	a := &wire.SolveRequest{Instance: testInstance(4, 12), Eps: 0.5}
+	b := &wire.SolveRequest{Instance: testInstance(4, 12), Eps: 0.5}
+	ka, err := RouteKey(a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, _ := RouteKey(b, 0.5)
+	if ka != kb {
+		t.Fatalf("equal requests routed differently: %x vs %x", ka, kb)
+	}
+	// A knob-less request must route like its explicit-default twin.
+	c := &wire.SolveRequest{Instance: testInstance(4, 12)}
+	if kc, _ := RouteKey(c, 0.5); kc != ka {
+		t.Fatalf("default-eps request routed differently: %x vs %x", kc, ka)
+	}
+	// Changed knobs are different cache lines and may move.
+	if kd, _ := RouteKey(&wire.SolveRequest{Instance: testInstance(4, 12), Eps: 0.25}, 0.5); kd == ka {
+		t.Fatal("eps change did not move the route key (astronomically unlikely)")
+	}
+	if ke, _ := RouteKey(&wire.SolveRequest{Instance: testInstance(4, 12), Eps: 0.5, Backend: "cfgdp"}, 0.5); ke == ka {
+		t.Fatal("backend change did not move the route key")
+	}
+}
+
+func TestRouteKeyRejectsBadRequests(t *testing.T) {
+	if _, err := RouteKey(&wire.SolveRequest{}, 0.5); err == nil {
+		t.Fatal("missing instance accepted")
+	}
+	if _, err := RouteKey(&wire.SolveRequest{Instance: testInstance(2, 2), Eps: 1.5}, 0.5); err == nil {
+		t.Fatal("bad eps accepted")
+	}
+	if _, err := RouteKey(&wire.SolveRequest{Instance: testInstance(2, 2), Family: "nope"}, 0.5); err == nil {
+		t.Fatal("bad family accepted")
+	}
+}
+
+// echoReplica answers /v1/solve with its own id in the backend field
+// and /healthz with 200, counting solve hits.
+func echoReplica(id string, hits *atomic.Int64, fail *atomic.Bool) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		if fail != nil && fail.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error": "queue full"}`)
+			return
+		}
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"makespan": 1, "lower_bound": 1, "assignment": [], "loads": [], "guesses": 0, "cache_hits": 0, "cache_misses": 0, "backend": %q, "elapsed_us": 1}`, id)
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req wire.BatchRequest
+		if err := wire.Decode(r.Body, &req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		hits.Add(int64(len(req.Instances)))
+		items := make([]wire.BatchItem, len(req.Instances))
+		for i := range items {
+			items[i] = wire.BatchItem{SolveResult: &wire.SolveResult{
+				Makespan: float64(len(req.Instances[i].Jobs)), Backend: id, ElapsedUS: 1,
+			}}
+		}
+		wire.Encode(w, wire.BatchResponse{Outcomes: items}) //nolint:errcheck
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if fail != nil && fail.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status": "ok"}`)
+	})
+	return httptest.NewServer(mux)
+}
+
+func newTestRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = -1 // no background loop in tests unless asked
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = -1
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func solveVia(t *testing.T, h http.Handler, req *wire.SolveRequest) (*wire.SolveResult, int) {
+	t.Helper()
+	var body bytes.Buffer
+	if err := wire.Encode(&body, req); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/solve", &body))
+	if rec.Code != http.StatusOK {
+		return nil, rec.Code
+	}
+	var res wire.SolveResult
+	if err := wire.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatalf("bad solve response: %v\n%s", err, rec.Body.String())
+	}
+	return &res, rec.Code
+}
+
+func TestRouterStickyRouting(t *testing.T) {
+	var hits [3]atomic.Int64
+	var urls []string
+	for i := range hits {
+		srv := echoReplica(fmt.Sprintf("rep%d", i), &hits[i], nil)
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+	rt := newTestRouter(t, Config{Replicas: urls})
+	h := rt.Handler()
+
+	// The same instance must hit the same replica every time; different
+	// instances must spread.
+	first := ""
+	for round := 0; round < 5; round++ {
+		res, code := solveVia(t, h, &wire.SolveRequest{Instance: testInstance(4, 12)})
+		if code != http.StatusOK {
+			t.Fatalf("solve status %d", code)
+		}
+		if first == "" {
+			first = res.Backend
+		} else if res.Backend != first {
+			t.Fatalf("request moved replicas: %s then %s", first, res.Backend)
+		}
+	}
+	servers := map[string]bool{}
+	for j := 0; j < 40; j++ {
+		res, _ := solveVia(t, h, &wire.SolveRequest{Instance: testInstance(3+j%5, 4+j)})
+		servers[res.Backend] = true
+	}
+	if len(servers) < 2 {
+		t.Fatalf("40 distinct instances all routed to %v — ring not spreading", servers)
+	}
+}
+
+func TestRouterFallbackOnSaturation(t *testing.T) {
+	var hits [2]atomic.Int64
+	var fail0 atomic.Bool
+	s0 := echoReplica("rep0", &hits[0], &fail0)
+	defer s0.Close()
+	s1 := echoReplica("rep1", &hits[1], nil)
+	defer s1.Close()
+	rt := newTestRouter(t, Config{Replicas: []string{s0.URL, s1.URL}})
+	h := rt.Handler()
+
+	// Find an instance owned by replica 0.
+	var owned *wire.SolveRequest
+	for j := 0; j < 100; j++ {
+		req := &wire.SolveRequest{Instance: testInstance(2+j%4, 3+j)}
+		key, err := RouteKey(req, rt.cfg.Eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.ring.Lookup(key) == 0 {
+			owned = req
+			break
+		}
+	}
+	if owned == nil {
+		t.Fatal("no instance routed to replica 0 in 100 tries")
+	}
+	fail0.Store(true)
+	res, code := solveVia(t, h, owned)
+	if code != http.StatusOK || res.Backend != "rep1" {
+		t.Fatalf("saturated owner not failed over: code=%d res=%+v", code, res)
+	}
+	if rt.fallbackRetries.Load() == 0 {
+		t.Fatal("fallback retry not counted")
+	}
+	// Once the owner recovers (and a health probe sees it), traffic
+	// returns to it.
+	fail0.Store(false)
+	rt.checkAll()
+	res, _ = solveVia(t, h, owned)
+	if res.Backend != "rep0" {
+		t.Fatalf("recovered owner not reinstated: %+v", res)
+	}
+}
+
+func TestRouterFallbackOnDeadReplica(t *testing.T) {
+	var hits [2]atomic.Int64
+	s0 := echoReplica("rep0", &hits[0], nil)
+	s1 := echoReplica("rep1", &hits[1], nil)
+	defer s1.Close()
+	rt := newTestRouter(t, Config{Replicas: []string{s0.URL, s1.URL}})
+	s0.Close() // replica 0 is gone entirely
+	h := rt.Handler()
+	for j := 0; j < 10; j++ {
+		res, code := solveVia(t, h, &wire.SolveRequest{Instance: testInstance(2+j, 3+j)})
+		if code != http.StatusOK || res.Backend != "rep1" {
+			t.Fatalf("dead-replica traffic not rerouted: code=%d res=%+v", code, res)
+		}
+	}
+	if rt.healthy[0].Load() {
+		t.Fatal("transport failure did not mark the replica unhealthy")
+	}
+}
+
+func TestRouterBatchSplitMerge(t *testing.T) {
+	var hits [3]atomic.Int64
+	var urls []string
+	for i := range hits {
+		srv := echoReplica(fmt.Sprintf("rep%d", i), &hits[i], nil)
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+	rt := newTestRouter(t, Config{Replicas: urls})
+	h := rt.Handler()
+
+	req := wire.BatchRequest{Eps: 0.5}
+	for j := 0; j < 12; j++ {
+		req.Instances = append(req.Instances, testInstance(2+j%4, j+1))
+	}
+	var body bytes.Buffer
+	if err := wire.Encode(&body, req); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", &body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp wire.BatchResponse
+	if err := wire.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Outcomes) != 12 {
+		t.Fatalf("%d outcomes, want 12", len(resp.Outcomes))
+	}
+	// The echo replica answers makespan = job count, which identifies the
+	// original item — merge order must be input order.
+	reps := map[string]bool{}
+	for j, out := range resp.Outcomes {
+		if out.Error != "" || out.SolveResult == nil {
+			t.Fatalf("outcome %d errored: %+v", j, out)
+		}
+		if int(out.Makespan) != j+1 {
+			t.Fatalf("outcome %d has makespan %g — merge order broken", j, out.Makespan)
+		}
+		reps[out.Backend] = true
+	}
+	if len(reps) < 2 {
+		t.Fatalf("batch items all landed on %v — split not spreading", reps)
+	}
+	var total int64
+	for i := range hits {
+		total += hits[i].Load()
+	}
+	if total != 12 {
+		t.Fatalf("replicas saw %d items, want 12", total)
+	}
+}
+
+func TestRouterRandomPolicySpreads(t *testing.T) {
+	var hits [4]atomic.Int64
+	var urls []string
+	for i := range hits {
+		srv := echoReplica(fmt.Sprintf("rep%d", i), &hits[i], nil)
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+	rt := newTestRouter(t, Config{Replicas: urls, Policy: PolicyRandom, Seed: 7})
+	h := rt.Handler()
+	// One hot instance: random routing must spread it over replicas —
+	// exactly the cache-locality failure the hash policy exists to avoid.
+	servers := map[string]bool{}
+	for j := 0; j < 40; j++ {
+		res, _ := solveVia(t, h, &wire.SolveRequest{Instance: testInstance(4, 12)})
+		servers[res.Backend] = true
+	}
+	if len(servers) < 3 {
+		t.Fatalf("random policy used only %v in 40 requests", servers)
+	}
+}
+
+func TestRouterRejectsBadBodies(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoReplica("rep0", &hits, nil)
+	defer srv.Close()
+	rt := newTestRouter(t, Config{Replicas: []string{srv.URL}})
+	h := rt.Handler()
+	for _, body := range []string{``, `{`, `{"epss": 1}`, `{"eps": 0.5}`} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, rec.Code)
+		}
+	}
+	if hits.Load() != 0 {
+		t.Fatal("malformed bodies reached a replica")
+	}
+	if rt.routeErrors.Load() != 4 {
+		t.Fatalf("route errors %d, want 4", rt.routeErrors.Load())
+	}
+}
+
+func TestRouterStatsAndMetrics(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoReplica("rep0", &hits, nil)
+	defer srv.Close()
+	rt := newTestRouter(t, Config{Replicas: []string{srv.URL}})
+	h := rt.Handler()
+	if _, code := solveVia(t, h, &wire.SolveRequest{Instance: testInstance(2, 3)}); code != http.StatusOK {
+		t.Fatalf("solve status %d", code)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats?window=1", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	for _, want := range []string{`"routed": 1`, `"fallback_retries": 0`, `"policy": "hash"`, `"window"`, `"healthy": true`} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("stats payload missing %s:\n%s", want, rec.Body.String())
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, want := range []string{
+		"bagsched_router_routed_total 1",
+		"bagsched_router_fallback_retries_total 0",
+		"bagsched_router_replica_healthy{replica=",
+		"bagsched_router_replica_routed_total{replica=",
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("metrics missing %s:\n%s", want, rec.Body.String())
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+}
+
+func TestRouterHealthLoop(t *testing.T) {
+	var hits atomic.Int64
+	var fail atomic.Bool
+	srv := echoReplica("rep0", &hits, &fail)
+	defer srv.Close()
+	rt, err := New(Config{Replicas: []string{srv.URL}, HealthInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+	fail.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.healthy[0].Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never marked the failing replica down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fail.Store(false)
+	for !rt.healthy[0].Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never re-admitted the recovered replica")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

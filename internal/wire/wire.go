@@ -1,0 +1,160 @@
+// Package wire is the transport-neutral solve-request/response codec of
+// the serving layer: the request and response document types and their
+// strict JSON encoding, shared by the HTTP front end (internal/server),
+// the shard router (internal/shard) and any future gRPC gateway. The
+// documents carry no transport state — a router can decode a request,
+// split or re-route it, and re-encode it byte-compatibly.
+//
+// Decoding is strict everywhere: unknown fields and trailing data are
+// errors, so a typo'd knob fails loudly instead of silently selecting a
+// default, and every front end rejects exactly the same bodies.
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// SolveRequest is the body of POST /v1/solve (and the per-item unit a
+// router hashes to pick a replica).
+type SolveRequest struct {
+	// Instance is the instance to schedule (required).
+	Instance *sched.Instance `json:"instance"`
+	// Eps overrides the server's default accuracy (0 keeps the default).
+	Eps float64 `json:"eps"`
+	// Backend overrides the oracle backend ("bnb", "cfgdp",
+	// "portfolio"; empty keeps the default).
+	Backend string `json:"backend"`
+	// Family selects the problem family ("bags", "identical",
+	// "related"; empty selects bags, the bag-constrained default).
+	Family string `json:"family"`
+	// TimeoutMS bounds this solve's wall clock; clamped to the server
+	// maximum. 0 selects the server default.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// NoCache bypasses the shared cache for this solve (it still gets a
+	// private per-solve memo, exactly like the CLI). Used by the
+	// differential tests and the load driver's baseline mode.
+	NoCache bool `json:"no_cache"`
+	// OracleWorkers asks for concurrent lanes inside each oracle solve;
+	// clamped to the server's maximum. 0 or 1 is sequential. Responses
+	// are bit-identical at any value — the knob trades CPU for latency.
+	OracleWorkers int `json:"oracle_workers"`
+}
+
+// BatchRequest is the body of POST /v1/batch; the scalar fields apply
+// to every instance.
+type BatchRequest struct {
+	Instances     []*sched.Instance `json:"instances"`
+	Eps           float64           `json:"eps"`
+	Backend       string            `json:"backend"`
+	Family        string            `json:"family"`
+	TimeoutMS     int64             `json:"timeout_ms"`
+	NoCache       bool              `json:"no_cache"`
+	OracleWorkers int               `json:"oracle_workers"`
+}
+
+// Item returns the solve-request view of one batch element, for front
+// ends (the shard router) that handle batch items individually.
+func (b *BatchRequest) Item(i int) SolveRequest {
+	return SolveRequest{
+		Instance:      b.Instances[i],
+		Eps:           b.Eps,
+		Backend:       b.Backend,
+		Family:        b.Family,
+		TimeoutMS:     b.TimeoutMS,
+		NoCache:       b.NoCache,
+		OracleWorkers: b.OracleWorkers,
+	}
+}
+
+// SolveResult is one solved instance on the wire.
+type SolveResult struct {
+	Makespan    float64   `json:"makespan"`
+	LowerBound  float64   `json:"lower_bound"`
+	Assignment  []int     `json:"assignment"`
+	Loads       []float64 `json:"loads"`
+	Guesses     int       `json:"guesses"`
+	CacheHits   int       `json:"cache_hits"`
+	CacheMisses int       `json:"cache_misses"`
+	Fallback    bool      `json:"fallback,omitempty"`
+	Backend     string    `json:"backend,omitempty"`
+	Coalesced   bool      `json:"coalesced,omitempty"`
+	ElapsedUS   int64     `json:"elapsed_us"`
+}
+
+// BatchItem is one batch outcome: exactly one of the embedded result
+// and Error is meaningful.
+type BatchItem struct {
+	*SolveResult
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch response,
+// outcomes in input order.
+type BatchResponse struct {
+	Outcomes  []BatchItem `json:"outcomes"`
+	ElapsedUS int64       `json:"elapsed_us"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// FromResult shapes one successful solver outcome for the wire.
+func FromResult(res *core.Result, coalesced bool, elapsed time.Duration) *SolveResult {
+	return &SolveResult{
+		Makespan:    res.Makespan,
+		LowerBound:  res.LowerBound,
+		Assignment:  res.Schedule.Machine,
+		Loads:       res.Schedule.Loads(),
+		Guesses:     res.Stats.Guesses,
+		CacheHits:   res.Stats.CacheHits,
+		CacheMisses: res.Stats.CacheMisses,
+		Fallback:    res.Stats.Fallback,
+		Backend:     res.Stats.OracleBackend,
+		Coalesced:   coalesced,
+		ElapsedUS:   elapsed.Microseconds(),
+	}
+}
+
+// ErrTrailingData reports well-formed JSON followed by more input.
+var ErrTrailingData = errors.New("wire: trailing data after JSON body")
+
+// Decode reads one strict JSON document from r into dst: unknown fields
+// and trailing data are errors. Transport limits (maximum body size)
+// are the caller's job — wrap r before decoding.
+func Decode(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return ErrTrailingData
+	}
+	return nil
+}
+
+// Unmarshal is Decode over a byte slice.
+func Unmarshal(data []byte, dst any) error {
+	return Decode(bytes.NewReader(data), dst)
+}
+
+// Encode writes v to w as indented JSON, the canonical response
+// encoding of every front end.
+func Encode(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	return nil
+}
