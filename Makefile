@@ -1,7 +1,7 @@
 GO ?= go
 COVER_FLOOR ?= 70
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-compare pgo fuzz ci cover family-diff shard-diff serve loadtest
+.PHONY: all build vet test race bench bench-smoke bench-json bench-compare pgo fuzz ci cover family-diff shard-diff resolve-diff serve loadtest churn-replay
 
 all: ci
 
@@ -49,6 +49,21 @@ shard-diff:
 	$(GO) test -race -run 'TestShardRouterDifferential|TestSnapshot' .
 	$(GO) test -race ./internal/shard ./internal/wire ./internal/memo ./internal/pipeline
 
+# resolve-diff is the incremental re-solve differential suite under the
+# race detector: every committed churn trace replayed across every
+# oracle backend × family × worker count must produce answers
+# bit-identical to from-scratch solves of each post-delta instance while
+# running strictly fewer pipeline executions over the trace, and the
+# placement-repair fast path must either certify its schedule against
+# the post-delta lower bound or fall back bit-identically — plus the
+# delta/resolve/repair unit suites in core, placer, sched and workload
+# and the /v1/resolve endpoint tests. The full race leg already includes
+# these tests; this named gate lets CI and bisects attribute a
+# warm-start regression directly.
+resolve-diff:
+	$(GO) test -race -run 'TestResolve|TestDelta|TestRepair|TestGenerateChurn|TestTrace' \
+		. ./internal/core ./internal/placer ./internal/sched ./internal/workload ./internal/server
+
 # bench runs every benchmark in the repository, including the internal
 # package benchmarks (pattern, placer, pipeline, milp, numeric).
 bench:
@@ -82,7 +97,7 @@ bench-compare:
 # refactors; the profile is data, not code, so a stale one degrades
 # gracefully to smaller wins.
 pgo:
-	$(GO) test -run '^$$' -bench 'Benchmark(Ex[A-Z]|Oracle|Family|Codec)' \
+	$(GO) test -run '^$$' -bench 'Benchmark(Ex[A-Z]|Oracle|Family|Codec|Resolve)' \
 		-cpuprofile pgo.cpu.out .
 	mv pgo.cpu.out default.pgo
 	rm -f repro.test bagsched.test
@@ -113,6 +128,14 @@ serve:
 loadtest:
 	$(GO) run ./examples/service -addr http://127.0.0.1:8080 -dir testdata
 
+# churn-replay replays the committed churn traces against a running
+# `make serve` through POST /v1/resolve, checks every incremental answer
+# bit for bit against a cache-bypassed from-scratch solve, and fails
+# unless incremental p50 beats from-scratch p50 by at least 5x on the
+# low-churn trace. See the README's Incremental re-solve section.
+churn-replay:
+	$(GO) run ./examples/service -addr http://127.0.0.1:8080 -churn testdata
+
 # ci is what .github/workflows/ci.yml runs (plus a non-blocking
 # bench-compare step); the coverage matrix leg swaps race for cover.
-ci: vet build race family-diff workers-diff shard-diff bench-smoke
+ci: vet build race family-diff workers-diff shard-diff resolve-diff bench-smoke

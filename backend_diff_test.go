@@ -71,10 +71,7 @@ func solveDeterministic(t *testing.T, in *Instance, label string, opts ...Option
 }
 
 func TestBackendDifferentialCorpus(t *testing.T) {
-	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	files := instanceFixtures(t)
 	if len(files) == 0 {
 		t.Fatal("no fixtures under testdata/")
 	}

@@ -51,6 +51,17 @@
 //	    fmt.Println(i, o.Result.Makespan)
 //	}
 //
+// # Incremental re-solve
+//
+// Dynamic workloads edit a solved instance instead of replacing it.
+// ResolveEPTAS takes a prior Result plus a Delta (jobs added, removed,
+// resized, re-bagged; machines added or removed) and re-solves
+// warm-started: the search is seeded at the prior accepted guess, the
+// prior solve's memo serves signature-preserving guesses, and with
+// WithPlacementRepair a small delta can be absorbed by moving only the
+// churned jobs. Without repair the answer is bit-identical to a
+// from-scratch SolveEPTAS on the edited instance.
+//
 // # Oracle backends
 //
 // The integer-programming oracle at the heart of each makespan guess is
@@ -102,6 +113,18 @@ type Schedule = sched.Schedule
 // Conflict is a bag-constraint violation (two jobs of one bag on one
 // machine).
 type Conflict = sched.Conflict
+
+// Delta is an incremental edit to a previously solved instance: jobs
+// added, removed, resized or moved between bags, and machines added or
+// removed. Apply it with ResolveEPTAS, which re-solves the edited
+// instance warm-started from the prior result.
+type Delta = sched.Delta
+
+// Resize changes the size of one existing job in a Delta.
+type Resize = sched.Resize
+
+// Rebag moves one existing job to a different bag in a Delta.
+type Rebag = sched.Rebag
 
 // NewInstance returns an empty instance with the given machine count.
 func NewInstance(machines int) *Instance { return sched.NewInstance(machines) }
@@ -358,6 +381,54 @@ func SolveEPTAS(in *Instance, eps float64, opts ...Option) (*Result, error) {
 // solve promptly and returns ctx.Err().
 func SolveEPTASContext(ctx context.Context, in *Instance, eps float64, opts ...Option) (*Result, error) {
 	return core.SolveContext(ctx, in, buildOptions(eps, opts))
+}
+
+// ResolveEPTAS applies delta to the instance of a prior SolveEPTAS (or
+// ResolveEPTAS) result and re-solves incrementally: the binary search is
+// warm-started at the prior result's accepted makespan guess, guesses
+// whose scaled-rounded signature the delta left unchanged are served
+// from the prior solve's memo without re-running the pipeline, and with
+// WithPlacementRepair a small delta may be absorbed by re-placing only
+// the churned jobs, skipping the search entirely.
+//
+// Without WithPlacementRepair the returned schedule is bit-identical to
+// SolveEPTAS on the post-delta instance under the same options — the
+// warm start is a latency optimization, never a semantic one. With
+// repair, an accepted repaired schedule instead carries the certificate
+// makespan <= (1+eps)*LowerBound, at least as strong as the search's
+// own guarantee.
+//
+// Options default to the prior solve's (prior.Options); opts override
+// on top. The returned Result carries everything the next ResolveEPTAS
+// needs, so deltas chain.
+func ResolveEPTAS(prior *Result, delta Delta, opts ...Option) (*Result, error) {
+	return ResolveEPTASContext(context.Background(), prior, delta, opts...)
+}
+
+// ResolveEPTASContext is ResolveEPTAS under a context; cancellation
+// reaches every layer exactly as in SolveEPTASContext.
+func ResolveEPTASContext(ctx context.Context, prior *Result, delta Delta, opts ...Option) (*Result, error) {
+	var o core.Options
+	if prior != nil {
+		o = prior.Options
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return core.ResolveContext(ctx, prior, delta, o)
+}
+
+// WithPlacementRepair enables the placement-repair fast path of
+// ResolveEPTAS: before searching at all, carry every unchanged job's
+// machine over from the prior schedule and greedily re-place only the
+// churned jobs. The repaired schedule is returned only when its makespan
+// stays within (1+eps) of the post-delta lower bound; otherwise the
+// warm-started search runs as if repair were off. Repair trades
+// bit-identity with the from-scratch solve for near-zero latency, which
+// is why it is opt-in; Stats.Repaired reports whether it engaged.
+// SolveEPTAS ignores the option.
+func WithPlacementRepair() Option {
+	return func(o *core.Options) { o.Repair = true }
 }
 
 func buildOptions(eps float64, opts []Option) core.Options {

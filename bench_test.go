@@ -726,3 +726,80 @@ func BenchmarkCodecWireDecodeSolveRequest(b *testing.B) {
 		}
 	}
 }
+
+// --- Incremental re-solve: churn-trace replay ---
+//
+// The Resolve benchmarks replay the committed churn traces
+// (testdata/churn_*.json, pinned by TestFixtureShapes). The warm pair
+// measures a full trace replay through ResolveEPTAS — seeded binary
+// search plus cross-guess memo reuse chained step to step — while
+// FromScratch replays the same low-churn trace through cold SolveEPTAS
+// calls on each post-delta instance, the baseline the warm path is
+// contractually bit-identical to (see resolve_diff_test.go).
+
+// benchTrace loads a committed churn trace and precomputes the prior
+// solve of the base plus every post-delta instance, so the timed loops
+// measure only the replay.
+func benchTrace(b *testing.B, name string) (*Result, []sched.Delta, []*Instance) {
+	b.Helper()
+	f, err := os.Open("testdata/" + name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sched.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prior, err := SolveEPTAS(tr.Base, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	posts := make([]*Instance, len(tr.Steps))
+	cur := tr.Base
+	for i, d := range tr.Steps {
+		post, _, err := d.Apply(cur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		posts[i], cur = post, post
+	}
+	return prior, tr.Steps, posts
+}
+
+func benchResolveReplay(b *testing.B, name string) {
+	base, steps, _ := benchTrace(b, name)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prior := base
+		for _, d := range steps {
+			res, err := ResolveEPTAS(prior, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prior = res
+		}
+	}
+}
+
+func BenchmarkResolveLowChurn(b *testing.B) {
+	benchResolveReplay(b, "churn_low_m6_n24.json")
+}
+
+func BenchmarkResolveHighChurn(b *testing.B) {
+	benchResolveReplay(b, "churn_high_m8_n24.json")
+}
+
+func BenchmarkResolveFromScratch(b *testing.B) {
+	_, _, posts := benchTrace(b, "churn_low_m6_n24.json")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, post := range posts {
+			if _, err := SolveEPTAS(post, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

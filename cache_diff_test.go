@@ -32,10 +32,7 @@ func assertSameOutcome(t *testing.T, label string, want, got *Result) {
 }
 
 func TestSharedCacheDifferentialCorpus(t *testing.T) {
-	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	files := instanceFixtures(t)
 	if len(files) == 0 {
 		t.Fatal("no fixtures under testdata/")
 	}
@@ -117,9 +114,9 @@ func TestSharedCacheNoFalseSharing(t *testing.T) {
 // one result's footprint keeps only the newest entry) and checks results
 // are still bit-identical — the bound affects hit rate, never answers.
 func TestSharedCacheTinyBudget(t *testing.T) {
-	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
-	if err != nil || len(files) < 2 {
-		t.Fatalf("need at least two fixtures, got %d (err %v)", len(files), err)
+	files := instanceFixtures(t)
+	if len(files) < 2 {
+		t.Fatalf("need at least two fixtures, got %d", len(files))
 	}
 	tiny := NewCache(1)
 	for _, path := range files {

@@ -16,6 +16,9 @@
 //	bagsched route -replicas http://h1:8080,http://h2:8080[,...]
 //	         [-addr :8090] [-vnodes 64] [-policy hash|random] [-eps 0.5]
 //	         [-health-interval 1s]
+//	bagsched resolve -delta delta.json [-in instance.json] [-eps 0.5]
+//	         [-backend ...] [-family ...] [-repair] [-compare]
+//	         [-out schedule.json] [-oracle-workers N] [-timeout 30s] [-v]
 //
 // In batch mode every instance JSON in dir (files matching *.json,
 // excluding earlier *.schedule.json outputs) is solved with the EPTAS on
@@ -30,6 +33,14 @@
 // warm-started from it on boot (corrupt or version-mismatched snapshots
 // are skipped with a warning, never fatal). See internal/server and the
 // README's Serving and "Sharded serving" sections.
+//
+// The resolve subcommand solves an instance, applies a delta (jobs
+// added/removed/resized/re-bagged, machines added/removed) and
+// re-solves incrementally, warm-started from the prior solve; -compare
+// additionally solves the post-delta instance from scratch and verifies
+// the incremental answer is bit-identical, and -repair enables the
+// placement-repair fast path. See the README's "Incremental re-solve"
+// section for the delta grammar.
 //
 // The route subcommand fronts N serve replicas with the consistent-hash
 // shard router (internal/shard): signature-equivalent requests always
@@ -94,6 +105,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "route" {
 		if err := runRoute(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "bagsched route:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "resolve" {
+		if err := runResolve(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "bagsched resolve:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,10 +1,21 @@
 // Command benchgen generates deterministic workload instances as JSON
-// files for use with cmd/bagsched.
+// files for use with cmd/bagsched, and churn traces (a base instance
+// plus a stream of deltas) for the incremental re-solve tests, the
+// resolve benchmarks and the churn-replay driver.
 //
 // Usage:
 //
 //	benchgen -family uniform -machines 8 -jobs 40 -bags 10 -seed 1 -out inst.json
+//	benchgen -family bimodal -machines 6 -jobs 24 -bags 8 -seed 11 \
+//	    -churn 12 -churn-frac 0.08 -churn-jitter 0.02 -churn-seed 21 -out trace.json
 //	benchgen -list
+//
+// With -churn N the output is a sched.Trace document ({"base": ...,
+// "steps": [...]}) of N deltas; -churn-frac sets the fraction of jobs
+// each step edits, -churn-jitter the relative resize magnitude, and
+// -churn-structural mixes arrivals, departures, bag moves and machine
+// changes into the stream (the default is resize-only, the low-churn
+// regime where incremental re-solves reuse the most prior work).
 package main
 
 import (
@@ -24,6 +35,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "-", "output file, or - for stdout")
 	list := flag.Bool("list", false, "list workload families and exit")
+	churn := flag.Int("churn", 0, "emit a churn trace of this many delta steps instead of a plain instance")
+	churnFrac := flag.Float64("churn-frac", 0.1, "fraction of jobs each churn step edits")
+	churnJitter := flag.Float64("churn-jitter", 0.05, "relative size change bound of churn resizes")
+	churnStructural := flag.Bool("churn-structural", false, "mix arrivals/departures/bag moves/machine changes into the churn stream")
+	churnSeed := flag.Int64("churn-seed", 1, "random seed of the churn stream (independent of -seed)")
 	flag.Parse()
 
 	if *list {
@@ -35,16 +51,12 @@ func main() {
 		}
 		return
 	}
-	in, err := workload.Generate(workload.Spec{
+	spec := workload.Spec{
 		Family:   workload.Family(*family),
 		Machines: *machines,
 		Jobs:     *jobs,
 		Bags:     *bags,
 		Seed:     *seed,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgen:", err)
-		os.Exit(1)
 	}
 	w := os.Stdout
 	if *out != "-" {
@@ -56,7 +68,28 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := sched.WriteInstance(w, in); err != nil {
+	var err error
+	if *churn > 0 {
+		var tr *sched.Trace
+		tr, err = workload.GenerateChurn(workload.ChurnSpec{
+			Base:       spec,
+			Steps:      *churn,
+			Frac:       *churnFrac,
+			Jitter:     *churnJitter,
+			Structural: *churnStructural,
+			Seed:       *churnSeed,
+		})
+		if err == nil {
+			err = sched.WriteTrace(w, tr)
+		}
+	} else {
+		var in *sched.Instance
+		in, err = workload.Generate(spec)
+		if err == nil {
+			err = sched.WriteInstance(w, in)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
 		os.Exit(1)
 	}

@@ -44,11 +44,13 @@ import (
 // after "Ex" keeps BenchmarkExactSolver and other substrate
 // micro-benchmarks out of the default snapshot), the oracle-backend
 // benchmarks (BenchmarkOracleBnB/CfgDP/Portfolio), the sibling
-// problem families (BenchmarkFamilyRelated/Identical) and the serving
+// problem families (BenchmarkFamilyRelated/Identical), the serving
 // codecs (BenchmarkCodec*: snapshot export/import and wire decode —
 // the per-request and per-warm-start overheads of the sharded
-// service).
-const defaultBench = "Benchmark(Ex[A-Z]|Oracle|Family|Codec)"
+// service) and the incremental re-solve replays
+// (BenchmarkResolve{LowChurn,HighChurn,FromScratch}: warm churn-trace
+// replay against its cold baseline).
+const defaultBench = "Benchmark(Ex[A-Z]|Oracle|Family|Codec|Resolve)"
 
 // The BenchmarkOracleParallel family scales its worker-lane count with
 // GOMAXPROCS, so its numbers are only meaningful at a pinned -cpu value:
@@ -69,8 +71,10 @@ const pgoProfile = "default.pgo"
 // production cost, the speculative search, the three oracle backends on
 // the DP-favoring few-patterns fixture, and one end-to-end solve per
 // sibling problem family (related on the committed speed fixture,
-// identical on the bimodal workload). Benchmarks outside this list
-// still land in snapshots but never fail the comparison.
+// identical on the bimodal workload), and the three churn-trace
+// replays (warm low/high churn plus the from-scratch baseline).
+// Benchmarks outside this list still land in snapshots but never fail
+// the comparison.
 var tracked = []string{
 	"BenchmarkExF1AdversarialEPTAS",
 	"BenchmarkExL6PatternEnum_Eps050",
@@ -89,6 +93,9 @@ var tracked = []string{
 	"BenchmarkCodecSnapshotExport",
 	"BenchmarkCodecSnapshotImport",
 	"BenchmarkCodecWireDecodeSolveRequest",
+	"BenchmarkResolveLowChurn",
+	"BenchmarkResolveHighChurn",
+	"BenchmarkResolveFromScratch",
 }
 
 // Snapshot is the file format of one benchmark run.

@@ -28,6 +28,12 @@
 // per-family cold-vs-warm p50 breakdown read from the families section
 // of GET /v1/stats — so one run profiles the shared cache across every
 // family the corpus exercises.
+//
+// With -churn the driver switches to churn-replay mode (see churn.go):
+// it replays churn traces through POST /v1/resolve against a
+// from-scratch /v1/solve baseline and gates on the incremental speedup:
+//
+//	go run ./examples/service -addr http://127.0.0.1:8080 -churn testdata
 package main
 
 import (
@@ -94,8 +100,18 @@ func main() {
 	routeSpeedup := flag.Float64("route-speedup", 2, "multi-replica: required random-p50 / hash-p50 warm ratio for PASS")
 	hitRate := flag.Float64("hit-rate", 0.5, "multi-replica: required first-pass cache hit rate on the snapshot-warmed replica")
 	maxJobs := flag.Int("max-jobs", 64, "multi-replica: skip corpus instances with more jobs (the mode measures routing, not solver scale; 0 = keep all)")
+	churn := flag.String("churn", "", "churn-replay mode: a churn trace file, or a directory of churn_*.json traces, replayed via /v1/resolve against a from-scratch /v1/solve baseline")
+	churnRepair := flag.Bool("churn-repair", false, "churn-replay: enable the placement-repair fast path (repaired steps certify instead of matching bit for bit)")
+	resolveSpeedup := flag.Float64("resolve-speedup", 5, "churn-replay: required from-scratch-p50 / incremental-p50 ratio for PASS on low-churn traces")
 	flag.Parse()
 
+	if *churn != "" {
+		if err := runChurn(*addr, *churn, *passes, *eps, *backend, *churnRepair, *resolveSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "service:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *replicas > 0 {
 		if *zipfS <= 1 {
 			fmt.Fprintln(os.Stderr, "service: -zipf-s must be > 1")
@@ -223,6 +239,11 @@ func loadCorpus(dir string) ([]json.RawMessage, []string, []string, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".schedule.json") {
+			continue
+		}
+		// Churn traces are base+delta documents, not plain instances;
+		// they replay through the -churn mode instead.
+		if strings.HasPrefix(name, "churn_") {
 			continue
 		}
 		names = append(names, name)

@@ -27,10 +27,7 @@ import (
 )
 
 func TestFamilyBagsBitIdentical(t *testing.T) {
-	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	files := instanceFixtures(t)
 	for _, path := range files {
 		path := path
 		t.Run(filepath.Base(path), func(t *testing.T) {

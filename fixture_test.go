@@ -4,10 +4,31 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/sched"
 )
+
+// instanceFixtures globs the committed plain-instance corpus under
+// testdata/, skipping the churn traces (churn_*.json) — those are a
+// different document (a base instance plus delta steps, see
+// sched.Trace) and are covered by resolve_diff_test.go.
+func instanceFixtures(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if strings.HasPrefix(filepath.Base(f), "churn_") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
 
 // TestFixtureCorpus exercises the on-disk interchange format end to end
 // over every committed instance under testdata/: read, solve, serialize
@@ -29,10 +50,7 @@ import (
 // Fixtures carrying machine speeds are solved as the related family;
 // everything else runs the bag-constrained default.
 func TestFixtureCorpus(t *testing.T) {
-	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	files := instanceFixtures(t)
 	if len(files) < 3 {
 		t.Fatalf("fixture corpus shrank: only %d files under testdata/", len(files))
 	}
@@ -125,6 +143,40 @@ func TestFixtureShapes(t *testing.T) {
 		if in.Machines != want.m || len(in.Jobs) != want.n || in.NumBags != want.b {
 			t.Errorf("%s shape changed: m=%d n=%d b=%d, want m=%d n=%d b=%d",
 				name, in.Machines, len(in.Jobs), in.NumBags, want.m, want.n, want.b)
+		}
+	}
+
+	// Churn traces (base instance + delta stream; see sched.Trace): the
+	// replay corpus of resolve_diff_test.go, the Resolve benchmarks and
+	// the churn-replay driver. churn_low is resize-only at ~8% churn per
+	// step, churn_high mixes arrivals, departures, bag moves and machine
+	// changes at ~30%. Regenerate with:
+	//
+	//	go run ./cmd/benchgen -family bimodal -machines 6 -jobs 24 -bags 8 \
+	//	    -seed 11 -churn 12 -churn-frac 0.08 -churn-jitter 0.02 \
+	//	    -churn-seed 21 -out testdata/churn_low_m6_n24.json
+	//	go run ./cmd/benchgen -family adversarial -machines 8 -seed 3 \
+	//	    -churn 8 -churn-frac 0.3 -churn-jitter 0.2 -churn-structural \
+	//	    -churn-seed 33 -out testdata/churn_high_m8_n24.json
+	traces := map[string]struct{ m, n, b, steps int }{
+		"churn_low_m6_n24.json":  {6, 24, 8, 12},
+		"churn_high_m8_n24.json": {8, 24, 6, 8},
+	}
+	for name, want := range traces {
+		f, err := os.Open(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sched.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Base.Machines != want.m || len(tr.Base.Jobs) != want.n ||
+			tr.Base.NumBags != want.b || len(tr.Steps) != want.steps {
+			t.Errorf("%s shape changed: m=%d n=%d b=%d steps=%d, want m=%d n=%d b=%d steps=%d",
+				name, tr.Base.Machines, len(tr.Base.Jobs), tr.Base.NumBags, len(tr.Steps),
+				want.m, want.n, want.b, want.steps)
 		}
 	}
 }

@@ -18,12 +18,20 @@ import (
 	"repro/internal/sched"
 )
 
-// Task is one instance to solve together with its solver options.
+// Task is one instance to solve together with its solver options. A
+// task with Delta set is an incremental re-solve instead: Prior is the
+// prior result (Instance is ignored) and the solve runs
+// core.ResolveContext, warm-started from it.
 type Task struct {
 	// Instance is the instance to schedule. It is not modified.
 	Instance *sched.Instance
 	// Options configures the solve; Options.Eps must be set.
 	Options core.Options
+	// Prior and Delta select the incremental re-solve path: Delta is
+	// applied to Prior.Input and solved warm-started from Prior. Both
+	// must be set together.
+	Prior *core.Result
+	Delta *sched.Delta
 }
 
 // Outcome pairs the result of one task with its error. Exactly one of
@@ -113,7 +121,13 @@ func solveOne(ctx context.Context, t Task, saturated bool) Outcome {
 	if opt.Speculate == 0 && saturated {
 		opt.Speculate = 1
 	}
-	res, err := core.SolveContext(ctx, t.Instance, opt)
+	var res *core.Result
+	var err error
+	if t.Delta != nil {
+		res, err = core.ResolveContext(ctx, t.Prior, *t.Delta, opt)
+	} else {
+		res, err = core.SolveContext(ctx, t.Instance, opt)
+	}
 	if err != nil {
 		return Outcome{Err: err}
 	}

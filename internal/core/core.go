@@ -106,12 +106,29 @@ type Options struct {
 	// tests assert it across the workload corpus); the flag exists only
 	// for those tests and for benchmark baselines.
 	Float64Ref bool
+	// Repair enables the placement-repair fast path of ResolveContext:
+	// when set, a re-solve first tries to carry the prior schedule's
+	// unchanged assignments over and greedily re-place only the churned
+	// jobs, accepting the repaired schedule when its makespan stays
+	// within (1+Eps) of the post-delta lower bound — a certificate at
+	// least as strong as the search's own guarantee. Repaired schedules
+	// may legitimately differ from what a from-scratch solve returns
+	// (the makespan bound is the contract, not bit-identity), so the
+	// flag is off by default and ignored by Solve.
+	Repair bool
 }
 
 // Stats describes the EPTAS search effort.
 type Stats struct {
 	// Guesses is the number of makespan guesses tried.
 	Guesses int
+	// FinalGuess is the smallest accepted makespan guess of the search
+	// (0 when no guess was accepted). Guesses live on an absolute
+	// geometric grid (see round.GridRatio), so the final guess of a
+	// solve marks the acceptance boundary and seeds the warm-started
+	// search of an incremental re-solve — even when the bag-LPT
+	// fallback beat the accepted schedule and was returned instead.
+	FinalGuess float64
 	// FailedGuesses counts guesses rejected (MILP infeasible, pattern
 	// explosion or placement failure).
 	FailedGuesses int
@@ -164,6 +181,11 @@ type Stats struct {
 	// Fallback is true when no guess was accepted and the returned
 	// schedule is the bag-LPT upper bound.
 	Fallback bool
+	// Repaired is true when ResolveContext's placement-repair fast path
+	// produced the returned schedule without running the search (see
+	// Options.Repair); RepairStats then reports the repair work.
+	Repaired    bool
+	RepairStats placer.RepairStats
 
 	// PipelineRuns counts full pipeline executions, including rejected
 	// guesses and abandoned speculative evaluations.
@@ -205,6 +227,22 @@ type Result struct {
 	LowerBound float64
 	// Stats describes the search.
 	Stats Stats
+
+	// Input is the instance the solve ran on — the caller's instance,
+	// before any family preparation. ResolveContext applies deltas to
+	// it.
+	Input *sched.Instance
+	// Options records the options the solve ran with, so an incremental
+	// re-solve reuses the exact configuration (family, backend, eps)
+	// that produced the prior result.
+	Options Options
+	// Memo is the cross-guess memo the solve stored pipeline outcomes
+	// in: the shared cache when one was passed, the solve's private memo
+	// otherwise (nil when memoization was disabled or the solve returned
+	// early). ResolveContext defaults its cache to it, so guesses whose
+	// scaled-rounded signature is unchanged by the delta are served
+	// without re-running the pipeline.
+	Memo *memo.Cache
 }
 
 // PipelineResult exposes every intermediate artifact of one makespan
@@ -222,6 +260,44 @@ func Solve(in *sched.Instance, opt Options) (*Result, error) {
 // canceled or expired context aborts the solve promptly and returns
 // ctx.Err().
 func SolveContext(ctx context.Context, in *sched.Instance, opt Options) (*Result, error) {
+	env, err := prepareSolve(ctx, in, opt)
+	if err != nil {
+		return nil, err
+	}
+	if env.done {
+		return env.res, nil
+	}
+	eval, commit := env.searchFuncs()
+	var search round.SearchResult
+	ratio := round.GridRatio(opt.Eps)
+	if speculative(opt) {
+		search = round.SearchGridSpec(ctx, env.lb, env.ub, ratio, opt.MaxGuesses, eval, commit)
+	} else {
+		search = round.SearchGridSeq(ctx, env.lb, env.ub, ratio, opt.MaxGuesses, eval, commit)
+	}
+	return env.finish(ctx, search)
+}
+
+// solveEnv is the shared scaffolding of a solve or re-solve: the
+// validated, family-prepared instance, its bounds, the fallback
+// schedule and the pipeline engine the search drives. SolveContext and
+// ResolveContext differ only in the search strategy they run on it.
+type solveEnv struct {
+	opt     Options
+	fam     family.Family
+	work    *sched.Instance
+	lb, ub  float64
+	ubSched *sched.Schedule
+	engine  *pipeline.Engine
+	res     *Result
+	done    bool // res is complete; no search needed
+}
+
+// prepareSolve validates in under opt and builds the search
+// environment. When done is set on the returned env, its res is a
+// complete early result (empty instance, or a provably optimal
+// fallback) and no search runs.
+func prepareSolve(ctx context.Context, in *sched.Instance, opt Options) (*solveEnv, error) {
 	if err := ctx.Err(); err != nil {
 		// An already-dead context aborts before any work — including the
 		// early-return paths (empty instance, provably optimal bag-LPT)
@@ -246,66 +322,84 @@ func SolveContext(ctx context.Context, in *sched.Instance, opt Options) (*Result
 	// families without bag-constraints. Schedules are bound to work;
 	// its jobs, sizes and machine count match the input position for
 	// position, so assignments read back directly.
-	work := fam.Prepare(in)
-	res := &Result{}
+	env := &solveEnv{
+		opt:  opt,
+		fam:  fam,
+		work: fam.Prepare(in),
+		res:  &Result{Input: in, Options: opt},
+	}
 	if len(in.Jobs) == 0 {
-		res.Schedule = sched.NewSchedule(work)
-		return res, nil
+		env.res.Schedule = sched.NewSchedule(env.work)
+		env.done = true
+		return env, nil
 	}
 
-	lb := fam.LowerBound(in)
-	res.LowerBound = lb
-	ubSched, err := fam.Fallback(work)
+	env.lb = fam.LowerBound(in)
+	env.res.LowerBound = env.lb
+	ubSched, err := fam.Fallback(env.work)
 	if err != nil {
 		return nil, err
 	}
-	ub := ubSched.Makespan()
+	env.ubSched = ubSched
+	env.ub = ubSched.Makespan()
 
 	// The bag-LPT schedule may already be provably optimal.
-	if ub <= lb {
-		res.Schedule = ubSched
-		res.Makespan = ub
-		return res, nil
+	if env.ub <= env.lb {
+		env.res.Schedule = ubSched
+		env.res.Makespan = env.ub
+		env.done = true
+		return env, nil
 	}
+	env.engine = pipeline.New(pipelineConfig(opt))
+	return env, nil
+}
 
-	engine := pipeline.New(pipelineConfig(opt))
-	// eval is pure (the engine memo is internally synchronized and
-	// result-transparent); all Stats mutation happens in commit, which
-	// the search invokes in deterministic sequential order for consumed
-	// guesses only (discarded speculative pipelines never report).
+// searchFuncs returns the eval/commit pair the binary search drives.
+// eval is pure (the engine memo is internally synchronized and
+// result-transparent); all Stats mutation happens in commit, which the
+// search invokes in deterministic sequential order for consumed guesses
+// only (discarded speculative pipelines never report).
+func (env *solveEnv) searchFuncs() (
+	func(ctx context.Context, guess float64) (*pipeline.Result, bool),
+	func(_ float64, pr *pipeline.Result, ok bool) *sched.Schedule,
+) {
 	eval := func(ctx context.Context, guess float64) (*pipeline.Result, bool) {
-		pr, err := engine.Run(ctx, work, guess)
+		pr, err := env.engine.Run(ctx, env.work, guess)
 		return pr, err == nil
 	}
 	commit := func(_ float64, pr *pipeline.Result, ok bool) *sched.Schedule {
 		if !ok {
-			res.Stats.FailedGuesses++
+			env.res.Stats.FailedGuesses++
 			return nil
 		}
-		res.Stats.absorb(pr)
+		env.res.Stats.absorb(pr)
 		return pr.Final
 	}
-	var search round.SearchResult
-	step := opt.Eps * lb / 4
-	if speculative(opt) {
-		search = round.SearchSpec(ctx, lb, ub, step, opt.MaxGuesses, eval, commit)
-	} else {
-		search = round.SearchSeq(ctx, lb, ub, step, opt.MaxGuesses, eval, commit)
-	}
-	res.Stats.Guesses = search.Guesses
-	m := engine.Metrics()
+	return eval, commit
+}
+
+// finish folds a finished search into the result: engine metrics, the
+// fallback guard and the retained memo.
+func (env *solveEnv) finish(ctx context.Context, search round.SearchResult) (*Result, error) {
+	res := env.res
+	res.Stats.Guesses += search.Guesses
+	m := env.engine.Metrics()
 	res.Stats.PipelineRuns = m.Runs
 	res.Stats.CacheHits = m.CacheHits
 	res.Stats.CacheMisses = m.CacheMisses
 	res.Stats.StageTime = m.StageTime
+	res.Memo = env.engine.Cache()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	if search.Schedule == nil || ub < search.Makespan {
-		res.Schedule = ubSched
-		res.Makespan = ub
+	if search.Schedule != nil {
+		res.Stats.FinalGuess = search.FinalGuess
+	}
+	if search.Schedule == nil || env.ub < search.Makespan {
+		res.Schedule = env.ubSched
+		res.Makespan = env.ub
 		res.Stats.Fallback = search.Schedule == nil
 		return res, nil
 	}

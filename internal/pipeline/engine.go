@@ -168,6 +168,13 @@ func New(cfg Config) *Engine {
 	return e
 }
 
+// Cache returns the memo the engine stores guess outcomes in — the
+// shared cache when one was configured, the private per-solve memo
+// otherwise, nil when memoization is disabled. The solver core retains
+// it on each Result so an incremental re-solve can warm-start from the
+// prior solve's entries.
+func (e *Engine) Cache() *memo.Cache { return e.cache }
+
 // Metrics returns a snapshot of the engine's aggregate counters.
 func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()

@@ -1,0 +1,178 @@
+package placer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// repairBase returns a 3-machine instance with a valid prior schedule:
+// machine 0 = {job0 (4, bag0)}, machine 1 = {job1 (3, bag1)},
+// machine 2 = {job2 (2, bag0), job3 (1, bag2)}.
+func repairBase(t *testing.T) (*sched.Instance, *sched.Schedule) {
+	t.Helper()
+	in := sched.NewInstance(3)
+	in.AddJob(4, 0)
+	in.AddJob(3, 1)
+	in.AddJob(2, 0)
+	in.AddJob(1, 2)
+	s := sched.NewSchedule(in)
+	s.Machine = []int{0, 1, 2, 2}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in, s
+}
+
+func applyDelta(t *testing.T, base *sched.Instance, d sched.Delta) (*sched.Instance, *sched.Churn) {
+	t.Helper()
+	post, churn, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return post, churn
+}
+
+func TestRepairKeepsUnchangedAssignments(t *testing.T) {
+	base, prior := repairBase(t)
+	post, churn := applyDelta(t, base, sched.Delta{
+		Resize: []sched.Resize{{ID: 3, Size: 1.5}},
+		Add:    []sched.Job{{ID: 10, Size: 0.5, Bag: 1}},
+	})
+	s, st, err := Repair(prior, post, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs 0, 1, 2 are unchanged and must keep machines 0, 1, 2.
+	for i, want := range []int{0, 1, 2} {
+		if s.Machine[i] != want {
+			t.Errorf("unchanged job %d moved to machine %d, want %d", i, s.Machine[i], want)
+		}
+	}
+	if st.Kept != 3 || st.Moved != 2 || st.Displaced != 0 {
+		t.Errorf("stats = %+v, want Kept=3 Moved=2 Displaced=0", st)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); got != st.Makespan {
+		// Fx-lifted makespan and float makespan agree on these sizes
+		// (all exactly representable in fixed point).
+		t.Errorf("stats makespan %v != schedule makespan %v", st.Makespan, got)
+	}
+}
+
+func TestRepairGreedyPlacement(t *testing.T) {
+	base, prior := repairBase(t)
+	// Add a bag-3 job of size 2: loads are m0=4, m1=3, m2=3; no bag
+	// conflicts anywhere, so it must land on the least-loaded machine,
+	// ties to the lowest index — machine 1.
+	post, churn := applyDelta(t, base, sched.Delta{
+		Add: []sched.Job{{ID: 10, Size: 2, Bag: 3}},
+	})
+	s, _, err := Repair(prior, post, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine[4] != 1 {
+		t.Errorf("added job placed on machine %d, want 1 (least load, lowest index)", s.Machine[4])
+	}
+}
+
+func TestRepairAvoidsBagConflicts(t *testing.T) {
+	base, prior := repairBase(t)
+	// A new bag-0 job cannot join machines 0 or 2 (bag 0 lives there);
+	// machine 1 is the only legal target despite any load.
+	post, churn := applyDelta(t, base, sched.Delta{
+		Add: []sched.Job{{ID: 10, Size: 10, Bag: 0}},
+	})
+	s, _, err := Repair(prior, post, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine[4] != 1 {
+		t.Errorf("bag-0 job placed on machine %d, want 1", s.Machine[4])
+	}
+	if c := s.Conflicts(); len(c) > 0 {
+		t.Errorf("repaired schedule has conflicts: %v", c)
+	}
+}
+
+func TestRepairMachineRemovalDisplaces(t *testing.T) {
+	base, prior := repairBase(t)
+	post, churn := applyDelta(t, base, sched.Delta{Machines: -1})
+	s, st, err := Repair(prior, post, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs 2 and 3 lived on the removed machine 2 and must be re-placed.
+	if st.Displaced != 2 || st.Kept != 2 || st.Moved != 0 {
+		t.Errorf("stats = %+v, want Kept=2 Displaced=2 Moved=0", st)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Conflicts(); len(c) > 0 {
+		t.Errorf("conflicts after displacement: %v", c)
+	}
+}
+
+func TestRepairFailsWhenBagSaturates(t *testing.T) {
+	in := sched.NewInstance(2)
+	in.AddJob(1, 0)
+	in.AddJob(1, 0)
+	prior := sched.NewSchedule(in)
+	prior.Machine = []int{0, 1}
+	post, churn := applyDelta(t, in, sched.Delta{
+		Add: []sched.Job{{ID: 10, Size: 1, Bag: 0}},
+	})
+	if _, _, err := Repair(prior, post, churn); err == nil ||
+		!strings.Contains(err.Error(), "occupies every machine") {
+		t.Errorf("expected saturation error, got %v", err)
+	}
+}
+
+func TestRepairSpeedAware(t *testing.T) {
+	base := sched.NewRelatedInstance([]float64{1, 4})
+	base.AddJob(2, 0) // completes in 2 on m0, 0.5 on m1
+	prior := sched.NewSchedule(base)
+	prior.Machine = []int{1}
+	// Add a bag-1 job of size 2: m0 done = 2, m1 done = (2+2)/4 = 1 —
+	// the fast machine wins despite carrying more load.
+	post, churn := applyDelta(t, base, sched.Delta{
+		Add: []sched.Job{{ID: 10, Size: 2, Bag: 1}},
+	})
+	s, _, err := Repair(prior, post, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine[1] != 1 {
+		t.Errorf("speed-aware greedy placed job on machine %d, want 1", s.Machine[1])
+	}
+}
+
+func TestRepairRejectsMismatchedChurn(t *testing.T) {
+	base, prior := repairBase(t)
+	post, churn := applyDelta(t, base, sched.Delta{Add: []sched.Job{{ID: 10, Size: 1, Bag: 1}}})
+	churn.PriorIndex = churn.PriorIndex[:2]
+	if _, _, err := Repair(prior, post, churn); err == nil {
+		t.Error("expected error for truncated churn map")
+	}
+	if _, _, err := Repair(nil, post, &sched.Churn{}); err == nil {
+		t.Error("expected error for nil prior")
+	}
+}
+
+func TestRepairRejectsPriorConflict(t *testing.T) {
+	in := sched.NewInstance(2)
+	in.AddJob(1, 0)
+	in.AddJob(1, 0)
+	bad := sched.NewSchedule(in)
+	bad.Machine = []int{0, 0} // bag conflict in the prior
+	post, churn := applyDelta(t, in, sched.Delta{Add: []sched.Job{{ID: 10, Size: 1, Bag: 1}}})
+	if _, _, err := Repair(bad, post, churn); err == nil ||
+		!strings.Contains(err.Error(), "conflict") {
+		t.Errorf("expected prior-conflict error, got %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+package placer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/sched"
+)
+
+// This file implements the incremental re-solve's placement-repair fast
+// path. Given a prior schedule, the post-delta instance and the churn
+// map relating them, Repair carries every unchanged job's assignment
+// over verbatim and re-places only the churned jobs (added, resized,
+// rebagged, or displaced by a machine removal) greedily onto the
+// least-completing conflict-free machine. Load accounting runs on the
+// exact fixed-point representation (internal/numeric) and the
+// incrementally maintained loads are re-verified against a from-scratch
+// Fx recomputation before the schedule is returned, so a bookkeeping
+// bug can never silently ship a corrupt repair.
+//
+// Repair is a heuristic, not an approximation scheme: the caller
+// (internal/core's resolve path) accepts the repaired schedule only
+// when its makespan stays within the EPTAS guarantee on the post-delta
+// instance and otherwise falls back to the warm-started search.
+
+// RepairStats reports the repair work performed.
+type RepairStats struct {
+	// Kept counts assignments carried over from the prior schedule.
+	Kept int
+	// Moved counts churned jobs re-placed by the greedy.
+	Moved int
+	// Displaced counts unchanged jobs that lost their machine to a
+	// machine removal and were re-placed with the churned jobs.
+	Displaced int
+	// Makespan is the repaired schedule's makespan, lifted from the
+	// exact Fx load accounting.
+	Makespan float64
+}
+
+// Repair builds a schedule of post by keeping every unchanged job on
+// its prior machine and greedily re-placing the churned jobs (largest
+// first, ties by job ID; each onto the machine with the smallest
+// resulting completion time that avoids a bag conflict, ties to the
+// lowest machine index). It fails — and the caller falls back to a
+// full solve — when a churned job's bag already occupies every
+// machine, when the churn map does not match the instances, or when
+// the Fx load verification detects an accounting mismatch.
+func Repair(prior *sched.Schedule, post *sched.Instance, churn *sched.Churn) (*sched.Schedule, RepairStats, error) {
+	var st RepairStats
+	if prior == nil || prior.Inst == nil {
+		return nil, st, fmt.Errorf("placer: repair needs a prior schedule")
+	}
+	if len(churn.PriorIndex) != len(post.Jobs) || len(churn.Changed) != len(post.Jobs) {
+		return nil, st, fmt.Errorf("placer: churn map covers %d jobs, post instance has %d",
+			len(churn.PriorIndex), len(post.Jobs))
+	}
+
+	s := sched.NewSchedule(post)
+	loads := make([]numeric.Fx, post.Machines)
+	bagsOn := make([]map[int]int, post.Machines)
+	for m := range bagsOn {
+		bagsOn[m] = make(map[int]int)
+	}
+	jobFx := make([]numeric.Fx, len(post.Jobs))
+	for i, j := range post.Jobs {
+		jobFx[i] = numeric.FromFloat(j.Size)
+	}
+
+	// Carry unchanged assignments over. A kept job that would conflict
+	// means the prior schedule was invalid for its own instance —
+	// refuse rather than paper over it.
+	var churned []int
+	for i := range post.Jobs {
+		pi := churn.PriorIndex[i]
+		if pi < 0 || churn.Changed[i] {
+			churned = append(churned, i)
+			continue
+		}
+		if pi >= len(prior.Machine) {
+			return nil, st, fmt.Errorf("placer: churn maps post job %d to prior index %d, prior has %d jobs",
+				i, pi, len(prior.Machine))
+		}
+		m := prior.Machine[pi]
+		if m < 0 || m >= post.Machines {
+			// Displaced by a machine removal (or never placed).
+			churned = append(churned, i)
+			st.Displaced++
+			continue
+		}
+		if bagsOn[m][post.Jobs[i].Bag] > 0 {
+			return nil, st, fmt.Errorf("placer: prior schedule carries a bag %d conflict onto machine %d",
+				post.Jobs[i].Bag, m)
+		}
+		s.Machine[i] = m
+		loads[m] += jobFx[i]
+		bagsOn[m][post.Jobs[i].Bag]++
+		st.Kept++
+	}
+
+	// Re-place churned jobs, largest first (ties by ID, then index, for
+	// determinism across job orderings).
+	sort.SliceStable(churned, func(a, b int) bool {
+		ja, jb := post.Jobs[churned[a]], post.Jobs[churned[b]]
+		if ja.Size != jb.Size {
+			return ja.Size > jb.Size
+		}
+		return ja.ID < jb.ID
+	})
+	speed := func(m int) float64 {
+		if post.Speeds == nil {
+			return 1
+		}
+		return post.Speeds[m]
+	}
+	for _, i := range churned {
+		bag := post.Jobs[i].Bag
+		best, bestDone := -1, 0.0
+		for m := 0; m < post.Machines; m++ {
+			if bagsOn[m][bag] > 0 {
+				continue
+			}
+			done := (loads[m] + jobFx[i]).Float() / speed(m)
+			if best < 0 || done < bestDone {
+				best, bestDone = m, done
+			}
+		}
+		if best < 0 {
+			return nil, st, fmt.Errorf("placer: bag %d occupies every machine; repair cannot place job %d", bag, i)
+		}
+		s.Machine[i] = best
+		loads[best] += jobFx[i]
+		bagsOn[best][bag]++
+		if churn.PriorIndex[i] >= 0 && !churn.Changed[i] {
+			continue // displaced job, already counted
+		}
+		st.Moved++
+	}
+
+	// Verify the exact load invariant: the incrementally maintained Fx
+	// loads must equal a from-scratch recomputation, and the schedule
+	// must be structurally valid and conflict-free.
+	check := make([]numeric.Fx, post.Machines)
+	for i, m := range s.Machine {
+		if m < 0 {
+			return nil, st, fmt.Errorf("placer: repair left job %d unplaced", i)
+		}
+		check[m] += jobFx[i]
+	}
+	for m := range loads {
+		if loads[m] != check[m] {
+			return nil, st, fmt.Errorf("placer: repair load mismatch on machine %d: %v != %v",
+				m, loads[m], check[m])
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, st, fmt.Errorf("placer: repaired schedule invalid: %w", err)
+	}
+	if c := s.Conflicts(); len(c) > 0 {
+		return nil, st, fmt.Errorf("placer: repaired schedule has %d bag conflicts", len(c))
+	}
+	for m := range loads {
+		if done := loads[m].Float() / speed(m); done > st.Makespan {
+			st.Makespan = done
+		}
+	}
+	return s, st, nil
+}

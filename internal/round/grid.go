@@ -1,0 +1,328 @@
+package round
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/sched"
+)
+
+// This file implements the guess-grid binary search the solver core
+// drives since the incremental re-solve work. Makespan guesses are
+// quantized onto an absolute geometric grid
+//
+//	g(k) = ratio^k,  ratio = GridRatio(eps) = 1 + eps/4
+//
+// anchored at 1 and independent of the instance's [lb, ub] interval.
+// The quantization buys two properties the float-interval driver in
+// spec.go cannot offer:
+//
+//   - Canonical guesses. Every solve of every instance evaluates the
+//     same guess values, so cross-solve memo entries (internal/memo)
+//     can be reused by an incremental re-solve: a delta that leaves a
+//     guess's scaled-rounded signature unchanged turns that guess into
+//     a pure cache hit instead of a near-miss at a shifted midpoint.
+//
+//   - Order-independent results. The search returns the schedule of
+//     the smallest accepted grid index (the acceptance boundary), not
+//     the best-by-makespan over whichever guesses a particular probing
+//     strategy happened to consume. Under the pipeline's monotone
+//     acceptance this boundary is a property of the instance alone, so
+//     a warm-started search (SearchWarm) that consumes a different —
+//     and much shorter — guess sequence converges to the bit-identical
+//     schedule the cold bisection finds.
+//
+// The grid step mirrors the retired additive step eps*lb/4 at g ~ lb:
+// the accepted guess overshoots the acceptance boundary by at most a
+// factor 1+eps/4, which is the same slack the additive step granted at
+// the lower bound, keeping the Theorem 1 constant intact.
+
+// GridRatio returns the guess-grid ratio for accuracy parameter eps.
+func GridRatio(eps float64) float64 { return 1 + eps/4 }
+
+// GridValue returns the guess value of grid index k: ratio^k.
+func GridValue(k int, ratio float64) float64 {
+	return math.Pow(ratio, float64(k))
+}
+
+// GridIndex returns the smallest k with ratio^k >= x (x and ratio-1
+// must be positive). Like Exponent it nudges before the ceil so a
+// representable power maps to its own index.
+func GridIndex(x, ratio float64) int {
+	k := int(math.Ceil(math.Log(x)/math.Log(ratio) - 1e-9))
+	if GridValue(k, ratio) < x { // floating point slack
+		k++
+	}
+	return k
+}
+
+// gridBounds quantizes a search interval: klo is the virtual-rejected
+// floor (the largest index whose value is at or below lb — the search
+// evaluates guesses strictly above the lower bound, matching the open
+// interval (lb, ub] of the retired float driver) and khi the first
+// index at or above ub. ub > lb > 0 implies khi >= klo+1, so the khi
+// probe always exists.
+func gridBounds(lb, ub, ratio float64) (klo, khi int) {
+	klo = GridIndex(lb, ratio)
+	if GridValue(klo, ratio) > lb {
+		klo-- // lb between grid points: its index is the first above it
+	}
+	return klo, GridIndex(ub, ratio)
+}
+
+// SearchGridSeq runs the grid-quantized dual-approximation binary
+// search, evaluating one guess at a time on the calling goroutine. It
+// is the same driver as SearchGridSpec with speculation disabled, so
+// the two consume identical guess sequences by construction.
+func SearchGridSeq[T any](ctx context.Context, lb, ub, ratio float64, maxGuesses int,
+	eval func(ctx context.Context, guess float64) (T, bool),
+	commit func(guess float64, v T, ok bool) *sched.Schedule,
+) SearchResult {
+	return searchGrid(ctx, lb, ub, ratio, maxGuesses, eval, commit, false)
+}
+
+// SearchGridSpec is SearchGridSeq with speculative parallel guess
+// evaluation: each round launches the current midpoint and both
+// possible successor midpoints concurrently and abandons the branch
+// not taken, exactly like SearchSpec. commit runs once per consumed
+// guess in sequential order; the consumed sequence and the returned
+// result are bit-identical to SearchGridSeq.
+func SearchGridSpec[T any](ctx context.Context, lb, ub, ratio float64, maxGuesses int,
+	eval func(ctx context.Context, guess float64) (T, bool),
+	commit func(guess float64, v T, ok bool) *sched.Schedule,
+) SearchResult {
+	return searchGrid(ctx, lb, ub, ratio, maxGuesses, eval, commit, true)
+}
+
+// gridDriver carries the state shared by the cold and warm grid
+// searches: the result under construction, the smallest accepted index
+// seen, and the abandoned-evaluation ledger.
+type gridDriver[T any] struct {
+	ctx       context.Context
+	ratio     float64
+	max       int
+	eval      func(ctx context.Context, guess float64) (T, bool)
+	commit    func(guess float64, v T, ok bool) *sched.Schedule
+	res       SearchResult
+	bestK     int
+	abandoned []*inflight[T]
+}
+
+func newGridDriver[T any](ctx context.Context, ratio float64, maxGuesses int,
+	eval func(ctx context.Context, guess float64) (T, bool),
+	commit func(guess float64, v T, ok bool) *sched.Schedule,
+) *gridDriver[T] {
+	if maxGuesses <= 0 {
+		maxGuesses = 40
+	}
+	return &gridDriver[T]{
+		ctx:    ctx,
+		ratio:  ratio,
+		max:    maxGuesses,
+		eval:   eval,
+		commit: commit,
+		res:    newSearchResult(),
+		bestK:  math.MaxInt,
+	}
+}
+
+// discard abandons an evaluation whose result will not be consumed.
+func (d *gridDriver[T]) discard(f *inflight[T]) {
+	if f != nil {
+		f.abandon()
+		d.abandoned = append(d.abandoned, f)
+	}
+}
+
+// consume commits the evaluation of grid index k and reports whether
+// the guess was accepted. The winner is the smallest accepted index,
+// not the best observed makespan: acceptance is a function of the
+// guess's rounding class, so the smallest accepted index is the same
+// boundary no matter which guess sequence discovered it — that is what
+// makes warm and cold searches return bit-identical schedules.
+func (d *gridDriver[T]) consume(f *inflight[T], k int) bool {
+	<-f.done
+	if f.cancel != nil {
+		// Release the child context of a completed evaluation.
+		f.cancel()
+	}
+	s := d.commit(f.guess, f.val, f.ok)
+	d.res.Guesses++
+	if f.ok && s != nil {
+		if k < d.bestK {
+			d.bestK = k
+			d.res.Schedule, d.res.Makespan, d.res.FinalGuess = s, s.Makespan(), f.guess
+		}
+		return true
+	}
+	return false
+}
+
+// evalK launches and immediately consumes grid index k (the sequential
+// warm path).
+func (d *gridDriver[T]) evalK(k int) bool {
+	f := launch(d.ctx, GridValue(k, d.ratio), d.eval, false)
+	return d.consume(f, k)
+}
+
+// exhausted reports that the search must stop: guess budget spent or
+// context dead.
+func (d *gridDriver[T]) exhausted() bool {
+	return d.res.Guesses >= d.max || d.ctx.Err() != nil
+}
+
+// searchGrid is the cold driver: probe khi (it supplies the fallback
+// schedule), then integer bisection over (klo, khi] maintaining the
+// invariant that lo is rejected (klo virtually — the lower bound
+// proves it) and hi accepted whenever anything is, terminating at
+// hi-lo == 1.
+func searchGrid[T any](ctx context.Context, lb, ub, ratio float64, maxGuesses int,
+	eval func(ctx context.Context, guess float64) (T, bool),
+	commit func(guess float64, v T, ok bool) *sched.Schedule,
+	speculate bool,
+) SearchResult {
+	d := newGridDriver(ctx, ratio, maxGuesses, eval, commit)
+	defer func() { drain(d.abandoned) }()
+	lo, hi := gridBounds(lb, ub, ratio)
+
+	// Probe the top of the grid first and speculate on the first
+	// midpoint while it runs: consuming the probe never narrows the
+	// interval, so the midpoint is consumed next whenever the loop runs
+	// at all.
+	probe := launch(ctx, GridValue(hi, ratio), eval, speculate)
+	var next *inflight[T]
+	nextK := 0
+	if speculate && hi-lo > 1 && d.max > 1 {
+		nextK = lo + (hi-lo)/2
+		next = launch(ctx, GridValue(nextK, ratio), eval, true)
+	}
+	d.consume(probe, hi)
+
+	for hi-lo > 1 && !d.exhausted() {
+		mid := lo + (hi-lo)/2
+		cur := next
+		next = nil
+		if cur == nil || nextK != mid {
+			d.discard(cur)
+			cur = launch(ctx, GridValue(mid, ratio), eval, speculate)
+		}
+		// Launch both possible successors while cur evaluates — unless
+		// cur already finished, in which case the next iteration starts
+		// the right midpoint directly. The guards mirror the loop
+		// conditions at the next iteration, so a successor is only
+		// skipped when the loop could not consume it anyway.
+		var onAccept, onReject *inflight[T]
+		var onAcceptK, onRejectK int
+		curDone := false
+		select {
+		case <-cur.done:
+			curDone = true
+		default:
+		}
+		if !curDone && d.res.Guesses+1 < d.max {
+			if mid-lo > 1 {
+				onAcceptK = lo + (mid-lo)/2
+				onAccept = launch(ctx, GridValue(onAcceptK, ratio), eval, true)
+			}
+			if hi-mid > 1 {
+				onRejectK = mid + (hi-mid)/2
+				onReject = launch(ctx, GridValue(onRejectK, ratio), eval, true)
+			}
+		}
+		if d.consume(cur, mid) {
+			hi = mid
+			next, nextK = onAccept, onAcceptK
+			d.discard(onReject)
+		} else {
+			lo = mid
+			next, nextK = onReject, onRejectK
+			d.discard(onAccept)
+		}
+	}
+	// A successor speculated for an iteration that never ran.
+	d.discard(next)
+	return d.res
+}
+
+// SearchWarm runs the warm-started grid search of an incremental
+// re-solve: instead of bisecting the full (lb, ub] interval it seeds
+// the search at the grid index of a prior solve's makespan and probes
+// outward geometrically (stride doubling) until the acceptance
+// boundary is bracketed, then bisects the bracket. Under monotone
+// guess acceptance it converges to the same smallest accepted grid
+// index as the cold search over the same interval — and therefore to
+// the bit-identical schedule — while consuming a guess sequence whose
+// length scales with the distance between the seed and the boundary,
+// not with the width of (lb, ub]. A seed at or outside the interval is
+// clamped onto it, degrading gracefully to a near-cold bisection.
+//
+// Evaluation is strictly sequential: each probe depends on the
+// previous outcome, so there is no speculation tree to race down.
+func SearchWarm[T any](ctx context.Context, lb, ub, seed, ratio float64, maxGuesses int,
+	eval func(ctx context.Context, guess float64) (T, bool),
+	commit func(guess float64, v T, ok bool) *sched.Schedule,
+) SearchResult {
+	d := newGridDriver(ctx, ratio, maxGuesses, eval, commit)
+	lo, hi := gridBounds(lb, ub, ratio)
+	ks := GridIndex(seed, ratio)
+	if ks <= lo {
+		ks = lo + 1
+	}
+	if ks > hi {
+		ks = hi
+	}
+
+	// Bracket the boundary: rej is the largest known-rejected index
+	// (lo counts, virtually), acc the smallest known-accepted one.
+	rej, acc := lo, hi+1 // acc = hi+1 means "nothing accepted yet"
+	if d.evalK(ks) {
+		acc = ks
+		// Probe downward with doubling stride from the seed.
+		for stride := 1; acc-rej > 1 && !d.exhausted(); stride *= 2 {
+			p := ks - stride
+			if p <= rej {
+				break // bisection finishes the remaining gap
+			}
+			if d.evalK(p) {
+				acc = p
+			} else {
+				rej = p
+				break
+			}
+		}
+	} else {
+		rej = ks
+		// Probe upward with doubling stride until something accepts;
+		// if even the top of the interval rejects, no guess is
+		// accepted (the caller falls back), matching the cold search
+		// under monotone acceptance.
+		for stride := 1; !d.exhausted(); stride *= 2 {
+			p := ks + stride
+			if p >= hi {
+				if hi > rej && d.evalK(hi) {
+					acc = hi
+				}
+				break
+			}
+			if d.evalK(p) {
+				acc = p
+				break
+			}
+			rej = p
+		}
+		if acc > hi {
+			return d.res
+		}
+	}
+
+	// Bisect the bracket down to a gap of one.
+	for acc-rej > 1 && !d.exhausted() {
+		mid := rej + (acc-rej)/2
+		if d.evalK(mid) {
+			acc = mid
+		} else {
+			rej = mid
+		}
+	}
+	return d.res
+}

@@ -1,0 +1,240 @@
+package round
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestGridIndexBasics(t *testing.T) {
+	for _, tc := range []struct {
+		x, ratio float64
+	}{
+		{1, 1.125}, {0.3, 1.125}, {7.3, 1.125}, {1e-4, 1.0625}, {1e4, 1.25}, {2.5, 1.1},
+	} {
+		k := GridIndex(tc.x, tc.ratio)
+		v := GridValue(k, tc.ratio)
+		if v < tc.x-1e-12 {
+			t.Errorf("GridValue(GridIndex(%g,%g)) = %g below input", tc.x, tc.ratio, v)
+		}
+		if below := GridValue(k-1, tc.ratio); below >= tc.x*(1+1e-9) {
+			t.Errorf("GridIndex(%g,%g) = %d not minimal: value(k-1) = %g", tc.x, tc.ratio, k, below)
+		}
+	}
+}
+
+func TestGridIndexExactPower(t *testing.T) {
+	// An exact grid value must map to its own index.
+	ratio := 1.125
+	for k := -20; k <= 20; k++ {
+		v := GridValue(k, ratio)
+		if got := GridIndex(v, ratio); got != k {
+			t.Errorf("GridIndex(GridValue(%d)) = %d", k, got)
+		}
+	}
+}
+
+// gridPair runs the sequential and speculative cold grid searches over
+// the same accept predicate and records each one's committed guess
+// order.
+func gridPair(t *testing.T, lb, ub, ratio float64, maxGuesses int, accept func(float64) bool) (seq, spec SearchResult, seqOrder, specOrder []float64) {
+	t.Helper()
+	eval := func(_ context.Context, g float64) (float64, bool) { return g, accept(g) }
+	seqCommit := func(g float64, v float64, ok bool) *sched.Schedule {
+		seqOrder = append(seqOrder, g)
+		if !ok {
+			return nil
+		}
+		return guessSchedule(v)
+	}
+	seq = SearchGridSeq(context.Background(), lb, ub, ratio, maxGuesses, eval, seqCommit)
+
+	var mu sync.Mutex
+	specCommit := func(g float64, v float64, ok bool) *sched.Schedule {
+		mu.Lock()
+		specOrder = append(specOrder, g)
+		mu.Unlock()
+		if !ok {
+			return nil
+		}
+		return guessSchedule(v)
+	}
+	spec = SearchGridSpec(context.Background(), lb, ub, ratio, maxGuesses, eval, specCommit)
+	return seq, spec, seqOrder, specOrder
+}
+
+// TestSearchGridSpecMatchesSequential checks that the speculative grid
+// search consumes the exact guess sequence of the sequential one —
+// same guesses, same order, same result — across accept-heavy,
+// reject-heavy and mixed paths.
+func TestSearchGridSpecMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		lb, ub    float64
+		ratio     float64
+		maxG      int
+		threshold float64
+	}{
+		{"accept-all", 1, 4, 1.125, 40, 0},
+		{"reject-below-mid", 1, 4, 1.125, 40, 2},
+		{"accept-high-only", 1, 4, 1.125, 40, 3.9},
+		{"tight-threshold", 1, 4, 1.0625, 40, 1.2345},
+		{"few-guesses", 1, 4, 1.125, 3, 1.3},
+		{"two-guesses", 1, 4, 1.125, 2, 1.3},
+		{"one-guess", 1, 4, 1.125, 1, 1.3},
+		{"coarse-grid", 1, 4, 1.25, 40, 1.4},
+		{"narrow-interval", 1.5, 1.6, 1.125, 40, 1.55},
+		{"default-params", 1, 8, 1.1, 0, 3.21},
+		{"sub-one-interval", 0.01, 0.5, 1.125, 40, 0.07},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			accept := func(g float64) bool { return g >= tc.threshold }
+			seq, spec, so, po := gridPair(t, tc.lb, tc.ub, tc.ratio, tc.maxG, accept)
+			checkIdentical(t, seq, spec, so, po)
+		})
+	}
+}
+
+// TestSearchWarmMatchesCold checks the load-bearing property of the
+// incremental re-solve: for a monotone accept predicate the warm
+// search converges to the same smallest accepted grid index — hence
+// the same FinalGuess and makespan — as the cold bisection, from any
+// seed.
+func TestSearchWarmMatchesCold(t *testing.T) {
+	ratio := 1.125
+	lb, ub := 1.0, 20.0
+	for _, threshold := range []float64{0, 1.01, 2.5, 7.3, 12.0, 19.9, 25.0} {
+		accept := func(g float64) bool { return g >= threshold }
+		eval := func(_ context.Context, g float64) (float64, bool) { return g, accept(g) }
+		commit := func(g float64, v float64, ok bool) *sched.Schedule {
+			if !ok {
+				return nil
+			}
+			return guessSchedule(v)
+		}
+		cold := SearchGridSeq(context.Background(), lb, ub, ratio, 0, eval, commit)
+		for _, seed := range []float64{0.5, 1.0, 2.0, 7.3, 12.0, 19.0, 40.0} {
+			warm := SearchWarm(context.Background(), lb, ub, seed, ratio, 0, eval, commit)
+			if (cold.Schedule == nil) != (warm.Schedule == nil) {
+				t.Fatalf("threshold=%g seed=%g: schedule presence differs (cold=%v warm=%v)",
+					threshold, seed, cold.Schedule != nil, warm.Schedule != nil)
+			}
+			if cold.Schedule == nil {
+				continue
+			}
+			if cold.FinalGuess != warm.FinalGuess {
+				t.Errorf("threshold=%g seed=%g: final guess differs: cold=%v warm=%v",
+					threshold, seed, cold.FinalGuess, warm.FinalGuess)
+			}
+			if cold.Makespan != warm.Makespan {
+				t.Errorf("threshold=%g seed=%g: makespan differs: cold=%v warm=%v",
+					threshold, seed, cold.Makespan, warm.Makespan)
+			}
+		}
+	}
+}
+
+// TestSearchWarmFewerGuessesNearSeed checks the warm search's point: a
+// seed at the boundary consumes fewer decisions than the cold
+// bisection over a wide interval.
+func TestSearchWarmFewerGuessesNearSeed(t *testing.T) {
+	ratio := 1.0625
+	lb, ub := 1.0, 100.0
+	threshold := 7.3
+	eval := func(_ context.Context, g float64) (float64, bool) { return g, g >= threshold }
+	commit := func(g float64, v float64, ok bool) *sched.Schedule {
+		if !ok {
+			return nil
+		}
+		return guessSchedule(v)
+	}
+	cold := SearchGridSeq(context.Background(), lb, ub, ratio, 0, eval, commit)
+	warm := SearchWarm(context.Background(), lb, ub, cold.FinalGuess, ratio, 0, eval, commit)
+	if warm.Guesses >= cold.Guesses {
+		t.Errorf("warm search consumed %d guesses, cold %d — warm start bought nothing",
+			warm.Guesses, cold.Guesses)
+	}
+	if warm.FinalGuess != cold.FinalGuess {
+		t.Errorf("warm final guess %v != cold %v", warm.FinalGuess, cold.FinalGuess)
+	}
+}
+
+// TestSearchWarmRejectAll checks the no-accepted-guess path: the warm
+// search walks up to the top of the interval, sees it reject, and
+// reports no schedule — the caller then falls back exactly as after a
+// cold all-reject search.
+func TestSearchWarmRejectAll(t *testing.T) {
+	eval := func(_ context.Context, g float64) (float64, bool) { return g, false }
+	commit := func(g float64, v float64, ok bool) *sched.Schedule { return nil }
+	res := SearchWarm(context.Background(), 1, 4, 2, 1.125, 0, eval, commit)
+	if res.Schedule != nil || !math.IsInf(res.Makespan, 1) {
+		t.Errorf("reject-all warm search produced a schedule: %+v", res)
+	}
+}
+
+// TestSearchGridRespectsMaxGuesses bounds both drivers.
+func TestSearchGridRespectsMaxGuesses(t *testing.T) {
+	evals := 0
+	eval := func(_ context.Context, g float64) (float64, bool) { evals++; return g, false }
+	commit := func(g float64, v float64, ok bool) *sched.Schedule { return nil }
+	SearchGridSeq(context.Background(), 1, 1e9, 1.0001, 5, eval, commit)
+	if evals > 5 {
+		t.Errorf("cold grid search evaluated %d guesses, want <= 5", evals)
+	}
+	evals = 0
+	SearchWarm(context.Background(), 1, 1e9, 17, 1.0001, 5, eval, commit)
+	if evals > 5 {
+		t.Errorf("warm grid search evaluated %d guesses, want <= 5", evals)
+	}
+}
+
+// TestSearchWarmContextStopsEarly checks that cancellation stops the
+// warm driver between probes.
+func TestSearchWarmContextStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	evals := 0
+	eval := func(_ context.Context, g float64) (float64, bool) {
+		evals++
+		if evals == 2 {
+			cancel()
+		}
+		return g, true
+	}
+	commit := func(g float64, v float64, ok bool) *sched.Schedule {
+		if !ok {
+			return nil
+		}
+		return guessSchedule(v)
+	}
+	res := SearchWarm(ctx, 1, 100, 50, 1.125, 0, eval, commit)
+	if res.Guesses > 3 {
+		t.Errorf("canceled warm search consumed %d guesses, want <= 3", res.Guesses)
+	}
+	if res.Schedule == nil {
+		t.Error("canceled warm search dropped the best-so-far schedule")
+	}
+}
+
+// TestSearchWarmSeedOutsideInterval clamps seeds onto the interval.
+func TestSearchWarmSeedOutsideInterval(t *testing.T) {
+	ratio := 1.125
+	threshold := 2.0
+	eval := func(_ context.Context, g float64) (float64, bool) { return g, g >= threshold }
+	commit := func(g float64, v float64, ok bool) *sched.Schedule {
+		if !ok {
+			return nil
+		}
+		return guessSchedule(v)
+	}
+	cold := SearchGridSeq(context.Background(), 1, 4, ratio, 0, eval, commit)
+	for _, seed := range []float64{1e-6, 1e6} {
+		warm := SearchWarm(context.Background(), 1, 4, seed, ratio, 0, eval, commit)
+		if warm.Schedule == nil || warm.FinalGuess != cold.FinalGuess {
+			t.Errorf("seed=%g: warm final %v, cold final %v", seed, warm.FinalGuess, cold.FinalGuess)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package sched
+
+import "fmt"
+
+// Delta describes an incremental change to an instance: the job and
+// machine churn a dynamic workload applies between two solves. Deltas
+// are data (JSON-encodable for the wire layer) and are applied
+// functionally — Apply never mutates the base instance.
+type Delta struct {
+	// Add appends new jobs. Every added job must carry an ID that is
+	// unique within the post-delta instance; sizes must be positive.
+	Add []Job `json:"add,omitempty"`
+	// Remove deletes jobs by ID. The remaining jobs keep their input
+	// order.
+	Remove []JobID `json:"remove,omitempty"`
+	// Resize replaces the size of existing jobs.
+	Resize []Resize `json:"resize,omitempty"`
+	// Rebag moves existing jobs to a different bag, extending the bag
+	// count if needed.
+	Rebag []Rebag `json:"rebag,omitempty"`
+	// Machines adjusts the machine count (positive adds, negative
+	// removes; the count must stay at least 1). When the base instance
+	// carries machine speeds, added machines take their speeds from
+	// AddSpeeds and removed machines are dropped from the top of the
+	// speed vector.
+	Machines int `json:"machines,omitempty"`
+	// AddSpeeds gives the speeds of added machines on speed-carrying
+	// instances; its length must equal Machines when positive. Ignored
+	// (and must be empty) on identical-machine instances.
+	AddSpeeds []float64 `json:"add_speeds,omitempty"`
+}
+
+// Resize is one job-size replacement.
+type Resize struct {
+	ID   JobID   `json:"id"`
+	Size float64 `json:"size"`
+}
+
+// Rebag is one job-to-bag move.
+type Rebag struct {
+	ID  JobID `json:"id"`
+	Bag int   `json:"bag"`
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *Delta) Empty() bool {
+	return len(d.Add) == 0 && len(d.Remove) == 0 && len(d.Resize) == 0 &&
+		len(d.Rebag) == 0 && d.Machines == 0
+}
+
+// Jobs returns the number of job-level edits (adds + removes + resizes
+// + rebags) — the churn size drivers and stats report.
+func (d *Delta) Jobs() int {
+	return len(d.Add) + len(d.Remove) + len(d.Resize) + len(d.Rebag)
+}
+
+// Churn maps a post-delta instance back onto its base: which jobs
+// survived unchanged (and where they were), and which are new or
+// edited. The placement-repair fast path uses it to carry unchanged
+// assignments over and re-place only the churned jobs.
+type Churn struct {
+	// PriorIndex[i] is the index in the base instance of post-delta job
+	// i, or -1 for jobs added by the delta.
+	PriorIndex []int
+	// Changed[i] reports that post-delta job i was added, resized or
+	// rebagged — its prior machine (if any) may no longer be valid.
+	Changed []bool
+}
+
+// Apply returns the post-delta instance and the churn map. The base
+// instance is never modified. Edits are applied remove → resize →
+// rebag → add → machines; an edit naming an unknown or duplicate job
+// ID, a non-positive size, a negative bag, or a machine adjustment
+// that empties the instance is an error.
+func (d *Delta) Apply(base *Instance) (*Instance, *Churn, error) {
+	byID := make(map[JobID]int, len(base.Jobs))
+	for i, j := range base.Jobs {
+		if _, dup := byID[j.ID]; dup {
+			return nil, nil, fmt.Errorf("sched: delta base has duplicate job id %d", j.ID)
+		}
+		byID[j.ID] = i
+	}
+
+	removed := make(map[JobID]bool, len(d.Remove))
+	for _, id := range d.Remove {
+		if _, ok := byID[id]; !ok {
+			return nil, nil, fmt.Errorf("sched: delta removes unknown job id %d", id)
+		}
+		if removed[id] {
+			return nil, nil, fmt.Errorf("sched: delta removes job id %d twice", id)
+		}
+		removed[id] = true
+	}
+
+	resized := make(map[JobID]float64, len(d.Resize))
+	for _, r := range d.Resize {
+		if _, ok := byID[r.ID]; !ok {
+			return nil, nil, fmt.Errorf("sched: delta resizes unknown job id %d", r.ID)
+		}
+		if removed[r.ID] {
+			return nil, nil, fmt.Errorf("sched: delta resizes removed job id %d", r.ID)
+		}
+		if r.Size <= 0 {
+			return nil, nil, fmt.Errorf("sched: delta resizes job id %d to non-positive size %g", r.ID, r.Size)
+		}
+		if _, dup := resized[r.ID]; dup {
+			return nil, nil, fmt.Errorf("sched: delta resizes job id %d twice", r.ID)
+		}
+		resized[r.ID] = r.Size
+	}
+
+	rebagged := make(map[JobID]int, len(d.Rebag))
+	for _, r := range d.Rebag {
+		if _, ok := byID[r.ID]; !ok {
+			return nil, nil, fmt.Errorf("sched: delta rebags unknown job id %d", r.ID)
+		}
+		if removed[r.ID] {
+			return nil, nil, fmt.Errorf("sched: delta rebags removed job id %d", r.ID)
+		}
+		if r.Bag < 0 {
+			return nil, nil, fmt.Errorf("sched: delta rebags job id %d to negative bag %d", r.ID, r.Bag)
+		}
+		if _, dup := rebagged[r.ID]; dup {
+			return nil, nil, fmt.Errorf("sched: delta rebags job id %d twice", r.ID)
+		}
+		rebagged[r.ID] = r.Bag
+	}
+
+	post := &Instance{
+		NumBags:  base.NumBags,
+		Machines: base.Machines + d.Machines,
+	}
+	if post.Machines < 1 {
+		return nil, nil, fmt.Errorf("sched: delta leaves %d machines, need at least 1", post.Machines)
+	}
+	churn := &Churn{}
+
+	appendJob := func(j Job, prior int, changed bool) {
+		post.Jobs = append(post.Jobs, j)
+		churn.PriorIndex = append(churn.PriorIndex, prior)
+		churn.Changed = append(churn.Changed, changed)
+		if j.Bag >= post.NumBags {
+			post.NumBags = j.Bag + 1
+		}
+	}
+
+	for i, j := range base.Jobs {
+		if removed[j.ID] {
+			continue
+		}
+		changed := false
+		if sz, ok := resized[j.ID]; ok {
+			j.Size = sz
+			changed = true
+		}
+		if bag, ok := rebagged[j.ID]; ok {
+			j.Bag = bag
+			changed = true
+		}
+		appendJob(j, i, changed)
+	}
+	for _, j := range d.Add {
+		if _, clash := byID[j.ID]; clash && !removed[j.ID] {
+			return nil, nil, fmt.Errorf("sched: delta adds job id %d already present", j.ID)
+		}
+		if j.Size <= 0 {
+			return nil, nil, fmt.Errorf("sched: delta adds job id %d with non-positive size %g", j.ID, j.Size)
+		}
+		if j.Bag < 0 {
+			return nil, nil, fmt.Errorf("sched: delta adds job id %d with negative bag %d", j.ID, j.Bag)
+		}
+		appendJob(j, -1, true)
+	}
+
+	if base.Speeds != nil {
+		switch {
+		case d.Machines > 0:
+			if len(d.AddSpeeds) != d.Machines {
+				return nil, nil, fmt.Errorf("sched: delta adds %d machines to a speed instance but carries %d speeds", d.Machines, len(d.AddSpeeds))
+			}
+			for i, s := range d.AddSpeeds {
+				if s <= 0 {
+					return nil, nil, fmt.Errorf("sched: delta adds machine with non-positive speed %g (entry %d)", s, i)
+				}
+			}
+			post.Speeds = append(append([]float64(nil), base.Speeds...), d.AddSpeeds...)
+		case d.Machines < 0:
+			post.Speeds = append([]float64(nil), base.Speeds[:post.Machines]...)
+		default:
+			post.Speeds = append([]float64(nil), base.Speeds...)
+		}
+	} else if len(d.AddSpeeds) > 0 {
+		return nil, nil, fmt.Errorf("sched: delta carries machine speeds for an identical-machines instance")
+	}
+
+	if err := post.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sched: post-delta instance invalid: %w", err)
+	}
+	return post, churn, nil
+}

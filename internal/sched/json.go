@@ -58,6 +58,19 @@ func ReadInstance(r io.Reader) (*Instance, error) {
 	return &in, nil
 }
 
+// ReadDelta decodes a JSON delta from r — the same document the wire
+// layer's "delta" field carries. Unknown fields are errors, so a typo'd
+// edit kind fails loudly instead of silently changing nothing.
+func ReadDelta(r io.Reader) (*Delta, error) {
+	var d Delta
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("sched: decoding delta: %w", err)
+	}
+	return &d, nil
+}
+
 // WriteInstance encodes the instance as indented JSON to w.
 func WriteInstance(w io.Writer, in *Instance) error {
 	enc := json.NewEncoder(w)
@@ -89,4 +102,40 @@ func WriteSchedule(w io.Writer, s *Schedule) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
+}
+
+// Trace is a churn trace: a base instance plus an ordered stream of
+// deltas — the replay unit of the incremental re-solve tests,
+// benchmarks and the churn-replay driver. Committed traces live under
+// testdata/churn_*.json (the churn_ prefix keeps them out of the
+// plain-instance corpus globs).
+type Trace struct {
+	Base  *Instance `json:"base"`
+	Steps []Delta   `json:"steps"`
+}
+
+// ReadTrace decodes a JSON churn trace from r. Unknown fields are
+// errors; the base instance is validated and there must be at least one
+// step.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var tr Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("sched: decoding trace: %w", err)
+	}
+	if tr.Base == nil {
+		return nil, fmt.Errorf("sched: trace has no base instance")
+	}
+	if len(tr.Steps) == 0 {
+		return nil, fmt.Errorf("sched: trace has no steps")
+	}
+	return &tr, nil
+}
+
+// WriteTrace encodes the trace as indented JSON to w.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
 }

@@ -10,6 +10,9 @@
 //	                  "family": "bags", "timeout_ms": 1000,
 //	                  "no_cache": false, "oracle_workers": 4}
 //	POST /v1/batch   {"instances": [{...}, ...], "eps": 0.5, ...}
+//	POST /v1/resolve {"instance": {...}, "delta": {"resize": [...]},
+//	                  "prior_makespan": 3.2, "prior_guess": 3.1,
+//	                  "prior_assignment": [0,1,...], "repair": false, ...}
 //	GET  /v1/stats   cache/queue/latency counters, per-family solve
 //	                 counts and latencies; ?window=N adds percentiles
 //	                 over the last N solves
@@ -119,6 +122,8 @@ type Server struct {
 	solveErrors atomic.Int64 // failed solves (solver errors, not 4xx decode)
 	coalesced   atomic.Int64 // solves served by joining an identical in-flight request
 	timeouts    atomic.Int64 // solves aborted by per-request deadlines
+	resolves    atomic.Int64 // successful incremental re-solves (subset of solves)
+	repairs     atomic.Int64 // re-solves answered by the placement-repair fast path
 
 	// Oracle worker utilization over all successful solves: how many ran
 	// with more than one lane, how many speculative work units helper
@@ -211,6 +216,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/resolve", s.handleResolve)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -315,14 +321,21 @@ func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context
 }
 
 // solveOne runs one spec through coalescing, admission and the queue.
-func (s *Server) solveOne(ctx context.Context, sp *spec) (out batch.Outcome, admitted, shared bool) {
+// The task is sp's work — a plain solve, or an incremental re-solve
+// when it carries Prior and Delta.
+func (s *Server) solveOne(ctx context.Context, sp *spec, task batch.Task) (out batch.Outcome, admitted, shared bool) {
 	out, admitted, shared = s.flight.do(ctx, sp.key, func() (batch.Outcome, bool) {
-		return s.queue.Do(ctx, batch.Task{Instance: sp.in, Options: sp.opt})
+		return s.queue.Do(ctx, task)
 	})
 	if shared {
 		s.coalesced.Add(1)
 	}
 	return out, admitted, shared
+}
+
+// solveTask is the queue task of a plain (non-resolve) spec.
+func (sp *spec) solveTask() batch.Task {
+	return batch.Task{Instance: sp.in, Options: sp.opt}
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -344,7 +357,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	out, admitted, shared := s.solveOne(ctx, sp)
+	out, admitted, shared := s.solveOne(ctx, sp, sp.solveTask())
 	elapsed := time.Since(start)
 	if !admitted {
 		w.Header().Set("Retry-After", "1")
@@ -360,6 +373,89 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.recordFamily(sp.fam, elapsed)
 	s.recordOracle(out.Result.Stats)
 	writeJSON(w, http.StatusOK, wire.FromResult(out.Result, shared, elapsed))
+}
+
+// resolveDelta validates a resolve request and builds its spec plus the
+// reconstructed prior result the warm solve starts from. The spec's
+// coalescing key covers everything the spec of a plain solve covers and
+// the resolve's own identity on top — the delta and every prior fact —
+// so identical concurrent re-solves coalesce while a resolve never
+// shares an outcome with the plain solve of the same instance. A
+// non-nil error is a client error (400).
+func (s *Server) resolveDelta(req *wire.ResolveRequest) (*spec, *core.Result, error) {
+	sp, err := s.resolve(req.Instance, req.Eps, req.Backend, req.Family, req.NoCache, req.OracleWorkers)
+	if err != nil {
+		return nil, nil, err
+	}
+	if req.PriorMakespan < 0 || req.PriorGuess < 0 {
+		return nil, nil, errors.New("\"prior_makespan\" and \"prior_guess\" must be >= 0")
+	}
+	if n := len(req.PriorAssignment); n != 0 && n != len(req.Instance.Jobs) {
+		return nil, nil, fmt.Errorf("\"prior_assignment\" has %d entries for %d jobs", n, len(req.Instance.Jobs))
+	}
+	if req.Repair && len(req.PriorAssignment) == 0 {
+		return nil, nil, errors.New("\"repair\" needs \"prior_assignment\"")
+	}
+	sp.opt.Repair = req.Repair
+
+	prior := &core.Result{Input: req.Instance, Makespan: req.PriorMakespan, Options: sp.opt}
+	prior.Stats.FinalGuess = req.PriorGuess
+	if len(req.PriorAssignment) > 0 {
+		prior.Schedule = &sched.Schedule{Inst: req.Instance, Machine: req.PriorAssignment}
+	}
+
+	h := sha256.New()
+	h.Write(sp.key[:])
+	db, err := json.Marshal(req.Delta)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.Write(db)
+	fmt.Fprintf(h, "|resolve|%x|%x|%v|%v", math.Float64bits(req.PriorMakespan),
+		math.Float64bits(req.PriorGuess), req.Repair, req.PriorAssignment)
+	h.Sum(sp.key[:0])
+	return sp, prior, nil
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req wire.ResolveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sp, prior, err := s.resolveDelta(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel, err := s.solveContext(r, req.TimeoutMS)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer cancel()
+
+	start := time.Now()
+	out, admitted, shared := s.solveOne(ctx, sp, batch.Task{Options: sp.opt, Prior: prior, Delta: &req.Delta})
+	elapsed := time.Since(start)
+	if !admitted {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "queue full"})
+		return
+	}
+	if out.Err != nil {
+		s.writeSolveError(w, out.Err)
+		return
+	}
+	s.solves.Add(1)
+	s.resolves.Add(1)
+	if out.Result.Stats.Repaired {
+		s.repairs.Add(1)
+	}
+	s.lat.Record(elapsed)
+	s.recordFamily(sp.fam, elapsed)
+	s.recordOracle(out.Result.Stats)
+	writeJSON(w, http.StatusOK, wire.FromResolveResult(out.Result, shared, elapsed))
 }
 
 // recordFamily feeds the per-family counters of one successful solve.
@@ -428,7 +524,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			defer func() { <-fanout }()
 			itemStart := time.Now()
-			out, admitted, shared := s.solveOne(ctx, sp)
+			out, admitted, shared := s.solveOne(ctx, sp, sp.solveTask())
 			itemElapsed := time.Since(itemStart)
 			switch {
 			case !admitted:
@@ -486,6 +582,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"bagsched_solves_coalesced_total", "counter", s.coalesced.Load()},
 		{"bagsched_solves_rejected_total", "counter", s.queue.Rejected()},
 		{"bagsched_solve_timeouts_total", "counter", s.timeouts.Load()},
+		{"bagsched_resolves_total", "counter", s.resolves.Load()},
+		{"bagsched_resolves_repaired_total", "counter", s.repairs.Load()},
 		{"bagsched_queue_running", "gauge", s.queue.Running()},
 		{"bagsched_queue_queued", "gauge", s.queue.Queued()},
 		{"bagsched_cache_hits_total", "counter", cs.Hits},
@@ -532,6 +630,8 @@ func (s *Server) statsPayload(window int) map[string]any {
 			"coalesced":    s.coalesced.Load(),
 			"rejected":     s.queue.Rejected(),
 			"timeouts":     s.timeouts.Load(),
+			"resolves":     s.resolves.Load(),
+			"repaired":     s.repairs.Load(),
 			"active":       s.queue.Running(),
 			"queued":       s.queue.Queued(),
 			"workers":      s.queue.Workers(),

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -393,9 +394,17 @@ func TestAdmissionControl(t *testing.T) {
 // doubles as the data-race check on the cache, flight group and queue.
 func TestSharedCacheHammer(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 4})
-	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.json"))
-	if err != nil || len(files) == 0 {
+	all, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.json"))
+	if err != nil || len(all) == 0 {
 		t.Fatalf("no fixtures: %v", err)
+	}
+	var files []string
+	for _, f := range all {
+		// Skip churn traces (base+deltas documents, not plain instances).
+		if strings.HasPrefix(filepath.Base(f), "churn_") {
+			continue
+		}
+		files = append(files, f)
 	}
 	type fixture struct {
 		name string
@@ -634,5 +643,140 @@ func TestFamilyField(t *testing.T) {
 	}
 	if !bytes.Contains(raw, []byte(`bagsched_family_solves_total{family="related"} 1`)) {
 		t.Errorf("metrics missing the related family counter:\n%s", raw)
+	}
+}
+
+// TestResolveEndpoint: solve, feed the response's prior facts into
+// /v1/resolve, and check the incremental answer is bit-identical to a
+// from-scratch solve of the post-delta instance — and that the resolve
+// shows up in the stats counters.
+func TestResolveEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	in := testInstance(t)
+
+	status, prior := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": in, "eps": 0.5})
+	if status != http.StatusOK {
+		t.Fatalf("prior solve: status %d (%v)", status, prior)
+	}
+	priorGuess, _ := prior["final_guess"].(float64) // omitted when 0
+
+	delta := sched.Delta{Resize: []sched.Resize{{ID: in.Jobs[0].ID, Size: 0.95}}}
+	status, doc := postJSON(t, ts.URL+"/v1/resolve", map[string]any{
+		"instance":       in,
+		"delta":          delta,
+		"prior_makespan": prior["makespan"],
+		"prior_guess":    priorGuess,
+		"eps":            0.5,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("resolve: status %d (%v)", status, doc)
+	}
+
+	post, _, err := delta.Apply(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Solve(post, core.Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc["makespan"].(float64); got != want.Makespan {
+		t.Fatalf("resolve makespan %.17g, want from-scratch %.17g", got, want.Makespan)
+	}
+	asg := doc["assignment"].([]any)
+	for i, m := range want.Schedule.Machine {
+		if int(asg[i].(float64)) != m {
+			t.Fatalf("assignment[%d] = %v, want %d", i, asg[i], m)
+		}
+	}
+
+	status, stats := getJSON(t, ts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	server := stats["server"].(map[string]any)
+	if server["resolves"].(float64) != 1 {
+		t.Fatalf("stats report %v resolves, want 1", server["resolves"])
+	}
+}
+
+// TestResolveRepairEndpoint: with "repair" and a prior assignment, a
+// small resize is absorbed by the placement repair (no search) and the
+// response carries the repair counters.
+func TestResolveRepairEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	// The repair instance from the core tests: bag-LPT is suboptimal, so
+	// the solve does not short-circuit on a provably optimal fallback.
+	in := sched.NewInstance(2)
+	in.AddJob(3, 0)
+	in.AddJob(3, 1)
+	in.AddJob(2, 2)
+	in.AddJob(2, 3)
+	in.AddJob(2, 4)
+
+	status, prior := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": in, "eps": 0.33})
+	if status != http.StatusOK {
+		t.Fatalf("prior solve: status %d (%v)", status, prior)
+	}
+	priorGuess, _ := prior["final_guess"].(float64)
+
+	delta := sched.Delta{Resize: []sched.Resize{{ID: in.Jobs[4].ID, Size: 2.1}}}
+	status, doc := postJSON(t, ts.URL+"/v1/resolve", map[string]any{
+		"instance":         in,
+		"delta":            delta,
+		"prior_makespan":   prior["makespan"],
+		"prior_guess":      priorGuess,
+		"prior_assignment": prior["assignment"],
+		"repair":           true,
+		"eps":              0.33,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("resolve: status %d (%v)", status, doc)
+	}
+	if doc["repaired"] != true {
+		t.Fatalf("repair fast path did not engage: %v", doc)
+	}
+	if doc["guesses"].(float64) != 0 {
+		t.Fatalf("repaired resolve reports %v guesses, want 0", doc["guesses"])
+	}
+	if doc["repair_kept"].(float64) != 4 || doc["repair_moved"].(float64) != 1 {
+		t.Fatalf("repair counters kept=%v moved=%v, want 4/1", doc["repair_kept"], doc["repair_moved"])
+	}
+	if got := s.repairs.Load(); got != 1 {
+		t.Fatalf("server counted %d repairs, want 1", got)
+	}
+}
+
+// TestResolveBadRequests covers the resolve-specific 400s (the shared
+// knob validation is covered by TestSolveBadRequests) and the 422 of a
+// well-formed but inapplicable delta.
+func TestResolveBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	in := testInstance(t)
+	base := func() map[string]any {
+		return map[string]any{"instance": in, "delta": sched.Delta{}, "prior_makespan": 1.0}
+	}
+	cases := []struct {
+		name   string
+		mutate func(map[string]any)
+		status int
+	}{
+		{"negative prior makespan", func(m map[string]any) { m["prior_makespan"] = -1.0 }, http.StatusBadRequest},
+		{"assignment length mismatch", func(m map[string]any) { m["prior_assignment"] = []int{0} }, http.StatusBadRequest},
+		{"repair without assignment", func(m map[string]any) { m["repair"] = true }, http.StatusBadRequest},
+		{"unknown field", func(m map[string]any) { m["nope"] = 1 }, http.StatusBadRequest},
+		{"inapplicable delta", func(m map[string]any) {
+			m["delta"] = sched.Delta{Remove: []sched.JobID{9999}}
+		}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := base()
+			tc.mutate(body)
+			status, doc := postJSON(t, ts.URL+"/v1/resolve", body)
+			if status != tc.status {
+				t.Fatalf("status %d (%v), want %d", status, doc, tc.status)
+			}
+		})
 	}
 }

@@ -83,10 +83,68 @@ type SolveResult struct {
 	Guesses     int       `json:"guesses"`
 	CacheHits   int       `json:"cache_hits"`
 	CacheMisses int       `json:"cache_misses"`
-	Fallback    bool      `json:"fallback,omitempty"`
-	Backend     string    `json:"backend,omitempty"`
-	Coalesced   bool      `json:"coalesced,omitempty"`
-	ElapsedUS   int64     `json:"elapsed_us"`
+	// FinalGuess is the smallest accepted makespan guess of the search
+	// (0 when none was accepted). Feed it back as "prior_guess" of a
+	// later /v1/resolve to seed the warm search at the exact boundary.
+	FinalGuess float64 `json:"final_guess,omitempty"`
+	Fallback   bool    `json:"fallback,omitempty"`
+	Backend    string  `json:"backend,omitempty"`
+	Coalesced  bool    `json:"coalesced,omitempty"`
+	ElapsedUS  int64   `json:"elapsed_us"`
+}
+
+// ResolveRequest is the body of POST /v1/resolve: an incremental
+// re-solve of a previously solved instance. The server is stateless, so
+// the request carries the prior solve's facts explicitly: the pre-delta
+// instance, the prior makespan (warm-search seed), optionally the exact
+// accepted guess (tighter seed) and the prior assignment (enables the
+// repair fast path). Cross-request memo reuse needs nothing from the
+// client — the server's shared cache already holds the prior solve's
+// per-guess entries when it answered the prior solve.
+type ResolveRequest struct {
+	// Instance is the pre-delta instance the prior result solved
+	// (required).
+	Instance *sched.Instance `json:"instance"`
+	// Delta is the edit to apply (see the sched.Delta JSON grammar:
+	// "add", "remove", "resize", "rebag", "machines", "add_speeds").
+	Delta sched.Delta `json:"delta"`
+	// PriorMakespan is the prior solve's makespan; it seeds the warm
+	// search (0 degrades to a cold search).
+	PriorMakespan float64 `json:"prior_makespan"`
+	// PriorGuess is the prior solve's final accepted guess
+	// ("final_guess" of its response); when set it seeds the warm search
+	// at the exact acceptance boundary.
+	PriorGuess float64 `json:"prior_guess,omitempty"`
+	// PriorAssignment is the prior schedule's machine per job (the
+	// "assignment" of the prior response). Required for repair; ignored
+	// otherwise.
+	PriorAssignment []int `json:"prior_assignment,omitempty"`
+	// Repair enables the placement-repair fast path: absorb the delta by
+	// re-placing only churned jobs when the result stays within
+	// (1+eps) of the post-delta lower bound. Repaired responses are not
+	// bit-identical to a from-scratch solve (the certificate holds
+	// instead); off by default.
+	Repair bool `json:"repair,omitempty"`
+
+	// The solve knobs, exactly as in SolveRequest.
+	Eps           float64 `json:"eps"`
+	Backend       string  `json:"backend"`
+	Family        string  `json:"family"`
+	TimeoutMS     int64   `json:"timeout_ms"`
+	NoCache       bool    `json:"no_cache"`
+	OracleWorkers int     `json:"oracle_workers"`
+}
+
+// ResolveResult is the body of a successful POST /v1/resolve response:
+// a SolveResult for the post-delta instance plus the repair outcome.
+type ResolveResult struct {
+	SolveResult
+	// Repaired reports that the placement-repair fast path answered
+	// (no search ran); the repair counters below describe it.
+	Repaired        bool `json:"repaired,omitempty"`
+	RepairKept      int  `json:"repair_kept,omitempty"`
+	RepairMoved     int  `json:"repair_moved,omitempty"`
+	RepairDisplaced int  `json:"repair_displaced,omitempty"`
 }
 
 // BatchItem is one batch outcome: exactly one of the embedded result
@@ -118,10 +176,23 @@ func FromResult(res *core.Result, coalesced bool, elapsed time.Duration) *SolveR
 		Guesses:     res.Stats.Guesses,
 		CacheHits:   res.Stats.CacheHits,
 		CacheMisses: res.Stats.CacheMisses,
+		FinalGuess:  res.Stats.FinalGuess,
 		Fallback:    res.Stats.Fallback,
 		Backend:     res.Stats.OracleBackend,
 		Coalesced:   coalesced,
 		ElapsedUS:   elapsed.Microseconds(),
+	}
+}
+
+// FromResolveResult shapes one successful incremental re-solve outcome
+// for the wire.
+func FromResolveResult(res *core.Result, coalesced bool, elapsed time.Duration) *ResolveResult {
+	return &ResolveResult{
+		SolveResult:     *FromResult(res, coalesced, elapsed),
+		Repaired:        res.Stats.Repaired,
+		RepairKept:      res.Stats.RepairStats.Kept,
+		RepairMoved:     res.Stats.RepairStats.Moved,
+		RepairDisplaced: res.Stats.RepairStats.Displaced,
 	}
 }
 

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sched"
+)
+
+// ChurnSpec describes a churn trace: a base instance from one of the
+// workload families plus a deterministic stream of deltas over it — the
+// arrive/depart/resize churn a dynamic workload applies between solves.
+type ChurnSpec struct {
+	// Base generates the starting instance.
+	Base Spec
+	// Steps is the number of deltas in the trace (>= 1).
+	Steps int
+	// Frac is the fraction of the current jobs each step edits
+	// (defaults to 0.1; every step edits at least one job).
+	Frac float64
+	// Jitter bounds a resize relative to the prior size: new sizes are
+	// drawn from [1-Jitter, 1+Jitter] times the old (defaults to 0.05).
+	// Small jitters tend to stay within the solver's rounding classes,
+	// which is exactly the regime where incremental re-solves reuse
+	// prior per-guess work.
+	Jitter float64
+	// Structural mixes arrivals, departures, bag moves and machine
+	// additions into the stream; without it every step is pure resizes
+	// (the low-churn regime).
+	Structural bool
+	// Seed drives the churn stream (independent of Base.Seed).
+	Seed int64
+}
+
+// GenerateChurn builds the trace. The same spec always yields the same
+// trace, and every prefix of the trace applies cleanly: each step's
+// delta is validated against (and keeps feasible) the instance the
+// preceding steps produce.
+func GenerateChurn(spec ChurnSpec) (*sched.Trace, error) {
+	if spec.Steps < 1 {
+		return nil, fmt.Errorf("workload: churn trace needs at least 1 step")
+	}
+	if spec.Frac <= 0 {
+		spec.Frac = 0.1
+	}
+	if spec.Jitter <= 0 {
+		spec.Jitter = 0.05
+	}
+	base, err := Generate(spec.Base)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nextID := 0
+	for _, j := range base.Jobs {
+		if int(j.ID) >= nextID {
+			nextID = int(j.ID) + 1
+		}
+	}
+	cur := base
+	steps := make([]sched.Delta, 0, spec.Steps)
+	for s := 0; s < spec.Steps; s++ {
+		d := churnStep(rng, cur, spec, s, &nextID)
+		post, _, err := d.Apply(cur)
+		if err == nil {
+			err = post.Feasible()
+		}
+		if err != nil && d.Machines != 0 {
+			// A machine removal can strand a crowded bag; retry the same
+			// step without the machine edit.
+			d.Machines, d.AddSpeeds = 0, nil
+			post, _, err = d.Apply(cur)
+			if err == nil {
+				err = post.Feasible()
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: churn step %d: %w", s, err)
+		}
+		steps = append(steps, d)
+		cur = post
+	}
+	return &sched.Trace{Base: base, Steps: steps}, nil
+}
+
+// MustGenerateChurn is GenerateChurn for tests and benchmarks; it
+// panics on error.
+func MustGenerateChurn(spec ChurnSpec) *sched.Trace {
+	tr, err := GenerateChurn(spec)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// churnStep builds one delta against cur. Structural steps cycle
+// through machine adds and removals on top of the job churn; plain
+// steps are resize-only.
+func churnStep(rng *rand.Rand, cur *sched.Instance, spec ChurnSpec, step int, nextID *int) sched.Delta {
+	edits := int(spec.Frac*float64(len(cur.Jobs)) + 0.5)
+	if edits < 1 {
+		edits = 1
+	}
+	var d sched.Delta
+	if !spec.Structural {
+		for _, idx := range pickJobs(rng, len(cur.Jobs), edits) {
+			d.Resize = append(d.Resize, resizeOf(rng, cur.Jobs[idx], spec.Jitter))
+		}
+		return d
+	}
+
+	// Structural mix: roughly a third departures, a third arrivals, the
+	// rest resizes, plus one bag move; machine count breathes every
+	// other step (grow on 1 mod 4, shrink on 3 mod 4 — GenerateChurn
+	// drops the shrink if it would strand a bag).
+	removes := edits / 3
+	if removes < 1 {
+		removes = 1
+	}
+	adds := edits / 3
+	if adds < 1 {
+		adds = 1
+	}
+	resizes := edits - removes - adds
+	if resizes < 1 {
+		resizes = 1
+	}
+	picked := pickJobs(rng, len(cur.Jobs), removes+resizes+1)
+	counts := cur.BagCounts()
+	for _, idx := range picked[:removes] {
+		d.Remove = append(d.Remove, cur.Jobs[idx].ID)
+		counts[cur.Jobs[idx].Bag]--
+	}
+	for _, idx := range picked[removes : removes+resizes] {
+		d.Resize = append(d.Resize, resizeOf(rng, cur.Jobs[idx], spec.Jitter))
+	}
+	// One bag move per step, into a bag with a spare machine.
+	if len(picked) > removes+resizes && cur.NumBags > 1 {
+		j := cur.Jobs[picked[removes+resizes]]
+		for tries := 0; tries < 8; tries++ {
+			b := rng.Intn(cur.NumBags)
+			if b != j.Bag && counts[b] < cur.Machines {
+				d.Rebag = append(d.Rebag, sched.Rebag{ID: j.ID, Bag: b})
+				counts[j.Bag]--
+				counts[b]++
+				break
+			}
+		}
+	}
+	// Arrivals land in bags with spare machines, sized like the base
+	// family's small-to-medium jobs.
+	for k := 0; k < adds; k++ {
+		bag := -1
+		for tries := 0; tries < 8; tries++ {
+			b := rng.Intn(cur.NumBags)
+			if counts[b] < cur.Machines {
+				bag = b
+				break
+			}
+		}
+		if bag < 0 {
+			continue // every probed bag full; skip this arrival
+		}
+		counts[bag]++
+		d.Add = append(d.Add, sched.Job{
+			ID:   sched.JobID(*nextID),
+			Size: 0.05 + 0.45*rng.Float64(),
+			Bag:  bag,
+		})
+		*nextID++
+	}
+	switch step % 4 {
+	case 1:
+		d.Machines = 1
+		if !cur.Uniform() {
+			d.AddSpeeds = []float64{1}
+		}
+	case 3:
+		if cur.Machines > 2 {
+			d.Machines = -1
+		}
+	}
+	return d
+}
+
+// pickJobs draws k distinct indices from [0, n) in deterministic order.
+func pickJobs(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	return rng.Perm(n)[:k]
+}
+
+func resizeOf(rng *rand.Rand, j sched.Job, jitter float64) sched.Resize {
+	factor := 1 + jitter*(2*rng.Float64()-1)
+	return sched.Resize{ID: j.ID, Size: j.Size * factor}
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func churnSpec(structural bool) ChurnSpec {
+	return ChurnSpec{
+		Base:       Spec{Family: Bimodal, Machines: 6, Jobs: 24, Bags: 8, Seed: 11},
+		Steps:      8,
+		Frac:       0.1,
+		Jitter:     0.03,
+		Structural: structural,
+		Seed:       21,
+	}
+}
+
+// TestGenerateChurnDeterministic: the same spec yields the same trace,
+// and every prefix applies cleanly to a feasible instance.
+func TestGenerateChurnDeterministic(t *testing.T) {
+	for _, structural := range []bool{false, true} {
+		tr := MustGenerateChurn(churnSpec(structural))
+		again := MustGenerateChurn(churnSpec(structural))
+		if !reflect.DeepEqual(tr, again) {
+			t.Fatalf("structural=%v: trace is not deterministic", structural)
+		}
+		if len(tr.Steps) != 8 {
+			t.Fatalf("structural=%v: %d steps, want 8", structural, len(tr.Steps))
+		}
+		cur := tr.Base
+		for i, d := range tr.Steps {
+			post, churn, err := d.Apply(cur)
+			if err != nil {
+				t.Fatalf("structural=%v: step %d does not apply: %v", structural, i, err)
+			}
+			if err := post.Feasible(); err != nil {
+				t.Fatalf("structural=%v: step %d leaves an infeasible instance: %v", structural, i, err)
+			}
+			if len(churn.PriorIndex) != len(post.Jobs) {
+				t.Fatalf("structural=%v: step %d churn map covers %d of %d jobs",
+					structural, i, len(churn.PriorIndex), len(post.Jobs))
+			}
+			cur = post
+		}
+	}
+}
+
+// TestGenerateChurnShapes: resize-only traces touch sizes and nothing
+// else; structural traces exercise every edit kind.
+func TestGenerateChurnShapes(t *testing.T) {
+	low := MustGenerateChurn(churnSpec(false))
+	for i, d := range low.Steps {
+		if len(d.Add)+len(d.Remove)+len(d.Rebag) != 0 || d.Machines != 0 {
+			t.Fatalf("resize-only trace has structural edits at step %d: %+v", i, d)
+		}
+		if len(d.Resize) == 0 {
+			t.Fatalf("resize-only trace has an empty step %d", i)
+		}
+	}
+	high := MustGenerateChurn(churnSpec(true))
+	var adds, removes, rebags, machines int
+	for _, d := range high.Steps {
+		adds += len(d.Add)
+		removes += len(d.Remove)
+		rebags += len(d.Rebag)
+		if d.Machines != 0 {
+			machines++
+		}
+	}
+	if adds == 0 || removes == 0 || rebags == 0 || machines == 0 {
+		t.Fatalf("structural trace misses an edit kind: adds=%d removes=%d rebags=%d machine-steps=%d",
+			adds, removes, rebags, machines)
+	}
+}
+
+// TestTraceRoundTrip pins the on-disk format the committed
+// testdata/churn_*.json fixtures use.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := MustGenerateChurn(churnSpec(true))
+	var buf bytes.Buffer
+	if err := sched.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sched.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Steps, back.Steps) {
+		t.Fatal("trace steps changed through serialization")
+	}
+	if len(back.Base.Jobs) != len(tr.Base.Jobs) || back.Base.Machines != tr.Base.Machines {
+		t.Fatal("trace base changed through serialization")
+	}
+}

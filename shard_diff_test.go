@@ -49,10 +49,7 @@ func postSolve(base string, raw json.RawMessage, fam string, eps float64) (makes
 }
 
 func TestShardRouterDifferential(t *testing.T) {
-	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	files := instanceFixtures(t)
 	if len(files) == 0 {
 		t.Fatal("no fixtures under testdata/")
 	}

@@ -16,10 +16,7 @@ import (
 )
 
 func TestSnapshotRoundTripDifferentialCorpus(t *testing.T) {
-	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	files := instanceFixtures(t)
 	if len(files) == 0 {
 		t.Fatal("no fixtures under testdata/")
 	}

@@ -67,10 +67,7 @@ func familyCasesFor(in *Instance) []struct {
 }
 
 func TestOracleWorkersDifferentialCorpus(t *testing.T) {
-	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	files := instanceFixtures(t)
 	if len(files) == 0 {
 		t.Fatal("no fixtures under testdata/")
 	}
