@@ -1,7 +1,7 @@
 GO ?= go
 COVER_FLOOR ?= 70
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-compare pgo fuzz ci cover family-diff shard-diff resolve-diff serve loadtest churn-replay
+.PHONY: all build vet test race bench bench-smoke bench-json bench-compare pgo fuzz ci cover family-diff shard-diff resolve-diff plan-diff serve loadtest churn-replay slo-replay
 
 all: ci
 
@@ -64,6 +64,19 @@ resolve-diff:
 	$(GO) test -race -run 'TestResolve|TestDelta|TestRepair|TestGenerateChurn|TestTrace' \
 		. ./internal/core ./internal/placer ./internal/sched ./internal/workload ./internal/server
 
+# plan-diff is the adaptive-solving differential suite under the race
+# detector: with the planner attached but adaptive mode off, every
+# fixture × backend × family solve must stay bit-identical to a plain
+# solve (the cost model is observe-only), and with a trained model a
+# tight deadline must land on exactly the heuristic rung the ladder
+# promises, bound included — plus the internal/plan determinism and
+# monotonicity table tests and the server's adaptive endpoint tests.
+# The full race leg already includes these tests; this named gate lets
+# CI and bisects attribute an adaptive-path regression directly.
+plan-diff:
+	$(GO) test -race -run 'TestPlan|TestSpec|TestAdaptive' . ./internal/core ./internal/server
+	$(GO) test -race ./internal/plan
+
 # bench runs every benchmark in the repository, including the internal
 # package benchmarks (pattern, placer, pipeline, milp, numeric).
 bench:
@@ -97,7 +110,7 @@ bench-compare:
 # refactors; the profile is data, not code, so a stale one degrades
 # gracefully to smaller wins.
 pgo:
-	$(GO) test -run '^$$' -bench 'Benchmark(Ex[A-Z]|Oracle|Family|Codec|Resolve)' \
+	$(GO) test -run '^$$' -bench 'Benchmark(Ex[A-Z]|Oracle|Family|Codec|Resolve|Planner)' \
 		-cpuprofile pgo.cpu.out .
 	mv pgo.cpu.out default.pgo
 	rm -f repro.test bagsched.test
@@ -136,6 +149,15 @@ loadtest:
 churn-replay:
 	$(GO) run ./examples/service -addr http://127.0.0.1:8080 -churn testdata
 
+# slo-replay runs the SLO replay demo fully in process (it spins up its
+# own server, unlike loadtest/churn-replay which need `make serve`):
+# calibrate the latency cost model on the corpus, replay a Zipf trace of
+# tight/medium/loose deadlines adaptively and at fixed eps, and fail
+# unless the adaptive pass hits >= 95% of deadlines and beats the
+# baseline. See the README's Adaptive solving section.
+slo-replay:
+	$(GO) run ./examples/service -slo -dir testdata -eps 0.25 -requests 120 -max-jobs 64
+
 # ci is what .github/workflows/ci.yml runs (plus a non-blocking
 # bench-compare step); the coverage matrix leg swaps race for cover.
-ci: vet build race family-diff workers-diff shard-diff resolve-diff bench-smoke
+ci: vet build race family-diff workers-diff shard-diff resolve-diff plan-diff bench-smoke

@@ -95,6 +95,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
+	"repro/internal/plan"
 	"repro/internal/sched"
 )
 
@@ -205,8 +206,108 @@ var (
 // "related"); the empty string selects FamilyBags.
 func ParseFamily(s string) (Family, error) { return family.Parse(s) }
 
-// Option customizes SolveEPTAS.
+// Option customizes SolveEPTAS. Options compose left to right; the
+// zero value of every knob selects the documented default. Spec is the
+// consolidated struct form of the same knobs — the two styles are
+// interchangeable (Spec.Options bridges), and neither is deprecated.
 type Option func(*core.Options)
+
+// Spec is the consolidated, self-documenting form of every solver
+// option: one struct mirroring the serving layer's request spec, so a
+// configuration can be stored, logged, or diffed as a value instead of
+// an opaque option list. The zero value of every field selects the same
+// default the corresponding With* option documents; bridge into the
+// variadic API with Spec.Options.
+//
+// The functional options remain fully supported — nothing is
+// deprecated. Use whichever reads better at the call site; use Spec
+// when the configuration crosses an API boundary.
+type Spec struct {
+	// Family selects the problem family (nil = FamilyBags). See
+	// WithFamily.
+	Family Family
+	// Mode selects the MILP flavour. See WithMode.
+	Mode MILPMode
+	// Backend selects the oracle backend (zero = BackendBnB). See
+	// WithBackend.
+	Backend OracleBackend
+	// Portfolio, when non-nil, races these backends per guess in
+	// tie-break order (implies BackendPortfolio). See WithPortfolio.
+	Portfolio []OracleBackend
+	// PatternLimit bounds pattern enumeration (0 = default 20000). See
+	// WithPatternLimit.
+	PatternLimit int
+	// MILPNodes bounds branch-and-bound nodes per guess (0 = default).
+	// See WithMILPNodes.
+	MILPNodes int
+	// MaxGuesses bounds binary-search decisions (0 = default 40). See
+	// WithMaxGuesses.
+	MaxGuesses int
+	// PriorityCap caps the Definition 2 constant b' (0 = theoretical
+	// value). See WithPriorityCap.
+	PriorityCap int
+	// OracleWorkers sets concurrent lanes per oracle solve (0 or 1 =
+	// sequential). See WithOracleWorkers.
+	OracleWorkers int
+	// Speculation controls speculative guess evaluation (0 = auto, 1 =
+	// sequential). See WithSpeculation.
+	Speculation int
+	// Cache, when non-nil, shares per-guess outcomes across solves. See
+	// WithSharedCache.
+	Cache *Cache
+	// DisableMemo turns cross-guess memoization off (kept for ablation;
+	// results are identical either way). See WithMemo.
+	DisableMemo bool
+	// Repair enables the placement-repair fast path of ResolveEPTAS.
+	// See WithPlacementRepair.
+	Repair bool
+
+	// Adaptive enables SLO-aware planning: with a Planner attached, the
+	// solve may coarsen eps, switch the backend, or answer with a
+	// bounded heuristic to meet Deadline, reporting what it did in
+	// Result.Quality. See WithAdaptive.
+	Adaptive bool
+	// Planner is the latency cost model consulted by adaptive solves
+	// and fed by every successful solve. See WithPlanner.
+	Planner *PlanModel
+	// Deadline is the latency budget an adaptive solve plans against
+	// (and a hard context timeout for the solve). See WithDeadline.
+	Deadline time.Duration
+	// MinQuality is the worst acceptable approximation bound; an
+	// adaptive solve refuses with ErrUnattainable instead of degrading
+	// past it. See WithQualityFloor.
+	MinQuality float64
+}
+
+// Options bridges the struct form into the variadic option API:
+// SolveEPTAS(in, eps, spec.Options()...).
+func (s Spec) Options() []Option {
+	opts := []Option{func(o *core.Options) {
+		if s.Family != nil {
+			o.Family = s.Family
+		}
+		o.Mode = s.Mode
+		o.Oracle.Backend = s.Backend
+		if s.Portfolio != nil {
+			o.Oracle.Backend = BackendPortfolio
+			o.Oracle.Portfolio = s.Portfolio
+		}
+		o.PatternLimit = s.PatternLimit
+		o.MILP.MaxNodes = s.MILPNodes
+		o.MaxGuesses = s.MaxGuesses
+		o.BPrimeOverride = s.PriorityCap
+		o.OracleWorkers = s.OracleWorkers
+		o.Speculate = s.Speculation
+		o.Cache = s.Cache
+		o.DisableMemo = s.DisableMemo
+		o.Repair = s.Repair
+		o.Adaptive = s.Adaptive
+		o.Planner = s.Planner
+		o.Deadline = s.Deadline
+		o.MinQuality = s.MinQuality
+	}}
+	return opts
+}
 
 // WithMode selects the MILP flavour.
 func WithMode(m MILPMode) Option {
@@ -429,6 +530,79 @@ func ResolveEPTASContext(ctx context.Context, prior *Result, delta Delta, opts .
 // SolveEPTAS ignores the option.
 func WithPlacementRepair() Option {
 	return func(o *core.Options) { o.Repair = true }
+}
+
+// Quality reports what a Result actually guarantees: which rung of the
+// degradation ladder answered (a full EPTAS search, a bounded
+// heuristic, or the resolve repair path), the accuracy it ran at, and
+// the worst-case approximation bound of the returned schedule. Every
+// Result carries one, adaptive or not.
+type Quality = core.Quality
+
+// PlanModel is the online latency cost model behind adaptive solving:
+// every successful solve feeds it one (configuration -> latency)
+// observation, and adaptive solves consult it at admission to pick the
+// cheapest configuration predicted to meet their deadline. Observation
+// never changes answers — attaching a model to a non-adaptive solve is
+// result-transparent. A PlanModel is safe for concurrent use; share one
+// across solves, pools and servers.
+type PlanModel = plan.Model
+
+// NewPlanModel returns an empty cost model. It predicts nothing until
+// fed (by solves with WithPlanner, or by ImportPlanModel), and a cold
+// model never degrades a request — adaptive solves keep their requested
+// configuration until evidence says it will miss the deadline.
+func NewPlanModel() *PlanModel { return plan.NewModel() }
+
+// ExportPlanModel writes a byte-stable JSON snapshot of the model to w,
+// shippable alongside the cache snapshot: import it on another replica
+// (or the next process) to warm-start its planner.
+func ExportPlanModel(m *PlanModel, w io.Writer) error { return m.Export(w) }
+
+// ImportPlanModel merges a snapshot written by ExportPlanModel into m.
+// Live cells win — the import only fills configurations m has no
+// evidence for — so importing a stale snapshot never clobbers fresher
+// observations.
+func ImportPlanModel(m *PlanModel, r io.Reader) error { return m.Import(r) }
+
+// ErrUnattainable is returned (wrapped) by adaptive solves whose
+// quality floor no ladder rung can meet within the deadline; match it
+// with errors.Is.
+var ErrUnattainable = plan.ErrUnattainable
+
+// WithPlanner attaches a latency cost model to the solve: the solve's
+// observed latency feeds m, and with WithAdaptive the model is
+// consulted at admission. Attaching a planner alone never changes the
+// result.
+func WithPlanner(m *PlanModel) Option {
+	return func(o *core.Options) { o.Planner = m }
+}
+
+// WithAdaptive enables SLO-aware planning (it needs WithPlanner to have
+// any effect): at admission the solve picks the cheapest configuration
+// the model predicts to fit WithDeadline's budget, walking the
+// degradation ladder — requested eps, coarser eps, then the family's
+// bounded heuristics — and Result.Quality reports the rung that
+// answered and its approximation bound. With a cold or unhelpful model
+// the requested configuration runs unchanged.
+func WithAdaptive() Option {
+	return func(o *core.Options) { o.Adaptive = true }
+}
+
+// WithDeadline gives the solve a latency budget: the context is bounded
+// by d, and an adaptive solve additionally plans its configuration to
+// fit within d (with headroom). Zero means no deadline.
+func WithDeadline(d time.Duration) Option {
+	return func(o *core.Options) { o.Deadline = d }
+}
+
+// WithQualityFloor sets the worst acceptable approximation bound q
+// (e.g. 1.5 for "within 50% of optimal"). An adaptive solve refuses
+// with ErrUnattainable instead of degrading to any rung whose bound
+// exceeds q; zero means no floor, i.e. best-effort degradation all the
+// way down the ladder.
+func WithQualityFloor(q float64) Option {
+	return func(o *core.Options) { o.MinQuality = q }
 }
 
 func buildOptions(eps float64, opts []Option) core.Options {

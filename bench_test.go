@@ -26,6 +26,7 @@ import (
 	"repro/internal/milp"
 	"repro/internal/oracle"
 	"repro/internal/pattern"
+	"repro/internal/plan"
 	"repro/internal/round"
 	"repro/internal/sched"
 	"repro/internal/transform"
@@ -712,7 +713,7 @@ func BenchmarkCodecWireDecodeSolveRequest(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	body, err := json.Marshal(wire.SolveRequest{Instance: in, Eps: 0.5, Family: "bags"})
+	body, err := json.Marshal(wire.SolveRequest{Instance: in, SolveSpec: wire.SolveSpec{Eps: 0.5, Family: "bags"}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -800,6 +801,39 @@ func BenchmarkResolveFromScratch(b *testing.B) {
 			if _, err := SolveEPTAS(post, 0.5); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// --- Adaptive solving: admission-time planner overhead ---
+//
+// BenchmarkPlannerDecision measures one plan.Decide call against a
+// trained cost model — the per-request overhead every adaptive solve
+// pays at admission, which the SLO replay reports as "planner p50".
+
+func BenchmarkPlannerDecision(b *testing.B) {
+	m := NewPlanModel()
+	for _, o := range []struct {
+		eps float64
+		d   time.Duration
+	}{
+		{0.1, 800 * time.Millisecond},
+		{0.2, 200 * time.Millisecond},
+		{0.3, 80 * time.Millisecond},
+		{0.5, 20 * time.Millisecond},
+		{0.9, 5 * time.Millisecond},
+	} {
+		m.Observe(plan.Key{Family: "bags", Size: plan.SizeClass(24), Rung: plan.RungEPTAS,
+			EpsIdx: plan.EpsIndex(o.eps), Backend: "bnb", Workers: 1}, o.d)
+	}
+	m.Observe(plan.Key{Family: "bags", Size: plan.SizeClass(24), Rung: plan.RungLPT}, 300*time.Microsecond)
+	req := plan.Request{Family: "bags", Jobs: 24, Machines: 8, Eps: 0.1,
+		Backend: "bnb", Workers: 1, Budget: 150 * time.Millisecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Decide(req); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

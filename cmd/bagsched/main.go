@@ -13,6 +13,7 @@
 //	bagsched serve [-addr :8080] [-workers N] [-cache-bytes N]
 //	         [-backend bnb] [-eps 0.5] [-queue-depth N] [-max-timeout 2m]
 //	         [-max-oracle-workers N] [-snapshot cache.bgms]
+//	         [-plan-snapshot plan.json]
 //	bagsched route -replicas http://h1:8080,http://h2:8080[,...]
 //	         [-addr :8090] [-vnodes 64] [-policy hash|random] [-eps 0.5]
 //	         [-health-interval 1s]
@@ -302,6 +303,8 @@ func run(ctx context.Context, algo string, eps float64, backend bagsched.OracleB
 		fmt.Printf("lower bound: %.6f\n", res.LowerBound)
 		fmt.Printf("guesses: %d  patterns: %d  milp nodes: %d  fallback: %v\n",
 			res.Stats.Guesses, res.Stats.Patterns, res.Stats.MILPNodes, res.Stats.Fallback)
+		fmt.Printf("quality: rung %s  bound %.4g  eps %g\n",
+			res.Quality.Rung, res.Quality.Bound, res.Quality.EpsUsed)
 		if verbose {
 			printEngineReport(res.Stats)
 		}

@@ -36,6 +36,7 @@ func runServe(args []string) error {
 	maxTimeout := fs.Duration("max-timeout", server.DefaultMaxTimeout, "upper clamp on per-request solve timeouts")
 	maxOracleWorkers := fs.Int("max-oracle-workers", 0, "upper clamp on per-request oracle_workers (0 = GOMAXPROCS divided by -workers)")
 	snapshotPath := fs.String("snapshot", "", "cache snapshot file: warm-start the cache from it on boot, persist the cache to it on graceful shutdown")
+	planSnapshotPath := fs.String("plan-snapshot", "", "planner cost-model snapshot file: warm-start the adaptive planner from it on boot, persist it on graceful shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +53,8 @@ func runServe(args []string) error {
 
 	cache := bagsched.NewCache(*cacheBytes)
 	loaded, skipped, warmed := loadSnapshot(cache, *snapshotPath)
+	planner := bagsched.NewPlanModel()
+	loadPlanSnapshot(planner, *planSnapshotPath)
 	srv := server.New(server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
@@ -60,6 +63,7 @@ func runServe(args []string) error {
 		Backend:          backend,
 		MaxTimeout:       *maxTimeout,
 		MaxOracleWorkers: *maxOracleWorkers,
+		Planner:          planner,
 	})
 	srv.PublishExpvar()
 	if warmed {
@@ -101,6 +105,62 @@ func runServe(args []string) error {
 			fmt.Fprintf(os.Stderr, "bagsched serve: warning: snapshot not saved: %v\n", err)
 		}
 	}
+	if *planSnapshotPath != "" {
+		if err := savePlanSnapshot(planner, *planSnapshotPath); err != nil {
+			fmt.Fprintf(os.Stderr, "bagsched serve: warning: plan snapshot not saved: %v\n", err)
+		}
+	}
+	return nil
+}
+
+// loadPlanSnapshot warm-starts the planner's cost model from path; like
+// the cache snapshot, every failure is a logged skip, never fatal — an
+// adaptive planner works (conservatively) from a cold model.
+func loadPlanSnapshot(m *bagsched.PlanModel, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			fmt.Printf("bagsched serve: no plan snapshot at %s, planner starts cold\n", path)
+		} else {
+			fmt.Fprintf(os.Stderr, "bagsched serve: warning: plan snapshot unreadable, planner starts cold: %v\n", err)
+		}
+		return
+	}
+	defer f.Close()
+	if err := bagsched.ImportPlanModel(m, f); err != nil {
+		fmt.Fprintf(os.Stderr, "bagsched serve: warning: plan snapshot %s skipped, planner starts cold: %v\n", path, err)
+		return
+	}
+	st := m.Snapshot()
+	fmt.Printf("bagsched serve: planner warm-started from %s: %d cells, %d observations\n",
+		path, st.Cells, st.Observations)
+}
+
+// savePlanSnapshot persists the planner's cost model atomically (temp
+// file + rename), exactly like the cache snapshot.
+func savePlanSnapshot(m *bagsched.PlanModel, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = bagsched.ExportPlanModel(m, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	st := m.Snapshot()
+	fmt.Printf("bagsched serve: plan snapshot saved to %s (%d cells)\n", path, st.Cells)
 	return nil
 }
 

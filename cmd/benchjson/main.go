@@ -49,8 +49,10 @@ import (
 // the per-request and per-warm-start overheads of the sharded
 // service) and the incremental re-solve replays
 // (BenchmarkResolve{LowChurn,HighChurn,FromScratch}: warm churn-trace
-// replay against its cold baseline).
-const defaultBench = "Benchmark(Ex[A-Z]|Oracle|Family|Codec|Resolve)"
+// replay against its cold baseline) and the adaptive-solving admission
+// overhead (BenchmarkPlannerDecision: one cost-model Decide call, the
+// fixed per-request cost of SLO-aware serving).
+const defaultBench = "Benchmark(Ex[A-Z]|Oracle|Family|Codec|Resolve|Planner)"
 
 // The BenchmarkOracleParallel family scales its worker-lane count with
 // GOMAXPROCS, so its numbers are only meaningful at a pinned -cpu value:
@@ -71,8 +73,9 @@ const pgoProfile = "default.pgo"
 // production cost, the speculative search, the three oracle backends on
 // the DP-favoring few-patterns fixture, and one end-to-end solve per
 // sibling problem family (related on the committed speed fixture,
-// identical on the bimodal workload), and the three churn-trace
-// replays (warm low/high churn plus the from-scratch baseline).
+// identical on the bimodal workload), the three churn-trace replays
+// (warm low/high churn plus the from-scratch baseline) and the
+// adaptive planner's per-request decision overhead.
 // Benchmarks outside this list still land in snapshots but never fail
 // the comparison.
 var tracked = []string{
@@ -96,6 +99,7 @@ var tracked = []string{
 	"BenchmarkResolveLowChurn",
 	"BenchmarkResolveHighChurn",
 	"BenchmarkResolveFromScratch",
+	"BenchmarkPlannerDecision",
 }
 
 // Snapshot is the file format of one benchmark run.

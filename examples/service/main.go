@@ -103,8 +103,21 @@ func main() {
 	churn := flag.String("churn", "", "churn-replay mode: a churn trace file, or a directory of churn_*.json traces, replayed via /v1/resolve against a from-scratch /v1/solve baseline")
 	churnRepair := flag.Bool("churn-repair", false, "churn-replay: enable the placement-repair fast path (repaired steps certify instead of matching bit for bit)")
 	resolveSpeedup := flag.Float64("resolve-speedup", 5, "churn-replay: required from-scratch-p50 / incremental-p50 ratio for PASS on low-churn traces")
+	slo := flag.Bool("slo", false, "SLO replay mode: calibrate an in-process server's cost model, then replay a mixed-deadline Zipf trace adaptively vs at fixed eps and gate on the deadline-hit rate")
+	sloHit := flag.Float64("slo-hit", 0.95, "slo: required adaptive deadline-hit rate for PASS (the fixed-eps baseline must also be beaten)")
 	flag.Parse()
 
+	if *slo {
+		if *zipfS <= 1 {
+			fmt.Fprintln(os.Stderr, "service: -zipf-s must be > 1")
+			os.Exit(1)
+		}
+		if err := runSLO(*dir, *requests, *maxJobs, *eps, *zipfS, *seed, *sloHit); err != nil {
+			fmt.Fprintln(os.Stderr, "service:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *churn != "" {
 		if err := runChurn(*addr, *churn, *passes, *eps, *backend, *churnRepair, *resolveSpeedup); err != nil {
 			fmt.Fprintln(os.Stderr, "service:", err)

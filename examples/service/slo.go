@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"repro/internal/server"
+)
+
+// The SLO replay mode (-slo) demonstrates adaptive serving end to end,
+// in process: it calibrates the server's latency cost model against the
+// corpus, then replays a Zipf-skewed trace of mixed-deadline traffic —
+// tight deadlines that the requested accuracy cannot meet, medium ones
+// it can, loose ones trivially — once adaptively and once at the fixed
+// requested eps. Every deadline in the trace is feasible (the ladder
+// bottoms out at microsecond heuristics), so the adaptive pass is
+// gated on hitting >= -slo-hit of them, while the fixed-eps baseline
+// documents what the planner buys: it has no answer for the tight
+// class except missing.
+//
+// All requests bypass the shared cache (-no_cache on the wire): the
+// cost model must predict the cost of solving, and a cache-warm replay
+// would teach it that every configuration is free.
+
+// sloQuality mirrors the wire "quality" block.
+type sloQuality struct {
+	Rung         string  `json:"rung"`
+	EpsUsed      float64 `json:"eps_used"`
+	Bound        float64 `json:"bound"`
+	Degraded     bool    `json:"degraded"`
+	BestEffort   bool    `json:"best_effort"`
+	PlannerUS    int64   `json:"planner_us"`
+	PredictedUS  int64   `json:"predicted_us"`
+	ModelVersion uint64  `json:"model_version"`
+}
+
+type sloReply struct {
+	Makespan   float64    `json:"makespan"`
+	LowerBound float64    `json:"lower_bound"`
+	ElapsedUS  int64      `json:"elapsed_us"`
+	Quality    sloQuality `json:"quality"`
+	Error      string     `json:"error"`
+}
+
+// deadlineClass is one third of the trace: a multiplier on the
+// calibrated requested-eps latency of the instance.
+type deadlineClass struct {
+	name string
+	mult float64
+}
+
+var sloClasses = []deadlineClass{
+	{"tight", 0.35}, // requested eps cannot fit; the ladder must answer
+	{"medium", 2},   // requested eps fits with headroom
+	{"loose", 8},    // trivially feasible
+}
+
+func runSLO(dir string, requests, maxJobs int, eps, zipfS float64, seed int64, hitTarget float64) error {
+	corpus, names, fams, err := loadCorpus(dir)
+	if err != nil {
+		return err
+	}
+	corpus, names, fams, err = filterBySize(corpus, names, fams, maxJobs)
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Calibration: one no-cache solve per (instance, rung eps), so the
+	// cost model holds real observations for the requested accuracy and
+	// a few coarser rungs of each instance's size class. The requested-
+	// eps latency anchors the trace's deadline classes.
+	calEps := calibrationEps(eps)
+	fmt.Printf("slo replay: calibrating %d instances x eps %v against in-process server\n", len(corpus), calEps)
+	latUS := make([]int64, len(corpus))
+	for i, raw := range corpus {
+		for _, e := range calEps {
+			rep, status, err := sloPost(ts.URL, map[string]any{
+				"instance": json.RawMessage(raw), "eps": e, "family": fams[i], "no_cache": true,
+			})
+			if err != nil {
+				return fmt.Errorf("calibrate %s eps %g: %w", names[i], e, err)
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("calibrate %s eps %g: status %d: %s", names[i], e, status, rep.Error)
+			}
+			if e == eps {
+				latUS[i] = rep.ElapsedUS
+			}
+		}
+	}
+
+	trace := zipfTrace(len(corpus), requests, zipfS, seed)
+	deadlines := make([]int64, len(trace))
+	classes := make([]string, len(trace))
+	for k, idx := range trace {
+		c := sloClasses[k%len(sloClasses)]
+		ms := int64(float64(latUS[idx]) * c.mult / 1000)
+		if ms < 1 {
+			ms = 1
+		}
+		deadlines[k] = ms
+		classes[k] = c.name
+	}
+
+	fmt.Printf("slo replay: %d requests over %d instances (zipf %g, seed %d, eps %g, classes tight/medium/loose)\n",
+		len(trace), len(corpus), zipfS, seed, eps)
+
+	adaptive, err := sloPass(ts.URL, "adaptive", corpus, fams, trace, deadlines, classes, eps, true)
+	if err != nil {
+		return err
+	}
+	baseline, err := sloPass(ts.URL, "fixed-eps", corpus, fams, trace, deadlines, classes, eps, false)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\ndeadline-hit rate: adaptive %.1f%% (%d/%d)  fixed-eps baseline %.1f%% (%d/%d)\n",
+		100*adaptive.hitRate(), adaptive.hits, adaptive.total,
+		100*baseline.hitRate(), baseline.hits, baseline.total)
+	fmt.Printf("degradation histogram (adaptive): %s\n", adaptive.histogram())
+	fmt.Printf("planner overhead: p50 %s over %d planned requests (predicted-vs-actual p50: %s vs %s)\n",
+		us(p50(adaptive.plannerUS)), len(adaptive.plannerUS), us(p50(adaptive.predictedUS)), us(p50(adaptive.elapsedUS)))
+
+	verdict := "PASS"
+	switch {
+	case adaptive.hitRate() < hitTarget:
+		verdict = "FAIL"
+	case adaptive.hitRate() <= baseline.hitRate():
+		verdict = "FAIL"
+	}
+	fmt.Printf("adaptive hit rate %.1f%% (threshold %.0f%%, baseline %.1f%%): %s\n",
+		100*adaptive.hitRate(), 100*hitTarget, 100*baseline.hitRate(), verdict)
+	if verdict == "FAIL" {
+		return fmt.Errorf("adaptive hit rate %.3f below threshold %.3f or baseline %.3f",
+			adaptive.hitRate(), hitTarget, baseline.hitRate())
+	}
+	return nil
+}
+
+// calibrationEps is the requested accuracy plus a few strictly coarser
+// ladder rungs, so the model can predict intermediate degradations from
+// evidence instead of borrowed overestimates.
+func calibrationEps(eps float64) []float64 {
+	out := []float64{eps}
+	for _, g := range []float64{0.3, 0.5, 0.9} {
+		if g > eps*(1+1e-9) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// sloTally accumulates one replay pass.
+type sloTally struct {
+	hits, total int
+	byClass     map[string][2]int // class -> {hits, total}
+	rungs       map[string]int
+	plannerUS   []int64
+	predictedUS []int64
+	elapsedUS   []int64
+}
+
+func (t *sloTally) hitRate() float64 {
+	if t.total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(t.total)
+}
+
+func (t *sloTally) histogram() string {
+	var keys []string
+	for k := range t.rungs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s=%d", k, t.rungs[k])
+	}
+	if b.Len() == 0 {
+		return "(empty)"
+	}
+	return b.String()
+}
+
+// sloPass replays the trace once, sequentially (latency is the
+// measurement; concurrency would blur it). A hit is a 200 whose
+// server-side elapsed time fits the deadline. Every degraded response
+// is checked against its own reported bound.
+func sloPass(url, label string, corpus []json.RawMessage, fams []string, trace []int, deadlines []int64, classes []string, eps float64, adaptive bool) (*sloTally, error) {
+	t := &sloTally{byClass: map[string][2]int{}, rungs: map[string]int{}}
+	start := time.Now()
+	for k, idx := range trace {
+		spec := map[string]any{
+			"eps": eps, "family": fams[idx], "no_cache": true,
+			"deadline_ms": deadlines[k],
+		}
+		if adaptive {
+			spec["adaptive"] = true
+		}
+		// The adaptive pass exercises the nested spec form; the baseline
+		// the legacy flat fields — both halves of the request contract.
+		var body map[string]any
+		if adaptive {
+			body = map[string]any{"instance": json.RawMessage(corpus[idx]), "spec": spec}
+		} else {
+			body = map[string]any{"instance": json.RawMessage(corpus[idx])}
+			for key, v := range spec {
+				body[key] = v
+			}
+		}
+		rep, status, err := sloPost(url, body)
+		if err != nil {
+			return nil, fmt.Errorf("%s request %d: %w", label, k, err)
+		}
+		t.total++
+		cl := t.byClass[classes[k]]
+		cl[1]++
+		if status == http.StatusOK {
+			if rep.ElapsedUS <= deadlines[k]*1000 {
+				t.hits++
+				cl[0]++
+			}
+			t.rungs[rep.Quality.Rung]++
+			t.elapsedUS = append(t.elapsedUS, rep.ElapsedUS)
+			if adaptive {
+				t.plannerUS = append(t.plannerUS, rep.Quality.PlannerUS)
+				if rep.Quality.PredictedUS > 0 {
+					t.predictedUS = append(t.predictedUS, rep.Quality.PredictedUS)
+				}
+			}
+			// Heuristic and repair rungs guarantee their bound against the
+			// combinatorial lower bound, so it is checkable per response.
+			// (The eptas rung's 1+eps is against the optimum — the lower
+			// bound may sit below it by the paper's O(eps) constant.)
+			if rep.Quality.Rung != "eptas" && rep.Quality.Bound > 0 && rep.LowerBound > 0 &&
+				rep.Makespan > rep.Quality.Bound*rep.LowerBound*(1+1e-9) {
+				return nil, fmt.Errorf("%s request %d: makespan %g violates reported bound %g x lb %g (rung %s)",
+					label, k, rep.Makespan, rep.Quality.Bound, rep.LowerBound, rep.Quality.Rung)
+			}
+		}
+		t.byClass[classes[k]] = cl
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\n%s pass: %d requests in %s\n", label, len(trace), elapsed.Round(time.Millisecond))
+	for _, c := range sloClasses {
+		cl := t.byClass[c.name]
+		if cl[1] == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s hit %3d/%3d (%.1f%%)\n", c.name, cl[0], cl[1], 100*float64(cl[0])/float64(cl[1]))
+	}
+	return t, nil
+}
+
+func sloPost(url string, body map[string]any) (*sloReply, int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	var rep sloReply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, 0, err
+	}
+	return &rep, resp.StatusCode, nil
+}
+
+func p50(vs []int64) int64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]int64{}, vs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}

@@ -19,11 +19,13 @@ import (
 
 	"repro/internal/cfgmilp"
 	"repro/internal/family"
+	"repro/internal/greedy"
 	"repro/internal/memo"
 	"repro/internal/milp"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
 	"repro/internal/placer"
+	"repro/internal/plan"
 	"repro/internal/round"
 	"repro/internal/sched"
 	"repro/internal/transform"
@@ -106,6 +108,46 @@ type Options struct {
 	// tests assert it across the workload corpus); the flag exists only
 	// for those tests and for benchmark baselines.
 	Float64Ref bool
+	// Adaptive enables SLO-aware admission-time planning: before the
+	// search runs, the attached Planner walks the degradation ladder
+	// (requested eps → coarser eps → heuristics) and rewrites Eps,
+	// Oracle.Backend and Heuristic to the cheapest configuration
+	// predicted to finish within Deadline while honoring MinQuality.
+	// Ignored when Planner is nil. Off by default: adaptive-off solves
+	// are bit-identical to a build without the planner (the plan-diff
+	// gate enforces it).
+	Adaptive bool
+	// Planner is the online cost model adaptive solving plans against.
+	// When non-nil it also *observes*: every completed solve folds its
+	// measured latency into the model, keyed by (family, size bucket,
+	// eps, backend, workers) — observation never changes an answer, so
+	// attaching a model is result-transparent. See internal/plan.
+	Planner *plan.Model
+	// Deadline is this solve's latency budget. When positive it bounds
+	// the solve context (exceeding it aborts with DeadlineExceeded) and
+	// is the budget adaptive planning fits configurations into; 0 means
+	// no deadline (adaptive planning then falls back to the context's
+	// own deadline, if any).
+	Deadline time.Duration
+	// MinQuality is the adaptive quality floor: the worst acceptable
+	// approximation bound (e.g. 1.5 admits eps rungs up to 0.5 and
+	// nothing coarser). When no ladder rung meets both the floor and
+	// the deadline the solve refuses with plan.ErrUnattainable instead
+	// of degrading further. 0 means no floor — the planner then
+	// answers best-effort rather than refuse.
+	MinQuality float64
+	// PlanBackends, when non-empty, are the oracle backends the planner
+	// may choose among (preference order) for eptas rungs; empty pins
+	// the planner to Oracle.Backend. Only consulted when Adaptive is
+	// set.
+	PlanBackends []oracle.Kind
+	// Heuristic forces a heuristic rung instead of the EPTAS search:
+	// plan.RungLPT answers with the family's LPT fallback schedule,
+	// plan.RungGreedy with the input-order least-loaded list schedule.
+	// Adaptive planning sets it when the deadline only affords a
+	// heuristic; callers may also set it directly. Result.Quality
+	// carries the rung's approximation bound.
+	Heuristic string
 	// Repair enables the placement-repair fast path of ResolveContext:
 	// when set, a re-solve first tries to carry the prior schedule's
 	// unchanged assignments over and greedily re-place only the churned
@@ -227,6 +269,10 @@ type Result struct {
 	LowerBound float64
 	// Stats describes the search.
 	Stats Stats
+	// Quality reports which rung of the degradation ladder answered and
+	// the approximation bound the answer guarantees; populated on every
+	// result, adaptive or not.
+	Quality Quality
 
 	// Input is the instance the solve ran on — the caller's instance,
 	// before any family preparation. ResolveContext applies deltas to
@@ -258,8 +304,19 @@ func Solve(in *sched.Instance, opt Options) (*Result, error) {
 // layer — between binary-search guesses, between pipeline stages, inside
 // pattern enumeration and inside the MILP branch-and-bound loop — so a
 // canceled or expired context aborts the solve promptly and returns
-// ctx.Err().
+// ctx.Err(). With Options.Adaptive set the solve is preceded by an
+// admission-time planning step that may coarsen eps, switch the
+// backend, or answer with a heuristic rung to meet Options.Deadline;
+// see Options.Adaptive and internal/plan.
 func SolveContext(ctx context.Context, in *sched.Instance, opt Options) (*Result, error) {
+	return runAdaptive(ctx, in, opt, func(ctx context.Context, opt Options) (*Result, error) {
+		return solveSearch(ctx, in, opt)
+	})
+}
+
+// solveSearch is the planning-free solve: validate, prepare, binary
+// search, finish.
+func solveSearch(ctx context.Context, in *sched.Instance, opt Options) (*Result, error) {
 	env, err := prepareSolve(ctx, in, opt)
 	if err != nil {
 		return nil, err
@@ -330,6 +387,7 @@ func prepareSolve(ctx context.Context, in *sched.Instance, opt Options) (*solveE
 	}
 	if len(in.Jobs) == 0 {
 		env.res.Schedule = sched.NewSchedule(env.work)
+		env.setQuality(plan.RungEPTAS)
 		env.done = true
 		return env, nil
 	}
@@ -347,11 +405,43 @@ func prepareSolve(ctx context.Context, in *sched.Instance, opt Options) (*solveE
 	if env.ub <= env.lb {
 		env.res.Schedule = ubSched
 		env.res.Makespan = env.ub
+		env.setQuality(plan.RungLPT)
+		env.done = true
+		return env, nil
+	}
+
+	// A forced heuristic rung (planned, or set by the caller) answers
+	// without searching: the family's LPT fallback is already in hand,
+	// the greedy rung list-schedules in input order.
+	if opt.Heuristic != "" {
+		sch, err := env.heuristicSchedule(opt.Heuristic)
+		if err != nil {
+			return nil, err
+		}
+		env.res.Schedule = sch
+		env.res.Makespan = sch.Makespan()
+		env.setQuality(opt.Heuristic)
 		env.done = true
 		return env, nil
 	}
 	env.engine = pipeline.New(pipelineConfig(opt))
 	return env, nil
+}
+
+// heuristicSchedule executes one heuristic rung on the prepared work
+// instance.
+func (env *solveEnv) heuristicSchedule(name string) (*sched.Schedule, error) {
+	switch name {
+	case plan.RungLPT:
+		return env.ubSched, nil
+	case plan.RungGreedy:
+		order := make([]int, len(env.work.Jobs))
+		for i := range order {
+			order[i] = i
+		}
+		return greedy.ListSchedule(env.work, order)
+	}
+	return nil, fmt.Errorf("eptas: unknown heuristic rung %q", name)
 }
 
 // searchFuncs returns the eval/commit pair the binary search drives.
@@ -401,10 +491,20 @@ func (env *solveEnv) finish(ctx context.Context, search round.SearchResult) (*Re
 		res.Schedule = env.ubSched
 		res.Makespan = env.ub
 		res.Stats.Fallback = search.Schedule == nil
+		if res.Stats.Fallback {
+			// No guess was accepted: the answer is the heuristic upper
+			// bound and only its bound is guaranteed.
+			env.setQuality(plan.RungLPT)
+		} else {
+			// A guess was accepted and the fallback merely beat its
+			// schedule; the EPTAS guarantee still holds.
+			env.setQuality(plan.RungEPTAS)
+		}
 		return res, nil
 	}
 	res.Schedule = search.Schedule
 	res.Makespan = search.Makespan
+	env.setQuality(plan.RungEPTAS)
 	return res, nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"repro/internal/placer"
+	"repro/internal/plan"
 	"repro/internal/round"
 	"repro/internal/sched"
 )
@@ -68,6 +69,14 @@ func ResolveContext(ctx context.Context, prior *Result, delta sched.Delta, opt O
 	if opt.Cache == nil {
 		opt.Cache = prior.Memo
 	}
+	return runAdaptive(ctx, post, opt, func(ctx context.Context, opt Options) (*Result, error) {
+		return resolveSearch(ctx, prior, post, churn, opt)
+	})
+}
+
+// resolveSearch is the planning-free incremental re-solve: repair fast
+// path, then the warm-started search.
+func resolveSearch(ctx context.Context, prior *Result, post *sched.Instance, churn *sched.Churn, opt Options) (*Result, error) {
 	env, err := prepareSolve(ctx, post, opt)
 	if err != nil {
 		return nil, err
@@ -120,5 +129,8 @@ func (env *solveEnv) tryRepair(prior *sched.Schedule, churn *sched.Churn) (*Resu
 	res.Stats.Repaired = true
 	res.Stats.RepairStats = rst
 	res.Memo = env.engine.Cache()
+	// The repair certificate ms <= (1+eps)*lb is exactly the eptas
+	// bound.
+	env.setQuality(plan.RungRepair)
 	return res, true
 }

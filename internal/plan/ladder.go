@@ -1,0 +1,132 @@
+// The degradation ladder: the ordered menu of configurations the
+// planner may answer a request with, from the requested accuracy through
+// coarser eps rungs down to the constant-factor heuristics, each rung
+// carrying the worst-case approximation bound it guarantees.
+package plan
+
+import "math/bits"
+
+// Rung names. RungEPTAS covers every eps rung (the Eps field
+// disambiguates); the heuristic rungs name which baseline answered.
+// RungRepair is not a ladder rung the planner picks — it labels the
+// placement-repair fast path of an incremental re-solve, whose explicit
+// (1+eps)·lb certificate matches the eptas bound.
+const (
+	// RungEPTAS is a full dual-approximation search at some eps;
+	// bound 1+eps.
+	RungEPTAS = "eptas"
+	// RungLPT is the family's LPT fallback: bag-LPT for the bags and
+	// identical families (paper Lemma 8), speed-scaled LPT for related.
+	RungLPT = "baglpt"
+	// RungGreedy is the input-order list schedule of
+	// internal/baselines.Greedy.
+	RungGreedy = "greedy"
+	// RungRepair labels a placement-repaired re-solve (never planned).
+	RungRepair = "repair"
+)
+
+// Rung is one step of the degradation ladder.
+type Rung struct {
+	// Name is RungEPTAS or a heuristic rung name.
+	Name string
+	// Eps is the accuracy parameter of an eptas rung; 0 for heuristics.
+	Eps float64
+	// Bound is the worst-case approximation ratio the rung guarantees
+	// for the family the ladder was built for.
+	Bound float64
+}
+
+// Heuristic reports whether the rung answers without running the EPTAS.
+func (r Rung) Heuristic() bool { return r.Name != RungEPTAS }
+
+// EpsGrid is the fixed menu of coarser accuracies the ladder degrades
+// through, finest first. It doubles as the cost model's eps bucketing:
+// observations index into this grid (nearest value), so latencies
+// learned at one requested eps inform predictions for nearby ones.
+var EpsGrid = []float64{0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.65, 0.80, 0.90}
+
+// EpsIndex maps an eps to its nearest EpsGrid bucket (ties toward the
+// coarser value). Purely a model-bucketing concern: the solver always
+// runs the exact eps of the rung, never the bucket value.
+func EpsIndex(eps float64) int {
+	best, bestDist := 0, -1.0
+	for i, g := range EpsGrid {
+		d := g - eps
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist || (d == bestDist && g > EpsGrid[best]) {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// SizeClass buckets a job count for the cost model: the bit length of
+// n, so bucket k covers [2^(k-1), 2^k). Solve latency is dominated by
+// instance size at fixed (family, eps, backend); power-of-two buckets
+// keep the model small while separating the corpus's n=16 fixtures from
+// its n=384 ones.
+func SizeClass(jobs int) int {
+	if jobs < 0 {
+		jobs = 0
+	}
+	return bits.Len(uint(jobs))
+}
+
+// HeuristicBound is the approximation bound the named heuristic rung
+// guarantees for a family, as documented in the README bound table:
+//
+//	family    baglpt              greedy
+//	bags      2   (Lemma 8)       max(2, m)  (area bound: Cmax ≤ Σp ≤ m·lb)
+//	identical 4/3 (Graham LPT)    2          (Graham list scheduling)
+//	related   2   (uniform LPT)   —          (no defensible bound; excluded)
+//
+// Unknown rung/family pairs report 0 (no guarantee).
+func HeuristicBound(familyName string, machines int, rung string) float64 {
+	if familyName == "" {
+		familyName = "bags"
+	}
+	switch rung {
+	case RungLPT:
+		if familyName == "identical" {
+			return 4.0 / 3.0
+		}
+		return 2
+	case RungGreedy:
+		switch familyName {
+		case "identical":
+			return 2
+		case "bags":
+			if machines < 2 {
+				return 2
+			}
+			return float64(machines)
+		}
+	}
+	return 0
+}
+
+// Ladder builds the degradation ladder for one request: the requested
+// eps first (bound 1+eps), then every strictly coarser EpsGrid rung,
+// then the family's heuristic rungs, cheapest-last. The planner walks
+// it front to back and picks the first rung predicted to fit the
+// budget, so order is the latency order and the walk is monotone: a
+// tighter deadline can only move the choice later (coarser), never
+// earlier (finer).
+func Ladder(familyName string, machines int, eps float64) []Rung {
+	if familyName == "" {
+		familyName = "bags"
+	}
+	rungs := []Rung{{Name: RungEPTAS, Eps: eps, Bound: 1 + eps}}
+	for _, g := range EpsGrid {
+		if g > eps*(1+1e-9) {
+			rungs = append(rungs, Rung{Name: RungEPTAS, Eps: g, Bound: 1 + g})
+		}
+	}
+	rungs = append(rungs, Rung{Name: RungLPT, Bound: HeuristicBound(familyName, machines, RungLPT)})
+	if b := HeuristicBound(familyName, machines, RungGreedy); b > 0 {
+		rungs = append(rungs, Rung{Name: RungGreedy, Bound: b})
+	}
+	return rungs
+}

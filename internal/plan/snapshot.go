@@ -1,0 +1,92 @@
+// Cost-model snapshots: a versioned JSON document so a model can
+// persist across restarts and ship to warm replicas alongside the memo
+// snapshot (`bagsched serve -plan-snapshot`).
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SnapshotFormat is the snapshot document version this package writes
+// and the only one it reads.
+const SnapshotFormat = 1
+
+type snapshotDoc struct {
+	Format       int        `json:"format"`
+	Version      uint64     `json:"version"`
+	Observations uint64     `json:"observations"`
+	Cells        []snapCell `json:"cells"`
+}
+
+type snapCell struct {
+	Key
+	MeanUS float64 `json:"mean_us"`
+	Count  uint64  `json:"count"`
+}
+
+// Export writes the model as a stable JSON snapshot: cells in sorted
+// key order, so equal models export byte-identical documents.
+func (m *Model) Export(w io.Writer) error {
+	m.mu.RLock()
+	doc := snapshotDoc{Format: SnapshotFormat, Version: m.version, Observations: m.observations}
+	for k, c := range m.cells {
+		doc.Cells = append(doc.Cells, snapCell{Key: k, MeanUS: c.meanUS, Count: c.count})
+	}
+	m.mu.RUnlock()
+	sort.Slice(doc.Cells, func(i, j int) bool { return doc.Cells[i].less(doc.Cells[j].Key) })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("plan: export: %w", err)
+	}
+	return nil
+}
+
+func (k Key) less(o Key) bool {
+	switch {
+	case k.Family != o.Family:
+		return k.Family < o.Family
+	case k.Size != o.Size:
+		return k.Size < o.Size
+	case k.Rung != o.Rung:
+		return k.Rung < o.Rung
+	case k.EpsIdx != o.EpsIdx:
+		return k.EpsIdx < o.EpsIdx
+	case k.Backend != o.Backend:
+		return k.Backend < o.Backend
+	default:
+		return k.Workers < o.Workers
+	}
+}
+
+// Import merges a snapshot into the model: cells the model has not
+// observed yet are adopted verbatim, cells it has are kept (live
+// observations beat shipped history). The model version advances so
+// post-import decisions are distinguishable from pre-import ones.
+func (m *Model) Import(r io.Reader) error {
+	var doc snapshotDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("plan: import: %w", err)
+	}
+	if doc.Format != SnapshotFormat {
+		return fmt.Errorf("plan: import: unsupported snapshot format %d (want %d)", doc.Format, SnapshotFormat)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sc := range doc.Cells {
+		if sc.Count == 0 {
+			continue
+		}
+		k := sc.Key.Normalize()
+		if _, exists := m.cells[k]; !exists {
+			m.cells[k] = &cell{meanUS: sc.MeanUS, count: sc.Count}
+			m.observations += sc.Count
+		}
+	}
+	m.version++
+	return nil
+}

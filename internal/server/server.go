@@ -8,7 +8,11 @@
 //
 //	POST /v1/solve   {"instance": {...}, "eps": 0.5, "backend": "bnb",
 //	                  "family": "bags", "timeout_ms": 1000,
-//	                  "no_cache": false, "oracle_workers": 4}
+//	                  "no_cache": false, "oracle_workers": 4,
+//	                  "deadline_ms": 50, "min_quality": 1.5,
+//	                  "adaptive": true}
+//	                 — the solve knobs can also arrive nested under
+//	                 "spec", which wins wholesale over the flat fields
 //	POST /v1/batch   {"instances": [{...}, ...], "eps": 0.5, ...}
 //	POST /v1/resolve {"instance": {...}, "delta": {"resize": [...]},
 //	                  "prior_makespan": 3.2, "prior_guess": 3.1,
@@ -56,6 +60,7 @@ import (
 	"repro/internal/family"
 	"repro/internal/memo"
 	"repro/internal/oracle"
+	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/wire"
 )
@@ -103,15 +108,23 @@ type Config struct {
 	// roughly one machine's worth. Results are bit-identical at any
 	// clamp (oracle workers never change answers).
 	MaxOracleWorkers int
+	// Planner is the latency cost model behind SLO-aware ("adaptive")
+	// requests; nil builds a fresh one. Every successful solve feeds it
+	// (observation never changes answers), and adaptive requests consult
+	// it at admission to pick the cheapest configuration predicted to
+	// meet their deadline. Share one model across restarts by exporting
+	// and importing it alongside the cache snapshot (see plan.Export).
+	Planner *plan.Model
 }
 
 // Server is the solve service. Create with New; serve via Handler.
 type Server struct {
-	cfg    Config
-	cache  *memo.Cache
-	queue  *batch.Queue
-	flight *flight
-	lat    *LatencyRing
+	cfg     Config
+	cache   *memo.Cache
+	queue   *batch.Queue
+	flight  *flight
+	lat     *LatencyRing
+	planner *plan.Model
 	// fams tracks per-problem-family solve counts and latencies, keyed
 	// by family name; built once in New for every registered family.
 	fams  map[string]*famStats
@@ -124,6 +137,16 @@ type Server struct {
 	timeouts    atomic.Int64 // solves aborted by per-request deadlines
 	resolves    atomic.Int64 // successful incremental re-solves (subset of solves)
 	repairs     atomic.Int64 // re-solves answered by the placement-repair fast path
+
+	// SLO-aware serving counters: adaptive-mode solves, how many of them
+	// answered from a rung coarser than requested, how many ran
+	// best-effort (nothing was predicted to fit the deadline and no
+	// quality floor forced a refusal), and how many were refused as
+	// unattainable (422).
+	adaptiveSolves atomic.Int64
+	degraded       atomic.Int64
+	bestEffort     atomic.Int64
+	unattainable   atomic.Int64
 
 	// Oracle worker utilization over all successful solves: how many ran
 	// with more than one lane, how many speculative work units helper
@@ -182,18 +205,23 @@ func New(cfg Config) *Server {
 	if cache == nil {
 		cache = memo.New(cfg.CacheBytes)
 	}
+	planner := cfg.Planner
+	if planner == nil {
+		planner = plan.NewModel()
+	}
 	fams := make(map[string]*famStats, len(family.List()))
 	for _, f := range family.List() {
 		fams[f.Name()] = &famStats{lat: NewLatencyRing(1 << 12)}
 	}
 	return &Server{
-		cfg:    cfg,
-		cache:  cache,
-		queue:  batch.NewQueue(cfg.Workers, cfg.QueueDepth),
-		flight: newFlight(),
-		lat:    NewLatencyRing(1 << 14),
-		fams:   fams,
-		start:  time.Now(),
+		cfg:     cfg,
+		cache:   cache,
+		queue:   batch.NewQueue(cfg.Workers, cfg.QueueDepth),
+		flight:  newFlight(),
+		lat:     NewLatencyRing(1 << 14),
+		planner: planner,
+		fams:    fams,
+		start:   time.Now(),
 	}
 }
 
@@ -205,6 +233,10 @@ type famStats struct {
 
 // Cache returns the shared cross-request memo.
 func (s *Server) Cache() *memo.Cache { return s.cache }
+
+// Planner returns the shared latency cost model (never nil). The serve
+// command exports it on shutdown next to the cache snapshot.
+func (s *Server) Planner() *plan.Model { return s.planner }
 
 // Workers reports the effective worker count; QueueDepth the effective
 // admission queue depth.
@@ -250,39 +282,61 @@ type spec struct {
 	key [sha256.Size]byte
 }
 
-// resolve validates the scalar knobs of a request and builds the solve
-// spec. A non-nil error is a client error (400).
-func (s *Server) resolve(in *sched.Instance, eps float64, backendName, familyName string, noCache bool, oracleWorkers int) (*spec, error) {
+// resolve validates a request's solve spec and builds the solve spec.
+// A non-nil error is a client error (400).
+func (s *Server) resolve(in *sched.Instance, req wire.SolveSpec) (*spec, error) {
 	if in == nil {
 		return nil, errors.New("missing \"instance\"")
 	}
-	if oracleWorkers < 0 {
-		return nil, fmt.Errorf("\"oracle_workers\" must be >= 0, got %d", oracleWorkers)
+	if req.OracleWorkers < 0 {
+		return nil, fmt.Errorf("\"oracle_workers\" must be >= 0, got %d", req.OracleWorkers)
 	}
+	oracleWorkers := req.OracleWorkers
 	if oracleWorkers > s.cfg.MaxOracleWorkers {
 		oracleWorkers = s.cfg.MaxOracleWorkers
 	}
+	eps := req.Eps
 	if eps == 0 {
 		eps = s.cfg.Eps
 	}
 	if eps <= 0 || eps >= 1 {
 		return nil, fmt.Errorf("\"eps\" must be in (0,1), got %g", eps)
 	}
+	if req.DeadlineMS < 0 {
+		return nil, fmt.Errorf("\"deadline_ms\" must be >= 0, got %d", req.DeadlineMS)
+	}
+	if req.MinQuality != 0 && req.MinQuality < 1 {
+		return nil, fmt.Errorf("\"min_quality\" must be 0 (no floor) or >= 1, got %g", req.MinQuality)
+	}
 	backend := s.cfg.Backend
-	if backendName != "" {
+	if req.Backend != "" {
 		var err error
-		backend, err = oracle.ParseKind(backendName)
+		backend, err = oracle.ParseKind(req.Backend)
 		if err != nil {
 			return nil, err
 		}
 	}
-	fam, err := family.Parse(familyName)
+	fam, err := family.Parse(req.Family)
 	if err != nil {
 		return nil, err
 	}
 	opt := core.Options{Eps: eps, Family: fam, Oracle: oracle.Selection{Backend: backend}, OracleWorkers: oracleWorkers}
-	if !noCache {
+	if !req.NoCache {
 		opt.Cache = s.cache
+	}
+	// Every solve feeds the cost model (observation is result-transparent);
+	// only adaptive requests consult it.
+	opt.Planner = s.planner
+	opt.Adaptive = req.Adaptive
+	opt.MinQuality = req.MinQuality
+	if req.DeadlineMS > 0 {
+		opt.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if req.Adaptive && req.Backend == "" {
+		// No pinned backend: let the planner pick among the family's
+		// exact backends by predicted latency (portfolio is excluded —
+		// it is itself a meta-strategy).
+		opt.PlanBackends = planCandidates(fam.Name(), backend)
 	}
 
 	h := sha256.New()
@@ -296,25 +350,62 @@ func (s *Server) resolve(in *sched.Instance, eps float64, backendName, familyNam
 	// answers. The clamped worker count is hashed too — responses would
 	// coalesce correctly across worker counts (results are identical by
 	// contract), but every resolved knob goes into the key so coalescing
-	// never has to argue from that contract.
-	fmt.Fprintf(h, "|%x|%d|%s|%v|%d", math.Float64bits(eps), backend, fam.Name(), noCache, oracleWorkers)
+	// never has to argue from that contract. The SLO knobs are hashed
+	// because adaptive requests with different budgets may legitimately
+	// get different answers.
+	fmt.Fprintf(h, "|%x|%d|%s|%v|%d|%x|%x|%v", math.Float64bits(eps), backend, fam.Name(),
+		req.NoCache, oracleWorkers, req.DeadlineMS, math.Float64bits(req.MinQuality), req.Adaptive)
 	sp := &spec{in: in, opt: opt, fam: fam.Name()}
 	h.Sum(sp.key[:0])
 	return sp, nil
 }
 
+// planCandidates lists the oracle backends the planner may pick among
+// for an adaptive request that pinned none, cheapest-predicted first
+// preference left to the model: the server default first, then the
+// family's other exact backends. The configuration-DP oracle only
+// understands identical speeds, so related-machines requests stay on
+// branch-and-bound; the portfolio meta-backend is never auto-picked.
+func planCandidates(familyName string, def oracle.Kind) []oracle.Kind {
+	cands := []oracle.Kind{}
+	add := func(k oracle.Kind) {
+		if k == oracle.KindPortfolio {
+			return
+		}
+		for _, c := range cands {
+			if c == k {
+				return
+			}
+		}
+		cands = append(cands, k)
+	}
+	add(def)
+	add(oracle.KindBnB)
+	if familyName != "related" {
+		add(oracle.KindCfgDP)
+	}
+	if len(cands) == 0 {
+		cands = append(cands, oracle.KindBnB)
+	}
+	return cands
+}
+
 // solveContext derives the per-request solve context from the client
-// connection and the requested timeout.
-func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
-	if timeoutMS < 0 {
-		return nil, nil, fmt.Errorf("\"timeout_ms\" must be >= 0, got %d", timeoutMS)
+// connection, the requested timeout and (when set) the SLO deadline —
+// whichever bound is tighter wins.
+func (s *Server) solveContext(r *http.Request, req wire.SolveSpec) (context.Context, context.CancelFunc, error) {
+	if req.TimeoutMS < 0 {
+		return nil, nil, fmt.Errorf("\"timeout_ms\" must be >= 0, got %d", req.TimeoutMS)
 	}
 	timeout := s.cfg.DefaultTimeout
-	if timeoutMS > 0 {
-		timeout = time.Duration(timeoutMS) * time.Millisecond
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
+	}
+	if d := time.Duration(req.DeadlineMS) * time.Millisecond; d > 0 && d < timeout {
+		timeout = d
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	return ctx, cancel, nil
@@ -344,12 +435,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	sp, err := s.resolve(req.Instance, req.Eps, req.Backend, req.Family, req.NoCache, req.OracleWorkers)
+	rspec := req.EffectiveSpec()
+	sp, err := s.resolve(req.Instance, rspec)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
 		return
 	}
-	ctx, cancel, err := s.solveContext(r, req.TimeoutMS)
+	ctx, cancel, err := s.solveContext(r, rspec)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
 		return
@@ -372,6 +464,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.lat.Record(elapsed)
 	s.recordFamily(sp.fam, elapsed)
 	s.recordOracle(out.Result.Stats)
+	s.recordQuality(sp.opt.Adaptive, out.Result.Quality)
 	writeJSON(w, http.StatusOK, wire.FromResult(out.Result, shared, elapsed))
 }
 
@@ -383,7 +476,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // shares an outcome with the plain solve of the same instance. A
 // non-nil error is a client error (400).
 func (s *Server) resolveDelta(req *wire.ResolveRequest) (*spec, *core.Result, error) {
-	sp, err := s.resolve(req.Instance, req.Eps, req.Backend, req.Family, req.NoCache, req.OracleWorkers)
+	sp, err := s.resolve(req.Instance, req.EffectiveSpec())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -428,7 +521,7 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
 		return
 	}
-	ctx, cancel, err := s.solveContext(r, req.TimeoutMS)
+	ctx, cancel, err := s.solveContext(r, req.EffectiveSpec())
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
 		return
@@ -455,6 +548,7 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	s.lat.Record(elapsed)
 	s.recordFamily(sp.fam, elapsed)
 	s.recordOracle(out.Result.Stats)
+	s.recordQuality(sp.opt.Adaptive, out.Result.Quality)
 	writeJSON(w, http.StatusOK, wire.FromResolveResult(out.Result, shared, elapsed))
 }
 
@@ -463,6 +557,20 @@ func (s *Server) recordFamily(fam string, elapsed time.Duration) {
 	if fs, ok := s.fams[fam]; ok {
 		fs.solves.Add(1)
 		fs.lat.Record(elapsed)
+	}
+}
+
+// recordQuality feeds the SLO-aware serving counters of one successful
+// solve.
+func (s *Server) recordQuality(adaptive bool, q core.Quality) {
+	if adaptive {
+		s.adaptiveSolves.Add(1)
+	}
+	if q.Degraded {
+		s.degraded.Add(1)
+	}
+	if q.BestEffort {
+		s.bestEffort.Add(1)
 	}
 }
 
@@ -486,16 +594,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: "missing \"instances\""})
 		return
 	}
+	bspec := req.EffectiveSpec()
 	specs := make([]*spec, len(req.Instances))
 	for i, in := range req.Instances {
-		sp, err := s.resolve(in, req.Eps, req.Backend, req.Family, req.NoCache, req.OracleWorkers)
+		sp, err := s.resolve(in, bspec)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: fmt.Sprintf("instance %d: %v", i, err)})
 			return
 		}
 		specs[i] = sp
 	}
-	ctx, cancel, err := s.solveContext(r, req.TimeoutMS)
+	ctx, cancel, err := s.solveContext(r, bspec)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
 		return
@@ -537,6 +646,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				s.lat.Record(itemElapsed)
 				s.recordFamily(sp.fam, itemElapsed)
 				s.recordOracle(out.Result.Stats)
+				s.recordQuality(sp.opt.Adaptive, out.Result.Quality)
 				items[i] = wire.BatchItem{SolveResult: wire.FromResult(out.Result, shared, itemElapsed)}
 			}
 		}(i, sp)
@@ -601,6 +711,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"bagsched_snapshot_loads_total", "counter", s.snapshotLoads.Load()},
 		{"bagsched_snapshot_entries_loaded_total", "counter", s.snapshotEntries.Load()},
 		{"bagsched_snapshot_entries_skipped_total", "counter", s.snapshotSkipped.Load()},
+		{"bagsched_adaptive_solves_total", "counter", s.adaptiveSolves.Load()},
+		{"bagsched_degraded_solves_total", "counter", s.degraded.Load()},
+		{"bagsched_best_effort_solves_total", "counter", s.bestEffort.Load()},
+		{"bagsched_unattainable_total", "counter", s.unattainable.Load()},
+		{"bagsched_plan_model_cells", "gauge", int64(s.planner.Snapshot().Cells)},
+		{"bagsched_plan_model_observations", "counter", int64(s.planner.Snapshot().Observations)},
 	} {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.typ, m.name, m.value)
 	}
@@ -653,6 +769,18 @@ func (s *Server) statsPayload(window int) map[string]any {
 			"entries_loaded":  s.snapshotEntries.Load(),
 			"entries_skipped": s.snapshotSkipped.Load(),
 		},
+		"plan": func() map[string]any {
+			ps := s.planner.Snapshot()
+			return map[string]any{
+				"adaptive_solves": s.adaptiveSolves.Load(),
+				"degraded":        s.degraded.Load(),
+				"best_effort":     s.bestEffort.Load(),
+				"unattainable":    s.unattainable.Load(),
+				"model_cells":     ps.Cells,
+				"model_version":   ps.Version,
+				"observations":    ps.Observations,
+			}
+		}(),
 		"oracle_workers": map[string]any{
 			"max_per_solve":   s.cfg.MaxOracleWorkers,
 			"parallel_solves": s.oracleParallelSolves.Load(),
@@ -691,14 +819,18 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// writeSolveError maps a solve error to its status: 504 for the
-// per-request deadline, 499-ish client cancellation reported as 503
-// (the client is gone either way), anything else 422 — the body was
-// well-formed but the instance cannot be solved as asked (e.g. an
-// infeasible bag).
+// writeSolveError maps a solve error to its status: 422 "unattainable"
+// when the planner refused an adaptive request whose quality floor no
+// rung can meet within its deadline, 504 for the per-request deadline,
+// 499-ish client cancellation reported as 503 (the client is gone
+// either way), anything else 422 — the body was well-formed but the
+// instance cannot be solved as asked (e.g. an infeasible bag).
 func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	s.countSolveError(err)
 	switch {
+	case errors.Is(err, plan.ErrUnattainable):
+		s.unattainable.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, wire.ErrorResponse{Error: "unattainable: " + err.Error()})
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, wire.ErrorResponse{Error: "solve deadline exceeded"})
 	case errors.Is(err, context.Canceled):

@@ -410,14 +410,10 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 // forwardGroup sends the sub-batch holding idxs to owner (falling back
 // along the ring on failure) and scatters its outcomes into out.
 func (rt *Router) forwardGroup(ctx context.Context, req *wire.BatchRequest, owner int, idxs []int, out []wire.BatchItem) {
-	sub := wire.BatchRequest{
-		Eps:           req.Eps,
-		Backend:       req.Backend,
-		Family:        req.Family,
-		TimeoutMS:     req.TimeoutMS,
-		NoCache:       req.NoCache,
-		OracleWorkers: req.OracleWorkers,
-	}
+	// Forward the resolved spec flat — replicas running the legacy flat
+	// decoding and ones understanding the nested "spec" form both read
+	// it identically.
+	sub := wire.BatchRequest{SolveSpec: req.EffectiveSpec()}
 	for _, i := range idxs {
 		sub.Instances = append(sub.Instances, req.Instances[i])
 	}

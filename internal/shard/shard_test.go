@@ -70,8 +70,8 @@ func testInstance(machines, jobs int) *sched.Instance {
 }
 
 func TestRouteKeyStability(t *testing.T) {
-	a := &wire.SolveRequest{Instance: testInstance(4, 12), Eps: 0.5}
-	b := &wire.SolveRequest{Instance: testInstance(4, 12), Eps: 0.5}
+	a := &wire.SolveRequest{Instance: testInstance(4, 12), SolveSpec: wire.SolveSpec{Eps: 0.5}}
+	b := &wire.SolveRequest{Instance: testInstance(4, 12), SolveSpec: wire.SolveSpec{Eps: 0.5}}
 	ka, err := RouteKey(a, 0.5)
 	if err != nil {
 		t.Fatal(err)
@@ -86,10 +86,10 @@ func TestRouteKeyStability(t *testing.T) {
 		t.Fatalf("default-eps request routed differently: %x vs %x", kc, ka)
 	}
 	// Changed knobs are different cache lines and may move.
-	if kd, _ := RouteKey(&wire.SolveRequest{Instance: testInstance(4, 12), Eps: 0.25}, 0.5); kd == ka {
+	if kd, _ := RouteKey(&wire.SolveRequest{Instance: testInstance(4, 12), SolveSpec: wire.SolveSpec{Eps: 0.25}}, 0.5); kd == ka {
 		t.Fatal("eps change did not move the route key (astronomically unlikely)")
 	}
-	if ke, _ := RouteKey(&wire.SolveRequest{Instance: testInstance(4, 12), Eps: 0.5, Backend: "cfgdp"}, 0.5); ke == ka {
+	if ke, _ := RouteKey(&wire.SolveRequest{Instance: testInstance(4, 12), SolveSpec: wire.SolveSpec{Eps: 0.5, Backend: "cfgdp"}}, 0.5); ke == ka {
 		t.Fatal("backend change did not move the route key")
 	}
 }
@@ -98,10 +98,10 @@ func TestRouteKeyRejectsBadRequests(t *testing.T) {
 	if _, err := RouteKey(&wire.SolveRequest{}, 0.5); err == nil {
 		t.Fatal("missing instance accepted")
 	}
-	if _, err := RouteKey(&wire.SolveRequest{Instance: testInstance(2, 2), Eps: 1.5}, 0.5); err == nil {
+	if _, err := RouteKey(&wire.SolveRequest{Instance: testInstance(2, 2), SolveSpec: wire.SolveSpec{Eps: 1.5}}, 0.5); err == nil {
 		t.Fatal("bad eps accepted")
 	}
-	if _, err := RouteKey(&wire.SolveRequest{Instance: testInstance(2, 2), Family: "nope"}, 0.5); err == nil {
+	if _, err := RouteKey(&wire.SolveRequest{Instance: testInstance(2, 2), SolveSpec: wire.SolveSpec{Family: "nope"}}, 0.5); err == nil {
 		t.Fatal("bad family accepted")
 	}
 }
@@ -289,7 +289,7 @@ func TestRouterBatchSplitMerge(t *testing.T) {
 	rt := newTestRouter(t, Config{Replicas: urls})
 	h := rt.Handler()
 
-	req := wire.BatchRequest{Eps: 0.5}
+	req := wire.BatchRequest{SolveSpec: wire.SolveSpec{Eps: 0.5}}
 	for j := 0; j < 12; j++ {
 		req.Instances = append(req.Instances, testInstance(2+j%4, j+1))
 	}

@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// The golden bodies under testdata/ are the compatibility contract of
+// the request redesign: legacy flat-field bodies written against the
+// pre-SolveSpec API must keep decoding to exactly the same knobs, the
+// nested "spec" form must win wholesale over flat fields, and
+// re-encoding a legacy request must not leak any of the new SLO fields
+// into the document.
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+var wantLegacySpec = SolveSpec{
+	Eps:           0.2,
+	Backend:       "cfgdp",
+	Family:        "identical",
+	TimeoutMS:     250,
+	NoCache:       true,
+	OracleWorkers: 2,
+}
+
+func TestGoldenLegacySolveDecodes(t *testing.T) {
+	var req SolveRequest
+	if err := Unmarshal(readGolden(t, "solve_legacy.json"), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Instance == nil || req.Instance.Machines != 2 || len(req.Instance.Jobs) != 3 {
+		t.Fatalf("instance lost in decode: %+v", req.Instance)
+	}
+	if req.Spec != nil {
+		t.Fatal("legacy body must not materialize a nested spec")
+	}
+	if got := req.EffectiveSpec(); got != wantLegacySpec {
+		t.Fatalf("legacy flat fields decoded to %+v, want %+v", got, wantLegacySpec)
+	}
+}
+
+func TestGoldenNestedSpecWinsWholesale(t *testing.T) {
+	var req SolveRequest
+	if err := Unmarshal(readGolden(t, "solve_spec.json"), &req); err != nil {
+		t.Fatal(err)
+	}
+	// The body also carries flat eps/backend decoys; the nested block
+	// replaces them wholesale, it does not merge.
+	if got := req.EffectiveSpec(); got != wantLegacySpec {
+		t.Fatalf("nested spec resolved to %+v, want %+v", got, wantLegacySpec)
+	}
+	if req.Eps != 0.9 || req.Backend != "bnb" {
+		t.Fatalf("flat decoys should still decode (they are just ignored): %+v", req.SolveSpec)
+	}
+}
+
+func TestGoldenSLOSpecDecodes(t *testing.T) {
+	var req SolveRequest
+	if err := Unmarshal(readGolden(t, "solve_slo.json"), &req); err != nil {
+		t.Fatal(err)
+	}
+	got := req.EffectiveSpec()
+	if got.DeadlineMS != 20 || got.MinQuality != 1.5 || !got.Adaptive {
+		t.Fatalf("SLO fields lost: %+v", got)
+	}
+	if got.Eps != 0.1 || got.Family != "bags" {
+		t.Fatalf("spec knobs lost: %+v", got)
+	}
+}
+
+func TestGoldenLegacyBatchDecodes(t *testing.T) {
+	var req BatchRequest
+	if err := Unmarshal(readGolden(t, "batch_legacy.json"), &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Instances) != 2 {
+		t.Fatalf("instances lost: %d", len(req.Instances))
+	}
+	want := SolveSpec{Eps: 0.3, Backend: "bnb", Family: "bags", TimeoutMS: 100, OracleWorkers: 1}
+	if got := req.EffectiveSpec(); got != want {
+		t.Fatalf("batch flat fields decoded to %+v, want %+v", got, want)
+	}
+	// Item views inherit the batch spec.
+	if it := req.Item(1); it.EffectiveSpec() != want || it.Instance != req.Instances[1] {
+		t.Fatalf("item view %+v", it)
+	}
+}
+
+func TestGoldenLegacyResolveDecodes(t *testing.T) {
+	var req ResolveRequest
+	if err := Unmarshal(readGolden(t, "resolve_legacy.json"), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.PriorMakespan != 3.5 || req.PriorGuess != 3.5 || !req.Repair ||
+		len(req.PriorAssignment) != 2 || len(req.Delta.Add) != 1 {
+		t.Fatalf("resolve extras lost: %+v", req)
+	}
+	want := wantLegacySpec
+	want.Family = "bags"
+	if got := req.EffectiveSpec(); got != want {
+		t.Fatalf("resolve flat fields decoded to %+v, want %+v", got, want)
+	}
+}
+
+// TestLegacyEncodeByteCompatible proves the embedded-spec redesign did
+// not change how legacy requests serialize: a request that uses only
+// pre-redesign knobs encodes byte-identically to the golden captured
+// from the flat-field era (the three new SLO fields are omitempty, the
+// nested "spec" block is absent when nil). Regenerate with
+// WIRE_UPDATE_GOLDEN=1 go test ./internal/wire/ — and eyeball the diff.
+func TestLegacyEncodeByteCompatible(t *testing.T) {
+	var req SolveRequest
+	if err := Unmarshal(readGolden(t, "solve_legacy.json"), &req); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, &req); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "solve_legacy_encoded.golden")
+	if os.Getenv("WIRE_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("legacy encoding drifted from golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	for _, banned := range []string{`"deadline_ms"`, `"min_quality"`, `"adaptive"`, `"spec"`} {
+		if bytes.Contains(buf.Bytes(), []byte(banned)) {
+			t.Fatalf("legacy encoding leaked new field %s:\n%s", banned, buf.Bytes())
+		}
+	}
+	// And the round trip is lossless.
+	var back SolveRequest
+	if err := Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.EffectiveSpec(), req.EffectiveSpec()) {
+		t.Fatalf("round trip lost knobs: %+v vs %+v", back.EffectiveSpec(), req.EffectiveSpec())
+	}
+}

@@ -5,6 +5,14 @@
 // documents carry no transport state — a router can decode a request,
 // split or re-route it, and re-encode it byte-compatibly.
 //
+// All three request bodies share one solve-configuration block,
+// SolveSpec. It is embedded, so the legacy flat fields ("eps",
+// "backend", ...) keep decoding exactly as before, and it can also be
+// sent nested under "spec", which then wins wholesale over any flat
+// fields. Every successful response carries a Quality block reporting
+// which rung of the degradation ladder answered and the approximation
+// bound it guarantees.
+//
 // Decoding is strict everywhere: unknown fields and trailing data are
 // errors, so a typo'd knob fails loudly instead of silently selecting a
 // default, and every front end rejects exactly the same bodies.
@@ -22,15 +30,17 @@ import (
 	"repro/internal/sched"
 )
 
-// SolveRequest is the body of POST /v1/solve (and the per-item unit a
-// router hashes to pick a replica).
-type SolveRequest struct {
-	// Instance is the instance to schedule (required).
-	Instance *sched.Instance `json:"instance"`
+// SolveSpec is the shared solve-configuration block of every request:
+// what accuracy, which family and backend, how much time, and — for
+// SLO-aware serving — the deadline, quality floor and adaptive switch.
+// Zero values always mean "server default".
+type SolveSpec struct {
 	// Eps overrides the server's default accuracy (0 keeps the default).
 	Eps float64 `json:"eps"`
 	// Backend overrides the oracle backend ("bnb", "cfgdp",
-	// "portfolio"; empty keeps the default).
+	// "portfolio"; empty keeps the default — and, under "adaptive",
+	// additionally lets the planner pick the cheapest predicted
+	// backend per request).
 	Backend string `json:"backend"`
 	// Family selects the problem family ("bags", "identical",
 	// "related"; empty selects bags, the bag-constrained default).
@@ -46,32 +56,105 @@ type SolveRequest struct {
 	// clamped to the server's maximum. 0 or 1 is sequential. Responses
 	// are bit-identical at any value — the knob trades CPU for latency.
 	OracleWorkers int `json:"oracle_workers"`
+	// DeadlineMS is the request's latency budget for SLO-aware serving.
+	// It bounds the solve like timeout_ms (whichever is tighter wins)
+	// and, under "adaptive", is the budget the planner fits a
+	// configuration into. 0 means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// MinQuality is the worst acceptable approximation bound (e.g. 1.5).
+	// When no ladder rung meets both the floor and the deadline the
+	// server refuses with 422 "unattainable" instead of degrading
+	// further. 0 means no floor. Only meaningful with "adaptive".
+	MinQuality float64 `json:"min_quality,omitempty"`
+	// Adaptive enables admission-time planning: the server may coarsen
+	// eps, switch the backend, or answer with a bounded heuristic to
+	// meet the deadline, reporting what it did in the response's
+	// "quality" block. Off, the request runs exactly as specified.
+	Adaptive bool `json:"adaptive,omitempty"`
 }
 
-// BatchRequest is the body of POST /v1/batch; the scalar fields apply
-// to every instance.
+// SolveRequest is the body of POST /v1/solve (and the per-item unit a
+// router hashes to pick a replica). The solve knobs arrive either flat
+// (the embedded SolveSpec — the legacy encoding) or nested under
+// "spec"; use EffectiveSpec to read them.
+type SolveRequest struct {
+	// Instance is the instance to schedule (required).
+	Instance *sched.Instance `json:"instance"`
+	SolveSpec
+	// Spec is the nested form of the solve knobs. When present it wins
+	// wholesale — flat fields are ignored, not merged.
+	Spec *SolveSpec `json:"spec,omitempty"`
+}
+
+// EffectiveSpec resolves the request's solve knobs: the nested "spec"
+// block when present, the flat legacy fields otherwise.
+func (r *SolveRequest) EffectiveSpec() SolveSpec {
+	if r.Spec != nil {
+		return *r.Spec
+	}
+	return r.SolveSpec
+}
+
+// BatchRequest is the body of POST /v1/batch; the spec applies to
+// every instance.
 type BatchRequest struct {
-	Instances     []*sched.Instance `json:"instances"`
-	Eps           float64           `json:"eps"`
-	Backend       string            `json:"backend"`
-	Family        string            `json:"family"`
-	TimeoutMS     int64             `json:"timeout_ms"`
-	NoCache       bool              `json:"no_cache"`
-	OracleWorkers int               `json:"oracle_workers"`
+	Instances []*sched.Instance `json:"instances"`
+	SolveSpec
+	// Spec is the nested form of the solve knobs; when present it wins
+	// wholesale over the flat fields.
+	Spec *SolveSpec `json:"spec,omitempty"`
+}
+
+// EffectiveSpec resolves the batch's solve knobs; see
+// SolveRequest.EffectiveSpec.
+func (b *BatchRequest) EffectiveSpec() SolveSpec {
+	if b.Spec != nil {
+		return *b.Spec
+	}
+	return b.SolveSpec
 }
 
 // Item returns the solve-request view of one batch element, for front
 // ends (the shard router) that handle batch items individually.
 func (b *BatchRequest) Item(i int) SolveRequest {
-	return SolveRequest{
-		Instance:      b.Instances[i],
-		Eps:           b.Eps,
-		Backend:       b.Backend,
-		Family:        b.Family,
-		TimeoutMS:     b.TimeoutMS,
-		NoCache:       b.NoCache,
-		OracleWorkers: b.OracleWorkers,
-	}
+	return SolveRequest{Instance: b.Instances[i], SolveSpec: b.EffectiveSpec()}
+}
+
+// Quality reports what a response actually guarantees: which rung of
+// the degradation ladder answered and its approximation bound. Present
+// on every successful response, adaptive or not.
+type Quality struct {
+	// Rung names what produced the schedule: "eptas" for a full search,
+	// "baglpt"/"greedy" for heuristic answers, "repair" for the
+	// placement-repair fast path of /v1/resolve.
+	Rung string `json:"rung"`
+	// EpsUsed is the accuracy the search ran at — under adaptive
+	// serving possibly coarser than requested; 0 for heuristic rungs.
+	EpsUsed float64 `json:"eps_used"`
+	// BackendUsed is the oracle backend that decided the last accepted
+	// guess (empty when no search ran).
+	BackendUsed string `json:"backend_used,omitempty"`
+	// Bound is the worst-case approximation guarantee of this answer:
+	// 1+eps_used for eptas and repair rungs, the family's documented
+	// heuristic bound otherwise, exactly 1 when provably optimal.
+	Bound float64 `json:"bound"`
+	// Degraded reports an answer coarser than the request — the planner
+	// chose a lower rung, or the search fell back to its heuristic
+	// upper bound.
+	Degraded bool `json:"degraded,omitempty"`
+	// BestEffort reports that no configuration was predicted to meet
+	// the deadline and (absent a quality floor) the cheapest rung
+	// answered anyway.
+	BestEffort bool `json:"best_effort,omitempty"`
+	// PlannerUS is the admission-time planning overhead in
+	// microseconds; PredictedUS the planner's latency estimate for the
+	// chosen configuration (compare with elapsed_us for
+	// predicted-vs-actual). Both 0 when adaptive was off.
+	PlannerUS   int64 `json:"planner_us,omitempty"`
+	PredictedUS int64 `json:"predicted_us,omitempty"`
+	// ModelVersion is the cost-model version the planning decision was
+	// keyed by (0 when adaptive was off).
+	ModelVersion uint64 `json:"model_version,omitempty"`
 }
 
 // SolveResult is one solved instance on the wire.
@@ -91,6 +174,8 @@ type SolveResult struct {
 	Backend    string  `json:"backend,omitempty"`
 	Coalesced  bool    `json:"coalesced,omitempty"`
 	ElapsedUS  int64   `json:"elapsed_us"`
+	// Quality reports the rung that answered and its bound.
+	Quality Quality `json:"quality"`
 }
 
 // ResolveRequest is the body of POST /v1/resolve: an incremental
@@ -126,13 +211,19 @@ type ResolveRequest struct {
 	// instead); off by default.
 	Repair bool `json:"repair,omitempty"`
 
-	// The solve knobs, exactly as in SolveRequest.
-	Eps           float64 `json:"eps"`
-	Backend       string  `json:"backend"`
-	Family        string  `json:"family"`
-	TimeoutMS     int64   `json:"timeout_ms"`
-	NoCache       bool    `json:"no_cache"`
-	OracleWorkers int     `json:"oracle_workers"`
+	// The solve knobs, flat (legacy) or nested under "spec", exactly as
+	// in SolveRequest.
+	SolveSpec
+	Spec *SolveSpec `json:"spec,omitempty"`
+}
+
+// EffectiveSpec resolves the re-solve's solve knobs; see
+// SolveRequest.EffectiveSpec.
+func (r *ResolveRequest) EffectiveSpec() SolveSpec {
+	if r.Spec != nil {
+		return *r.Spec
+	}
+	return r.SolveSpec
 }
 
 // ResolveResult is the body of a successful POST /v1/resolve response:
@@ -166,6 +257,21 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// FromQuality shapes a solve's quality report for the wire.
+func FromQuality(q core.Quality) Quality {
+	return Quality{
+		Rung:         q.Rung,
+		EpsUsed:      q.EpsUsed,
+		BackendUsed:  q.BackendUsed,
+		Bound:        q.Bound,
+		Degraded:     q.Degraded,
+		BestEffort:   q.BestEffort,
+		PlannerUS:    q.PlannerTime.Microseconds(),
+		PredictedUS:  q.Predicted.Microseconds(),
+		ModelVersion: q.ModelVersion,
+	}
+}
+
 // FromResult shapes one successful solver outcome for the wire.
 func FromResult(res *core.Result, coalesced bool, elapsed time.Duration) *SolveResult {
 	return &SolveResult{
@@ -181,6 +287,7 @@ func FromResult(res *core.Result, coalesced bool, elapsed time.Duration) *SolveR
 		Backend:     res.Stats.OracleBackend,
 		Coalesced:   coalesced,
 		ElapsedUS:   elapsed.Microseconds(),
+		Quality:     FromQuality(res.Quality),
 	}
 }
 

@@ -58,13 +58,15 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 
 func TestBatchItemView(t *testing.T) {
 	b := &BatchRequest{
-		Instances:     []*sched.Instance{sched.NewInstance(2), sched.NewInstance(3)},
-		Eps:           0.25,
-		Backend:       "cfgdp",
-		Family:        "identical",
-		TimeoutMS:     100,
-		NoCache:       true,
-		OracleWorkers: 2,
+		Instances: []*sched.Instance{sched.NewInstance(2), sched.NewInstance(3)},
+		SolveSpec: SolveSpec{
+			Eps:           0.25,
+			Backend:       "cfgdp",
+			Family:        "identical",
+			TimeoutMS:     100,
+			NoCache:       true,
+			OracleWorkers: 2,
+		},
 	}
 	it := b.Item(1)
 	if it.Instance != b.Instances[1] || it.Eps != 0.25 || it.Backend != "cfgdp" ||
